@@ -1,0 +1,158 @@
+(* Benchmark & reproduction harness.
+
+   Two halves:
+   - Bechamel micro/meso benchmarks: one Test.make per paper artifact
+     (its regeneration kernel) plus the underlying algorithmic kernels.
+   - The reproduction run: regenerates every table and figure of the
+     paper with the calibrated configuration and prints the rows next to
+     the published values. *)
+
+open Bechamel
+open Toolkit
+
+let kernel_config ?policy ?battery_kind ?controllers () =
+  Etextile.Calibration.config ?policy ?battery_kind ?controllers ~mesh_size:4 ~seed:1 ()
+
+let fig7_kernel () =
+  ignore (Etx_etsim.Engine.simulate (kernel_config ~policy:(Etextile.Calibration.ear ()) ()))
+
+let table2_kernel () =
+  ignore
+    (Etx_etsim.Engine.simulate (kernel_config ~battery_kind:Etx_battery.Battery.Ideal ()))
+
+let fig8_kernel () =
+  ignore
+    (Etx_etsim.Engine.simulate
+       (kernel_config ~controllers:(Etx_etsim.Config.Battery_controllers { count = 2 }) ()))
+
+let thm1_kernel () =
+  List.iter
+    (fun mesh_size ->
+      let problem = Etextile.Calibration.problem ~mesh_size in
+      ignore (Etx_routing.Upper_bound.jobs problem);
+      ignore (Etx_routing.Upper_bound.optimal_duplicates problem))
+    [ 4; 5; 6; 7; 8 ]
+
+let floyd_warshall_kernel =
+  let topology = Etx_graph.Topology.square_mesh ~size:8 () in
+  let w = Etx_graph.Digraph.adjacency_matrix topology.Etx_graph.Topology.graph in
+  fun () -> ignore (Etx_graph.Floyd_warshall.run w)
+
+let ear_recompute_kernel =
+  let topology = Etx_graph.Topology.square_mesh ~size:8 () in
+  let mapping = Etx_routing.Mapping.checkerboard topology in
+  let snapshot = Etx_routing.Router.full_snapshot ~node_count:64 ~levels:8 in
+  fun () ->
+    ignore
+      (Etx_routing.Router.compute ~graph:topology.Etx_graph.Topology.graph ~mapping
+         ~module_count:3
+         ~weight:(Etx_routing.Weight.Exponential { q = 2. })
+         snapshot)
+
+let aes_kernel =
+  let key = Etx_aes.Aes.key_of_hex "000102030405060708090a0b0c0d0e0f" in
+  let block = Etx_aes.Block.of_hex "00112233445566778899aabbccddeeff" in
+  fun () -> ignore (Etx_aes.Aes.encrypt_block key block)
+
+let battery_kernel () =
+  let battery =
+    Etx_battery.Battery.create
+      ~kind:(Etx_battery.Battery.Thin_film Etx_battery.Battery.default_thin_film)
+      ~capacity_pj:60000.
+  in
+  for _ = 1 to 100 do
+    ignore (Etx_battery.Battery.draw battery ~energy_pj:20.);
+    Etx_battery.Battery.tick battery ~cycles:50
+  done
+
+let maximin_kernel =
+  let topology = Etx_graph.Topology.square_mesh ~size:8 () in
+  let mapping = Etx_routing.Mapping.checkerboard topology in
+  let snapshot = Etx_routing.Router.full_snapshot ~node_count:64 ~levels:8 in
+  fun () ->
+    ignore
+      (Etx_routing.Maximin.compute ~graph:topology.Etx_graph.Topology.graph ~mapping
+         ~module_count:3 snapshot)
+
+let analysis_kernel =
+  let problem = Etextile.Calibration.problem ~mesh_size:8 in
+  let topology = Etx_graph.Topology.square_mesh ~size:8 () in
+  let mapping = Etx_routing.Mapping.checkerboard topology in
+  fun () ->
+    ignore
+      (Etx_routing.Analysis.predict ~problem ~topology ~mapping
+         ~module_sequence:Etextile.Experiments.aes_module_sequence ())
+
+let tests =
+  Test.make_grouped ~name:"etextile"
+    [
+      Test.make ~name:"fig7/ear-4x4-run" (Staged.stage fig7_kernel);
+      Test.make ~name:"table2/ideal-4x4-run" (Staged.stage table2_kernel);
+      Test.make ~name:"fig8/2-controllers-4x4-run" (Staged.stage fig8_kernel);
+      Test.make ~name:"thm1/upper-bounds" (Staged.stage thm1_kernel);
+      Test.make ~name:"kernel/floyd-warshall-64" (Staged.stage floyd_warshall_kernel);
+      Test.make ~name:"kernel/ear-recompute-64" (Staged.stage ear_recompute_kernel);
+      Test.make ~name:"kernel/aes-block" (Staged.stage aes_kernel);
+      Test.make ~name:"kernel/battery-100-steps" (Staged.stage battery_kernel);
+      Test.make ~name:"kernel/maximin-recompute-64" (Staged.stage maximin_kernel);
+      Test.make ~name:"kernel/lifetime-prediction-64" (Staged.stage analysis_kernel);
+    ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  print_endline "Bechamel benchmarks (monotonic clock):";
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ nanoseconds ] -> Printf.printf "  %-44s %14.1f ns/run\n" name nanoseconds
+      | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+let run_reproduction () =
+  print_endline "=== Paper reproduction: regenerating every table and figure ===\n";
+  Etextile.Report.print (Etextile.Report.thm1 (Etextile.Experiments.thm1 ()));
+  Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ()));
+  Etextile.Report.print (Etextile.Report.table2 (Etextile.Experiments.table2 ()));
+  Etextile.Report.print (Etextile.Report.fig8 (Etextile.Experiments.fig8 ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Ablation - weight families (6x6 mesh)"
+       (Etextile.Experiments.ablation_weights ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Ablation - battery-level quantization N_B (6x6)"
+       (Etextile.Experiments.ablation_quantization ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Ablation - mapping strategy (6x6)"
+       (Etextile.Experiments.ablation_mapping ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Ablation - battery model x policy (6x6)"
+       (Etextile.Experiments.ablation_battery ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Extension - workload generality (same f vector, 6x6)"
+       (Etextile.Experiments.workloads ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Extension - synthetic pipelines of 2..6 modules (6x6)"
+       (Etextile.Experiments.generality ()));
+  Etextile.Report.print
+    (Etextile.Report.ablation ~title:"Extension - wear-and-tear link failures (6x6, EAR)"
+       (Etextile.Experiments.link_failures ()));
+  Etextile.Report.print
+    (Etextile.Report.predictions (Etextile.Experiments.predictions ()));
+  Etextile.Report.print (Etextile.Report.scenarios (Etextile.Experiments.scenarios ()));
+  Etextile.Report.print
+    (Etextile.Report.algorithms (Etextile.Experiments.algorithms ()));
+  Etextile.Report.print
+    (Etextile.Report.concurrency (Etextile.Experiments.concurrency ()))
+
+let () =
+  let arguments = Array.to_list Sys.argv in
+  let bench_only = List.mem "--bench-only" arguments in
+  let repro_only = List.mem "--repro-only" arguments in
+  if not repro_only then run_benchmarks ();
+  if not bench_only then run_reproduction ()

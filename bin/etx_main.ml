@@ -1,0 +1,473 @@
+(* etx - command-line front end for the e-textile energy-aware routing
+   reproduction.
+
+   Subcommands regenerate each paper artifact, run one-off simulations
+   with custom knobs, and expose the analytic results. *)
+
+open Cmdliner
+
+(* - shared argument definitions - *)
+
+let sizes_arg =
+  let doc = "Mesh sizes to sweep (square meshes), e.g. --sizes 4,5,6." in
+  Arg.(value & opt (list int) [ 4; 5; 6; 7; 8 ] & info [ "sizes" ] ~docv:"SIZES" ~doc)
+
+let seeds_arg =
+  let doc = "Seeds to average over." in
+  Arg.(
+    value
+    & opt (list int) Etextile.Calibration.default_seeds
+    & info [ "seeds" ] ~docv:"SEEDS" ~doc)
+
+let size_arg =
+  let doc = "Square mesh size." in
+  Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc)
+
+let check_sizes sizes =
+  if List.exists (fun s -> s < 2) sizes then
+    `Error (false, "mesh sizes must be at least 2")
+  else `Ok ()
+
+(* - paper artifacts - *)
+
+let fig7_cmd =
+  let run sizes seeds =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~sizes ~seeds ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Fig 7: completed jobs, EAR vs SDR.") term
+
+let table2_cmd =
+  let run sizes seeds =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      Etextile.Report.print
+        (Etextile.Report.table2 (Etextile.Experiments.table2 ~sizes ~seeds ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce Table 2: EAR vs the Theorem 1 upper bound.")
+    term
+
+let fig8_cmd =
+  let controllers_arg =
+    let doc = "Controller counts to sweep." in
+    Arg.(
+      value & opt (list int) [ 1; 2; 4; 7; 10 ] & info [ "controllers" ] ~docv:"COUNTS" ~doc)
+  in
+  let run sizes controller_counts seeds =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      Etextile.Report.print
+        (Etextile.Report.fig8
+           (Etextile.Experiments.fig8 ~sizes ~controller_counts ~seeds ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg $ controllers_arg $ seeds_arg)) in
+  Cmd.v (Cmd.info "fig8" ~doc:"Reproduce Fig 8: lifetime vs number of controllers.") term
+
+let thm1_cmd =
+  let run sizes =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      Etextile.Report.print (Etextile.Report.thm1 (Etextile.Experiments.thm1 ~sizes ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg)) in
+  Cmd.v
+    (Cmd.info "thm1" ~doc:"Evaluate Theorem 1: J* and optimal module replication.")
+    term
+
+let ablations_cmd =
+  let run mesh_size seeds =
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Ablation - weight families"
+         (Etextile.Experiments.ablation_weights ~mesh_size ~seeds ()));
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Ablation - battery-level quantization"
+         (Etextile.Experiments.ablation_quantization ~mesh_size ~seeds ()));
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Ablation - mapping strategy"
+         (Etextile.Experiments.ablation_mapping ~mesh_size ~seeds ()));
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Ablation - battery model x policy"
+         (Etextile.Experiments.ablation_battery ~mesh_size ~seeds ()))
+  in
+  let term = Term.(const run $ size_arg $ seeds_arg) in
+  Cmd.v (Cmd.info "ablations" ~doc:"Run the design-choice ablation sweeps.") term
+
+let concurrency_cmd =
+  let depths_arg =
+    let doc = "Numbers of concurrent jobs to sweep." in
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "depths" ] ~docv:"DEPTHS" ~doc)
+  in
+  let run mesh_size depths seeds =
+    Etextile.Report.print
+      (Etextile.Report.concurrency
+         (Etextile.Experiments.concurrency ~mesh_size ~depths ~seeds ()))
+  in
+  let term = Term.(const run $ size_arg $ depths_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "concurrency"
+       ~doc:"Sweep concurrent jobs and exercise deadlock recovery.")
+    term
+
+let workloads_cmd =
+  let run mesh_size seeds =
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Workload generality (same f vector)"
+         (Etextile.Experiments.workloads ~mesh_size ~seeds ()))
+  in
+  let term = Term.(const run $ size_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "workloads"
+       ~doc:"Compare AES encrypt / decrypt / synthetic workloads under EAR.")
+    term
+
+let generality_cmd =
+  let run seeds =
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Synthetic pipelines of 2..6 modules (6x6)"
+         (Etextile.Experiments.generality ~seeds ()))
+  in
+  let term = Term.(const run $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "generality" ~doc:"EAR-vs-SDR gain across synthetic pipeline depths.")
+    term
+
+let failures_cmd =
+  let counts_arg =
+    let doc = "Numbers of broken interconnects to sweep." in
+    Arg.(value & opt (list int) [ 0; 4; 8; 16; 24 ] & info [ "counts" ] ~docv:"COUNTS" ~doc)
+  in
+  let run mesh_size failure_counts seeds =
+    Etextile.Report.print
+      (Etextile.Report.ablation ~title:"Wear-and-tear link failures (EAR)"
+         (Etextile.Experiments.link_failures ~mesh_size ~failure_counts ~seeds ()))
+  in
+  let term = Term.(const run $ size_arg $ counts_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "failures" ~doc:"Sweep randomly breaking textile interconnects mid-life.")
+    term
+
+(* - one-off simulation - *)
+
+let simulate_cmd =
+  let policy_arg =
+    let doc = "Routing policy: ear, sdr, ear2, inverse, linear, maximin." in
+    Arg.(value & opt string "ear" & info [ "policy" ] ~docv:"POLICY" ~doc)
+  in
+  let battery_arg =
+    let doc = "Battery model: thin-film or ideal." in
+    Arg.(value & opt string "thin-film" & info [ "battery" ] ~docv:"MODEL" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let controllers_arg =
+    let doc = "Number of battery-powered controllers (0 = one infinite controller)." in
+    Arg.(value & opt int 0 & info [ "controllers" ] ~docv:"N" ~doc)
+  in
+  let jobs_arg =
+    let doc = "Concurrent jobs in flight." in
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N" ~doc)
+  in
+  let trace_arg =
+    let doc = "Print the last N trace events." in
+    Arg.(value & opt int 0 & info [ "trace" ] ~docv:"N" ~doc)
+  in
+  let workload_arg =
+    let doc = "Workload: encrypt, decrypt, duplex, or synthetic." in
+    Arg.(value & opt string "encrypt" & info [ "workload" ] ~docv:"KIND" ~doc)
+  in
+  let fail_links_arg =
+    let doc = "Break N random interconnects during the first half of a nominal life." in
+    Arg.(value & opt int 0 & info [ "fail-links" ] ~docv:"N" ~doc)
+  in
+  let timeline_arg =
+    let doc = "Write a per-frame CSV timeline to FILE." in
+    Arg.(value & opt (some string) None & info [ "timeline" ] ~docv:"FILE" ~doc)
+  in
+  let heatmap_arg =
+    let doc = "Render the final charge heatmap." in
+    Arg.(value & flag & info [ "heatmap" ] ~doc)
+  in
+  let run size policy battery seed controllers jobs trace workload_kind fail_links
+      timeline_file heatmap =
+    let policy =
+      match String.lowercase_ascii policy with
+      | "ear" -> Ok (Etx_routing.Policy.ear ())
+      | "sdr" -> Ok (Etx_routing.Policy.sdr ())
+      | "ear2" -> Ok (Etx_routing.Policy.ear_squared ())
+      | "inverse" -> Ok (Etx_routing.Policy.inverse_level ())
+      | "linear" -> Ok (Etx_routing.Policy.linear_drain ())
+      | "maximin" -> Ok (Etx_routing.Policy.maximin ())
+      | other -> Error (Printf.sprintf "unknown policy %S" other)
+    in
+    let battery =
+      match String.lowercase_ascii battery with
+      | "thin-film" | "thin_film" | "thinfilm" ->
+        Ok (Etx_battery.Battery.Thin_film Etx_battery.Battery.default_thin_film)
+      | "ideal" -> Ok Etx_battery.Battery.Ideal
+      | other -> Error (Printf.sprintf "unknown battery model %S" other)
+    in
+    let key_hex = "000102030405060708090a0b0c0d0e0f" in
+    let workload =
+      match String.lowercase_ascii workload_kind with
+      | "encrypt" -> Ok None
+      | "decrypt" -> Ok (Some [ Etx_etsim.Workload.aes_decrypt ~key_hex ])
+      | "duplex" ->
+        Ok
+          (Some
+             [
+               Etx_etsim.Workload.aes_encrypt ~key_hex;
+               Etx_etsim.Workload.aes_decrypt ~key_hex;
+             ])
+      | "synthetic" ->
+        Ok
+          (Some
+             [
+               Etx_etsim.Workload.synthetic ~name:"cli-synthetic"
+                 ~acts_per_job:[| 10; 9; 11 |] ();
+             ])
+      | other -> Error (Printf.sprintf "unknown workload %S" other)
+    in
+    match (policy, battery, workload) with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+    | Ok policy, Ok battery_kind, Ok workload ->
+      let controllers =
+        if controllers = 0 then Etx_etsim.Config.Infinite_controller
+        else Etx_etsim.Config.Battery_controllers { count = controllers }
+      in
+      let link_failure_schedule =
+        if fail_links = 0 then []
+        else
+          Etextile.Experiments.random_failure_schedule
+            ~topology:(Etx_graph.Topology.square_mesh ~size ())
+            ~count:fail_links ~before_cycle:40_000 ~seed:(seed * 31)
+      in
+      let config =
+        Etextile.Calibration.config ~policy ~battery_kind ~controllers ~seed
+          ~concurrent_jobs:jobs ?workloads:workload ~link_failure_schedule
+          ~mesh_size:size ()
+      in
+      let engine =
+        Etx_etsim.Engine.create
+          ?trace_capacity:(if trace > 0 then Some trace else None)
+          ~record_timeline:(timeline_file <> None) config
+      in
+      let metrics = Etx_etsim.Engine.run engine in
+      Format.printf "%a@." Etx_etsim.Metrics.pp metrics;
+      begin
+        match Etx_etsim.Engine.trace engine with
+        | Some t when trace > 0 -> Format.printf "@.%a@." Etx_etsim.Trace.pp t
+        | Some _ | None -> ()
+      end;
+      if heatmap then begin
+        print_newline ();
+        print_string
+          (Etextile.Heatmap.render_run
+             ~topology:(Etx_graph.Topology.square_mesh ~size ())
+             ~engine ())
+      end;
+      begin
+        match (timeline_file, Etx_etsim.Engine.timeline engine) with
+        | Some file, Some timeline ->
+          let channel = open_out file in
+          output_string channel (Etx_etsim.Timeline.to_csv timeline);
+          close_out channel;
+          Printf.printf "timeline written to %s (%d frames)\n" file
+            (Etx_etsim.Timeline.length timeline)
+        | Some _, None | None, _ -> ()
+      end;
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ size_arg $ policy_arg $ battery_arg $ seed_arg $ controllers_arg
+       $ jobs_arg $ trace_arg $ workload_arg $ fail_links_arg $ timeline_arg
+       $ heatmap_arg))
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run one simulation with custom knobs and print metrics.")
+    term
+
+let predict_cmd =
+  let run sizes seeds =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      List.iter
+        (fun mesh_size ->
+          let problem = Etextile.Calibration.problem ~mesh_size in
+          let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+          let mapping = Etx_routing.Mapping.checkerboard topology in
+          let prediction =
+            Etx_routing.Analysis.predict ~problem ~topology ~mapping
+              ~module_sequence:Etextile.Experiments.aes_module_sequence ()
+          in
+          Printf.printf "== %dx%d ==\n%s\n" mesh_size mesh_size
+            (Etx_routing.Analysis.summary prediction))
+        sizes;
+      Etextile.Report.print
+        (Etextile.Report.predictions (Etextile.Experiments.predictions ~sizes ~seeds ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  Cmd.v
+    (Cmd.info "predict" ~doc:"Static lifetime prediction vs simulation.")
+    term
+
+let optimize_cmd =
+  let iterations_arg =
+    let doc = "Local-search iterations." in
+    Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let run mesh_size iterations seeds =
+    let problem = Etextile.Calibration.problem ~mesh_size in
+    let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+    let result =
+      Etx_routing.Placement.optimize ~problem ~topology
+        ~module_sequence:Etextile.Experiments.aes_module_sequence ~iterations ()
+    in
+    Printf.printf
+      "local search: predicted %.1f -> %.1f jobs (%d accepted swaps, %d evaluations)\n\n"
+      result.Etx_routing.Placement.initial_jobs
+      result.prediction.Etx_routing.Analysis.predicted_jobs result.improved_swaps
+      result.evaluations;
+    let simulate mapping =
+      Etextile.Experiments.mean_jobs
+        (List.map
+           (fun seed ->
+             Etextile.Calibration.config ~mapping ~mesh_size ~seed ())
+           seeds)
+    in
+    let optimized = simulate result.Etx_routing.Placement.mapping in
+    let checkerboard = simulate (Etx_routing.Mapping.checkerboard topology) in
+    Printf.printf "simulated: optimized %.1f vs checkerboard %.1f jobs\n" optimized
+      checkerboard
+  in
+  let term = Term.(const run $ size_arg $ iterations_arg $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Optimize the module placement by local search.")
+    term
+
+let algorithms_cmd =
+  let run sizes seeds =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      Etextile.Report.print
+        (Etextile.Report.algorithms (Etextile.Experiments.algorithms ~sizes ~seeds ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  Cmd.v
+    (Cmd.info "algorithms" ~doc:"Three-way sweep: EAR vs max-min residual vs SDR.")
+    term
+
+let scenarios_cmd =
+  let run seeds =
+    Etextile.Report.print
+      (Etextile.Report.scenarios (Etextile.Experiments.scenarios ~seeds ()))
+  in
+  let term = Term.(const run $ seeds_arg) in
+  Cmd.v
+    (Cmd.info "scenarios" ~doc:"EAR vs SDR on the garment presets (shirt, jacket, ...).")
+    term
+
+(* - analytic helpers - *)
+
+let battery_curve_cmd =
+  let run () =
+    let profile = Etx_battery.Profile.li_free_thin_film in
+    Printf.printf "Li-free thin-film discharge profile (Fig 2 digitization):\n";
+    Printf.printf "%8s %10s\n" "soc" "volts";
+    List.iter
+      (fun (soc, volts) -> Printf.printf "%8.2f %10.2f\n" soc volts)
+      (List.rev (Etx_battery.Profile.points profile));
+    Printf.printf "\n3.0 V death threshold crossed at soc = %.3f\n"
+      (Etx_battery.Profile.soc_at_voltage profile ~volts:3.0)
+  in
+  let term = Term.(const run $ const ()) in
+  Cmd.v (Cmd.info "battery-curve" ~doc:"Print the digitized Fig 2 discharge curve.") term
+
+let aes_cmd =
+  let key_arg =
+    let doc = "AES key in hex (32, 48 or 64 hex digits)." in
+    Arg.(
+      value
+      & opt string "000102030405060708090a0b0c0d0e0f"
+      & info [ "key" ] ~docv:"HEX" ~doc)
+  in
+  let block_arg =
+    let doc = "128-bit block in hex." in
+    Arg.(
+      value
+      & opt string "00112233445566778899aabbccddeeff"
+      & info [ "block" ] ~docv:"HEX" ~doc)
+  in
+  let decrypt_arg =
+    let doc = "Decrypt instead of encrypt." in
+    Arg.(value & flag & info [ "decrypt"; "d" ] ~doc)
+  in
+  let run key block decrypt =
+    match
+      let k = Etx_aes.Aes.key_of_hex key in
+      let b = Etx_aes.Block.of_hex block in
+      let out = if decrypt then Etx_aes.Aes.decrypt_block k b else Etx_aes.Aes.encrypt_block k b in
+      Etx_aes.Block.to_hex out
+    with
+    | hex ->
+      print_endline hex;
+      `Ok ()
+    | exception Invalid_argument message -> `Error (false, message)
+  in
+  let term = Term.(ret (const run $ key_arg $ block_arg $ decrypt_arg)) in
+  Cmd.v (Cmd.info "aes" ~doc:"Run the platform's AES cipher on one block.") term
+
+let all_cmd =
+  let run seeds =
+    Etextile.Report.print (Etextile.Report.thm1 (Etextile.Experiments.thm1 ()));
+    Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~seeds ()));
+    Etextile.Report.print (Etextile.Report.table2 (Etextile.Experiments.table2 ~seeds ()));
+    Etextile.Report.print (Etextile.Report.fig8 (Etextile.Experiments.fig8 ~seeds ()))
+  in
+  let term = Term.(const run $ seeds_arg) in
+  Cmd.v (Cmd.info "all" ~doc:"Regenerate every paper table and figure.") term
+
+let main =
+  let doc = "energy-aware routing for e-textiles (DATE 2005) - reproduction" in
+  let info = Cmd.info "etx" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      fig7_cmd;
+      table2_cmd;
+      fig8_cmd;
+      thm1_cmd;
+      ablations_cmd;
+      concurrency_cmd;
+      workloads_cmd;
+      generality_cmd;
+      failures_cmd;
+      predict_cmd;
+      optimize_cmd;
+      scenarios_cmd;
+      algorithms_cmd;
+      simulate_cmd;
+      battery_curve_cmd;
+      aes_cmd;
+      all_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

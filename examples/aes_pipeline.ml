@@ -1,0 +1,73 @@
+(* The distributed AES pipeline, step by step.
+
+   Shows that the platform's three modules (SubBytes/ShiftRows,
+   MixColumns, KeyExpansion/AddRoundKey) cooperating over the mesh
+   compute exactly the FIPS-197 cipher: first by unfolding the 30-act job
+   plan by hand, then by tracing a simulated job through the fabric.
+
+   Run with: dune exec examples/aes_pipeline.exe *)
+
+let key_hex = "2b7e151628aed2a6abf7158809cf4f3c"
+let plaintext_hex = "3243f6a8885a308d313198a2e0370734"
+let expected_hex = "3925841d02dc09fbdc118597196a0b32" (* FIPS-197 Appendix B *)
+
+let () =
+  let key = Etx_aes.Aes.key_of_hex key_hex in
+  let schedule = Etx_aes.Aes.schedule key in
+  let plaintext = Etx_aes.Block.of_hex plaintext_hex in
+
+  print_endline "1. The paper's partitioning (Sec 5.1.1):";
+  List.iter
+    (fun kind ->
+      Printf.printf "   module %d: %-26s f_i = %2d acts/job, E_i = %6.2f pJ/act\n"
+        (Etx_aes.Partition.module_index kind + 1)
+        (Etx_aes.Partition.module_name kind)
+        (Etx_aes.Partition.acts_per_job kind)
+        (Etx_energy.Computation.energy_per_act Etx_energy.Computation.aes
+           ~module_index:(Etx_aes.Partition.module_index kind)))
+    [
+      Etx_aes.Partition.Subbytes_shiftrows;
+      Etx_aes.Partition.Mixcolumns;
+      Etx_aes.Partition.Keyexpansion_addroundkey;
+    ];
+
+  print_endline "\n2. Unfolding one job's 30 acts by hand:";
+  let state = ref plaintext in
+  Array.iter
+    (fun op ->
+      state := Etx_aes.Partition.apply ~schedule op !state;
+      if op.Etx_aes.Partition.step < 4 || op.step >= 28 then
+        Printf.printf "   act %2d (round %2d, module %d) -> %s\n" op.step op.round
+          (Etx_aes.Partition.module_index op.kind + 1)
+          (Etx_aes.Block.to_hex !state)
+      else if op.step = 4 then print_endline "   ...")
+    Etx_aes.Partition.job_plan;
+  Printf.printf "   pipeline output:  %s\n" (Etx_aes.Block.to_hex !state);
+  Printf.printf "   FIPS-197 expects: %s\n" expected_hex;
+  assert (Etx_aes.Block.to_hex !state = expected_hex);
+  assert (Bytes.equal !state (Etx_aes.Aes.encrypt_block key plaintext));
+
+  print_endline "\n3. The same job flowing through a simulated 4x4 mesh:";
+  let config =
+    Etextile.Calibration.config ~mesh_size:4 ~seed:7 ()
+    |> fun base ->
+    (* re-make with the Appendix B key and a single-job cap *)
+    Etx_etsim.Config.make ~topology:base.Etx_etsim.Config.topology
+      ~policy:base.policy ~frame_period_cycles:base.frame_period_cycles
+      ~reception_energy_fraction:base.reception_energy_fraction
+      ~job_source:base.job_source ~key_hex ~max_jobs:(Some 1) ()
+  in
+  let engine = Etx_etsim.Engine.create ~trace_capacity:128 config in
+  let metrics = Etx_etsim.Engine.run engine in
+  begin
+    match Etx_etsim.Engine.trace engine with
+    | Some trace ->
+      List.iter
+        (fun event -> Format.printf "   %a@." Etx_etsim.Trace.pp_event event)
+        (Etx_etsim.Trace.events trace)
+    | None -> ()
+  end;
+  Printf.printf "\n   jobs completed: %d, ciphertexts verified in-flight: %d\n"
+    metrics.Etx_etsim.Metrics.jobs_completed metrics.jobs_verified;
+  assert (metrics.jobs_verified = metrics.jobs_completed);
+  print_endline "\nThe fabric computes real AES: every hop carries the actual state bytes."

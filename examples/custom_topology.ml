@@ -1,0 +1,77 @@
+(* EAR on arbitrary topologies.
+
+   The paper notes the methodology applies to any e-textile distributed
+   system, not just meshes (Sec 1).  This example runs the same AES
+   workload over a torus, a ring (a hem or wristband), a star (a hub
+   block), and an irregular hand-built layout, using the Theorem-1
+   proportional mapping where the checkerboard needs a grid.
+
+   Run with: dune exec examples/custom_topology.exe *)
+
+let problem node_count =
+  Etx_routing.Problem.aes ~battery_budget_pj:Etextile.Calibration.battery_budget_pj
+    ~node_budget:node_count ()
+
+let simulate name (topology : Etx_graph.Topology.t) =
+  let node_count = Etx_graph.Topology.node_count topology in
+  let mapping =
+    Etx_routing.Mapping.proportional ~problem:(problem node_count) ~node_count
+  in
+  let run policy =
+    let config =
+      Etx_etsim.Config.make ~topology ~mapping ~policy
+        ~battery_capacity_pj:Etextile.Calibration.battery_budget_pj
+        ~frame_period_cycles:Etextile.Calibration.frame_period_cycles
+        ~reception_energy_fraction:Etextile.Calibration.reception_energy_fraction
+        ~job_source:Etx_etsim.Config.Round_robin_entry ~seed:11 ()
+    in
+    Etx_etsim.Engine.simulate config
+  in
+  let ear = run (Etx_routing.Policy.ear ()) in
+  let sdr = run (Etx_routing.Policy.sdr ()) in
+  let j_star = Etx_routing.Upper_bound.jobs (problem node_count) in
+  Printf.printf "%-22s %3d nodes: EAR %4d jobs (%4.1f%% of J* = %6.1f), SDR %3d, gain %4.1fx\n"
+    name node_count ear.Etx_etsim.Metrics.jobs_completed
+    (100. *. float_of_int ear.jobs_completed /. j_star)
+    j_star sdr.Etx_etsim.Metrics.jobs_completed
+    (float_of_int ear.jobs_completed /. float_of_int (max 1 sdr.jobs_completed))
+
+let irregular_garment () =
+  (* two 3x3 patches (chest and back) joined by a 3-node shoulder strap
+     of longer lines *)
+  let coords =
+    Array.init 21 (fun i ->
+        if i < 9 then ((i mod 3) + 1, (i / 3) + 1)
+        else if i < 18 then begin
+          let j = i - 9 in
+          ((j mod 3) + 8, (j / 3) + 1)
+        end
+        else (4 + (i - 18), 4))
+  in
+  let patch base =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun c ->
+            let id = base + (r * 3) + c in
+            (if c < 2 then [ (id, id + 1, 1.) ] else [])
+            @ if r < 2 then [ (id, id + 3, 1.) ] else [])
+          [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  let strap =
+    [ (6, 18, 4.); (18, 19, 4.); (19, 20, 4.); (20, 15, 4.) ]
+    (* chest corner -> strap -> back corner, 4 cm textile runs *)
+  in
+  Etx_graph.Topology.custom ~name:"two patches + strap" ~node_count:21 ~coords
+    ~links:(patch 0 @ patch 9 @ strap)
+
+let () =
+  print_endline "EAR vs SDR beyond the mesh (AES-128, thin-film cells):\n";
+  simulate "6x6 torus" (Etx_graph.Topology.torus ~rows:6 ~cols:6 ());
+  simulate "ring-24" (Etx_graph.Topology.ring ~length:24 ());
+  simulate "star-15" (Etx_graph.Topology.star ~leaves:15 ());
+  simulate "line-18" (Etx_graph.Topology.line ~length:18 ());
+  simulate "garment patches" (irregular_garment ());
+  print_endline "\nThe routing strategy carries over unchanged: only the weight matrix";
+  print_endline "of phase one sees the topology."

@@ -1,0 +1,52 @@
+(* Wear-and-tear on the fabric.
+
+   The paper's opening argument for a network architecture (instead of a
+   bus) is that e-textile interconnects break: garments flex, stretch and
+   go through the wash.  This example snaps textile links mid-run and
+   watches EAR route around the damage, then records a per-frame timeline
+   of the fabric draining.
+
+   Run with: dune exec examples/failure_injection.exe *)
+
+let mesh_size = 6
+
+let run ~failures =
+  let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+  let link_failure_schedule =
+    if failures = 0 then []
+    else
+      Etextile.Experiments.random_failure_schedule ~topology ~count:failures
+        ~before_cycle:40_000 ~seed:2026
+  in
+  let config = Etextile.Calibration.config ~link_failure_schedule ~mesh_size ~seed:1 () in
+  let engine = Etx_etsim.Engine.create ~record_timeline:true config in
+  let metrics = Etx_etsim.Engine.run engine in
+  (engine, metrics)
+
+let () =
+  Printf.printf "Breaking textile interconnects on a %dx%d mesh (60 links total):\n\n"
+    mesh_size mesh_size;
+  List.iter
+    (fun failures ->
+      let _, m = run ~failures in
+      Printf.printf "  %2d links broken: %3d jobs, %2d breaks applied, death: %s\n"
+        failures m.Etx_etsim.Metrics.jobs_completed m.links_failed
+        (Etx_etsim.Metrics.death_reason_string m.death_reason))
+    [ 0; 4; 8; 16; 24; 36 ];
+
+  print_endline "\nPer-frame timeline with 16 broken links (charge sparkline):";
+  let engine, metrics = run ~failures:16 in
+  begin
+    match Etx_etsim.Engine.timeline engine with
+    | Some timeline ->
+      Format.printf "%a@." Etx_etsim.Timeline.pp timeline;
+      let csv = Etx_etsim.Timeline.to_csv timeline in
+      let lines = String.split_on_char '\n' csv in
+      Printf.printf "CSV export (%d rows), first lines:\n" (List.length lines - 2);
+      List.iteri (fun i line -> if i < 4 then Printf.printf "  %s\n" line) lines
+    | None -> ()
+  end;
+  Printf.printf
+    "\nThe platform degraded gracefully: %d jobs despite a quarter of the fabric's\n\
+     interconnects snapping (the controller reroutes at the next TDMA frame).\n"
+    metrics.Etx_etsim.Metrics.jobs_completed

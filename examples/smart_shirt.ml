@@ -1,0 +1,72 @@
+(* The smart shirt of Fig 3(a): a distributed-encryption region woven
+   into a garment, driven by scattered sensors, managed by a bank of
+   redundant central controllers with their own thin-film batteries.
+
+   Sweeps the controller count (the Sec 7.3 experiment) and then renders
+   the fabric's final energy landscape as a heatmap, which makes EAR's
+   load spreading visible at a glance.
+
+   Run with: dune exec examples/smart_shirt.exe *)
+
+let mesh_size = 8
+
+let run ~controllers =
+  let config =
+    Etextile.Calibration.config
+      ~controllers:(Etx_etsim.Config.Battery_controllers { count = controllers })
+      ~mesh_size ~seed:3 ()
+  in
+  let engine = Etx_etsim.Engine.create config in
+  let metrics = Etx_etsim.Engine.run engine in
+  (engine, metrics)
+
+let topology = Etx_graph.Topology.square_mesh ~size:mesh_size ()
+
+let print_heatmap engine =
+  print_endline "   final charge per node:";
+  print_string (Etextile.Heatmap.render_run ~topology ~engine ())
+
+let () =
+  Printf.printf "Smart shirt: %dx%d encryption region, scattered sensors, AES-128\n\n"
+    mesh_size mesh_size;
+  print_endline "Controller redundancy sweep (Sec 7.3):";
+  let results =
+    List.map
+      (fun controllers ->
+        let _, metrics = run ~controllers in
+        Printf.printf
+          "   %2d controller(s): %3d jobs, lifetime %6d cycles, death: %s\n" controllers
+          metrics.Etx_etsim.Metrics.jobs_completed metrics.lifetime_cycles
+          (Etx_etsim.Metrics.death_reason_string metrics.death_reason);
+        (controllers, metrics.Etx_etsim.Metrics.jobs_completed))
+      [ 1; 2; 4; 7; 10 ]
+  in
+  let monotone =
+    let rec check = function
+      | (_, a) :: ((_, b) :: _ as rest) -> a <= b && check rest
+      | _ -> true
+    in
+    check results
+  in
+  Printf.printf "\n   more controllers never hurt: %b (saturation = AES nodes dominate)\n\n"
+    monotone;
+
+  print_endline "Energy landscape at platform death (10 controllers, EAR):";
+  let engine, metrics = run ~controllers:10 in
+  print_heatmap engine;
+  Printf.printf
+    "\n   EAR drained the fabric almost uniformly before dying (%d jobs).\n"
+    metrics.Etx_etsim.Metrics.jobs_completed;
+
+  print_endline "\nSame platform under SDR for contrast:";
+  let config =
+    Etextile.Calibration.config ~policy:(Etx_routing.Policy.sdr ())
+      ~controllers:(Etx_etsim.Config.Battery_controllers { count = 10 })
+      ~mesh_size ~seed:3 ()
+  in
+  let engine = Etx_etsim.Engine.create config in
+  let metrics = Etx_etsim.Engine.run engine in
+  print_heatmap engine;
+  Printf.printf
+    "\n   SDR hammered a few hot nodes and died after %d jobs with the fabric full.\n"
+    metrics.Etx_etsim.Metrics.jobs_completed

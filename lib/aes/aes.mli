@@ -1,0 +1,24 @@
+(** The AES block cipher (FIPS-197), the paper's driver application.
+
+    Supports 128-, 192- and 256-bit keys; the paper's platform runs
+    AES-128 (Nb = 4, Nr = 10, Fig 1). *)
+
+type key
+
+val key_of_bytes : Bytes.t -> key
+(** 16, 24 or 32 bytes.  @raise Invalid_argument otherwise. *)
+
+val key_of_hex : string -> key
+
+val schedule : key -> Key_schedule.t
+
+val encrypt_block : key -> Bytes.t -> Bytes.t
+(** [encrypt_block key plaintext] for a 16-byte block.
+    @raise Invalid_argument unless exactly 16 bytes. *)
+
+val decrypt_block : key -> Bytes.t -> Bytes.t
+
+val encrypt_hex : key:string -> plaintext:string -> string
+(** Convenience wrapper over hex strings (32 hex digits of block). *)
+
+val rounds : key -> int

@@ -1,0 +1,72 @@
+let check_state state =
+  if Bytes.length state <> 16 then invalid_arg "Block: state must be 16 bytes"
+
+let map_state f state =
+  check_state state;
+  Bytes.init 16 (fun i -> Char.chr (f (Char.code (Bytes.get state i))))
+
+let sub_bytes state = map_state Sbox.forward state
+let inv_sub_bytes state = map_state Sbox.inverse state
+
+let permute_rows offset_of_row state =
+  check_state state;
+  Bytes.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      let source_col = (c + offset_of_row r) mod 4 in
+      Bytes.get state ((4 * source_col) + r))
+
+(* row r rotates left by r positions *)
+let shift_rows state = permute_rows (fun r -> r) state
+
+(* inverse: rotate right by r = rotate left by 4 - r *)
+let inv_shift_rows state = permute_rows (fun r -> (4 - r) mod 4) state
+
+let mix_single_column coefficients column =
+  Array.init 4 (fun r ->
+      let acc = ref 0 in
+      for k = 0 to 3 do
+        acc := !acc lxor Galois.mul coefficients.((k - r + 4) mod 4) column.(k)
+      done;
+      !acc)
+
+let mix_with coefficients state =
+  check_state state;
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    let column = Array.init 4 (fun r -> Char.code (Bytes.get state ((4 * c) + r))) in
+    let mixed = mix_single_column coefficients column in
+    for r = 0 to 3 do
+      Bytes.set out ((4 * c) + r) (Char.chr mixed.(r))
+    done
+  done;
+  out
+
+(* first rows of the circulant MixColumns matrices (FIPS 5.1.3 / 5.3.3) *)
+let mix_columns state = mix_with [| 0x02; 0x03; 0x01; 0x01 |] state
+let inv_mix_columns state = mix_with [| 0x0E; 0x0B; 0x0D; 0x09 |] state
+
+let add_round_key state ~key =
+  check_state state;
+  check_state key;
+  Bytes.init 16 (fun i ->
+      Char.chr (Char.code (Bytes.get state i) lxor Char.code (Bytes.get key i)))
+
+let sub_bytes_shift_rows state = shift_rows (sub_bytes state)
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Block.of_hex: odd length";
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> invalid_arg "Block.of_hex: bad digit"
+  in
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))
+
+let to_hex bytes =
+  let buffer = Buffer.create (2 * Bytes.length bytes) in
+  Bytes.iter (fun c -> Buffer.add_string buffer (Printf.sprintf "%02x" (Char.code c))) bytes;
+  Buffer.contents buffer

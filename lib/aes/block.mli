@@ -1,0 +1,30 @@
+(** AES state and round transformations (FIPS-197 Sec 5.1).
+
+    The state is 16 bytes in FIPS input order: byte [i] holds state
+    element (row [i mod 4], column [i / 4]).  All transformations are
+    pure: they return a fresh buffer.  The forward transformations are
+    exactly the acts the paper's modules perform (Sec 5.1.1), so the
+    distributed simulator reuses them byte-for-byte. *)
+
+val sub_bytes : Bytes.t -> Bytes.t
+val shift_rows : Bytes.t -> Bytes.t
+val mix_columns : Bytes.t -> Bytes.t
+
+val add_round_key : Bytes.t -> key:Bytes.t -> Bytes.t
+(** XOR with a 16-byte round key in the same layout. *)
+
+val inv_sub_bytes : Bytes.t -> Bytes.t
+val inv_shift_rows : Bytes.t -> Bytes.t
+val inv_mix_columns : Bytes.t -> Bytes.t
+
+val sub_bytes_shift_rows : Bytes.t -> Bytes.t
+(** The paper's module 1: one act = SubBytes followed by ShiftRows. *)
+
+val of_hex : string -> Bytes.t
+(** Parse a hex string (even length, case-insensitive) into bytes.
+    @raise Invalid_argument on malformed input. *)
+
+val to_hex : Bytes.t -> string
+
+val check_state : Bytes.t -> unit
+(** @raise Invalid_argument unless exactly 16 bytes. *)

@@ -1,0 +1,32 @@
+let mask b = b land 0xFF
+
+let xtime b =
+  let shifted = b lsl 1 in
+  if b land 0x80 <> 0 then mask (shifted lxor 0x1B) else mask shifted
+
+let mul a b =
+  (* Russian-peasant multiplication over GF(2^8). *)
+  let rec loop a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      loop (xtime a) (b lsr 1) acc
+    end
+  in
+  loop (mask a) (mask b) 0
+
+let pow a n =
+  if n < 0 then invalid_arg "Galois.pow: negative exponent";
+  let rec loop base n acc =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 <> 0 then mul acc base else acc in
+      loop (mul base base) (n lsr 1) acc
+    end
+  in
+  loop (mask a) n 1
+
+(* a^254 = a^-1 in GF(2^8)*; 0 maps to 0 by AES convention. *)
+let inverse a = if mask a = 0 then 0 else pow a 254
+
+let add a b = mask (a lxor b)

@@ -1,0 +1,19 @@
+(** GF(2^8) arithmetic with the AES reduction polynomial.
+
+    Elements are bytes (ints in [0, 255]); the field is defined modulo
+    x^8 + x^4 + x^3 + x + 1 (0x11B), as in FIPS-197 Sec 4. *)
+
+val xtime : int -> int
+(** Multiplication by x (i.e. 0x02). *)
+
+val mul : int -> int -> int
+(** Field multiplication. *)
+
+val pow : int -> int -> int
+(** [pow a n] with [n >= 0]; [pow a 0 = 1]. *)
+
+val inverse : int -> int
+(** Multiplicative inverse; by AES convention [inverse 0 = 0]. *)
+
+val add : int -> int -> int
+(** Field addition = XOR. *)

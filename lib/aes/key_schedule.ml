@@ -1,0 +1,64 @@
+type t = { words : int array; nk : int; nr : int }
+
+let sub_word w =
+  let byte i = (w lsr (8 * i)) land 0xFF in
+  Sbox.forward (byte 3) lsl 24
+  lor (Sbox.forward (byte 2) lsl 16)
+  lor (Sbox.forward (byte 1) lsl 8)
+  lor Sbox.forward (byte 0)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land 0xFFFFFFFF
+
+let rcon i =
+  if i < 1 then invalid_arg "Key_schedule.rcon: index must be >= 1";
+  Galois.pow 2 (i - 1)
+
+let expand ~key =
+  let nk =
+    match Bytes.length key with
+    | 16 -> 4
+    | 24 -> 6
+    | 32 -> 8
+    | n -> invalid_arg (Printf.sprintf "Key_schedule.expand: bad key length %d" n)
+  in
+  let nr = nk + 6 in
+  let total = 4 * (nr + 1) in
+  let words = Array.make total 0 in
+  for i = 0 to nk - 1 do
+    words.(i) <-
+      (Char.code (Bytes.get key (4 * i)) lsl 24)
+      lor (Char.code (Bytes.get key ((4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get key ((4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get key ((4 * i) + 3))
+  done;
+  for i = nk to total - 1 do
+    let temp = words.(i - 1) in
+    let temp =
+      if i mod nk = 0 then sub_word (rot_word temp) lxor (rcon (i / nk) lsl 24)
+      else if nk > 6 && i mod nk = 4 then sub_word temp
+      else temp
+    in
+    words.(i) <- words.(i - nk) lxor temp
+  done;
+  { words; nk; nr }
+
+let rounds t = t.nr
+let key_length_words t = t.nk
+let word_count t = Array.length t.words
+
+let word t i =
+  if i < 0 || i >= Array.length t.words then
+    invalid_arg "Key_schedule.word: index out of range";
+  t.words.(i)
+
+let round_key t ~round =
+  if round < 0 || round > t.nr then
+    invalid_arg "Key_schedule.round_key: round out of range";
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    let w = t.words.((4 * round) + c) in
+    for r = 0 to 3 do
+      Bytes.set out ((4 * c) + r) (Char.chr ((w lsr (8 * (3 - r))) land 0xFF))
+    done
+  done;
+  out

@@ -1,0 +1,31 @@
+(** AES key expansion (FIPS-197 Sec 5.2).
+
+    Expands a 128/192/256-bit cipher key into Nb*(Nr+1) 32-bit words.
+    Words are stored big-endian in OCaml ints (the high byte of the word
+    is byte 0 of the FIPS word). *)
+
+type t
+
+val expand : key:Bytes.t -> t
+(** [expand ~key] for a 16-, 24- or 32-byte key.
+    @raise Invalid_argument on any other length. *)
+
+val rounds : t -> int
+(** Nr: 10, 12 or 14. *)
+
+val key_length_words : t -> int
+(** Nk: 4, 6 or 8. *)
+
+val word : t -> int -> int
+(** [word t i] is w[i] for [0 <= i < 4 * (rounds + 1)]. *)
+
+val round_key : t -> round:int -> Bytes.t
+(** The 16 bytes w[4*round .. 4*round+3], laid out column-major like the
+    state (byte [4*c + r] is byte r of word c), ready for AddRoundKey.
+    @raise Invalid_argument for [round] outside [0, rounds]. *)
+
+val word_count : t -> int
+
+val rcon : int -> int
+(** [rcon i] is the round-constant byte x^(i-1) for [i >= 1] (exposed for
+    tests). *)

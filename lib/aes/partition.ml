@@ -1,0 +1,83 @@
+type module_kind = Subbytes_shiftrows | Mixcolumns | Keyexpansion_addroundkey
+
+let module_index = function
+  | Subbytes_shiftrows -> 0
+  | Mixcolumns -> 1
+  | Keyexpansion_addroundkey -> 2
+
+let module_of_index = function
+  | 0 -> Subbytes_shiftrows
+  | 1 -> Mixcolumns
+  | 2 -> Keyexpansion_addroundkey
+  | i -> invalid_arg (Printf.sprintf "Partition.module_of_index: %d" i)
+
+let module_count = 3
+
+let module_name = function
+  | Subbytes_shiftrows -> "SubBytes/ShiftRows"
+  | Mixcolumns -> "MixColumns"
+  | Keyexpansion_addroundkey -> "KeyExpansion/AddRoundKey"
+
+let acts_per_job = function
+  | Subbytes_shiftrows -> 10
+  | Mixcolumns -> 9
+  | Keyexpansion_addroundkey -> 11
+
+type op = { step : int; kind : module_kind; round : int }
+
+let job_plan =
+  let ops = ref [] in
+  let emit kind round = ops := (kind, round) :: !ops in
+  emit Keyexpansion_addroundkey 0;
+  for round = 1 to 9 do
+    emit Subbytes_shiftrows round;
+    emit Mixcolumns round;
+    emit Keyexpansion_addroundkey round
+  done;
+  emit Subbytes_shiftrows 10;
+  emit Keyexpansion_addroundkey 10;
+  let sequence = List.rev !ops in
+  Array.of_list (List.mapi (fun step (kind, round) -> { step; kind; round }) sequence)
+
+let next_op ~step =
+  if step < 0 then invalid_arg "Partition.next_op: negative step"
+  else if step >= Array.length job_plan then None
+  else Some job_plan.(step)
+
+let apply ~schedule op state =
+  match op.kind with
+  | Subbytes_shiftrows -> Block.sub_bytes_shift_rows state
+  | Mixcolumns -> Block.mix_columns state
+  | Keyexpansion_addroundkey ->
+    Block.add_round_key state ~key:(Key_schedule.round_key schedule ~round:op.round)
+
+let run_plan ~schedule state = Array.fold_left (fun s op -> apply ~schedule op s) state job_plan
+
+let module_sequence = Array.to_list (Array.map (fun op -> op.kind) job_plan)
+
+(* the equivalent-structure inverse cipher (FIPS-197 5.3): ARK(10);
+   9 x (InvSR/InvSB; ARK; InvMC); InvSR/InvSB; ARK(0) - same per-module
+   act counts as encryption *)
+let decrypt_plan =
+  let ops = ref [] in
+  let emit kind round = ops := (kind, round) :: !ops in
+  emit Keyexpansion_addroundkey 10;
+  for round = 9 downto 1 do
+    emit Subbytes_shiftrows round;
+    emit Keyexpansion_addroundkey round;
+    emit Mixcolumns round
+  done;
+  emit Subbytes_shiftrows 0;
+  emit Keyexpansion_addroundkey 0;
+  let sequence = List.rev !ops in
+  Array.of_list (List.mapi (fun step (kind, round) -> { step; kind; round }) sequence)
+
+let apply_decrypt ~schedule op state =
+  match op.kind with
+  | Subbytes_shiftrows -> Block.inv_sub_bytes (Block.inv_shift_rows state)
+  | Mixcolumns -> Block.inv_mix_columns state
+  | Keyexpansion_addroundkey ->
+    Block.add_round_key state ~key:(Key_schedule.round_key schedule ~round:op.round)
+
+let run_decrypt_plan ~schedule state =
+  Array.fold_left (fun s op -> apply_decrypt ~schedule op s) state decrypt_plan

@@ -1,0 +1,69 @@
+(** The paper's partitioning of AES-128 into platform modules.
+
+    Sec 5.1.1 splits the cipher into three modules, each performing one
+    act of computation per invocation:
+
+    - module 1: SubBytes + ShiftRows (10 acts per job)
+    - module 2: MixColumns (9 acts per job)
+    - module 3: KeyExpansion / AddRoundKey (11 acts per job)
+
+    A {e job} is one 128-bit encryption (Fig 1); its 30 acts form a fixed
+    sequence this module exposes as a {!plan}.  Applying the plan to a
+    plaintext with {!apply} reproduces {!Aes.encrypt_block} exactly,
+    which is how the test suite proves the distributed pipeline computes
+    real AES. *)
+
+type module_kind =
+  | Subbytes_shiftrows  (** module 1 *)
+  | Mixcolumns  (** module 2 *)
+  | Keyexpansion_addroundkey  (** module 3 *)
+
+val module_index : module_kind -> int
+(** 0, 1, 2 respectively (the paper's i - 1). *)
+
+val module_of_index : int -> module_kind
+(** @raise Invalid_argument outside [0, 2]. *)
+
+val module_count : int
+
+val module_name : module_kind -> string
+
+val acts_per_job : module_kind -> int
+(** The paper's f_i: 10, 9, 11. *)
+
+type op = {
+  step : int;  (** position in the job's sequence, from 0 *)
+  kind : module_kind;
+  round : int;  (** AES round the act belongs to (0..10) *)
+}
+
+val job_plan : op array
+(** The 30 acts of one AES-128 encryption, in execution order:
+    AddRoundKey(0); 9 x (SubBytes/ShiftRows; MixColumns; AddRoundKey);
+    SubBytes/ShiftRows; AddRoundKey(10). *)
+
+val next_op : step:int -> op option
+(** The act at position [step], or [None] past the end of the job. *)
+
+val apply : schedule:Key_schedule.t -> op -> Bytes.t -> Bytes.t
+(** Perform one act on a 16-byte state. *)
+
+val run_plan : schedule:Key_schedule.t -> Bytes.t -> Bytes.t
+(** Apply the whole plan: equals [Aes.encrypt_block]. *)
+
+val module_sequence : module_kind list
+(** Kinds in plan order (length 30); used by tests and by the upper
+    bound's f_i extraction. *)
+
+val decrypt_plan : op array
+(** The 30 acts of one AES-128 {e decryption} on the same three modules
+    (each module also hosts its inverse function): module 1 performs
+    InvShiftRows + InvSubBytes, module 2 InvMixColumns, module 3
+    AddRoundKey.  Act counts per module are identical to encryption
+    (10, 9, 11), so Theorem 1's analysis carries over unchanged. *)
+
+val apply_decrypt : schedule:Key_schedule.t -> op -> Bytes.t -> Bytes.t
+(** Perform one decryption act (the inverse interpretation of [op.kind]). *)
+
+val run_decrypt_plan : schedule:Key_schedule.t -> Bytes.t -> Bytes.t
+(** Apply the whole decryption plan: equals [Aes.decrypt_block]. *)

@@ -1,0 +1,33 @@
+(* affine transform of FIPS-197 5.1.1: b'_i = b_i + b_(i+4) + b_(i+5) +
+   b_(i+6) + b_(i+7) + c_i with c = 0x63, indices mod 8. *)
+let affine b =
+  let bit x i = (x lsr (i mod 8)) land 1 in
+  let result = ref 0 in
+  for i = 0 to 7 do
+    let v =
+      bit b i lxor bit b (i + 4) lxor bit b (i + 5) lxor bit b (i + 6)
+      lxor bit b (i + 7) lxor bit 0x63 i
+    in
+    result := !result lor (v lsl i)
+  done;
+  !result
+
+let table = Array.init 256 (fun b -> affine (Galois.inverse b))
+
+let inv_table =
+  let inv = Array.make 256 0 in
+  Array.iteri (fun input output -> inv.(output) <- input) table;
+  inv
+
+let check b = if b < 0 || b > 255 then invalid_arg "Sbox: byte out of range"
+
+let forward b =
+  check b;
+  table.(b)
+
+let inverse b =
+  check b;
+  inv_table.(b)
+
+let forward_table () = Array.copy table
+let inverse_table () = Array.copy inv_table

@@ -1,0 +1,17 @@
+(** The AES S-box and its inverse.
+
+    Constructed, not transcribed: each entry is the GF(2^8)
+    multiplicative inverse followed by the FIPS-197 affine transform
+    (Sec 5.1.1), so the tables are validated against the standard's
+    algebraic definition by the test suite. *)
+
+val forward : int -> int
+(** S-box lookup for a byte.  @raise Invalid_argument out of [0, 255]. *)
+
+val inverse : int -> int
+(** Inverse S-box lookup. *)
+
+val forward_table : unit -> int array
+(** Fresh 256-entry copy of the table. *)
+
+val inverse_table : unit -> int array

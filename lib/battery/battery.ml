@@ -1,0 +1,151 @@
+type thin_film_params = {
+  profile : Profile.t;
+  cutoff_volts : float;
+  available_fraction : float;
+  diffusion_per_cycle : float;
+  sag_volts_per_power : float;
+  load_window_cycles : float;
+}
+
+type kind = Ideal | Thin_film of thin_film_params
+
+type state =
+  | Ideal_state of { mutable charge : float }
+  | Thin_film_state of {
+      params : thin_film_params;
+      mutable available : float;
+      mutable bound : float;
+      mutable load_power : float; (* EWMA, pJ per cycle *)
+    }
+
+type t = {
+  kind : kind;
+  capacity : float;
+  state : state;
+  mutable dead : bool;
+  mutable delivered : float;
+}
+
+let default_thin_film =
+  {
+    profile = Profile.li_free_thin_film;
+    cutoff_volts = 3.0;
+    available_fraction = 0.5;
+    diffusion_per_cycle = 4e-3;
+    sag_volts_per_power = 0.015;
+    load_window_cycles = 400.;
+  }
+
+let create ~kind ~capacity_pj =
+  if capacity_pj <= 0. then invalid_arg "Battery.create: capacity must be positive";
+  let state =
+    match kind with
+    | Ideal -> Ideal_state { charge = capacity_pj }
+    | Thin_film params ->
+      if params.available_fraction <= 0. || params.available_fraction > 1. then
+        invalid_arg "Battery.create: available_fraction out of (0, 1]";
+      if params.diffusion_per_cycle < 0. then
+        invalid_arg "Battery.create: negative diffusion rate";
+      if params.load_window_cycles <= 0. then
+        invalid_arg "Battery.create: load window must be positive";
+      Thin_film_state
+        {
+          params;
+          available = params.available_fraction *. capacity_pj;
+          bound = (1. -. params.available_fraction) *. capacity_pj;
+          load_power = 0.;
+        }
+  in
+  { kind; capacity = capacity_pj; state; dead = false; delivered = 0. }
+
+let kind t = t.kind
+let capacity_pj t = t.capacity
+
+let voltage t =
+  if t.dead then 0.
+  else
+    match t.state with
+    | Ideal_state _ -> 4.2 (* ideal cell: constant voltage until depletion *)
+    | Thin_film_state tf ->
+      let well_capacity = tf.params.available_fraction *. t.capacity in
+      let soc_available = tf.available /. well_capacity in
+      let open_circuit = Profile.voltage tf.params.profile ~soc:soc_available in
+      let sag = tf.params.sag_volts_per_power *. tf.load_power in
+      Float.max 0. (open_circuit -. sag)
+
+(* latch death when the output voltage crosses the cutoff *)
+let check_death t =
+  if not t.dead then
+    match t.state with
+    | Ideal_state s -> if s.charge <= 0. then t.dead <- true
+    | Thin_film_state tf ->
+      if voltage t < tf.params.cutoff_volts then t.dead <- true
+
+let draw t ~energy_pj =
+  if energy_pj < 0. then invalid_arg "Battery.draw: negative energy";
+  if t.dead then false
+  else
+    match t.state with
+    | Ideal_state s ->
+      if s.charge >= energy_pj then begin
+        s.charge <- s.charge -. energy_pj;
+        t.delivered <- t.delivered +. energy_pj;
+        check_death t;
+        true
+      end
+      else begin
+        t.dead <- true;
+        false
+      end
+    | Thin_film_state tf ->
+      if tf.available >= energy_pj then begin
+        tf.available <- tf.available -. energy_pj;
+        tf.load_power <- tf.load_power +. (energy_pj /. tf.params.load_window_cycles);
+        t.delivered <- t.delivered +. energy_pj;
+        check_death t;
+        not t.dead
+      end
+      else begin
+        (* deep discharge of the available well: cell collapses *)
+        t.dead <- true;
+        false
+      end
+
+let tick t ~cycles =
+  if cycles < 0 then invalid_arg "Battery.tick: negative cycles";
+  if (not t.dead) && cycles > 0 then
+    match t.state with
+    | Ideal_state _ -> ()
+    | Thin_film_state tf ->
+      let dt = float_of_int cycles in
+      tf.load_power <- tf.load_power *. exp (-.dt /. tf.params.load_window_cycles);
+      (* bound -> available diffusion driven by well-height difference *)
+      let c = tf.params.available_fraction in
+      let height_available = tf.available /. c in
+      let height_bound = if c >= 1. then height_available else tf.bound /. (1. -. c) in
+      let gradient = height_bound -. height_available in
+      if gradient > 0. then begin
+        let transfer_factor = 1. -. exp (-.tf.params.diffusion_per_cycle *. dt) in
+        let flow = gradient *. c *. (1. -. c) *. transfer_factor in
+        let flow = Float.min flow tf.bound in
+        tf.bound <- tf.bound -. flow;
+        tf.available <- tf.available +. flow
+      end
+
+let is_dead t = t.dead
+
+let remaining_pj t =
+  match t.state with
+  | Ideal_state s -> Float.max 0. s.charge
+  | Thin_film_state tf -> tf.available +. tf.bound
+
+let soc t = remaining_pj t /. t.capacity
+let delivered_pj t = t.delivered
+
+let level t ~levels =
+  if levels <= 0 then invalid_arg "Battery.level: levels must be positive";
+  if t.dead then 0
+  else begin
+    let raw = int_of_float (soc t *. float_of_int levels) in
+    if raw >= levels then levels - 1 else if raw < 0 then 0 else raw
+  end

@@ -1,0 +1,421 @@
+let default_sizes = [ 4; 5; 6; 7; 8 ]
+
+let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let mean_jobs configs =
+  mean
+    (List.map
+       (fun config ->
+         let metrics = Etx_etsim.Engine.simulate config in
+         float_of_int metrics.Etx_etsim.Metrics.jobs_completed)
+       configs)
+
+let run_seeds ~seeds ~make =
+  List.map (fun seed -> Etx_etsim.Engine.simulate (make ~seed)) seeds
+
+let mean_of ~seeds ~make f = mean (List.map f (run_seeds ~seeds ~make))
+
+let jobs_of (m : Etx_etsim.Metrics.t) = float_of_int m.jobs_completed
+
+(* Fig 7 *)
+
+type fig7_row = {
+  mesh_size : int;
+  ear_jobs : float;
+  sdr_jobs : float;
+  gain : float;
+  ear_overhead : float;
+  paper_ear_jobs : float;
+  paper_overhead : float;
+}
+
+let fig7_paper_jobs = [ (4, 62.8); (5, 92.); (6, 132.7); (7, 194.); (8, 234.) ]
+let fig7_paper_overheads = [ (4, 0.028); (5, 0.031); (6, 0.041); (7, 0.093); (8, 0.116) ]
+
+let lookup_paper table size = try List.assoc size table with Not_found -> nan
+
+let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
+  let row mesh_size =
+    let make_policy policy ~seed = Calibration.config ~policy ~mesh_size ~seed () in
+    let ear_runs = run_seeds ~seeds ~make:(make_policy (Calibration.ear ())) in
+    let sdr_runs = run_seeds ~seeds ~make:(make_policy (Calibration.sdr ())) in
+    let ear_jobs = mean (List.map jobs_of ear_runs) in
+    let sdr_jobs = mean (List.map jobs_of sdr_runs) in
+    {
+      mesh_size;
+      ear_jobs;
+      sdr_jobs;
+      gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
+      ear_overhead = mean (List.map Etx_etsim.Metrics.control_overhead_fraction ear_runs);
+      paper_ear_jobs = lookup_paper fig7_paper_jobs mesh_size;
+      paper_overhead = lookup_paper fig7_paper_overheads mesh_size;
+    }
+  in
+  List.map row sizes
+
+(* Table 2 *)
+
+type table2_row = {
+  mesh_size : int;
+  ear_jobs : float;
+  j_star : float;
+  ratio : float;
+  paper_ear_jobs : float;
+  paper_j_star : float;
+  paper_ratio : float;
+}
+
+let table2_paper =
+  (* (size, EAR jobs, J*, ratio) as printed in the paper's Table 2 *)
+  [
+    (4, (62.8, 131.42, 0.478));
+    (5, (92., 205.25, 0.448));
+    (6, (132.7, 295.70, 0.449));
+    (7, (194., 402.48, 0.482));
+    (8, (234., 525.69, 0.445));
+  ]
+
+let table2 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
+  let row mesh_size =
+    let make ~seed =
+      Calibration.config ~policy:(Calibration.ear ())
+        ~battery_kind:Etx_battery.Battery.Ideal ~mesh_size ~seed ()
+    in
+    let ear_jobs = mean_of ~seeds ~make jobs_of in
+    let j_star = Etx_routing.Upper_bound.jobs (Calibration.problem ~mesh_size) in
+    let paper_ear, paper_j, paper_r =
+      try List.assoc mesh_size table2_paper with Not_found -> (nan, nan, nan)
+    in
+    {
+      mesh_size;
+      ear_jobs;
+      j_star;
+      ratio = ear_jobs /. j_star;
+      paper_ear_jobs = paper_ear;
+      paper_j_star = paper_j;
+      paper_ratio = paper_r;
+    }
+  in
+  List.map row sizes
+
+(* Fig 8 *)
+
+type fig8_row = { mesh_size : int; controllers : int; jobs : float }
+
+let fig8 ?(sizes = default_sizes) ?(controller_counts = [ 1; 2; 4; 7; 10 ])
+    ?(seeds = Calibration.default_seeds) () =
+  let row mesh_size controllers =
+    let make ~seed =
+      Calibration.config ~policy:(Calibration.ear ())
+        ~controllers:(Etx_etsim.Config.Battery_controllers { count = controllers })
+        ~mesh_size ~seed ()
+    in
+    { mesh_size; controllers; jobs = mean_of ~seeds ~make jobs_of }
+  in
+  List.concat_map
+    (fun controllers -> List.map (fun size -> row size controllers) sizes)
+    controller_counts
+
+(* Theorem 1 *)
+
+type thm1_row = {
+  mesh_size : int;
+  j_star : float;
+  optimal_duplicates : float array;
+  checkerboard_duplicates : int array;
+  checkerboard_bound : float;
+}
+
+let thm1 ?(sizes = default_sizes) () =
+  let row mesh_size =
+    let problem = Calibration.problem ~mesh_size in
+    let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+    let mapping = Etx_routing.Mapping.checkerboard topology in
+    let duplicates =
+      Etx_routing.Mapping.duplicates mapping ~module_count:problem.module_count
+    in
+    {
+      mesh_size;
+      j_star = Etx_routing.Upper_bound.jobs problem;
+      optimal_duplicates = Etx_routing.Upper_bound.optimal_duplicates problem;
+      checkerboard_duplicates = duplicates;
+      checkerboard_bound = Etx_routing.Upper_bound.jobs_for_duplicates problem ~duplicates;
+    }
+  in
+  List.map row sizes
+
+(* Ablations *)
+
+type ablation_row = { label : string; mesh_size : int; jobs : float }
+
+let policy_row ~mesh_size ~seeds (label, policy) =
+  let make ~seed = Calibration.config ~policy ~mesh_size ~seed () in
+  { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+
+let ablation_weights ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+  List.map
+    (policy_row ~mesh_size ~seeds)
+    [
+      ("SDR (no battery term)", Etx_routing.Policy.sdr ());
+      ("EAR q=1.5", Etx_routing.Policy.ear ~q:1.5 ());
+      ("EAR q=2 (paper)", Etx_routing.Policy.ear ());
+      ("EAR q=4", Etx_routing.Policy.ear ~q:4. ());
+      ("EAR squared exponent", Etx_routing.Policy.ear_squared ());
+      ("inverse-level", Etx_routing.Policy.inverse_level ());
+      ("linear drain", Etx_routing.Policy.linear_drain ());
+      ("max-min residual [13]", Etx_routing.Policy.maximin ());
+    ]
+
+let ablation_quantization ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+  let row levels =
+    policy_row ~mesh_size ~seeds
+      (Printf.sprintf "EAR, N_B = %d" levels, Etx_routing.Policy.ear ~levels ())
+  in
+  List.map row [ 2; 4; 8; 16; 32 ]
+
+let aes_module_sequence =
+  List.map Etx_aes.Partition.module_index Etx_aes.Partition.module_sequence
+
+let ablation_mapping ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+  let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+  let problem = Calibration.problem ~mesh_size in
+  let node_count = mesh_size * mesh_size in
+  let optimized =
+    (Etx_routing.Placement.optimize ~problem ~topology
+       ~module_sequence:aes_module_sequence ~iterations:400 ())
+      .Etx_routing.Placement.mapping
+  in
+  let mappings =
+    [
+      ("checkerboard (Sec 5.2)", Etx_routing.Mapping.checkerboard topology);
+      ("Theorem-1 proportional", Etx_routing.Mapping.proportional ~problem ~node_count);
+      ("local-search optimized", optimized);
+    ]
+  in
+  let row (label, mapping) =
+    let make ~seed = Calibration.config ~mapping ~mesh_size ~seed () in
+    { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+  in
+  List.map row mappings
+
+let ablation_battery ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+  let cases =
+    [
+      ("EAR, thin film", Calibration.ear (), None);
+      ("EAR, ideal cells", Calibration.ear (), Some Etx_battery.Battery.Ideal);
+      ("SDR, thin film", Calibration.sdr (), None);
+      ("SDR, ideal cells", Calibration.sdr (), Some Etx_battery.Battery.Ideal);
+    ]
+  in
+  let row (label, policy, battery_kind) =
+    let make ~seed = Calibration.config ~policy ?battery_kind ~mesh_size ~seed () in
+    { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+  in
+  List.map row cases
+
+(* Concurrency / deadlock recovery *)
+
+type concurrency_row = {
+  jobs_in_flight : int;
+  jobs : float;
+  deadlocks_reported : float;
+  deadlocks_recovered : float;
+}
+
+let concurrency ?(mesh_size = 6) ?(depths = [ 1; 2; 4; 8 ])
+    ?(seeds = Calibration.default_seeds) () =
+  let row depth =
+    let make ~seed = Calibration.config ~concurrent_jobs:depth ~mesh_size ~seed () in
+    let runs = run_seeds ~seeds ~make in
+    {
+      jobs_in_flight = depth;
+      jobs = mean (List.map jobs_of runs);
+      deadlocks_reported =
+        mean (List.map (fun (m : Etx_etsim.Metrics.t) -> float_of_int m.deadlocks_reported) runs);
+      deadlocks_recovered =
+        mean
+          (List.map (fun (m : Etx_etsim.Metrics.t) -> float_of_int m.deadlocks_recovered) runs);
+    }
+  in
+  List.map row depths
+
+(* Workload generality *)
+
+let workloads ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+  let key_hex = "000102030405060708090a0b0c0d0e0f" in
+  let cases =
+    [
+      ("AES-128 encrypt", [ Etx_etsim.Workload.aes_encrypt ~key_hex ]);
+      ("AES-128 decrypt", [ Etx_etsim.Workload.aes_decrypt ~key_hex ]);
+      ( "duplex (encrypt + decrypt)",
+        [
+          Etx_etsim.Workload.aes_encrypt ~key_hex;
+          Etx_etsim.Workload.aes_decrypt ~key_hex;
+        ] );
+      ( "synthetic, same f",
+        [
+          Etx_etsim.Workload.synthetic ~name:"synthetic-10-9-11"
+            ~acts_per_job:[| 10; 9; 11 |] ();
+        ] );
+    ]
+  in
+  let row (label, workloads) =
+    let make ~seed = Calibration.config ~workloads ~mesh_size ~seed () in
+    { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+  in
+  List.map row cases
+
+let generality ?(module_counts = [ 2; 3; 4; 5; 6 ]) ?(seeds = Calibration.default_seeds)
+    () =
+  let mesh_size = 6 in
+  let node_count = mesh_size * mesh_size in
+  let hop = 261. *. 0.4472 in
+  let energies = [| 100.; 140.; 80.; 160.; 120.; 90. |] in
+  let row p =
+    let acts_per_job = Array.make p 10 in
+    let computation_energy_pj = Array.sub energies 0 p in
+    let workload =
+      Etx_etsim.Workload.synthetic ~name:(Printf.sprintf "pipeline-%d" p) ~acts_per_job ()
+    in
+    let problem =
+      Etx_etsim.Workload.problem workload ~computation_energy_pj
+        ~communication_energy_pj:(Array.make p hop)
+        ~battery_budget_pj:Calibration.battery_budget_pj ~node_budget:node_count
+    in
+    let mapping = Etx_routing.Mapping.proportional ~problem ~node_count in
+    let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+    let jobs_for policy =
+      let make ~seed =
+        Etx_etsim.Config.make ~topology ~policy ~mapping ~workloads:[ workload ]
+          ~computation:(Etx_energy.Computation.custom ~energies_pj:computation_energy_pj)
+          ~computation_cycles:(Array.make p 2)
+          ~battery_capacity_pj:Calibration.battery_budget_pj
+          ~battery_capacity_variation:Calibration.battery_capacity_variation
+          ~frame_period_cycles:Calibration.frame_period_cycles
+          ~reception_energy_fraction:Calibration.reception_energy_fraction
+          ~control_line_length_cm:(Calibration.control_line_length_cm ~mesh_size)
+          ~job_source:Etx_etsim.Config.Round_robin_entry ~seed ()
+      in
+      mean_of ~seeds ~make jobs_of
+    in
+    let ear = jobs_for (Calibration.ear ()) in
+    let sdr = jobs_for (Calibration.sdr ()) in
+    {
+      label =
+        Printf.sprintf "p = %d modules: EAR %.1f, SDR %.1f, gain %.1fx" p ear sdr
+          (if sdr > 0. then ear /. sdr else infinity);
+      mesh_size;
+      jobs = ear;
+    }
+  in
+  List.map row module_counts
+
+(* Link failures *)
+
+let random_failure_schedule ~(topology : Etx_graph.Topology.t) ~count ~before_cycle ~seed =
+  if before_cycle <= 0 then invalid_arg "random_failure_schedule: before_cycle";
+  let prng = Etx_util.Prng.create ~seed in
+  let undirected =
+    Etx_graph.Digraph.fold_edges topology.Etx_graph.Topology.graph ~init:[]
+      ~f:(fun acc ~src ~dst ~length:_ -> if src < dst then (src, dst) :: acc else acc)
+  in
+  let pool = Array.of_list undirected in
+  if count > Array.length pool then
+    invalid_arg "random_failure_schedule: more failures than links";
+  Etx_util.Prng.shuffle prng pool;
+  List.init count (fun i ->
+      let a, b = pool.(i) in
+      (Etx_util.Prng.int prng ~bound:before_cycle, a, b))
+
+let link_failures ?(mesh_size = 6) ?(failure_counts = [ 0; 4; 8; 16; 24 ])
+    ?(seeds = Calibration.default_seeds) () =
+  let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+  let row count =
+    let make ~seed =
+      let link_failure_schedule =
+        if count = 0 then []
+        else
+          random_failure_schedule ~topology ~count ~before_cycle:40_000
+            ~seed:(seed * 7919)
+      in
+      Calibration.config ~link_failure_schedule ~mesh_size ~seed ()
+    in
+    {
+      label = Printf.sprintf "%d broken interconnects" count;
+      mesh_size;
+      jobs = mean_of ~seeds ~make jobs_of;
+    }
+  in
+  List.map row failure_counts
+
+
+(* Static prediction vs simulation *)
+
+type prediction_row = { p_mesh_size : int; predicted : float; simulated : float }
+
+let predictions ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
+  let row mesh_size =
+    let problem = Calibration.problem ~mesh_size in
+    let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+    let mapping = Etx_routing.Mapping.checkerboard topology in
+    let prediction =
+      Etx_routing.Analysis.predict ~problem ~topology ~mapping
+        ~module_sequence:aes_module_sequence ()
+    in
+    let make ~seed = Calibration.config ~mesh_size ~seed () in
+    {
+      p_mesh_size = mesh_size;
+      predicted = prediction.Etx_routing.Analysis.predicted_jobs;
+      simulated = mean_of ~seeds ~make jobs_of;
+    }
+  in
+  List.map row sizes
+
+
+(* Garment scenarios *)
+
+type scenario_row = {
+  scenario : string;
+  nodes : int;
+  ear_jobs : float;
+  sdr_jobs : float;
+  scenario_gain : float;
+  j_star : float;
+}
+
+let scenarios ?(seeds = Calibration.default_seeds) () =
+  let row (s : Scenario.t) =
+    let jobs policy =
+      mean_of ~seeds ~make:(fun ~seed -> Scenario.config ~policy ~seed s) jobs_of
+    in
+    let ear_jobs = jobs (Calibration.ear ()) in
+    let sdr_jobs = jobs (Calibration.sdr ()) in
+    {
+      scenario = s.Scenario.name;
+      nodes = Etx_graph.Topology.node_count s.Scenario.topology;
+      ear_jobs;
+      sdr_jobs;
+      scenario_gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
+      j_star = Etx_routing.Upper_bound.jobs (Scenario.problem s);
+    }
+  in
+  List.map row (Scenario.all ())
+
+
+(* Algorithm comparison *)
+
+type algorithms_row = { a_mesh_size : int; ear : float; maximin : float; sdr : float }
+
+let algorithms ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
+  let row mesh_size =
+    let jobs policy =
+      mean_of ~seeds ~make:(fun ~seed -> Calibration.config ~policy ~mesh_size ~seed ()) jobs_of
+    in
+    {
+      a_mesh_size = mesh_size;
+      ear = jobs (Calibration.ear ());
+      maximin = jobs (Etx_routing.Policy.maximin ());
+      sdr = jobs (Calibration.sdr ());
+    }
+  in
+  List.map row sizes

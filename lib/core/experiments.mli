@@ -1,0 +1,145 @@
+(** Canned reproductions of every table and figure in the paper.
+
+    Each function runs the calibrated simulator over the relevant sweep
+    (averaging over {!Calibration.default_seeds}) and returns structured
+    rows; {!Report} renders them next to the paper's published values.
+    Sweeps take seconds, so the benchmark harness can regenerate
+    everything in one run. *)
+
+type fig7_row = {
+  mesh_size : int;
+  ear_jobs : float;  (** mean completed jobs under EAR *)
+  sdr_jobs : float;
+  gain : float;  (** ear / sdr: the paper claims 5x to 15x *)
+  ear_overhead : float;  (** control-energy fraction under EAR *)
+  paper_ear_jobs : float;  (** Fig 7 reference *)
+  paper_overhead : float;  (** Sec 7.1 reference percentages *)
+}
+
+val fig7 : ?sizes:int list -> ?seeds:int list -> unit -> fig7_row list
+(** EAR vs SDR on thin-film batteries, single infinite-energy
+    controller. *)
+
+type table2_row = {
+  mesh_size : int;
+  ear_jobs : float;  (** simulated, ideal battery *)
+  j_star : float;  (** Theorem 1 *)
+  ratio : float;
+  paper_ear_jobs : float;
+  paper_j_star : float;
+  paper_ratio : float;
+}
+
+val table2 : ?sizes:int list -> ?seeds:int list -> unit -> table2_row list
+
+type fig8_row = { mesh_size : int; controllers : int; jobs : float }
+
+val fig8 :
+  ?sizes:int list -> ?controller_counts:int list -> ?seeds:int list -> unit ->
+  fig8_row list
+(** EAR with a finite bank of battery-powered controllers (Sec 7.3). *)
+
+type thm1_row = {
+  mesh_size : int;
+  j_star : float;
+  optimal_duplicates : float array;  (** n_i* of equation (3) *)
+  checkerboard_duplicates : int array;  (** the Sec 5.2 mapping's n_i *)
+  checkerboard_bound : float;  (** equation (1) for that mapping *)
+}
+
+val thm1 : ?sizes:int list -> unit -> thm1_row list
+
+type ablation_row = { label : string; mesh_size : int; jobs : float }
+
+val ablation_weights : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+(** EAR's weight family against the ablation policies (Sec 6 design
+    choice: how strongly battery level should bend the metric). *)
+
+val ablation_quantization : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+(** Sensitivity to the number of reported battery levels N_B. *)
+
+val ablation_mapping : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+(** Checkerboard (Sec 5.2) vs Theorem-1-proportional mapping. *)
+
+val ablation_battery : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+(** Thin-film non-idealities on vs off (ideal), for both EAR and SDR:
+    quantifies how much of EAR's edge comes from battery physics. *)
+
+type concurrency_row = {
+  jobs_in_flight : int;
+  jobs : float;
+  deadlocks_reported : float;
+  deadlocks_recovered : float;
+}
+
+val concurrency : ?mesh_size:int -> ?depths:int list -> ?seeds:int list -> unit ->
+  concurrency_row list
+(** Multiple concurrent jobs exercising the deadlock recovery mechanism
+    (Sec 7's closing experiment). *)
+
+val workloads : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+(** AES encryption vs AES decryption vs an energy-only synthetic pipeline
+    with the same f vector: the routing layer is workload-agnostic, so
+    the three should complete nearly the same number of jobs. *)
+
+val generality : ?module_counts:int list -> ?seeds:int list -> unit -> ablation_row list
+(** EAR-vs-SDR gain for synthetic pipelines of 2..6 modules on a 6x6
+    mesh with Theorem-1-proportional mappings: the paper claims EAR is
+    general-purpose; this sweep shows the gain is not an AES artifact. *)
+
+val random_failure_schedule :
+  topology:Etx_graph.Topology.t ->
+  count:int ->
+  before_cycle:int ->
+  seed:int ->
+  (int * int * int) list
+(** [count] distinct undirected links picked uniformly, each breaking at
+    a cycle drawn uniformly from [0, before_cycle). *)
+
+val link_failures :
+  ?mesh_size:int -> ?failure_counts:int list -> ?seeds:int list -> unit ->
+  ablation_row list
+(** Wear-and-tear sweep (the paper's Sec 1 motivation for a network):
+    completed jobs under EAR as progressively more textile interconnects
+    snap mid-life. *)
+
+type algorithms_row = {
+  a_mesh_size : int;
+  ear : float;
+  maximin : float;
+  sdr : float;
+}
+
+val algorithms : ?sizes:int list -> ?seeds:int list -> unit -> algorithms_row list
+(** Three-way comparison across mesh sizes: the paper's EAR, the WSN
+    max-min residual baseline, and SDR. *)
+
+type scenario_row = {
+  scenario : string;
+  nodes : int;
+  ear_jobs : float;
+  sdr_jobs : float;
+  scenario_gain : float;
+  j_star : float;
+}
+
+val scenarios : ?seeds:int list -> unit -> scenario_row list
+(** EAR vs SDR on every garment preset of {!Scenario}: the routing
+    strategy carries beyond the paper's square meshes. *)
+
+type prediction_row = {
+  p_mesh_size : int;
+  predicted : float;  (** static analysis (Etx_routing.Analysis) *)
+  simulated : float;  (** calibrated EAR simulation *)
+}
+
+val predictions : ?sizes:int list -> ?seeds:int list -> unit -> prediction_row list
+(** Static lifetime prediction vs simulation across mesh sizes: validates
+    the Analysis module as a design tool. *)
+
+val aes_module_sequence : int list
+(** The AES job's 30-act module order, as module indices. *)
+
+val mean_jobs : Etx_etsim.Config.t list -> float
+(** Average completed jobs over a list of prepared configurations
+    (exposed for custom sweeps). *)

@@ -1,0 +1,45 @@
+let glyph ~soc ~alive =
+  if not alive then 'x'
+  else begin
+    let scaled = int_of_float (soc *. 10.) in
+    Char.chr (Char.code '0' + max 0 (min 9 scaled))
+  end
+
+let render ~(topology : Etx_graph.Topology.t) ~values ?alive ?(legend = true) () =
+  let n = Etx_graph.Topology.node_count topology in
+  if Array.length values <> n then invalid_arg "Heatmap.render: values arity mismatch";
+  let alive =
+    match alive with
+    | None -> Array.make n true
+    | Some mask ->
+      if Array.length mask <> n then invalid_arg "Heatmap.render: alive arity mismatch";
+      mask
+  in
+  let coords = topology.Etx_graph.Topology.coords in
+  let min_x = Array.fold_left (fun acc (x, _) -> min acc x) max_int coords in
+  let max_x = Array.fold_left (fun acc (x, _) -> max acc x) min_int coords in
+  let min_y = Array.fold_left (fun acc (_, y) -> min acc y) max_int coords in
+  let max_y = Array.fold_left (fun acc (_, y) -> max acc y) min_int coords in
+  let width = max_x - min_x + 1 and height = max_y - min_y + 1 in
+  let grid = Array.make_matrix height width ' ' in
+  Array.iteri
+    (fun id (x, y) ->
+      grid.(y - min_y).(x - min_x) <- glyph ~soc:values.(id) ~alive:alive.(id))
+    coords;
+  let buffer = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun c ->
+          Buffer.add_char buffer c;
+          Buffer.add_char buffer ' ')
+        row;
+      Buffer.add_char buffer '\n')
+    grid;
+  if legend then Buffer.add_string buffer "(0-9 = tenths of charge, x = dead)\n";
+  Buffer.contents buffer
+
+let render_run ~topology ~engine () =
+  render ~topology
+    ~values:(Etx_etsim.Engine.battery_socs engine)
+    ~alive:(Etx_etsim.Engine.alive_mask engine) ()

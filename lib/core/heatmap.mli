@@ -1,0 +1,25 @@
+(** ASCII heatmaps of the fabric's energy landscape.
+
+    Renders per-node values over a topology's coordinates: charge maps
+    after a run make EAR's uniform draining and SDR's hot-spot death
+    visible at a glance (see the smart_shirt example). *)
+
+val render :
+  topology:Etx_graph.Topology.t ->
+  values:float array ->
+  ?alive:bool array ->
+  ?legend:bool ->
+  unit ->
+  string
+(** [values.(node)] in [0, 1] is drawn as a digit 0-9 (tenths); dead
+    nodes (where [alive.(node)] is false) as ['x'].  Nodes are placed on
+    their grid coordinates; topologies whose coordinates collide render
+    in id order, one row per y.  [legend] (default true) appends a key.
+    @raise Invalid_argument when array sizes differ from the topology. *)
+
+val render_run :
+  topology:Etx_graph.Topology.t -> engine:Etx_etsim.Engine.t -> unit -> string
+(** Charge heatmap of a finished engine run. *)
+
+val glyph : soc:float -> alive:bool -> char
+(** The single-node encoding used by [render]. *)

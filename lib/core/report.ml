@@ -1,0 +1,237 @@
+module Table = Etx_util.Table
+
+let mesh_label size = Printf.sprintf "%dx%d" size size
+
+let fig7 rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mesh", Table.Left);
+          ("EAR jobs", Table.Right);
+          ("SDR jobs", Table.Right);
+          ("gain", Table.Right);
+          ("paper EAR", Table.Right);
+          ("ctrl ovh", Table.Right);
+          ("paper ovh", Table.Right);
+        ]
+  in
+  let add (r : Experiments.fig7_row) =
+    Table.add_row table
+      [
+        mesh_label r.mesh_size;
+        Table.cell_float ~decimals:1 r.ear_jobs;
+        Table.cell_float ~decimals:1 r.sdr_jobs;
+        Printf.sprintf "%.1fx" r.gain;
+        Table.cell_float ~decimals:1 r.paper_ear_jobs;
+        Table.cell_percent r.ear_overhead;
+        Table.cell_percent r.paper_overhead;
+      ]
+  in
+  List.iter add rows;
+  "Fig 7 - completed jobs, EAR vs SDR (thin-film cells, paper gain band 5x-15x)\n"
+  ^ Table.render table
+
+let table2 rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mesh", Table.Left);
+          ("EAR jobs", Table.Right);
+          ("J*", Table.Right);
+          ("ratio", Table.Right);
+          ("paper EAR", Table.Right);
+          ("paper J*", Table.Right);
+          ("paper ratio", Table.Right);
+        ]
+  in
+  let add (r : Experiments.table2_row) =
+    Table.add_row table
+      [
+        mesh_label r.mesh_size;
+        Table.cell_float ~decimals:1 r.ear_jobs;
+        Table.cell_float ~decimals:2 r.j_star;
+        Table.cell_percent r.ratio;
+        Table.cell_float ~decimals:1 r.paper_ear_jobs;
+        Table.cell_float ~decimals:2 r.paper_j_star;
+        Table.cell_percent r.paper_ratio;
+      ]
+  in
+  List.iter add rows;
+  "Table 2 - EAR vs the Theorem 1 upper bound (ideal cells)\n" ^ Table.render table
+
+let fig8 rows =
+  let sizes =
+    List.sort_uniq compare
+      (List.map (fun (r : Experiments.fig8_row) -> r.mesh_size) rows)
+  in
+  let counts =
+    List.sort_uniq compare
+      (List.map (fun (r : Experiments.fig8_row) -> r.controllers) rows)
+  in
+  let table =
+    Table.create
+      ~columns:
+        (("controllers", Table.Left)
+        :: List.map (fun size -> (mesh_label size, Table.Right)) sizes)
+  in
+  let cell count size =
+    match
+      List.find_opt
+        (fun r -> r.Experiments.controllers = count && r.Experiments.mesh_size = size)
+        rows
+    with
+    | Some r -> Table.cell_float ~decimals:1 r.Experiments.jobs
+    | None -> "-"
+  in
+  List.iter
+    (fun count ->
+      Table.add_row table (string_of_int count :: List.map (cell count) sizes))
+    counts;
+  "Fig 8 - completed jobs under EAR vs number of battery-powered controllers\n"
+  ^ Table.render table
+
+let thm1 rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mesh", Table.Left);
+          ("J*", Table.Right);
+          ("n* (m1,m2,m3)", Table.Right);
+          ("checkerboard n", Table.Right);
+          ("mapping bound", Table.Right);
+        ]
+  in
+  let triple_f a = Printf.sprintf "(%.2f, %.2f, %.2f)" a.(0) a.(1) a.(2) in
+  let triple_i a = Printf.sprintf "(%d, %d, %d)" a.(0) a.(1) a.(2) in
+  let add (r : Experiments.thm1_row) =
+    Table.add_row table
+      [
+        mesh_label r.mesh_size;
+        Table.cell_float ~decimals:2 r.j_star;
+        triple_f r.optimal_duplicates;
+        triple_i r.checkerboard_duplicates;
+        Table.cell_float ~decimals:2 r.checkerboard_bound;
+      ]
+  in
+  List.iter add rows;
+  "Theorem 1 - upper bound and optimal module replication (equations (2) and (3))\n"
+  ^ Table.render table
+
+let ablation ~title rows =
+  let table =
+    Table.create
+      ~columns:[ ("variant", Table.Left); ("mesh", Table.Left); ("jobs", Table.Right) ]
+  in
+  let add (r : Experiments.ablation_row) =
+    Table.add_row table
+      [ r.label; mesh_label r.mesh_size; Table.cell_float ~decimals:1 r.jobs ]
+  in
+  List.iter add rows;
+  title ^ "\n" ^ Table.render table
+
+let concurrency rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("jobs in flight", Table.Right);
+          ("jobs completed", Table.Right);
+          ("deadlocks reported", Table.Right);
+          ("recovered", Table.Right);
+        ]
+  in
+  let add (r : Experiments.concurrency_row) =
+    Table.add_row table
+      [
+        string_of_int r.jobs_in_flight;
+        Table.cell_float ~decimals:1 r.jobs;
+        Table.cell_float ~decimals:1 r.deadlocks_reported;
+        Table.cell_float ~decimals:1 r.deadlocks_recovered;
+      ]
+  in
+  List.iter add rows;
+  "Concurrent jobs and deadlock recovery (Sec 7)\n" ^ Table.render table
+
+let predictions rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mesh", Table.Left);
+          ("predicted", Table.Right);
+          ("simulated", Table.Right);
+          ("error", Table.Right);
+        ]
+  in
+  let add (r : Experiments.prediction_row) =
+    let error =
+      if r.simulated = 0. then nan else (r.predicted -. r.simulated) /. r.simulated
+    in
+    Table.add_row table
+      [
+        mesh_label r.p_mesh_size;
+        Table.cell_float ~decimals:1 r.predicted;
+        Table.cell_float ~decimals:1 r.simulated;
+        Printf.sprintf "%+.1f%%" (100. *. error);
+      ]
+  in
+  List.iter add rows;
+  "Static lifetime prediction (Analysis) vs simulation\n" ^ Table.render table
+
+let scenarios rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("scenario", Table.Left);
+          ("nodes", Table.Right);
+          ("EAR jobs", Table.Right);
+          ("SDR jobs", Table.Right);
+          ("gain", Table.Right);
+          ("J*", Table.Right);
+        ]
+  in
+  let add (r : Experiments.scenario_row) =
+    Table.add_row table
+      [
+        r.scenario;
+        string_of_int r.nodes;
+        Table.cell_float ~decimals:1 r.ear_jobs;
+        Table.cell_float ~decimals:1 r.sdr_jobs;
+        Printf.sprintf "%.1fx" r.scenario_gain;
+        Table.cell_float ~decimals:1 r.j_star;
+      ]
+  in
+  List.iter add rows;
+  "Garment scenarios - EAR vs SDR beyond the square mesh\n" ^ Table.render table
+
+let algorithms rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("mesh", Table.Left);
+          ("EAR", Table.Right);
+          ("max-min [13]", Table.Right);
+          ("SDR", Table.Right);
+        ]
+  in
+  let add (r : Experiments.algorithms_row) =
+    Table.add_row table
+      [
+        mesh_label r.a_mesh_size;
+        Table.cell_float ~decimals:1 r.ear;
+        Table.cell_float ~decimals:1 r.maximin;
+        Table.cell_float ~decimals:1 r.sdr;
+      ]
+  in
+  List.iter add rows;
+  "Routing algorithms - EAR vs max-min residual vs SDR (jobs completed)\n"
+  ^ Table.render table
+
+let print s =
+  print_string s;
+  print_newline ()

@@ -1,0 +1,18 @@
+(** Rendering of experiment results as the paper's tables and figures.
+
+    Each printer emits an ASCII table whose rows mirror the corresponding
+    artifact, with the paper's published values alongside for direct
+    comparison. *)
+
+val fig7 : Experiments.fig7_row list -> string
+val table2 : Experiments.table2_row list -> string
+val fig8 : Experiments.fig8_row list -> string
+val thm1 : Experiments.thm1_row list -> string
+val ablation : title:string -> Experiments.ablation_row list -> string
+val concurrency : Experiments.concurrency_row list -> string
+val predictions : Experiments.prediction_row list -> string
+val scenarios : Experiments.scenario_row list -> string
+val algorithms : Experiments.algorithms_row list -> string
+
+val print : string -> unit
+(** Write a rendered table to stdout with a flush. *)

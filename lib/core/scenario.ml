@@ -1,0 +1,94 @@
+type t = {
+  name : string;
+  description : string;
+  topology : Etx_graph.Topology.t;
+  mapping : Etx_routing.Mapping.t;
+}
+
+let aes_sequence =
+  List.map Etx_aes.Partition.module_index Etx_aes.Partition.module_sequence
+
+let problem_for_nodes node_count =
+  Etx_routing.Problem.aes ~battery_budget_pj:Calibration.battery_budget_pj
+    ~node_budget:node_count ()
+
+let optimized_mapping topology =
+  let node_count = Etx_graph.Topology.node_count topology in
+  let problem = problem_for_nodes node_count in
+  (Etx_routing.Placement.optimize ~problem ~topology ~module_sequence:aes_sequence
+     ~iterations:400 ~seed:1 ())
+    .Etx_routing.Placement.mapping
+
+let shirt () =
+  let topology = Etx_graph.Topology.square_mesh ~size:6 () in
+  {
+    name = "shirt";
+    description = "6x6 chest encryption region (Fig 3(a)), checkerboard mapping";
+    topology;
+    mapping = Etx_routing.Mapping.checkerboard topology;
+  }
+
+let jacket () =
+  (* two 4x4 panels joined by two shoulder straps of 6 cm textile runs *)
+  let panel_links base =
+    List.concat_map
+      (fun r ->
+        List.concat_map
+          (fun c ->
+            let id = base + (r * 4) + c in
+            (if c < 3 then [ (id, id + 1, 1.) ] else [])
+            @ if r < 3 then [ (id, id + 4, 1.) ] else [])
+          [ 0; 1; 2; 3 ])
+      [ 0; 1; 2; 3 ]
+  in
+  let coords =
+    Array.init 32 (fun i ->
+        if i < 16 then ((i mod 4) + 1, (i / 4) + 1)
+        else begin
+          let j = i - 16 in
+          ((j mod 4) + 8, (j / 4) + 1)
+        end)
+  in
+  (* straps: top corners of the chest panel to top corners of the back *)
+  let straps = [ (3, 16, 6.); (15, 28, 6.) ] in
+  let topology =
+    Etx_graph.Topology.custom ~name:"jacket" ~node_count:32 ~coords
+      ~links:(panel_links 0 @ panel_links 16 @ straps)
+  in
+  {
+    name = "jacket";
+    description = "two 4x4 panels (chest/back) joined by 6 cm shoulder straps";
+    topology;
+    mapping = optimized_mapping topology;
+  }
+
+let sleeve () =
+  let topology = Etx_graph.Topology.line ~link_length_cm:2. ~length:18 () in
+  {
+    name = "sleeve";
+    description = "18-node line down one arm, 2 cm pitch";
+    topology;
+    mapping = optimized_mapping topology;
+  }
+
+let headband () =
+  let topology = Etx_graph.Topology.ring ~link_length_cm:1.5 ~length:16 () in
+  {
+    name = "headband";
+    description = "16-node ring, 1.5 cm pitch";
+    topology;
+    mapping = optimized_mapping topology;
+  }
+
+let all () = [ shirt (); jacket (); sleeve (); headband () ]
+
+let config ?policy ?(seed = 1) t =
+  let policy = match policy with Some p -> p | None -> Calibration.ear () in
+  Etx_etsim.Config.make ~topology:t.topology ~mapping:t.mapping ~policy
+    ~battery_capacity_pj:Calibration.battery_budget_pj
+    ~battery_capacity_variation:Calibration.battery_capacity_variation
+    ~frame_period_cycles:Calibration.frame_period_cycles
+    ~reception_energy_fraction:Calibration.reception_energy_fraction
+    ~job_source:Etx_etsim.Config.Round_robin_entry ~seed ()
+
+let problem t = problem_for_nodes (Etx_graph.Topology.node_count t.topology)

@@ -1,0 +1,42 @@
+(** Garment scenarios: ready-made e-textile platforms.
+
+    The paper sketches the target as regions of a smart garment (Fig
+    3(a)); these presets turn that sketch into concrete topologies with
+    physically plausible interconnect lengths, plus a mapping chosen by
+    the placement optimizer when the paper's checkerboard does not apply.
+    Each scenario is a full platform a user can simulate with one call. *)
+
+type t = {
+  name : string;
+  description : string;
+  topology : Etx_graph.Topology.t;
+  mapping : Etx_routing.Mapping.t;
+}
+
+val shirt : unit -> t
+(** Fig 3(a): a 6x6 chest encryption region. 1 cm weave pitch,
+    checkerboard mapping. *)
+
+val jacket : unit -> t
+(** Two 4x4 panels (chest and back) joined by two 6 cm shoulder straps;
+    optimizer-placed modules (no global checkerboard exists). *)
+
+val sleeve : unit -> t
+(** An 18-node line down one arm, 2 cm pitch; optimizer-placed. *)
+
+val headband : unit -> t
+(** A 16-node ring, 1.5 cm pitch; optimizer-placed. *)
+
+val all : unit -> t list
+(** Every preset, in a stable order. *)
+
+val config :
+  ?policy:Etx_routing.Policy.t ->
+  ?seed:int ->
+  t ->
+  Etx_etsim.Config.t
+(** The calibrated simulator configuration for a scenario (thin-film
+    cells, scattered entry, paper constants). *)
+
+val problem : t -> Etx_routing.Problem.t
+(** The Theorem 1 instance sized to the scenario's node count. *)

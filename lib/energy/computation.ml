@@ -1,0 +1,25 @@
+type t = { energies : float array }
+
+let subbytes_shiftrows_pj = 120.1
+let mixcolumns_pj = 73.34
+let keyexpansion_addroundkey_pj = 176.55
+
+let custom ~energies_pj =
+  if Array.length energies_pj = 0 then invalid_arg "Computation.custom: empty table";
+  Array.iter
+    (fun e -> if e < 0. then invalid_arg "Computation.custom: negative energy")
+    energies_pj;
+  { energies = Array.copy energies_pj }
+
+let aes =
+  custom
+    ~energies_pj:[| subbytes_shiftrows_pj; mixcolumns_pj; keyexpansion_addroundkey_pj |]
+
+let module_count t = Array.length t.energies
+
+let energy_per_act t ~module_index =
+  if module_index < 0 || module_index >= Array.length t.energies then
+    invalid_arg "Computation.energy_per_act: bad module index";
+  t.energies.(module_index)
+
+let aes_cycles_per_act = [| 2; 2; 3 |]

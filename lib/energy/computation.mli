@@ -1,0 +1,33 @@
+(** Computation-energy constants.
+
+    The paper synthesizes the three AES modules in a 0.16 um technology
+    and measures, at 100 MHz, the energy per act of computation
+    (Sec 5.1.1).  These constants are the published values; arbitrary
+    module sets use {!custom}. *)
+
+type t
+(** Energy table: one entry per application module. *)
+
+val aes : t
+(** The paper's partitioning: module 1 = SubBytes/ShiftRows (120.1 pJ),
+    module 2 = MixColumns (73.34 pJ), module 3 =
+    KeyExpansion/AddRoundKey (176.55 pJ). *)
+
+val custom : energies_pj:float array -> t
+(** @raise Invalid_argument if empty or any entry is negative. *)
+
+val module_count : t -> int
+
+val energy_per_act : t -> module_index:int -> float
+(** Energy (pJ) for one act of computation of the given module
+    (0-based index).  @raise Invalid_argument on a bad index. *)
+
+val subbytes_shiftrows_pj : float
+val mixcolumns_pj : float
+val keyexpansion_addroundkey_pj : float
+
+val aes_cycles_per_act : int array
+(** Latency, in 100 MHz cycles, of one act of each AES module in our
+    cycle-accurate simulation.  The paper does not publish latencies
+    (only that the blocks run up to 233 MHz); one act per cycle at
+    100 MHz plus margin is modelled as a small constant per module. *)

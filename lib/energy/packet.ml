@@ -1,0 +1,19 @@
+type t = { payload_bits : int; header_bits : int }
+
+let make ~payload_bits ~header_bits =
+  if payload_bits < 0 || header_bits < 0 then
+    invalid_arg "Packet.make: negative field size";
+  if payload_bits + header_bits = 0 then invalid_arg "Packet.make: zero-bit packet";
+  { payload_bits; header_bits }
+
+let aes_default = make ~payload_bits:256 ~header_bits:5
+
+let total_bits t = t.payload_bits + t.header_bits
+
+let hop_energy t ~line ~length_cm =
+  Transmission_line.packet_energy line ~length_cm ~bits:(total_bits t)
+
+let serialization_cycles t ~link_width_bits =
+  if link_width_bits <= 0 then
+    invalid_arg "Packet.serialization_cycles: non-positive width";
+  (total_bits t + link_width_bits - 1) / link_width_bits

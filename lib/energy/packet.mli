@@ -1,0 +1,26 @@
+(** Packet format of the distributed AES platform.
+
+    The paper exchanges fixed-length packets between modules (Sec 3) but
+    does not publish the packet size.  We reconstruct it as a 256-bit
+    payload (the 128-bit AES state plus the 128-bit round key the next
+    AddRoundKey needs) plus a 5-bit header; 261 bits is the unique size
+    for which Theorem 1 reproduces Table 2's J* column exactly (see
+    DESIGN.md Sec 3). *)
+
+type t = { payload_bits : int; header_bits : int }
+
+val aes_default : t
+(** 256 payload + 5 header = 261 bits. *)
+
+val make : payload_bits:int -> header_bits:int -> t
+(** @raise Invalid_argument on negative sizes or a zero-bit packet. *)
+
+val total_bits : t -> int
+
+val hop_energy : t -> line:Transmission_line.t -> length_cm:float -> float
+(** Energy charged to the transmitter for moving this packet across one
+    hop of the given length. *)
+
+val serialization_cycles : t -> link_width_bits:int -> int
+(** Cycles to clock the packet onto a link of the given width (ceiling
+    division).  @raise Invalid_argument on non-positive width. *)

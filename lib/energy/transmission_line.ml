@@ -1,0 +1,53 @@
+type t = { anchors : (float * float) array } (* increasing length *)
+
+let of_measurements points =
+  if points = [] then invalid_arg "Transmission_line.of_measurements: empty";
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) points in
+  let check (length, energy) =
+    if length <= 0. then invalid_arg "Transmission_line: non-positive length";
+    if energy < 0. then invalid_arg "Transmission_line: negative energy"
+  in
+  List.iter check sorted;
+  let rec distinct = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then invalid_arg "Transmission_line: duplicate length";
+      distinct rest
+    | _ -> ()
+  in
+  distinct sorted;
+  { anchors = Array.of_list sorted }
+
+let paper_lines =
+  of_measurements [ (1., 0.4472); (10., 4.4472); (20., 11.867); (100., 53.082) ]
+
+let energy_per_bit t ~length_cm =
+  if length_cm <= 0. then
+    invalid_arg "Transmission_line.energy_per_bit: non-positive length";
+  let anchors = t.anchors in
+  let n = Array.length anchors in
+  let first_length, first_energy = anchors.(0) in
+  if n = 1 then first_energy *. length_cm /. first_length
+  else if length_cm <= first_length then
+    (* below the shortest measurement: scale proportionally (an RC line's
+       switching energy shrinks with its capacitance, i.e. its length) *)
+    first_energy *. length_cm /. first_length
+  else begin
+    let last_length, last_energy = anchors.(n - 1) in
+    if length_cm >= last_length then begin
+      let prev_length, prev_energy = anchors.(n - 2) in
+      let slope = (last_energy -. prev_energy) /. (last_length -. prev_length) in
+      last_energy +. (slope *. (length_cm -. last_length))
+    end
+    else begin
+      let rec seek i = if fst anchors.(i + 1) >= length_cm then i else seek (i + 1) in
+      let i = seek 0 in
+      let l0, e0 = anchors.(i) and l1, e1 = anchors.(i + 1) in
+      e0 +. ((e1 -. e0) *. (length_cm -. l0) /. (l1 -. l0))
+    end
+  end
+
+let packet_energy t ~length_cm ~bits =
+  if bits < 0 then invalid_arg "Transmission_line.packet_energy: negative bits";
+  energy_per_bit t ~length_cm *. float_of_int bits
+
+let anchors t = Array.to_list t.anchors

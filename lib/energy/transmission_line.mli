@@ -1,0 +1,31 @@
+(** Textile transmission-line energy model.
+
+    The paper (Sec 5.1.2) extracts the electrical characteristics of
+    woven transmission lines (polyester yarn twisted with a 40 um copper
+    thread) from Cottet et al. [6] and reports, from SPICE, the energy
+    per bit-switching activity at four line lengths:
+
+    {v 1 cm: 0.4472 pJ   10 cm: 4.4472 pJ   20 cm: 11.867 pJ   100 cm: 53.082 pJ v}
+
+    This module reproduces those anchors exactly and interpolates
+    piecewise-linearly between them (extrapolating the last segment's
+    slope beyond 100 cm, and scaling proportionally below 1 cm). *)
+
+type t
+
+val paper_lines : t
+(** The four measured points above. *)
+
+val of_measurements : (float * float) list -> t
+(** [(length_cm, energy_pj_per_bit)] anchors; at least one required,
+    lengths positive and distinct.  @raise Invalid_argument otherwise. *)
+
+val energy_per_bit : t -> length_cm:float -> float
+(** Energy (pJ) to signal one bit over a line of the given length.
+    @raise Invalid_argument on a non-positive length. *)
+
+val packet_energy : t -> length_cm:float -> bits:int -> float
+(** [energy_per_bit * bits]: cost of moving one packet across one hop,
+    charged to the transmitting node (paper Sec 3, parameter C_j). *)
+
+val anchors : t -> (float * float) list

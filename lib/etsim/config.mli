@@ -1,0 +1,153 @@
+(** Simulation configuration for et_sim.
+
+    Groups every knob of the platform of Sec 5: topology and mapping,
+    routing policy, energy models, battery models, the TDMA control
+    mechanism, the controller bank, and the job workload.  Defaults are
+    the calibrated paper values (see DESIGN.md Sec 5); [make] validates
+    cross-field consistency. *)
+
+type job_source =
+  | Fixed_entry of int
+      (** every job enters the mesh at this node (the sensor block of
+          Fig 3(a) hands plaintexts to one edge of the encryption
+          region) *)
+  | Round_robin_entry  (** jobs enter at living nodes in rotation *)
+
+type controllers =
+  | Infinite_controller
+      (** Sec 7.1-7.2: one controller with an infinite energy source *)
+  | Battery_controllers of { count : int }
+      (** Sec 7.3: a bank of controllers with their own thin-film
+          batteries; standbys are powered off and take over on death *)
+
+type t = {
+  topology : Etx_graph.Topology.t;
+  mapping : Etx_routing.Mapping.t;
+  module_count : int;
+  policy : Etx_routing.Policy.t;
+  (* energy models *)
+  packet : Etx_energy.Packet.t;
+  line : Etx_energy.Transmission_line.t;
+  computation : Etx_energy.Computation.t;
+  computation_cycles : int array;  (** latency of one act, per module *)
+  link_width_bits : int;  (** data-link serialization width *)
+  reception_energy_fraction : float;
+      (** receiver-side energy per hop, as a fraction of the
+          transmitter's packet energy (line termination and input-buffer
+          charging); calibration knob, see DESIGN.md Sec 5 *)
+  (* batteries *)
+  battery_kind : Etx_battery.Battery.kind;
+  battery_capacity_pj : float;
+  battery_capacity_variation : float;
+      (** relative spread of per-cell capacity: each node's battery is
+          drawn uniformly from [capacity * (1 - v), capacity * (1 + v)].
+          The paper notes identical thin-film cells vary by up to 20 %
+          (Sec 5.1.3); experiments use v = 0.1 and average over seeds *)
+  (* TDMA control mechanism (Sec 5.3, Fig 4) *)
+  frame_period_cycles : int;  (** control frame recurrence *)
+  control_medium_width_bits : int;  (** the narrow shared medium, 2 bits *)
+  report_bits : int;  (** upload payload per node per frame *)
+  instruction_bits : int;  (** download payload per changed table entry *)
+  control_line_length_cm : float;  (** electrical length of the medium *)
+  deadlock_threshold_cycles : int;  (** stuck-job report threshold *)
+  link_failure_schedule : (int * int * int) list;
+      (** wear-and-tear injection: [(cycle, a, b)] breaks the textile
+          interconnect between nodes [a] and [b] (both directions) at the
+          given cycle.  The paper motivates the move from a bus to a
+          network with exactly this failure mode (Sec 1) *)
+  (* controllers (Sec 7.3) *)
+  controllers : controllers;
+  controller_power : Etx_energy.Controller_power.t;
+  controller_battery_kind : Etx_battery.Battery.kind;
+  controller_battery_capacity_pj : float;
+  controller_recompute_cycles : int option;
+      (** [None]: K cycles (a K-wide hardware relaxation engine retiring
+          one Floyd-Warshall source per cycle); see also
+          {!Etx_energy.Controller_power.recompute_cycles} for the
+          serial-engine figure *)
+  controller_leakage_exponent : float;
+      (** power-law exponent applied to (K / 16) for leakage scaling;
+          0 (default) applies the published 4x4 figure at every size -
+          energy per recomputation still grows with K through its
+          duration.  Calibration knob for Fig 8 *)
+  controller_dynamic_exponent : float;
+      (** same for the dynamic power while computing (default 0) *)
+  (* workload *)
+  workloads : Workload.t list;
+      (** the applications sharing the platform, assigned to jobs in
+          rotation (default: AES-128 encryption only).  All must agree on
+          the module count *)
+  concurrent_jobs : int;  (** jobs kept in flight (Sec 7.1 uses 1) *)
+  job_source : job_source;
+  buffer_capacity : int;  (** per-node job buffer, for concurrency *)
+  key_hex : string;  (** AES key shared by the platform *)
+  seed : int;  (** PRNG seed for plaintexts and entry rotation *)
+  (* safety stops *)
+  max_cycles : int;
+  max_jobs : int option;
+}
+
+val make :
+  ?policy:Etx_routing.Policy.t ->
+  ?mapping:Etx_routing.Mapping.t ->
+  ?packet:Etx_energy.Packet.t ->
+  ?line:Etx_energy.Transmission_line.t ->
+  ?computation:Etx_energy.Computation.t ->
+  ?computation_cycles:int array ->
+  ?link_width_bits:int ->
+  ?reception_energy_fraction:float ->
+  ?battery_kind:Etx_battery.Battery.kind ->
+  ?battery_capacity_pj:float ->
+  ?battery_capacity_variation:float ->
+  ?frame_period_cycles:int ->
+  ?control_medium_width_bits:int ->
+  ?report_bits:int ->
+  ?instruction_bits:int ->
+  ?control_line_length_cm:float ->
+  ?deadlock_threshold_cycles:int ->
+  ?link_failure_schedule:(int * int * int) list ->
+  ?controllers:controllers ->
+  ?controller_power:Etx_energy.Controller_power.t ->
+  ?controller_battery_kind:Etx_battery.Battery.kind ->
+  ?controller_battery_capacity_pj:float ->
+  ?controller_recompute_cycles:int option ->
+  ?controller_leakage_exponent:float ->
+  ?controller_dynamic_exponent:float ->
+  ?workloads:Workload.t list ->
+  ?concurrent_jobs:int ->
+  ?job_source:job_source ->
+  ?buffer_capacity:int ->
+  ?key_hex:string ->
+  ?seed:int ->
+  ?max_cycles:int ->
+  ?max_jobs:int option ->
+  topology:Etx_graph.Topology.t ->
+  unit ->
+  t
+(** Defaults: EAR policy, checkerboard mapping over [topology], paper
+    energy models, thin-film batteries of 60000 pJ, 500-cycle frames on a
+    2-bit 10 cm medium with 4-bit reports, an infinite controller, one
+    job in flight entering at node 0, AES-128 with a fixed published test
+    key.  @raise Invalid_argument on inconsistent settings. *)
+
+val node_count : t -> int
+
+val control_bit_energy_pj : t -> float
+(** Energy to move one bit across the shared control medium. *)
+
+val report_energy_pj : t -> float
+(** Upload cost one node pays per frame. *)
+
+val instruction_energy_pj : t -> float
+(** Download cost the controller pays per changed routing-table entry. *)
+
+val recompute_cycles : t -> int
+
+val reception_energy_pj : t -> length_cm:float -> float
+(** Energy the receiving node pays for one inbound packet hop. *)
+
+val leakage_pj_per_cycle : t -> float
+(** Active-controller leakage per cycle after the power-law size
+    scaling. *)
+
+val dynamic_pj_per_cycle : t -> float

@@ -1,0 +1,155 @@
+module Battery = Etx_battery.Battery
+module Router = Etx_routing.Router
+module Routing_table = Etx_routing.Routing_table
+
+type outcome =
+  | Table_updated of Routing_table.t
+  | No_change
+  | Exhausted
+
+type bank = Infinite | Finite of { batteries : Battery.t array; mutable active : int }
+
+type t = {
+  config : Config.t;
+  bank : bank;
+  mutable previous_snapshot : Router.snapshot option;
+  mutable table : Routing_table.t option;
+  mutable recomputations : int;
+  mutable download_energy : float;
+  mutable compute_energy : float;
+  mutable deaths : int;
+}
+
+let create (config : Config.t) =
+  let bank =
+    match config.controllers with
+    | Config.Infinite_controller -> Infinite
+    | Config.Battery_controllers { count } ->
+      Finite
+        {
+          batteries =
+            Array.init count (fun _ ->
+                Battery.create ~kind:config.controller_battery_kind
+                  ~capacity_pj:config.controller_battery_capacity_pj);
+          active = 0;
+        }
+    in
+  {
+    config;
+    bank;
+    previous_snapshot = None;
+    table = None;
+    recomputations = 0;
+    download_energy = 0.;
+    compute_energy = 0.;
+    deaths = 0;
+  }
+
+(* Draw [energy] from the active controller, failing over through the
+   standby bank; returns false when every controller is depleted. *)
+let rec bank_draw t ~energy =
+  match t.bank with
+  | Infinite -> true
+  | Finite f ->
+    if f.active >= Array.length f.batteries then false
+    else if Battery.draw f.batteries.(f.active) ~energy_pj:energy then true
+    else begin
+      t.deaths <- t.deaths + 1;
+      f.active <- f.active + 1;
+      bank_draw t ~energy
+    end
+
+let snapshot_equal (a : Router.snapshot) (b : Router.snapshot) =
+  a.alive = b.alive && a.battery_level = b.battery_level
+  && a.levels = b.levels
+  && List.sort compare a.locked_ports = List.sort compare b.locked_ports
+  && List.sort compare a.failed_links = List.sort compare b.failed_links
+
+let on_frame t ~cycle ~elapsed_cycles ~snapshot =
+  ignore cycle;
+  begin
+    match t.bank with
+    | Finite f when f.active < Array.length f.batteries ->
+      Battery.tick f.batteries.(f.active) ~cycles:elapsed_cycles
+    | Finite _ | Infinite -> ()
+  end;
+  let leakage =
+    Config.leakage_pj_per_cycle t.config *. float_of_int elapsed_cycles
+  in
+  t.compute_energy <- t.compute_energy +. leakage;
+  if not (bank_draw t ~energy:leakage) then Exhausted
+  else begin
+    let unchanged =
+      match t.previous_snapshot with
+      | Some prev -> snapshot_equal prev snapshot
+      | None -> false
+    in
+    if unchanged then No_change
+    else begin
+      let dynamic =
+        Config.dynamic_pj_per_cycle t.config
+        *. float_of_int (Config.recompute_cycles t.config)
+      in
+      t.compute_energy <- t.compute_energy +. dynamic;
+      if not (bank_draw t ~energy:dynamic) then Exhausted
+      else begin
+        let graph = t.config.topology.Etx_graph.Topology.graph in
+        let table =
+          match t.config.policy.Etx_routing.Policy.algorithm with
+          | Etx_routing.Policy.Weighted weight ->
+            Router.compute ~graph ~mapping:t.config.mapping
+              ~module_count:t.config.module_count ~weight snapshot
+          | Etx_routing.Policy.Maximin_residual ->
+            Etx_routing.Maximin.compute ~graph ~mapping:t.config.mapping
+              ~module_count:t.config.module_count snapshot
+        in
+        t.recomputations <- t.recomputations + 1;
+        let changed =
+          match t.table with
+          | Some old -> Routing_table.diff_count old table
+          | None ->
+            Routing_table.node_count table * Routing_table.module_count table
+        in
+        let download = float_of_int changed *. Config.instruction_energy_pj t.config in
+        t.download_energy <- t.download_energy +. download;
+        if not (bank_draw t ~energy:download) then Exhausted
+        else begin
+          t.previous_snapshot <- Some snapshot;
+          t.table <- Some table;
+          Table_updated table
+        end
+      end
+    end
+  end
+
+let recomputations t = t.recomputations
+let download_energy_pj t = t.download_energy
+let compute_energy_pj t = t.compute_energy
+let deaths t = t.deaths
+
+let survivors t =
+  match t.bank with
+  | Infinite -> 1
+  | Finite f -> Array.length f.batteries - f.active
+
+let stranded_energy_pj t =
+  match t.bank with
+  | Infinite -> 0.
+  | Finite f ->
+    let total = ref 0. in
+    Array.iter
+      (fun b -> if Battery.is_dead b then total := !total +. Battery.remaining_pj b)
+      f.batteries;
+    !total
+
+let residual_energy_pj t =
+  match t.bank with
+  | Infinite -> 0.
+  | Finite f ->
+    let total = ref 0. in
+    Array.iter
+      (fun b -> if not (Battery.is_dead b) then total := !total +. Battery.remaining_pj b)
+      f.batteries;
+    !total
+
+let current_table t = t.table

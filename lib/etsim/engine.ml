@@ -1,0 +1,546 @@
+module Digraph = Etx_graph.Digraph
+module Connectivity = Etx_graph.Connectivity
+module Routing_table = Etx_routing.Routing_table
+module Router = Etx_routing.Router
+module Mapping = Etx_routing.Mapping
+module Computation = Etx_energy.Computation
+module Packet = Etx_energy.Packet
+module Prng = Etx_util.Prng
+
+type status = Running | Dead of Metrics.death_reason
+
+type t = {
+  config : Config.t;
+  graph : Digraph.t;
+  workloads : Workload.t array;
+  mutable workload_rotation : int;
+  nodes : Node.t array;
+  controller : Controller.t;
+  mutable table : Routing_table.t option;
+  mutable jobs : Job.t list;
+  mutable next_job_id : int;
+  mutable cycle : int;
+  mutable next_frame : int;
+  mutable last_frame : int;
+  links : (int * int, int) Hashtbl.t; (* directed link -> busy until *)
+  failed_links : (int * int, unit) Hashtbl.t;
+  mutable pending_failures : (int * int * int) list; (* sorted by cycle *)
+  mutable links_failed : int;
+  prng : Prng.t;
+  mutable entry_rotation : int;
+  (* accumulators *)
+  mutable jobs_completed : int;
+  mutable jobs_verified : int;
+  mutable jobs_lost : int;
+  mutable computation_energy : float;
+  mutable communication_energy : float;
+  mutable upload_energy : float;
+  mutable node_deaths : int;
+  mutable frames : int;
+  mutable deadlocks_reported : int;
+  mutable deadlocks_recovered : int;
+  mutable hops : int;
+  mutable acts : int;
+  computation_by_module : float array;
+  latency_stats : Etx_util.Stats.t;
+  mutable latency_max : int;
+  mutable status : status;
+  mutable ran : bool;
+  trace : Trace.t option;
+  timeline : Timeline.t option;
+}
+
+let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
+  let node_count = Config.node_count config in
+  let capacity_prng = Prng.create ~seed:(config.seed lxor 0x5F5F5F) in
+  let node_capacity () =
+    let v = config.battery_capacity_variation in
+    if v = 0. then config.battery_capacity_pj
+    else begin
+      let offset = Prng.float capacity_prng ~bound:(2. *. v) -. v in
+      config.battery_capacity_pj *. (1. +. offset)
+    end
+  in
+  let nodes =
+    Array.init node_count (fun id ->
+        Node.create ~id
+          ~module_index:(Mapping.module_of_node config.mapping ~node:id)
+          ~kind:config.battery_kind ~capacity_pj:(node_capacity ()))
+  in
+  {
+    config;
+    graph = config.topology.Etx_graph.Topology.graph;
+    workloads = Array.of_list config.Config.workloads;
+    workload_rotation = 0;
+    nodes;
+    controller = Controller.create config;
+    table = None;
+    jobs = [];
+    next_job_id = 0;
+    cycle = 0;
+    next_frame = 0;
+    last_frame = 0;
+    links = Hashtbl.create 64;
+    failed_links = Hashtbl.create 16;
+    pending_failures =
+      List.sort
+        (fun (a, _, _) (b, _, _) -> compare a b)
+        config.Config.link_failure_schedule;
+    links_failed = 0;
+    prng = Prng.create ~seed:config.seed;
+    entry_rotation = 0;
+    jobs_completed = 0;
+    jobs_verified = 0;
+    jobs_lost = 0;
+    computation_energy = 0.;
+    communication_energy = 0.;
+    upload_energy = 0.;
+    node_deaths = 0;
+    frames = 0;
+    deadlocks_reported = 0;
+    deadlocks_recovered = 0;
+    hops = 0;
+    acts = 0;
+    computation_by_module = Array.make config.Config.module_count 0.;
+    latency_stats = Etx_util.Stats.create ();
+    latency_max = 0;
+    status = Running;
+    ran = false;
+    trace = Option.map (fun capacity -> Trace.create ~capacity) trace_capacity;
+    timeline = (if record_timeline then Some (Timeline.create ()) else None);
+  }
+
+let emit t event =
+  match t.trace with None -> () | Some trace -> Trace.record trace event
+
+let node_alive t id = not (Node.is_dead t.nodes.(id))
+
+let die t reason =
+  match t.status with
+  | Dead _ -> ()
+  | Running ->
+    t.status <- Dead reason;
+    emit t
+      (Trace.System_death { cycle = t.cycle; reason = Metrics.death_reason_string reason })
+
+(* A node's battery just hit the cutoff.  Any job resident at (or flying
+   towards) the node dies with it; losing a job kills the platform, since
+   the launcher of Sec 7.1 waits forever for it. *)
+let kill_node t id =
+  t.node_deaths <- t.node_deaths + 1;
+  emit t (Trace.Node_death { node = id; cycle = t.cycle });
+  let victim job = Job.current_node job = id in
+  let lost, kept = List.partition victim t.jobs in
+  t.jobs <- kept;
+  match lost with
+  | [] -> ()
+  | job :: _ ->
+    t.jobs_lost <- t.jobs_lost + List.length lost;
+    List.iter
+      (fun j -> emit t (Trace.Job_lost { job = j.Job.id; node = id; cycle = t.cycle }))
+      lost;
+    die t (Metrics.Job_lost_to_node_death { node = id; job = job.Job.id })
+
+let clear_lock t id =
+  if t.nodes.(id).Node.locked_hop <> None then begin
+    t.nodes.(id).Node.locked_hop <- None;
+    t.deadlocks_recovered <- t.deadlocks_recovered + 1
+  end
+
+let pick_entry t =
+  match t.config.job_source with
+  | Config.Fixed_entry entry -> if node_alive t entry then Some entry else None
+  | Config.Round_robin_entry ->
+    (* stride the rotation so consecutive jobs enter in different regions
+       of the fabric (sensor blocks are scattered, Fig 3(a)); the stride
+       is chosen coprime to the node count so every node is visited *)
+    let n = Array.length t.nodes in
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let rec coprime_stride s = if gcd s n = 1 then s else coprime_stride (s + 1) in
+    let stride = coprime_stride (max 1 ((n * 5 / 8) lor 1)) in
+    let rec seek attempts =
+      if attempts >= n then None
+      else begin
+        let candidate = (t.entry_rotation + attempts) * stride mod n in
+        if node_alive t candidate then begin
+          t.entry_rotation <- t.entry_rotation + attempts + 1;
+          Some candidate
+        end
+        else seek (attempts + 1)
+      end
+    in
+    seek 0
+
+let launch_job t =
+  match pick_entry t with
+  | None ->
+    let node =
+      match t.config.job_source with Config.Fixed_entry e -> e | Config.Round_robin_entry -> -1
+    in
+    die t (Metrics.Entry_node_dead { node })
+  | Some entry ->
+    let workload = t.workloads.(t.workload_rotation mod Array.length t.workloads) in
+    t.workload_rotation <- t.workload_rotation + 1;
+    let payload = Workload.initial_payload workload ~prng:t.prng in
+    let expected = Workload.reference workload payload in
+    let job =
+      Job.launch ~id:t.next_job_id ~workload ~payload ~expected ~entry ~cycle:t.cycle
+    in
+    t.next_job_id <- t.next_job_id + 1;
+    t.nodes.(entry).Node.occupancy <- t.nodes.(entry).Node.occupancy + 1;
+    t.jobs <- t.jobs @ [ job ];
+    emit t (Trace.Job_launched { job = job.Job.id; entry; cycle = t.cycle })
+
+let complete_job t job =
+  t.jobs_completed <- t.jobs_completed + 1;
+  let latency = t.cycle - job.Job.launched_at in
+  Etx_util.Stats.add t.latency_stats (float_of_int latency);
+  if latency > t.latency_max then t.latency_max <- latency;
+  let verified = Job.verified job in
+  if verified then t.jobs_verified <- t.jobs_verified + 1;
+  emit t (Trace.Job_completed { job = job.Job.id; cycle = t.cycle; verified });
+  let node = Job.current_node job in
+  t.nodes.(node).Node.occupancy <- t.nodes.(node).Node.occupancy - 1;
+  t.jobs <- List.filter (fun j -> j != job) t.jobs;
+  match t.config.max_jobs with
+  | Some cap when t.jobs_completed >= cap -> die t Metrics.Job_limit
+  | Some _ | None -> launch_job t
+
+let link_alive t ~src ~dst = not (Hashtbl.mem t.failed_links (src, dst))
+
+(* break interconnects whose scheduled failure cycle has arrived *)
+let apply_link_failures t =
+  let due, later =
+    List.partition (fun (cycle, _, _) -> cycle <= t.cycle) t.pending_failures
+  in
+  t.pending_failures <- later;
+  List.iter
+    (fun (_, a, b) ->
+      if link_alive t ~src:a ~dst:b then begin
+        Hashtbl.replace t.failed_links (a, b) ();
+        Hashtbl.replace t.failed_links (b, a) ();
+        t.links_failed <- t.links_failed + 1
+      end)
+    due
+
+let link_busy_until t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with Some until -> until | None -> 0
+
+(* Does a living duplicate of [module_index] remain reachable from
+   [node] through living relays?  The exact oracle behind the
+   Unreachable table entry: if it says no, the platform is dead. *)
+let duplicate_reachable t ~node ~module_index =
+  let alive id = node_alive t id in
+  let edge_alive ~src ~dst = link_alive t ~src ~dst in
+  let seen = Connectivity.reachable t.graph ~alive ~edge_alive ~src:node () in
+  List.exists
+    (fun candidate -> seen.(candidate))
+    (Mapping.nodes_of_module t.config.mapping ~module_index)
+
+let set_waiting job ~node ~since ~retry_at =
+  job.Job.phase <- Job.Waiting { node; since; retry_at }
+
+(* Deadlock bookkeeping for a job blocked on an output port: after the
+   threshold the node flags the port for its next upload slot. *)
+let note_blocked t ~node ~since ~hop =
+  if
+    t.cycle - since >= t.config.deadlock_threshold_cycles
+    && t.nodes.(node).Node.locked_hop = None
+  then begin
+    t.nodes.(node).Node.locked_hop <- Some hop;
+    t.deadlocks_reported <- t.deadlocks_reported + 1;
+    emit t (Trace.Deadlock_report { node; hop; cycle = t.cycle })
+  end
+
+let start_computation t job ~node ~module_index ~since =
+  let busy_until = t.nodes.(node).Node.busy_until in
+  if busy_until > t.cycle then set_waiting job ~node ~since ~retry_at:busy_until
+  else begin
+    let energy = Computation.energy_per_act t.config.computation ~module_index in
+    if Node.draw t.nodes.(node) ~cycle:t.cycle ~energy_pj:energy then begin
+      t.computation_energy <- t.computation_energy +. energy;
+      t.computation_by_module.(module_index) <-
+        t.computation_by_module.(module_index) +. energy;
+      t.acts <- t.acts + 1;
+      clear_lock t node;
+      let until = t.cycle + t.config.computation_cycles.(module_index) in
+      t.nodes.(node).Node.busy_until <- until;
+      job.Job.phase <- Job.Computing { node; until }
+    end
+    else kill_node t node
+  end
+
+let start_transmission t job ~node ~next_hop ~since =
+  if (not (node_alive t next_hop)) || not (link_alive t ~src:node ~dst:next_hop) then begin
+    (* stale table: wait for the controller to learn about the death *)
+    note_blocked t ~node ~since ~hop:next_hop;
+    set_waiting job ~node ~since ~retry_at:t.next_frame
+  end
+  else if t.nodes.(next_hop).Node.occupancy >= t.config.buffer_capacity then begin
+    note_blocked t ~node ~since ~hop:next_hop;
+    let retry_at = min t.next_frame (t.cycle + 25) in
+    let retry_at = if retry_at <= t.cycle then t.cycle + 25 else retry_at in
+    set_waiting job ~node ~since ~retry_at
+  end
+  else begin
+    let free_at = link_busy_until t ~src:node ~dst:next_hop in
+    if free_at > t.cycle then set_waiting job ~node ~since ~retry_at:free_at
+    else begin
+      let length = Digraph.length t.graph ~src:node ~dst:next_hop in
+      let energy = Packet.hop_energy t.config.packet ~line:t.config.line ~length_cm:length in
+      if Node.draw t.nodes.(node) ~cycle:t.cycle ~energy_pj:energy then begin
+        t.communication_energy <- t.communication_energy +. energy;
+        t.hops <- t.hops + 1;
+        clear_lock t node;
+        let duration =
+          Packet.serialization_cycles t.config.packet
+            ~link_width_bits:t.config.link_width_bits
+        in
+        let until = t.cycle + duration in
+        Hashtbl.replace t.links (node, next_hop) until;
+        t.nodes.(node).Node.occupancy <- t.nodes.(node).Node.occupancy - 1;
+        t.nodes.(next_hop).Node.occupancy <- t.nodes.(next_hop).Node.occupancy + 1;
+        emit t (Trace.Packet_sent { job = job.Job.id; src = node; dst = next_hop; cycle = t.cycle });
+        job.Job.phase <- Job.In_transit { src = node; dst = next_hop; until }
+      end
+      else kill_node t node
+    end
+  end
+
+let try_route t job ~node ~since =
+  match Job.needed_module job with
+  | None -> assert false (* finished jobs are retired at act completion *)
+  | Some module_index -> begin
+    match t.table with
+    | None -> set_waiting job ~node ~since ~retry_at:t.next_frame
+    | Some table -> begin
+      match Routing_table.get table ~node ~module_index with
+      | Routing_table.Deliver_here -> start_computation t job ~node ~module_index ~since
+      | Routing_table.Forward { next_hop; destination = _ } ->
+        start_transmission t job ~node ~next_hop ~since
+      | Routing_table.Unreachable ->
+        if duplicate_reachable t ~node ~module_index then
+          (* the table predates recent level changes; wait for a refresh *)
+          set_waiting job ~node ~since ~retry_at:t.next_frame
+        else die t (Metrics.Module_unreachable { module_index; from_node = node })
+    end
+  end
+
+let process_job t job =
+  match job.Job.phase with
+  | Job.Waiting { node; since; retry_at = _ } -> try_route t job ~node ~since
+  | Job.Computing { node; until } ->
+    assert (until <= t.cycle);
+    Job.apply_act job;
+    emit t
+      (Trace.Act_completed
+         {
+           job = job.Job.id;
+           node;
+           module_index = t.nodes.(node).Node.module_index;
+           cycle = t.cycle;
+         });
+    if Job.finished job then complete_job t job
+    else begin
+      set_waiting job ~node ~since:t.cycle ~retry_at:t.cycle;
+      try_route t job ~node ~since:t.cycle
+    end
+  | Job.In_transit { src; dst; until } ->
+    assert (until <= t.cycle);
+    (* kill_node retires jobs flying to a dying node, so arrival implies
+       a living receiver *)
+    assert (node_alive t dst);
+    let length = Digraph.length t.graph ~src ~dst in
+    let reception = Config.reception_energy_pj t.config ~length_cm:length in
+    if reception > 0. && not (Node.draw t.nodes.(dst) ~cycle:t.cycle ~energy_pj:reception)
+    then kill_node t dst (* the receiver died accepting the packet *)
+    else begin
+      t.communication_energy <- t.communication_energy +. reception;
+      set_waiting job ~node:dst ~since:t.cycle ~retry_at:t.cycle;
+      try_route t job ~node:dst ~since:t.cycle
+    end
+
+let build_snapshot t =
+  let n = Array.length t.nodes in
+  let levels = t.config.policy.Etx_routing.Policy.levels in
+  let alive = Array.init n (fun id -> node_alive t id) in
+  let battery_level =
+    Array.init n (fun id ->
+        if alive.(id) then Node.level t.nodes.(id) ~cycle:t.cycle ~levels else 0)
+  in
+  let locked_ports =
+    Array.to_list t.nodes
+    |> List.filter_map (fun node ->
+           if Node.is_dead node then None
+           else
+             Option.map (fun hop -> (node.Node.id, hop)) node.Node.locked_hop)
+  in
+  let failed_links = Hashtbl.fold (fun link () acc -> link :: acc) t.failed_links [] in
+  { Router.alive; battery_level; levels; locked_ports; failed_links = List.sort compare failed_links }
+
+let wake_waiting_jobs t =
+  let wake job =
+    match job.Job.phase with
+    | Job.Waiting { node; since; retry_at } ->
+      if retry_at > t.cycle then set_waiting job ~node ~since ~retry_at:t.cycle
+    | Job.Computing _ | Job.In_transit _ -> ()
+  in
+  List.iter wake t.jobs
+
+let record_timeline_sample t =
+  match t.timeline with
+  | None -> ()
+  | Some timeline ->
+    let alive = ref 0 and soc_sum = ref 0. and soc_min = ref infinity in
+    let remaining = ref 0. and locked = ref 0 in
+    Array.iter
+      (fun node ->
+        Node.sync node ~cycle:t.cycle;
+        let soc = Etx_battery.Battery.soc node.Node.battery in
+        remaining := !remaining +. Node.remaining_pj node;
+        if not (Node.is_dead node) then begin
+          incr alive;
+          soc_sum := !soc_sum +. soc;
+          if soc < !soc_min then soc_min := soc
+        end;
+        if node.Node.locked_hop <> None then incr locked)
+      t.nodes;
+    Timeline.record timeline
+      {
+        Timeline.cycle = t.cycle;
+        jobs_completed = t.jobs_completed;
+        jobs_in_flight = List.length t.jobs;
+        alive_nodes = !alive;
+        mean_soc = (if !alive = 0 then 0. else !soc_sum /. float_of_int !alive);
+        min_soc = (if !alive = 0 then 0. else !soc_min);
+        total_remaining_pj = !remaining;
+        deadlocked_ports = !locked;
+      }
+
+let run_frame t =
+  t.frames <- t.frames + 1;
+  apply_link_failures t;
+  record_timeline_sample t;
+  let report_energy = Config.report_energy_pj t.config in
+  Array.iter
+    (fun node ->
+      if t.status = Running && not (Node.is_dead node) then begin
+        if Node.draw node ~cycle:t.cycle ~energy_pj:report_energy then
+          t.upload_energy <- t.upload_energy +. report_energy
+        else kill_node t node.Node.id
+      end)
+    t.nodes;
+  if t.status = Running then begin
+    let snapshot = build_snapshot t in
+    let elapsed = t.cycle - t.last_frame in
+    t.last_frame <- t.cycle;
+    match Controller.on_frame t.controller ~cycle:t.cycle ~elapsed_cycles:elapsed ~snapshot with
+    | Controller.Exhausted ->
+      emit t (Trace.Controller_failover { survivors = 0; cycle = t.cycle });
+      die t Metrics.Controllers_exhausted
+    | Controller.Table_updated table ->
+      t.table <- Some table;
+      emit t (Trace.Frame_run { cycle = t.cycle; recomputed = true });
+      wake_waiting_jobs t
+    | Controller.No_change -> emit t (Trace.Frame_run { cycle = t.cycle; recomputed = false })
+  end
+
+let finalize t reason =
+  Array.iter (fun node -> Node.sync node ~cycle:t.cycle) t.nodes;
+  let stranded = ref 0. and residual = ref 0. in
+  Array.iter
+    (fun node ->
+      let remaining = Node.remaining_pj node in
+      if Node.is_dead node then stranded := !stranded +. remaining
+      else residual := !residual +. remaining)
+    t.nodes;
+  {
+    Metrics.jobs_completed = t.jobs_completed;
+    jobs_verified = t.jobs_verified;
+    jobs_lost = t.jobs_lost;
+    lifetime_cycles = t.cycle;
+    death_reason = reason;
+    computation_energy_pj = t.computation_energy;
+    communication_energy_pj = t.communication_energy;
+    control_upload_energy_pj = t.upload_energy;
+    control_download_energy_pj = Controller.download_energy_pj t.controller;
+    controller_compute_energy_pj = Controller.compute_energy_pj t.controller;
+    stranded_node_energy_pj = !stranded;
+    residual_node_energy_pj = !residual;
+    stranded_controller_energy_pj = Controller.stranded_energy_pj t.controller;
+    residual_controller_energy_pj = Controller.residual_energy_pj t.controller;
+    node_deaths = t.node_deaths;
+    links_failed = t.links_failed;
+    controller_deaths = Controller.deaths t.controller;
+    recomputations = Controller.recomputations t.controller;
+    frames = t.frames;
+    deadlocks_reported = t.deadlocks_reported;
+    deadlocks_recovered = t.deadlocks_recovered;
+    hops_total = t.hops;
+    acts_total = t.acts;
+    computation_energy_by_module_pj = Array.copy t.computation_by_module;
+    job_latency_mean_cycles =
+      (if t.jobs_completed = 0 then 0. else Etx_util.Stats.mean t.latency_stats);
+    job_latency_max_cycles = t.latency_max;
+  }
+
+let run t =
+  if t.ran then invalid_arg "Engine.run: engine already ran";
+  t.ran <- true;
+  (* frame 0 establishes the first routing tables, then the workload
+     starts *)
+  run_frame t;
+  t.next_frame <- t.config.frame_period_cycles;
+  let rec launch_initial remaining =
+    if remaining > 0 && t.status = Running then begin
+      launch_job t;
+      launch_initial (remaining - 1)
+    end
+  in
+  launch_initial t.config.concurrent_jobs;
+  let rec drain_ready () =
+    if t.status = Running then begin
+      match List.find_opt (fun job -> Job.ready_at job <= t.cycle) t.jobs with
+      | Some job ->
+        process_job t job;
+        drain_ready ()
+      | None -> ()
+    end
+  in
+  drain_ready ();
+  let rec loop () =
+    match t.status with
+    | Dead reason -> finalize t reason
+    | Running ->
+      let job_next =
+        List.fold_left (fun acc job -> min acc (Job.ready_at job)) max_int t.jobs
+      in
+      let next = min job_next t.next_frame in
+      if next >= t.config.max_cycles then begin
+        t.cycle <- t.config.max_cycles;
+        die t Metrics.Cycle_limit;
+        loop ()
+      end
+      else begin
+        assert (next > t.cycle || job_next <= t.cycle);
+        t.cycle <- max t.cycle next;
+        if t.cycle >= t.next_frame then begin
+          run_frame t;
+          t.next_frame <- t.next_frame + t.config.frame_period_cycles
+        end;
+        drain_ready ();
+        loop ()
+      end
+  in
+  loop ()
+
+let simulate ?trace_capacity ?record_timeline config =
+  run (create ?trace_capacity ?record_timeline config)
+
+let trace t = t.trace
+let timeline t = t.timeline
+
+let battery_socs t =
+  Array.map (fun node -> Etx_battery.Battery.soc node.Node.battery) t.nodes
+
+let alive_mask t = Array.map (fun node -> not (Node.is_dead node)) t.nodes

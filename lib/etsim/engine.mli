@@ -1,0 +1,45 @@
+(** The et_sim simulation engine.
+
+    Event-driven and cycle-accurate: jobs, control frames and link
+    transfers are processed at exact clock cycles, and batteries are
+    synchronized lazily, so the cost of a run scales with the number of
+    events rather than the lifetime in cycles.
+
+    The platform dies (and [run] returns) when one of the following
+    happens, whichever comes first:
+
+    - a node depletes while a job is aboard (computing, queued, or
+      inbound): that job can never complete, so the sequential launcher
+      of Sec 7.1 stalls forever - the node was critical;
+    - some job needs a module with no living duplicate reachable through
+      living relays from the job's position;
+    - a new job cannot be injected because the entry is dead;
+    - the last central controller depletes (Sec 7.3);
+    - a configured cycle or job cap fires (reported as such). *)
+
+type t
+
+val create : ?trace_capacity:int -> ?record_timeline:bool -> Config.t -> t
+(** [trace_capacity] enables event tracing with a ring of that size;
+    [record_timeline] (default false) collects one {!Timeline.sample}
+    per control frame. *)
+
+val run : t -> Metrics.t
+(** Simulate until platform death and return the collected metrics.
+    [run] may only be called once per engine. *)
+
+val simulate : ?trace_capacity:int -> ?record_timeline:bool -> Config.t -> Metrics.t
+(** [create] followed by [run]. *)
+
+val trace : t -> Trace.t option
+(** The event trace (inspect after [run]). *)
+
+val battery_socs : t -> float array
+(** Per-node state of charge (inspect after [run] for the platform's
+    final energy landscape). *)
+
+val alive_mask : t -> bool array
+(** Per-node liveness at the end of the run. *)
+
+val timeline : t -> Timeline.t option
+(** The per-frame series (inspect after [run]). *)

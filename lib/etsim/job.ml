@@ -1,0 +1,55 @@
+type phase =
+  | Waiting of { node : int; since : int; retry_at : int }
+  | Computing of { node : int; until : int }
+  | In_transit of { src : int; dst : int; until : int }
+
+type t = {
+  id : int;
+  workload : Workload.t;
+  payload0 : Bytes.t;
+  expected : Bytes.t;
+  mutable payload : Bytes.t;
+  mutable step : int;
+  mutable phase : phase;
+  launched_at : int;
+}
+
+let launch ~id ~workload ~payload ~expected ~entry ~cycle =
+  {
+    id;
+    workload;
+    payload0 = Bytes.copy payload;
+    expected = Bytes.copy expected;
+    payload = Bytes.copy payload;
+    step = 0;
+    phase = Waiting { node = entry; since = cycle; retry_at = cycle };
+    launched_at = cycle;
+  }
+
+let plan_act t = Workload.act_at t.workload ~step:t.step
+
+let needed_module t =
+  Option.map (fun act -> act.Workload.module_index) (plan_act t)
+
+let apply_act t =
+  match plan_act t with
+  | None -> invalid_arg "Job.apply_act: job already finished"
+  | Some act ->
+    t.payload <- Workload.apply t.workload act t.payload;
+    t.step <- t.step + 1
+
+let finished t = t.step >= Workload.plan_length t.workload
+
+let verified t = Bytes.equal t.payload t.expected
+
+let ready_at t =
+  match t.phase with
+  | Waiting { retry_at; _ } -> retry_at
+  | Computing { until; _ } -> until
+  | In_transit { until; _ } -> until
+
+let current_node t =
+  match t.phase with
+  | Waiting { node; _ } -> node
+  | Computing { node; _ } -> node
+  | In_transit { dst; _ } -> dst

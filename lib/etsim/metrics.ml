@@ -1,0 +1,79 @@
+type death_reason =
+  | Job_lost_to_node_death of { node : int; job : int }
+  | Module_unreachable of { module_index : int; from_node : int }
+  | Entry_node_dead of { node : int }
+  | Controllers_exhausted
+  | Cycle_limit
+  | Job_limit
+
+type t = {
+  jobs_completed : int;
+  jobs_verified : int;
+  jobs_lost : int;
+  lifetime_cycles : int;
+  death_reason : death_reason;
+  computation_energy_pj : float;
+  communication_energy_pj : float;
+  control_upload_energy_pj : float;
+  control_download_energy_pj : float;
+  controller_compute_energy_pj : float;
+  stranded_node_energy_pj : float;
+  residual_node_energy_pj : float;
+  stranded_controller_energy_pj : float;
+  residual_controller_energy_pj : float;
+  node_deaths : int;
+  links_failed : int;
+  controller_deaths : int;
+  recomputations : int;
+  frames : int;
+  deadlocks_reported : int;
+  deadlocks_recovered : int;
+  hops_total : int;
+  acts_total : int;
+  computation_energy_by_module_pj : float array;
+  job_latency_mean_cycles : float;
+  job_latency_max_cycles : int;
+}
+
+let mean_hops_per_act t =
+  if t.acts_total = 0 then 0.
+  else float_of_int t.hops_total /. float_of_int t.acts_total
+
+let control_energy_pj t = t.control_upload_energy_pj +. t.control_download_energy_pj
+
+let total_consumed_energy_pj t =
+  t.computation_energy_pj +. t.communication_energy_pj +. control_energy_pj t
+
+let control_overhead_fraction t =
+  let total = total_consumed_energy_pj t in
+  if total <= 0. then 0. else control_energy_pj t /. total
+
+let death_reason_string = function
+  | Job_lost_to_node_death { node; job } ->
+    Printf.sprintf "job %d lost: node %d depleted while serving it" job node
+  | Module_unreachable { module_index; from_node } ->
+    Printf.sprintf "no living duplicate of module %d reachable from node %d"
+      (module_index + 1) from_node
+  | Entry_node_dead { node } -> Printf.sprintf "entry node %d dead" node
+  | Controllers_exhausted -> "all central controllers depleted"
+  | Cycle_limit -> "cycle limit reached"
+  | Job_limit -> "job cap reached"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>jobs completed: %d (verified %d, lost %d)@,\
+     lifetime: %d cycles@,\
+     death: %s@,\
+     energy (pJ): computation %.1f, communication %.1f, control %.1f (%.2f%%)@,\
+     controller compute: %.1f@,\
+     stranded in dead nodes: %.1f; residual in living nodes: %.1f@,\
+     node deaths: %d; recomputations: %d over %d frames@,\
+     deadlocks: %d reported, %d recovered@,\
+     totals: %d acts, %d hops@]"
+    t.jobs_completed t.jobs_verified t.jobs_lost t.lifetime_cycles
+    (death_reason_string t.death_reason)
+    t.computation_energy_pj t.communication_energy_pj (control_energy_pj t)
+    (100. *. control_overhead_fraction t)
+    t.controller_compute_energy_pj t.stranded_node_energy_pj t.residual_node_energy_pj
+    t.node_deaths t.recomputations t.frames t.deadlocks_reported t.deadlocks_recovered
+    t.acts_total t.hops_total

@@ -1,0 +1,74 @@
+(** Statistics collected by one simulation run.
+
+    Everything the paper reports is derivable from these: the number of
+    completed jobs (Figs 7-8, Table 2), the control-energy overhead
+    percentages (Sec 7.1), and the lifetime decomposition (Sec 7.3). *)
+
+type death_reason =
+  | Job_lost_to_node_death of { node : int; job : int }
+      (** the node carrying a job depleted mid-act: the launcher never
+          sees the job complete, so the platform has died (the node was
+          critical in the paper's sense) *)
+  | Module_unreachable of { module_index : int; from_node : int }
+      (** no living duplicate of a needed module remains reachable *)
+  | Entry_node_dead of { node : int }
+  | Controllers_exhausted
+      (** Sec 7.3: the last central controller depleted *)
+  | Cycle_limit
+  | Job_limit  (** stopped by the configured cap, not by the platform *)
+
+type t = {
+  jobs_completed : int;
+  jobs_verified : int;
+      (** completed jobs whose ciphertext matched the reference AES *)
+  jobs_lost : int;
+  lifetime_cycles : int;
+  death_reason : death_reason;
+  (* energy, pJ *)
+  computation_energy_pj : float;
+  communication_energy_pj : float;  (** data packets over textile links *)
+  control_upload_energy_pj : float;  (** node reports on the TDMA medium *)
+  control_download_energy_pj : float;  (** instructions from the controller *)
+  controller_compute_energy_pj : float;  (** leakage + recompute dynamic *)
+  stranded_node_energy_pj : float;  (** wasted in dead node batteries *)
+  residual_node_energy_pj : float;  (** left in living node batteries *)
+  stranded_controller_energy_pj : float;
+  residual_controller_energy_pj : float;
+  (* events *)
+  node_deaths : int;
+  links_failed : int;  (** interconnects broken by injected wear *)
+  controller_deaths : int;
+  recomputations : int;
+  frames : int;
+  deadlocks_reported : int;
+  deadlocks_recovered : int;
+  hops_total : int;
+  acts_total : int;
+  (* per-module and latency detail *)
+  computation_energy_by_module_pj : float array;
+      (** length p: computation energy per application module *)
+  job_latency_mean_cycles : float;  (** over completed jobs; 0 if none *)
+  job_latency_max_cycles : int;
+}
+
+val mean_hops_per_act : t -> float
+(** Average communication hops per act of computation: 1.0 would be the
+    ideal topology of Theorem 1's construction. *)
+
+val control_energy_pj : t -> float
+(** Upload + download: the "energy consumed on exchanging the control
+    information" of Sec 7.1. *)
+
+val total_consumed_energy_pj : t -> float
+(** Computation + communication + control (the consumption the paper's
+    overhead percentage divides by; controller-internal compute energy is
+    reported separately, as the paper's Sec 7.1 experiments use an
+    infinite-energy controller). *)
+
+val control_overhead_fraction : t -> float
+(** [control / total_consumed]. *)
+
+val death_reason_string : death_reason -> string
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

@@ -1,0 +1,38 @@
+type t = {
+  id : int;
+  module_index : int;
+  battery : Etx_battery.Battery.t;
+  mutable synced_to : int;
+  mutable busy_until : int;
+  mutable occupancy : int;
+  mutable locked_hop : int option;
+}
+
+let create ~id ~module_index ~kind ~capacity_pj =
+  {
+    id;
+    module_index;
+    battery = Etx_battery.Battery.create ~kind ~capacity_pj;
+    synced_to = 0;
+    busy_until = 0;
+    occupancy = 0;
+    locked_hop = None;
+  }
+
+let sync t ~cycle =
+  if cycle > t.synced_to then begin
+    Etx_battery.Battery.tick t.battery ~cycles:(cycle - t.synced_to);
+    t.synced_to <- cycle
+  end
+
+let draw t ~cycle ~energy_pj =
+  sync t ~cycle;
+  Etx_battery.Battery.draw t.battery ~energy_pj
+
+let is_dead t = Etx_battery.Battery.is_dead t.battery
+
+let level t ~cycle ~levels =
+  sync t ~cycle;
+  Etx_battery.Battery.level t.battery ~levels
+
+let remaining_pj t = Etx_battery.Battery.remaining_pj t.battery

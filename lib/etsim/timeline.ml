@@ -1,0 +1,48 @@
+type sample = {
+  cycle : int;
+  jobs_completed : int;
+  jobs_in_flight : int;
+  alive_nodes : int;
+  mean_soc : float;
+  min_soc : float;
+  total_remaining_pj : float;
+  deadlocked_ports : int;
+}
+
+type t = { mutable samples : sample list (* reversed *) }
+
+let create () = { samples = [] }
+let record t sample = t.samples <- sample :: t.samples
+let samples t = List.rev t.samples
+let length t = List.length t.samples
+
+let to_csv t =
+  let buffer = Buffer.create 1024 in
+  Buffer.add_string buffer
+    "cycle,jobs_completed,jobs_in_flight,alive_nodes,mean_soc,min_soc,total_remaining_pj,deadlocked_ports\n";
+  List.iter
+    (fun s ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%d,%d,%d,%d,%.6f,%.6f,%.3f,%d\n" s.cycle s.jobs_completed
+           s.jobs_in_flight s.alive_nodes s.mean_soc s.min_soc s.total_remaining_pj
+           s.deadlocked_ports))
+    (samples t);
+  Buffer.contents buffer
+
+let spark_glyphs = [| ' '; '.'; ':'; '-'; '='; '+'; '*'; '#' |]
+
+let pp fmt t =
+  let series = samples t in
+  Format.fprintf fmt "@[<v>timeline: %d frames@," (List.length series);
+  if series <> [] then begin
+    let glyph soc =
+      let i = int_of_float (soc *. 7.99) in
+      spark_glyphs.(max 0 (min 7 i))
+    in
+    Format.fprintf fmt "mean soc: ";
+    List.iter (fun s -> Format.pp_print_char fmt (glyph s.mean_soc)) series;
+    Format.fprintf fmt "@,min soc:  ";
+    List.iter (fun s -> Format.pp_print_char fmt (glyph s.min_soc)) series;
+    Format.fprintf fmt "@,"
+  end;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,34 @@
+(** Per-frame time series of the platform's state.
+
+    When enabled, the engine appends one sample per TDMA frame; the
+    series shows the fabric draining, nodes dying, and throughput
+    flattening - the raw material for lifetime plots (and the CSV export
+    feeds external plotting). *)
+
+type sample = {
+  cycle : int;
+  jobs_completed : int;
+  jobs_in_flight : int;
+  alive_nodes : int;
+  mean_soc : float;  (** over living nodes; 0 when none *)
+  min_soc : float;
+  total_remaining_pj : float;  (** all nodes, dead ones included *)
+  deadlocked_ports : int;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> sample -> unit
+
+val samples : t -> sample list
+(** In chronological order. *)
+
+val length : t -> int
+
+val to_csv : t -> string
+(** Header plus one line per sample, comma-separated. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact sparkline-style rendering of the soc series. *)

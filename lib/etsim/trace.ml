@@ -1,0 +1,67 @@
+type event =
+  | Job_launched of { job : int; entry : int; cycle : int }
+  | Act_completed of { job : int; node : int; module_index : int; cycle : int }
+  | Packet_sent of { job : int; src : int; dst : int; cycle : int }
+  | Job_completed of { job : int; cycle : int; verified : bool }
+  | Job_lost of { job : int; node : int; cycle : int }
+  | Node_death of { node : int; cycle : int }
+  | Frame_run of { cycle : int; recomputed : bool }
+  | Deadlock_report of { node : int; hop : int; cycle : int }
+  | Controller_failover of { survivors : int; cycle : int }
+  | System_death of { cycle : int; reason : string }
+
+type t = {
+  capacity : int;
+  buffer : event option array;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; buffer = Array.make capacity None; next = 0; count = 0 }
+
+let record t event =
+  t.buffer.(t.next) <- Some event;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.count <- t.count + 1
+
+let events t =
+  let stored = min t.count t.capacity in
+  let start = (t.next - stored + t.capacity) mod t.capacity in
+  List.init stored (fun i ->
+      match t.buffer.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let dropped t = max 0 (t.count - t.capacity)
+
+let pp_event fmt = function
+  | Job_launched { job; entry; cycle } ->
+    Format.fprintf fmt "[%8d] job %d launched at node %d" cycle job entry
+  | Act_completed { job; node; module_index; cycle } ->
+    Format.fprintf fmt "[%8d] job %d: module %d act at node %d" cycle job
+      (module_index + 1) node
+  | Packet_sent { job; src; dst; cycle } ->
+    Format.fprintf fmt "[%8d] job %d: packet %d -> %d" cycle job src dst
+  | Job_completed { job; cycle; verified } ->
+    Format.fprintf fmt "[%8d] job %d completed (%s)" cycle job
+      (if verified then "ciphertext verified" else "VERIFICATION FAILED")
+  | Job_lost { job; node; cycle } ->
+    Format.fprintf fmt "[%8d] job %d lost at dying node %d" cycle job node
+  | Node_death { node; cycle } -> Format.fprintf fmt "[%8d] node %d died" cycle node
+  | Frame_run { cycle; recomputed } ->
+    Format.fprintf fmt "[%8d] control frame%s" cycle
+      (if recomputed then " (routes recomputed)" else "")
+  | Deadlock_report { node; hop; cycle } ->
+    Format.fprintf fmt "[%8d] node %d reports deadlock on port -> %d" cycle node hop
+  | Controller_failover { survivors; cycle } ->
+    Format.fprintf fmt "[%8d] controller failover (%d left)" cycle survivors
+  | System_death { cycle; reason } ->
+    Format.fprintf fmt "[%8d] SYSTEM DEATH: %s" cycle reason
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  if dropped t > 0 then Format.fprintf fmt "... (%d earlier events dropped)@," (dropped t);
+  List.iter (fun e -> Format.fprintf fmt "%a@," pp_event e) (events t);
+  Format.fprintf fmt "@]"

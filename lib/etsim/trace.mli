@@ -1,0 +1,34 @@
+(** Bounded event trace for debugging and the example programs.
+
+    Recording is optional (the experiment sweeps run untraced); when
+    enabled, the engine appends structured events to a ring buffer whose
+    oldest entries fall off once the capacity is exceeded. *)
+
+type event =
+  | Job_launched of { job : int; entry : int; cycle : int }
+  | Act_completed of { job : int; node : int; module_index : int; cycle : int }
+  | Packet_sent of { job : int; src : int; dst : int; cycle : int }
+  | Job_completed of { job : int; cycle : int; verified : bool }
+  | Job_lost of { job : int; node : int; cycle : int }
+  | Node_death of { node : int; cycle : int }
+  | Frame_run of { cycle : int; recomputed : bool }
+  | Deadlock_report of { node : int; hop : int; cycle : int }
+  | Controller_failover of { survivors : int; cycle : int }
+  | System_death of { cycle : int; reason : string }
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val record : t -> event -> unit
+
+val events : t -> event list
+(** Oldest first (at most [capacity] of them). *)
+
+val dropped : t -> int
+(** Events that fell off the ring. *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp : Format.formatter -> t -> unit

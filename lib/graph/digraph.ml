@@ -1,0 +1,86 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  node_count : int;
+  mutable out_edges : float Int_map.t array; (* dst -> length *)
+  mutable in_edges : float Int_map.t array; (* src -> length *)
+  mutable edge_count : int;
+}
+
+let create ~node_count =
+  if node_count <= 0 then invalid_arg "Digraph.create: node_count must be positive";
+  {
+    node_count;
+    out_edges = Array.make node_count Int_map.empty;
+    in_edges = Array.make node_count Int_map.empty;
+    edge_count = 0;
+  }
+
+let node_count t = t.node_count
+let edge_count t = t.edge_count
+
+let check_node t id name =
+  if id < 0 || id >= t.node_count then
+    invalid_arg (Printf.sprintf "Digraph: %s node %d out of range" name id)
+
+let add_edge t ~src ~dst ~length =
+  check_node t src "source";
+  check_node t dst "destination";
+  if src = dst then invalid_arg "Digraph.add_edge: self-loop";
+  if length <= 0. then invalid_arg "Digraph.add_edge: non-positive length";
+  if not (Int_map.mem dst t.out_edges.(src)) then t.edge_count <- t.edge_count + 1;
+  t.out_edges.(src) <- Int_map.add dst length t.out_edges.(src);
+  t.in_edges.(dst) <- Int_map.add src length t.in_edges.(dst)
+
+let add_bidirectional t ~a ~b ~length =
+  add_edge t ~src:a ~dst:b ~length;
+  add_edge t ~src:b ~dst:a ~length
+
+let mem_edge t ~src ~dst =
+  check_node t src "source";
+  check_node t dst "destination";
+  Int_map.mem dst t.out_edges.(src)
+
+let length t ~src ~dst =
+  check_node t src "source";
+  check_node t dst "destination";
+  match Int_map.find_opt dst t.out_edges.(src) with
+  | Some l -> l
+  | None -> raise Not_found
+
+let successors t id =
+  check_node t id "node";
+  Int_map.bindings t.out_edges.(id)
+
+let predecessors t id =
+  check_node t id "node";
+  Int_map.bindings t.in_edges.(id)
+
+let fold_edges t ~init ~f =
+  let acc = ref init in
+  Array.iteri
+    (fun src edges ->
+      Int_map.iter (fun dst length -> acc := f !acc ~src ~dst ~length) edges)
+    t.out_edges;
+  !acc
+
+let iter_edges t ~f =
+  fold_edges t ~init:() ~f:(fun () ~src ~dst ~length -> f ~src ~dst ~length)
+
+let adjacency_matrix t =
+  let m =
+    Etx_util.Matrix.init ~dim:t.node_count ~f:(fun i j -> if i = j then 0. else infinity)
+  in
+  iter_edges t ~f:(fun ~src ~dst ~length -> Etx_util.Matrix.set m src dst length);
+  m
+
+let transpose t =
+  let g = create ~node_count:t.node_count in
+  iter_edges t ~f:(fun ~src ~dst ~length -> add_edge g ~src:dst ~dst:src ~length);
+  g
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>digraph (%d nodes, %d edges)@," t.node_count t.edge_count;
+  iter_edges t ~f:(fun ~src ~dst ~length ->
+      Format.fprintf fmt "  %d -> %d (%.3f cm)@," src dst length);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,48 @@
+(** Directed graphs with float edge lengths.
+
+    Nodes are dense integer ids [0 .. node_count - 1].  Edge lengths are
+    physical interconnect lengths in centimeters (paper Sec 5.1.2); the
+    routing layer later reweights them (SDR uses the length itself, EAR
+    multiplies by a battery-dependent factor).
+
+    A graph is built once and then queried; adding an edge twice updates
+    its length. *)
+
+type t
+
+val create : node_count:int -> t
+(** An edgeless graph.  @raise Invalid_argument if [node_count <= 0]. *)
+
+val node_count : t -> int
+val edge_count : t -> int
+
+val add_edge : t -> src:int -> dst:int -> length:float -> unit
+(** Add or update the directed edge [src -> dst].  Self-loops are
+    rejected.  @raise Invalid_argument on out-of-range ids, self-loop, or
+    non-positive length. *)
+
+val add_bidirectional : t -> a:int -> b:int -> length:float -> unit
+(** Both [a -> b] and [b -> a]. *)
+
+val mem_edge : t -> src:int -> dst:int -> bool
+
+val length : t -> src:int -> dst:int -> float
+(** Length of an existing edge.  @raise Not_found if absent. *)
+
+val successors : t -> int -> (int * float) list
+(** Outgoing [(dst, length)] pairs, in increasing [dst] order. *)
+
+val predecessors : t -> int -> (int * float) list
+(** Incoming [(src, length)] pairs, in increasing [src] order. *)
+
+val fold_edges : t -> init:'a -> f:('a -> src:int -> dst:int -> length:float -> 'a) -> 'a
+
+val iter_edges : t -> f:(src:int -> dst:int -> length:float -> unit) -> unit
+
+val adjacency_matrix : t -> Etx_util.Matrix.t
+(** The weight matrix of Sec 6: [0] on the diagonal, the length where an
+    edge exists, [infinity] elsewhere. *)
+
+val transpose : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+module Matrix = Etx_util.Matrix
+
+type result = { distances : float array; predecessors : int array }
+
+(* Minimal binary min-heap of (priority, node) pairs; stale entries are
+   skipped at pop time (lazy deletion). *)
+module Heap = struct
+  type t = {
+    mutable data : (float * int) array;
+    mutable size : int;
+  }
+
+  let create () = { data = Array.make 16 (0., 0); size = 0 }
+
+  let swap h i j =
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- tmp
+
+  let push h prio node =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0., 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (prio, node);
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then smallest := left;
+        if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then smallest := right;
+        if !smallest = !i then continue := false
+        else begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let run_successors ~node_count ~successors ~src =
+  let distances = Array.make node_count infinity in
+  let predecessors = Array.make node_count (-1) in
+  let settled = Array.make node_count false in
+  let heap = Heap.create () in
+  distances.(src) <- 0.;
+  Heap.push heap 0. src;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (dist, node) ->
+      if not settled.(node) then begin
+        settled.(node) <- true;
+        let relax (dst, weight) =
+          if weight < 0. then invalid_arg "Dijkstra: negative weight";
+          if weight < infinity then begin
+            let candidate = dist +. weight in
+            if candidate < distances.(dst) then begin
+              distances.(dst) <- candidate;
+              predecessors.(dst) <- node;
+              Heap.push heap candidate dst
+            end
+          end
+        in
+        List.iter relax (successors node)
+      end;
+      drain ()
+  in
+  drain ();
+  { distances; predecessors }
+
+let run w ~src =
+  let dim = Matrix.dim w in
+  let successors node =
+    let out = ref [] in
+    for j = dim - 1 downto 0 do
+      if j <> node && Matrix.get w node j < infinity then
+        out := (j, Matrix.get w node j) :: !out
+    done;
+    !out
+  in
+  run_successors ~node_count:dim ~successors ~src
+
+let run_graph graph ~weight ~src =
+  let successors node =
+    List.map (fun (dst, _) -> (dst, weight ~src:node ~dst)) (Digraph.successors graph node)
+  in
+  run_successors ~node_count:(Digraph.node_count graph) ~successors ~src
+
+let path_to result ~src ~dst =
+  if result.distances.(dst) = infinity then None
+  else begin
+    let rec walk node acc =
+      if node = src then Some (src :: acc)
+      else
+        match result.predecessors.(node) with
+        | -1 -> None
+        | prev -> walk prev (node :: acc)
+    in
+    if src = dst then Some [ src ] else walk dst []
+  end

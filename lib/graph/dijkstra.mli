@@ -1,0 +1,24 @@
+(** Single-source shortest paths (binary-heap Dijkstra).
+
+    The paper's algorithms only need Floyd-Warshall; Dijkstra exists as
+    an independent oracle for property-based testing (both must agree on
+    every graph) and as the cheaper choice when a caller needs one source
+    only. *)
+
+type result = {
+  distances : float array;  (** [infinity] when unreachable. *)
+  predecessors : int array;  (** [-1] for the source and unreachable nodes. *)
+}
+
+val run : Etx_util.Matrix.t -> src:int -> result
+(** [run w ~src] over a weight matrix in the same convention as
+    {!Floyd_warshall.run}.  Weights must be non-negative. *)
+
+val run_graph : Digraph.t -> weight:(src:int -> dst:int -> float) -> src:int -> result
+(** Same over a {!Digraph.t} with a caller-supplied edge weight (e.g. the
+    EAR battery reweighting).  [weight] may return [infinity] to mask an
+    edge. *)
+
+val path_to : result -> src:int -> dst:int -> int list option
+(** Reconstructed node sequence [src; ...; dst], or [None] when
+    unreachable. *)

@@ -1,0 +1,41 @@
+module Matrix = Etx_util.Matrix
+
+type result = { distances : Matrix.t; successors : Matrix.Int.t }
+
+(* Direct transcription of the paper's Fig 5: D(0) = W with S(0)_ij = j
+   wherever an edge exists, then relax through every intermediate node n,
+   keeping the incumbent successor on ties. *)
+let run w =
+  let dim = Matrix.dim w in
+  Matrix.iteri w ~f:(fun i j v ->
+      if v < 0. then
+        invalid_arg
+          (Printf.sprintf "Floyd_warshall.run: negative weight at (%d, %d)" i j));
+  let d = Matrix.copy w in
+  let s = Matrix.Int.create ~dim ~init:(-1) in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      if i <> j && Matrix.get w i j < infinity then Matrix.Int.set s i j j
+    done
+  done;
+  for n = 0 to dim - 1 do
+    for i = 0 to dim - 1 do
+      let d_in = Matrix.get d i n in
+      if d_in < infinity then
+        for j = 0 to dim - 1 do
+          let via = d_in +. Matrix.get d n j in
+          if via < Matrix.get d i j then begin
+            Matrix.set d i j via;
+            Matrix.Int.set s i j (Matrix.Int.get s i n)
+          end
+        done
+    done
+  done;
+  { distances = d; successors = s }
+
+let distance result ~src ~dst = Matrix.get result.distances src dst
+
+let successor result ~src ~dst =
+  match Matrix.Int.get result.successors src dst with
+  | -1 -> None
+  | hop -> Some hop

@@ -1,0 +1,35 @@
+let extract result ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let limit = Etx_util.Matrix.Int.dim result.Floyd_warshall.successors in
+    let rec walk node acc steps =
+      if steps > limit then None (* corrupted successor matrix: cycle *)
+      else if node = dst then Some (List.rev (dst :: acc))
+      else
+        match Floyd_warshall.successor result ~src:node ~dst with
+        | None -> None
+        | Some hop -> walk hop (node :: acc) (steps + 1)
+    in
+    walk src [] 0
+  end
+
+let hop_count result ~src ~dst =
+  match extract result ~src ~dst with
+  | None -> None
+  | Some nodes -> Some (List.length nodes - 1)
+
+let length_along graph = function
+  | [] -> invalid_arg "Paths.length_along: empty path"
+  | first :: rest ->
+    let step (total, prev) node = (total +. Digraph.length graph ~src:prev ~dst:node, node) in
+    fst (List.fold_left step (0., first) rest)
+
+let is_valid graph = function
+  | [] -> false
+  | first :: rest ->
+    let step acc node =
+      match acc with
+      | None -> None
+      | Some prev -> if Digraph.mem_edge graph ~src:prev ~dst:node then Some node else None
+    in
+    List.fold_left step (Some first) rest <> None

@@ -1,0 +1,23 @@
+(** Path extraction and validation over successor matrices.
+
+    The simulator forwards packets one hop at a time from routing tables,
+    but tests and reports need whole paths: these helpers unfold a
+    {!Floyd_warshall.result} into node sequences and check them against
+    the underlying graph. *)
+
+val extract : Floyd_warshall.result -> src:int -> dst:int -> int list option
+(** The node sequence [src; ...; dst] read off the successor matrix, or
+    [None] when [dst] is unreachable.  [Some [src]] when [src = dst].
+    Guaranteed to terminate (cycles in a corrupted successor matrix are
+    detected and reported as [None]). *)
+
+val hop_count : Floyd_warshall.result -> src:int -> dst:int -> int option
+(** Number of edges on the extracted path. *)
+
+val length_along : Digraph.t -> int list -> float
+(** Sum of edge lengths along a node sequence.
+    @raise Not_found if two consecutive nodes are not adjacent.
+    @raise Invalid_argument on the empty path. *)
+
+val is_valid : Digraph.t -> int list -> bool
+(** True when every consecutive pair is an edge of the graph. *)

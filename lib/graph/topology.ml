@@ -1,0 +1,105 @@
+type kind =
+  | Mesh of { rows : int; cols : int }
+  | Torus of { rows : int; cols : int }
+  | Line of { length : int }
+  | Ring of { length : int }
+  | Star of { leaves : int }
+  | Custom of string
+
+type t = { kind : kind; graph : Digraph.t; coords : (int * int) array }
+
+let grid_coords ~rows ~cols =
+  Array.init (rows * cols) (fun id -> ((id mod cols) + 1, (id / cols) + 1))
+
+let grid_id ~cols ~x ~y = ((y - 1) * cols) + (x - 1)
+
+let mesh ?(link_length_cm = 1.) ~rows ~cols () =
+  if rows <= 0 || cols <= 0 then invalid_arg "Topology.mesh: dimensions must be positive";
+  let graph = Digraph.create ~node_count:(rows * cols) in
+  for y = 1 to rows do
+    for x = 1 to cols do
+      let id = grid_id ~cols ~x ~y in
+      if x < cols then
+        Digraph.add_bidirectional graph ~a:id ~b:(grid_id ~cols ~x:(x + 1) ~y)
+          ~length:link_length_cm;
+      if y < rows then
+        Digraph.add_bidirectional graph ~a:id ~b:(grid_id ~cols ~x ~y:(y + 1))
+          ~length:link_length_cm
+    done
+  done;
+  { kind = Mesh { rows; cols }; graph; coords = grid_coords ~rows ~cols }
+
+let square_mesh ?link_length_cm ~size () = mesh ?link_length_cm ~rows:size ~cols:size ()
+
+let torus ?(link_length_cm = 1.) ~rows ~cols () =
+  let base = mesh ~link_length_cm ~rows ~cols () in
+  let graph = base.graph in
+  if cols > 2 then
+    for y = 1 to rows do
+      Digraph.add_bidirectional graph
+        ~a:(grid_id ~cols ~x:1 ~y)
+        ~b:(grid_id ~cols ~x:cols ~y)
+        ~length:(link_length_cm *. float_of_int (cols - 1))
+    done;
+  if rows > 2 then
+    for x = 1 to cols do
+      Digraph.add_bidirectional graph
+        ~a:(grid_id ~cols ~x ~y:1)
+        ~b:(grid_id ~cols ~x ~y:rows)
+        ~length:(link_length_cm *. float_of_int (rows - 1))
+    done;
+  { base with kind = Torus { rows; cols } }
+
+let line ?(link_length_cm = 1.) ~length () =
+  if length <= 0 then invalid_arg "Topology.line: length must be positive";
+  let graph = Digraph.create ~node_count:length in
+  for i = 0 to length - 2 do
+    Digraph.add_bidirectional graph ~a:i ~b:(i + 1) ~length:link_length_cm
+  done;
+  {
+    kind = Line { length };
+    graph;
+    coords = Array.init length (fun i -> (i + 1, 1));
+  }
+
+let ring ?(link_length_cm = 1.) ~length () =
+  if length < 3 then invalid_arg "Topology.ring: need at least 3 nodes";
+  let base = line ~link_length_cm ~length () in
+  Digraph.add_bidirectional base.graph ~a:0 ~b:(length - 1) ~length:link_length_cm;
+  { base with kind = Ring { length } }
+
+let star ?(link_length_cm = 1.) ~leaves () =
+  if leaves <= 0 then invalid_arg "Topology.star: need at least one leaf";
+  let graph = Digraph.create ~node_count:(leaves + 1) in
+  for i = 1 to leaves do
+    Digraph.add_bidirectional graph ~a:0 ~b:i ~length:link_length_cm
+  done;
+  {
+    kind = Star { leaves };
+    graph;
+    coords = Array.init (leaves + 1) (fun i -> if i = 0 then (1, 1) else (i + 1, 2));
+  }
+
+let custom ~name ~node_count ~coords ~links =
+  if Array.length coords <> node_count then
+    invalid_arg "Topology.custom: coords arity differs from node_count";
+  let graph = Digraph.create ~node_count in
+  List.iter (fun (a, b, length) -> Digraph.add_bidirectional graph ~a ~b ~length) links;
+  { kind = Custom name; graph; coords }
+
+let node_of_coord t ~x ~y =
+  let found = ref (-1) in
+  Array.iteri (fun id (cx, cy) -> if cx = x && cy = y && !found < 0 then found := id) t.coords;
+  if !found < 0 then raise Not_found else !found
+
+let node_count t = Digraph.node_count t.graph
+
+let kind_name = function
+  | Mesh { rows; cols } -> Printf.sprintf "%dx%d mesh" cols rows
+  | Torus { rows; cols } -> Printf.sprintf "%dx%d torus" cols rows
+  | Line { length } -> Printf.sprintf "line-%d" length
+  | Ring { length } -> Printf.sprintf "ring-%d" length
+  | Star { leaves } -> Printf.sprintf "star-%d" leaves
+  | Custom name -> name
+
+let pp_kind fmt kind = Format.pp_print_string fmt (kind_name kind)

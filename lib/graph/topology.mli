@@ -1,0 +1,59 @@
+(** Physical network topologies for e-textile platforms.
+
+    The paper evaluates 2D meshes (Sec 7) but states the method applies
+    to arbitrary architectures; we provide the mesh plus the other shapes
+    a fabric layout plausibly uses (torus for wrap-around garments, line
+    and ring for hems/straps, star for a hub block).  Every topology
+    carries node coordinates so mapping strategies (Sec 5.2) and link
+    lengths are well defined. *)
+
+type kind =
+  | Mesh of { rows : int; cols : int }
+  | Torus of { rows : int; cols : int }
+  | Line of { length : int }
+  | Ring of { length : int }
+  | Star of { leaves : int }
+  | Custom of string
+
+type t = {
+  kind : kind;
+  graph : Digraph.t;
+  coords : (int * int) array;
+      (** [coords.(id) = (x, y)], 1-based as in the paper's Fig 3(b). *)
+}
+
+val mesh : ?link_length_cm:float -> rows:int -> cols:int -> unit -> t
+(** 2D mesh with bidirectional links between 4-neighbours.  Node ids are
+    row-major: id of [(x, y)] (1-based) is [(y - 1) * cols + (x - 1)].
+    Default link length 1 cm (paper Sec 5.1.2 baseline). *)
+
+val square_mesh : ?link_length_cm:float -> size:int -> unit -> t
+(** [square_mesh ~size ()] is [mesh ~rows:size ~cols:size ()]: the
+    paper's 4x4 .. 8x8 family. *)
+
+val torus : ?link_length_cm:float -> rows:int -> cols:int -> unit -> t
+(** Mesh plus wrap-around links; the wrap links are longer (they span the
+    fabric), modelled as [cols - 1] (resp. [rows - 1]) times the base
+    link length. *)
+
+val line : ?link_length_cm:float -> length:int -> unit -> t
+val ring : ?link_length_cm:float -> length:int -> unit -> t
+
+val star : ?link_length_cm:float -> leaves:int -> unit -> t
+(** Node 0 is the hub; leaves are 1..leaves. *)
+
+val custom : name:string -> node_count:int -> coords:(int * int) array
+  -> links:(int * int * float) list -> t
+(** Arbitrary bidirectional topology: [links] are [(a, b, length_cm)].
+    @raise Invalid_argument if [coords] arity differs from [node_count]. *)
+
+val node_of_coord : t -> x:int -> y:int -> int
+(** Inverse of [coords] for grid-like topologies.
+    @raise Not_found if no node has that coordinate. *)
+
+val node_count : t -> int
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val kind_name : kind -> string
+(** E.g. ["4x4 mesh"], used as the row label in experiment tables. *)

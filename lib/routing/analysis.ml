@@ -1,0 +1,157 @@
+type transition = {
+  from_module : int;
+  to_module : int;
+  acts : int;
+  mean_hops : float;
+}
+
+type prediction = {
+  transitions : transition list;
+  per_job_pool_cost_pj : float array;
+  pool_capacity_pj : float array;
+  pool_jobs : float array;
+  bottleneck_module : int;
+  predicted_jobs : float;
+  mean_hops_per_act : float;
+}
+
+(* hop-count distances: Floyd-Warshall over unit edge weights *)
+let hop_distances graph =
+  let n = Etx_graph.Digraph.node_count graph in
+  let w =
+    Etx_util.Matrix.init ~dim:n ~f:(fun i j -> if i = j then 0. else infinity)
+  in
+  Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length:_ ->
+      Etx_util.Matrix.set w src dst 1.);
+  (Etx_graph.Floyd_warshall.run w).Etx_graph.Floyd_warshall.distances
+
+(* expected hops from a uniformly chosen member of pool [a] to its
+   nearest member of pool [b] *)
+let mean_transition_hops ~hops ~pool_a ~pool_b =
+  let nearest src =
+    List.fold_left
+      (fun acc dst -> Float.min acc (Etx_util.Matrix.get hops src dst))
+      infinity pool_b
+  in
+  let total = List.fold_left (fun acc src -> acc +. nearest src) 0. pool_a in
+  total /. float_of_int (List.length pool_a)
+
+let predict ~(problem : Problem.t) ~(topology : Etx_graph.Topology.t) ~mapping
+    ~module_sequence ?(reception_fraction = 0.8) ?(usable_fraction = 1. -. (0.5 /. 8.))
+    ?(control_overhead_fraction = 0.03) () =
+  if module_sequence = [] then invalid_arg "Analysis.predict: empty sequence";
+  let p = problem.Problem.module_count in
+  List.iter
+    (fun m ->
+      if m < 0 || m >= p then invalid_arg "Analysis.predict: module index out of range")
+    module_sequence;
+  let node_count = Etx_graph.Topology.node_count topology in
+  if Mapping.node_count mapping <> node_count then
+    invalid_arg "Analysis.predict: mapping arity differs from the topology";
+  let duplicates = Mapping.duplicates mapping ~module_count:p in
+  Array.iteri
+    (fun i n ->
+      if n = 0 then
+        invalid_arg (Printf.sprintf "Analysis.predict: module %d has no node" (i + 1)))
+    duplicates;
+  let pools = Array.init p (fun i -> Mapping.nodes_of_module mapping ~module_index:i) in
+  let hops = hop_distances topology.Etx_graph.Topology.graph in
+  (* transitions with multiplicities; the last act egresses over one hop *)
+  let counts = Hashtbl.create 16 in
+  let bump key = Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)) in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+      bump (a, b);
+      walk rest
+    | [ last ] -> bump (last, -1) (* egress *)
+    | [] -> ()
+  in
+  walk module_sequence;
+  let transitions =
+    Hashtbl.fold
+      (fun (a, b) acts acc ->
+        let mean_hops =
+          if b = -1 then 1.
+          else mean_transition_hops ~hops ~pool_a:pools.(a) ~pool_b:pools.(b)
+        in
+        { from_module = a; to_module = b; acts; mean_hops } :: acc)
+      counts []
+    |> List.sort compare
+  in
+  (* energy attribution *)
+  let pool_cost = Array.make p 0. in
+  (* computation + first-hop transmission: every act of module a *)
+  for a = 0 to p - 1 do
+    let f = float_of_int problem.Problem.acts_per_job.(a) in
+    pool_cost.(a) <-
+      pool_cost.(a)
+      +. (f
+         *. (problem.Problem.computation_energy_pj.(a)
+            +. problem.Problem.communication_energy_pj.(a)))
+  done;
+  (* receptions at the destination pool, and relay burden spread over all
+     pools in proportion to their node counts *)
+  let relay_total = ref 0. in
+  List.iter
+    (fun t ->
+      let c = problem.Problem.communication_energy_pj.(t.from_module) in
+      let acts = float_of_int t.acts in
+      if t.to_module >= 0 then
+        pool_cost.(t.to_module) <-
+          pool_cost.(t.to_module) +. (acts *. c *. reception_fraction);
+      let extra_hops = Float.max 0. (t.mean_hops -. 1.) in
+      relay_total := !relay_total +. (acts *. extra_hops *. c *. (1. +. reception_fraction)))
+    transitions;
+  for i = 0 to p - 1 do
+    let share = float_of_int duplicates.(i) /. float_of_int node_count in
+    pool_cost.(i) <- (pool_cost.(i) +. (!relay_total *. share)) *. (1. +. control_overhead_fraction)
+  done;
+  let pool_capacity =
+    Array.init p (fun i ->
+        float_of_int duplicates.(i) *. problem.Problem.battery_budget_pj *. usable_fraction)
+  in
+  let pool_jobs = Array.init p (fun i -> pool_capacity.(i) /. pool_cost.(i)) in
+  let bottleneck = ref 0 in
+  for i = 1 to p - 1 do
+    if pool_jobs.(i) < pool_jobs.(!bottleneck) then bottleneck := i
+  done;
+  let total_hops =
+    List.fold_left (fun acc t -> acc +. (float_of_int t.acts *. t.mean_hops)) 0. transitions
+  in
+  let total_acts = List.fold_left (fun acc t -> acc + t.acts) 0 transitions in
+  {
+    transitions;
+    per_job_pool_cost_pj = pool_cost;
+    pool_capacity_pj = pool_capacity;
+    pool_jobs;
+    bottleneck_module = !bottleneck;
+    predicted_jobs = pool_jobs.(!bottleneck);
+    mean_hops_per_act = total_hops /. float_of_int total_acts;
+  }
+
+let summary prediction =
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer "static lifetime prediction\n";
+  List.iter
+    (fun t ->
+      if t.to_module >= 0 then
+        Buffer.add_string buffer
+          (Printf.sprintf "  module %d -> module %d: %d acts, %.2f hops each\n"
+             (t.from_module + 1) (t.to_module + 1) t.acts t.mean_hops)
+      else
+        Buffer.add_string buffer
+          (Printf.sprintf "  module %d -> egress: %d act(s)\n" (t.from_module + 1) t.acts))
+    prediction.transitions;
+  Array.iteri
+    (fun i cost ->
+      Buffer.add_string buffer
+        (Printf.sprintf "  pool %d: %.1f pJ/job over %.0f pJ => %.1f jobs%s\n" (i + 1)
+           cost
+           prediction.pool_capacity_pj.(i)
+           prediction.pool_jobs.(i)
+           (if i = prediction.bottleneck_module then "  <- bottleneck" else "")))
+    prediction.per_job_pool_cost_pj;
+  Buffer.add_string buffer
+    (Printf.sprintf "  predicted jobs: %.1f (%.2f hops/act)\n" prediction.predicted_jobs
+       prediction.mean_hops_per_act);
+  Buffer.contents buffer

@@ -1,0 +1,56 @@
+(** Static lifetime analysis: predict the achievable number of jobs for
+    a concrete platform without running the simulator.
+
+    Theorem 1's bound assumes an ideal topology (every act one hop) and
+    real-valued replication.  This analysis refines it for an actual
+    mesh, mapping and act sequence: it measures the expected hop count of
+    every module-to-module transition on the real topology, attributes
+    computation, transmission, relaying and reception energy to the
+    module pools that pay for them, and predicts the lifetime as the
+    depletion of the worst pool.  It is the design-time tool a platform
+    architect would use to size pools before committing to a weave.
+
+    The prediction brackets balanced (EAR-like) routing; SDR-like
+    concentration dies far earlier (at the first critical node). *)
+
+type transition = {
+  from_module : int;
+  to_module : int;
+  acts : int;  (** how many times the job makes this transition *)
+  mean_hops : float;  (** expected hops on the given topology/mapping *)
+}
+
+type prediction = {
+  transitions : transition list;
+  per_job_pool_cost_pj : float array;
+      (** energy module i's pool pays per completed job (computation +
+          transmission + relaying share + receptions + control
+          amortization) *)
+  pool_capacity_pj : float array;  (** n_i * B * usable fraction *)
+  pool_jobs : float array;  (** capacity / cost, per pool *)
+  bottleneck_module : int;
+  predicted_jobs : float;
+  mean_hops_per_act : float;
+}
+
+val predict :
+  problem:Problem.t ->
+  topology:Etx_graph.Topology.t ->
+  mapping:Mapping.t ->
+  module_sequence:int list ->
+  ?reception_fraction:float ->
+  ?usable_fraction:float ->
+  ?control_overhead_fraction:float ->
+  unit ->
+  prediction
+(** [module_sequence] is the per-job act order (e.g.
+    {!Etx_aes.Partition.module_sequence} mapped through
+    [Partition.module_index]).  [reception_fraction] (default 0.8) and
+    [control_overhead_fraction] (default 0.03) mirror the simulator's
+    calibration; [usable_fraction] (default [1 - 0.5 / 8]) models the
+    charge EAR retires at the bottom reporting level.
+    @raise Invalid_argument on an empty sequence, an out-of-range module
+    index, or arity mismatches. *)
+
+val summary : prediction -> string
+(** Human-readable multi-line report. *)

@@ -1,0 +1,104 @@
+type t = { assignment : int array }
+
+let assignment t = Array.copy t.assignment
+let module_of_node t ~node = t.assignment.(node)
+let node_count t = Array.length t.assignment
+
+let duplicates t ~module_count =
+  let counts = Array.make module_count 0 in
+  Array.iter
+    (fun m ->
+      if m < 0 || m >= module_count then invalid_arg "Mapping.duplicates: stray module";
+      counts.(m) <- counts.(m) + 1)
+    t.assignment;
+  counts
+
+let nodes_of_module t ~module_index =
+  let nodes = ref [] in
+  Array.iteri (fun node m -> if m = module_index then nodes := node :: !nodes) t.assignment;
+  List.rev !nodes
+
+let custom ~assignment ~module_count =
+  let t = { assignment = Array.copy assignment } in
+  let counts = duplicates t ~module_count in
+  Array.iteri
+    (fun i n ->
+      if n = 0 then
+        invalid_arg (Printf.sprintf "Mapping.custom: module %d has no node" i))
+    counts;
+  t
+
+let checkerboard (topology : Etx_graph.Topology.t) =
+  let assign (x, y) =
+    match (x mod 2) + (y mod 2) with
+    | 2 -> 0 (* module 1: SubBytes/ShiftRows *)
+    | 0 -> 1 (* module 2: MixColumns *)
+    | 1 -> 2 (* module 3: KeyExpansion/AddRoundKey *)
+    | _ -> assert false
+  in
+  { assignment = Array.map assign topology.Etx_graph.Topology.coords }
+
+(* Largest-remainder apportionment of K nodes to the real-valued optimum,
+   with every module guaranteed one node. *)
+let apportion ~ideal ~node_count =
+  let p = Array.length ideal in
+  let counts = Array.map (fun x -> max 1 (int_of_float (floor x))) ideal in
+  let assigned = Array.fold_left ( + ) 0 counts in
+  if assigned > node_count then begin
+    (* floors exceeded the budget (can happen only via the max 1 floor of
+       tiny modules): shave the largest pools *)
+    let excess = ref (assigned - node_count) in
+    while !excess > 0 do
+      let arg = ref 0 in
+      for i = 1 to p - 1 do
+        if counts.(i) > counts.(!arg) then arg := i
+      done;
+      counts.(!arg) <- counts.(!arg) - 1;
+      decr excess
+    done
+  end
+  else begin
+    let remainders =
+      Array.init p (fun i -> (ideal.(i) -. float_of_int counts.(i), i))
+    in
+    Array.sort (fun (a, _) (b, _) -> compare b a) remainders;
+    let deficit = ref (node_count - assigned) in
+    let index = ref 0 in
+    while !deficit > 0 do
+      let _, i = remainders.(!index mod p) in
+      counts.(i) <- counts.(i) + 1;
+      incr index;
+      decr deficit
+    done
+  end;
+  counts
+
+let proportional ~(problem : Problem.t) ~node_count =
+  if node_count < problem.module_count then
+    invalid_arg "Mapping.proportional: fewer nodes than modules";
+  let ideal =
+    Array.map
+      (fun n -> n *. float_of_int node_count /. float_of_int problem.node_budget)
+      (Upper_bound.optimal_duplicates problem)
+  in
+  let counts = apportion ~ideal ~node_count in
+  (* interleave the assignment so duplicates spread over the id space:
+     repeatedly hand the next node to the module lagging most behind its
+     quota. *)
+  let given = Array.make problem.module_count 0 in
+  let assignment =
+    Array.init node_count (fun node ->
+        let progress i =
+          if counts.(i) = 0 then infinity
+          else if given.(i) >= counts.(i) then infinity
+          else float_of_int given.(i) /. float_of_int counts.(i)
+        in
+        ignore node;
+        let arg = ref 0 in
+        for i = 1 to problem.module_count - 1 do
+          if progress i < progress !arg then arg := i
+        done;
+        given.(!arg) <- given.(!arg) + 1;
+        !arg)
+  in
+  { assignment }

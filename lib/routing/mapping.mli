@@ -1,0 +1,35 @@
+(** Application-to-architecture mapping strategies (Sec 5.2).
+
+    A mapping assigns exactly one module to every node of the topology
+    (duplicates across the network are expected: that is the point). *)
+
+type t
+
+val assignment : t -> int array
+(** [assignment.(node) = module_index] (a fresh copy). *)
+
+val module_of_node : t -> node:int -> int
+
+val checkerboard : Etx_graph.Topology.t -> t
+(** The paper's AES mapping: with m(x) = x mod 2, a node at (x, y) hosts
+    module 1 when m(x) + m(y) = 2, module 2 when 0, module 3 when 1
+    (Fig 3(b)).  Defined for any topology that carries coordinates. *)
+
+val proportional : problem:Problem.t -> node_count:int -> t
+(** Theorem-1-guided mapping: integer duplicate counts by largest
+    remainder from the optimal n_i* (each module gets at least one node),
+    then an interleaved assignment that spreads the duplicates across the
+    id space. *)
+
+val custom : assignment:int array -> module_count:int -> t
+(** @raise Invalid_argument if any entry is outside [0, module_count) or
+    some module has no node at all. *)
+
+val duplicates : t -> module_count:int -> int array
+(** The n_i vector. *)
+
+val nodes_of_module : t -> module_index:int -> int list
+(** Ascending node ids hosting the given module (the set S_i of
+    Table 1). *)
+
+val node_count : t -> int

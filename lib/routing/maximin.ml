@@ -1,0 +1,107 @@
+module Matrix = Etx_util.Matrix
+
+type path_value = { width : int; distance : float }
+
+let unreachable = { width = -1; distance = infinity }
+let empty_path = { width = max_int; distance = 0. }
+
+let better a b =
+  a.width > b.width || (a.width = b.width && a.distance < b.distance)
+
+(* combining two path segments: the bottleneck is the narrower one *)
+let join a b = { width = min a.width b.width; distance = a.distance +. b.distance }
+
+let widest_paths ~graph ~(snapshot : Router.snapshot) () =
+  let n = Etx_graph.Digraph.node_count graph in
+  if Array.length snapshot.Router.alive <> n then
+    invalid_arg "Maximin: snapshot arity differs from the graph";
+  let values = Array.init n (fun _ -> Array.make n unreachable) in
+  let successors = Matrix.Int.create ~dim:n ~init:(-1) in
+  for i = 0 to n - 1 do
+    values.(i).(i) <- empty_path
+  done;
+  let failed src dst = List.mem (src, dst) snapshot.Router.failed_links in
+  Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
+      if snapshot.Router.alive.(src) && snapshot.Router.alive.(dst) && not (failed src dst)
+      then begin
+        let value =
+          { width = snapshot.Router.battery_level.(dst); distance = length }
+        in
+        if better value values.(src).(dst) then begin
+          values.(src).(dst) <- value;
+          Matrix.Int.set successors src dst dst
+        end
+      end);
+  for via = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let left = values.(i).(via) in
+      if left.width >= 0 then
+        for j = 0 to n - 1 do
+          if i <> j then begin
+            let right = values.(via).(j) in
+            if right.width >= 0 then begin
+              let candidate = join left right in
+              if better candidate values.(i).(j) then begin
+                values.(i).(j) <- candidate;
+                Matrix.Int.set successors i j (Matrix.Int.get successors i via)
+              end
+            end
+          end
+        done
+    done
+  done;
+  (values, successors)
+
+let compute ~graph ~mapping ~module_count (snapshot : Router.snapshot) =
+  let n = Etx_graph.Digraph.node_count graph in
+  if Mapping.node_count mapping <> n then
+    invalid_arg "Maximin.compute: mapping arity differs from the graph";
+  let values, successors = widest_paths ~graph ~snapshot () in
+  let locked ~node ~hop = List.mem (node, hop) snapshot.Router.locked_ports in
+  let table = Routing_table.create ~node_count:n ~module_count in
+  let candidates =
+    Array.init module_count (fun i -> Mapping.nodes_of_module mapping ~module_index:i)
+  in
+  let choose ~node ~module_index =
+    let consider ~respect_locks =
+      let best = ref None in
+      let try_candidate j =
+        if snapshot.Router.alive.(j) then begin
+          if j = node then best := Some (empty_path, Routing_table.Deliver_here)
+          else begin
+            let value = values.(node).(j) in
+            if value.width >= 0 then begin
+              let hop = Etx_util.Matrix.Int.get successors node j in
+              if hop >= 0 && ((not respect_locks) || not (locked ~node ~hop)) then begin
+                let improves =
+                  match !best with
+                  | Some (_, Routing_table.Deliver_here) -> false
+                  | Some (current, _) -> better value current
+                  | None -> true
+                in
+                if improves then
+                  best :=
+                    Some (value, Routing_table.Forward { next_hop = hop; destination = j })
+              end
+            end
+          end
+        end
+      in
+      List.iter try_candidate candidates.(module_index);
+      !best
+    in
+    match consider ~respect_locks:true with
+    | Some (_, entry) -> entry
+    | None -> begin
+      match consider ~respect_locks:false with
+      | Some (_, entry) -> entry
+      | None -> Routing_table.Unreachable
+    end
+  in
+  for node = 0 to n - 1 do
+    if snapshot.Router.alive.(node) then
+      for module_index = 0 to module_count - 1 do
+        Routing_table.set table ~node ~module_index (choose ~node ~module_index)
+      done
+  done;
+  table

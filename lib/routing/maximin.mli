@@ -1,0 +1,42 @@
+(** Max-min residual-energy routing (widest-path), a baseline in the
+    spirit of the wireless-sensor-network algorithms the paper cites
+    ([13], Chang & Tassiulas) and dismisses as ill-suited to e-textiles.
+
+    Instead of summing battery-weighted lengths like EAR, a path's merit
+    is the {e minimum} reported battery level among the nodes it enters;
+    routes maximize that bottleneck level and break ties by physical
+    distance.  Implemented as a Floyd-Warshall variant over the
+    lexicographic (max width, min distance) semiring, with the same
+    successor-matrix output and phase-three duplicate selection as
+    {!Router}, so the simulator can run it unchanged.
+
+    Including it lets the repository quantify the paper's claim that
+    such algorithms "do not apply to e-textile platforms" as an
+    experiment rather than an assertion. *)
+
+type path_value = {
+  width : int;  (** bottleneck battery level along the path; [max_int] for the empty path *)
+  distance : float;  (** physical length, the tie-breaker *)
+}
+
+val better : path_value -> path_value -> bool
+(** [better a b] when [a] is strictly preferable (wider, or as wide and
+    shorter). *)
+
+val widest_paths :
+  graph:Etx_graph.Digraph.t ->
+  snapshot:Router.snapshot ->
+  unit ->
+  path_value array array * Etx_util.Matrix.Int.t
+(** All-pairs widest paths over living nodes and links: the value matrix
+    and the successor matrix ([-1] where no path exists). *)
+
+val compute :
+  graph:Etx_graph.Digraph.t ->
+  mapping:Mapping.t ->
+  module_count:int ->
+  Router.snapshot ->
+  Routing_table.t
+(** Phase three over the widest-path matrices: for each node and module,
+    forward towards the living duplicate with the best (width, distance)
+    value, avoiding locked ports when an unlocked alternative exists. *)

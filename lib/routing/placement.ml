@@ -1,0 +1,56 @@
+type result = {
+  mapping : Mapping.t;
+  prediction : Analysis.prediction;
+  initial_jobs : float;
+  improved_swaps : int;
+  evaluations : int;
+}
+
+let score ~problem ~topology ~module_sequence assignment =
+  let mapping = Mapping.custom ~assignment ~module_count:problem.Problem.module_count in
+  let prediction =
+    Analysis.predict ~problem ~topology ~mapping ~module_sequence ()
+  in
+  (mapping, prediction)
+
+let optimize ~problem ~topology ~module_sequence ?initial ?(iterations = 300) ?(seed = 1)
+    () =
+  if iterations < 0 then invalid_arg "Placement.optimize: negative iterations";
+  let node_count = Etx_graph.Topology.node_count topology in
+  let initial =
+    match initial with
+    | Some mapping -> mapping
+    | None -> Mapping.proportional ~problem ~node_count
+  in
+  if Mapping.node_count initial <> node_count then
+    invalid_arg "Placement.optimize: initial mapping arity differs from the topology";
+  let prng = Etx_util.Prng.create ~seed in
+  let assignment = Mapping.assignment initial in
+  let best = ref (score ~problem ~topology ~module_sequence assignment) in
+  let initial_jobs = (snd !best).Analysis.predicted_jobs in
+  let improved = ref 0 in
+  let evaluations = ref 1 in
+  for _ = 1 to iterations do
+    let a = Etx_util.Prng.int prng ~bound:node_count in
+    let b = Etx_util.Prng.int prng ~bound:node_count in
+    if assignment.(a) <> assignment.(b) then begin
+      let swap () =
+        let tmp = assignment.(a) in
+        assignment.(a) <- assignment.(b);
+        assignment.(b) <- tmp
+      in
+      swap ();
+      let candidate = score ~problem ~topology ~module_sequence assignment in
+      incr evaluations;
+      if
+        (snd candidate).Analysis.predicted_jobs
+        > (snd !best).Analysis.predicted_jobs +. 1e-9
+      then begin
+        best := candidate;
+        incr improved
+      end
+      else swap () (* revert *)
+    end
+  done;
+  let mapping, prediction = !best in
+  { mapping; prediction; initial_jobs; improved_swaps = !improved; evaluations = !evaluations }

@@ -1,0 +1,32 @@
+(** Mapping optimization by local search.
+
+    The paper picks its checkerboard layout by hand from Theorem 1's
+    replication rule (Sec 5.2).  This module automates the step: starting
+    from any mapping it hill-climbs over node-pair swaps, scoring each
+    candidate with the static lifetime prediction of {!Analysis} (which
+    accounts for both pool sizes and the physical hop distances between
+    consecutive modules).  Useful when the topology is irregular and no
+    checkerboard exists. *)
+
+type result = {
+  mapping : Mapping.t;
+  prediction : Analysis.prediction;
+  initial_jobs : float;  (** predicted jobs of the starting mapping *)
+  improved_swaps : int;  (** accepted moves *)
+  evaluations : int;
+}
+
+val optimize :
+  problem:Problem.t ->
+  topology:Etx_graph.Topology.t ->
+  module_sequence:int list ->
+  ?initial:Mapping.t ->
+  ?iterations:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Random-restart-free greedy search: [iterations] (default 300)
+    candidate swaps of two nodes hosting different modules, each kept iff
+    it strictly improves the predicted job count.  [initial] defaults to
+    the Theorem-1 proportional mapping.  Deterministic for a fixed
+    [seed]. *)

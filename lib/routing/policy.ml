@@ -1,0 +1,43 @@
+type algorithm = Weighted of Weight.t | Maximin_residual
+
+type t = { name : string; algorithm : algorithm; levels : int }
+
+let default_levels = 8
+
+let check_levels levels =
+  if levels < 2 then invalid_arg "Policy: need at least two battery levels";
+  levels
+
+let weighted weight levels =
+  { name = Weight.name weight; algorithm = Weighted weight; levels = check_levels levels }
+
+let ear ?(q = 2.) ?(levels = default_levels) () =
+  if q <= 0. then invalid_arg "Policy.ear: Q must be positive";
+  weighted (Weight.Exponential { q }) levels
+
+let sdr ?(levels = default_levels) () =
+  {
+    name = "SDR";
+    algorithm = Weighted Weight.Shortest_distance;
+    levels = check_levels levels;
+  }
+
+let ear_squared ?(q = 2.) ?(levels = default_levels) () =
+  if q <= 0. then invalid_arg "Policy.ear_squared: Q must be positive";
+  weighted (Weight.Exponential_squared { q }) levels
+
+let inverse_level ?(floor = 0.5) ?(levels = default_levels) () =
+  if floor <= 0. then invalid_arg "Policy.inverse_level: floor must be positive";
+  weighted (Weight.Inverse_level { floor }) levels
+
+let linear_drain ?(slope = 1.) ?(levels = default_levels) () =
+  if slope < 0. then invalid_arg "Policy.linear_drain: negative slope";
+  weighted (Weight.Linear_drain { slope }) levels
+
+let maximin ?(levels = default_levels) () =
+  { name = "MAXMIN"; algorithm = Maximin_residual; levels = check_levels levels }
+
+let is_battery_aware t =
+  match t.algorithm with
+  | Weighted weight -> Weight.is_battery_aware weight
+  | Maximin_residual -> true

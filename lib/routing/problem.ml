@@ -1,0 +1,68 @@
+type t = {
+  module_count : int;
+  acts_per_job : int array;
+  computation_energy_pj : float array;
+  communication_energy_pj : float array;
+  battery_budget_pj : float;
+  node_budget : int;
+}
+
+let make ~acts_per_job ~computation_energy_pj ~communication_energy_pj
+    ~battery_budget_pj ~node_budget =
+  let p = Array.length acts_per_job in
+  if p = 0 then invalid_arg "Problem.make: no modules";
+  if Array.length computation_energy_pj <> p || Array.length communication_energy_pj <> p
+  then invalid_arg "Problem.make: array length mismatch";
+  Array.iter
+    (fun f -> if f <= 0 then invalid_arg "Problem.make: acts_per_job must be positive")
+    acts_per_job;
+  let check_energy e = if e < 0. then invalid_arg "Problem.make: negative energy" in
+  Array.iter check_energy computation_energy_pj;
+  Array.iter check_energy communication_energy_pj;
+  if battery_budget_pj <= 0. then invalid_arg "Problem.make: battery budget must be positive";
+  if node_budget < p then
+    invalid_arg "Problem.make: node budget smaller than the module count";
+  {
+    module_count = p;
+    acts_per_job = Array.copy acts_per_job;
+    computation_energy_pj = Array.copy computation_energy_pj;
+    communication_energy_pj = Array.copy communication_energy_pj;
+    battery_budget_pj;
+    node_budget;
+  }
+
+let aes ?(packet = Etx_energy.Packet.aes_default)
+    ?(line = Etx_energy.Transmission_line.paper_lines) ?(hop_length_cm = 1.)
+    ?(battery_budget_pj = 60000.) ~node_budget () =
+  let hop = Etx_energy.Packet.hop_energy packet ~line ~length_cm:hop_length_cm in
+  let acts kind = Etx_aes.Partition.acts_per_job kind in
+  make
+    ~acts_per_job:
+      [|
+        acts Etx_aes.Partition.Subbytes_shiftrows;
+        acts Etx_aes.Partition.Mixcolumns;
+        acts Etx_aes.Partition.Keyexpansion_addroundkey;
+      |]
+    ~computation_energy_pj:
+      [|
+        Etx_energy.Computation.subbytes_shiftrows_pj;
+        Etx_energy.Computation.mixcolumns_pj;
+        Etx_energy.Computation.keyexpansion_addroundkey_pj;
+      |]
+    ~communication_energy_pj:[| hop; hop; hop |]
+    ~battery_budget_pj ~node_budget
+
+let normalized_energy t ~module_index =
+  if module_index < 0 || module_index >= t.module_count then
+    invalid_arg "Problem.normalized_energy: bad module index";
+  float_of_int t.acts_per_job.(module_index)
+  *. (t.computation_energy_pj.(module_index) +. t.communication_energy_pj.(module_index))
+
+let total_normalized_energy t =
+  let total = ref 0. in
+  for i = 0 to t.module_count - 1 do
+    total := !total +. normalized_energy t ~module_index:i
+  done;
+  !total
+
+let energy_per_job_pj = total_normalized_energy

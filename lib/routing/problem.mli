@@ -1,0 +1,50 @@
+(** The routing-strategy problem of Sec 3 (Table 1 parameters).
+
+    An application is [p] modules; module [i] performs [f_i] acts per
+    job, each act costing [E_i] pJ of computation plus one act of
+    communication costing [c_i] pJ.  The platform gives every node a
+    battery of [B] pJ and admits at most [K] nodes.  The goal is the
+    routing strategy maximizing the number of completed jobs. *)
+
+type t = {
+  module_count : int;  (** p *)
+  acts_per_job : int array;  (** f_i, length p *)
+  computation_energy_pj : float array;  (** E_i, length p *)
+  communication_energy_pj : float array;
+      (** c_i: energy of one ideal (single-hop) act of communication
+          originated from module i, length p *)
+  battery_budget_pj : float;  (** B *)
+  node_budget : int;  (** K *)
+}
+
+val make :
+  acts_per_job:int array ->
+  computation_energy_pj:float array ->
+  communication_energy_pj:float array ->
+  battery_budget_pj:float ->
+  node_budget:int ->
+  t
+(** @raise Invalid_argument when the arrays disagree in length, are
+    empty, contain non-positive act counts or negative energies, or the
+    budgets are non-positive. *)
+
+val aes :
+  ?packet:Etx_energy.Packet.t ->
+  ?line:Etx_energy.Transmission_line.t ->
+  ?hop_length_cm:float ->
+  ?battery_budget_pj:float ->
+  node_budget:int ->
+  unit ->
+  t
+(** The paper's instance: f = (10, 9, 11), E = (120.1, 73.34, 176.55) pJ,
+    c_i = one hop of the default 261-bit packet over a 1 cm line
+    (116.72 pJ), B = 60000 pJ. *)
+
+val normalized_energy : t -> module_index:int -> float
+(** H_i = f_i * (E_i + c_i), Sec 4. *)
+
+val total_normalized_energy : t -> float
+
+val energy_per_job_pj : t -> float
+(** Same as {!total_normalized_energy}: the energy one complete job
+    consumes under the ideal strategy. *)

@@ -1,0 +1,105 @@
+module Matrix = Etx_util.Matrix
+
+type snapshot = {
+  alive : bool array;
+  battery_level : int array;
+  levels : int;
+  locked_ports : (int * int) list;
+  failed_links : (int * int) list;
+}
+
+let full_snapshot ~node_count ~levels =
+  {
+    alive = Array.make node_count true;
+    battery_level = Array.make node_count (levels - 1);
+    levels;
+    locked_ports = [];
+    failed_links = [];
+  }
+
+let check_snapshot ~graph snapshot =
+  let n = Etx_graph.Digraph.node_count graph in
+  if Array.length snapshot.alive <> n || Array.length snapshot.battery_level <> n then
+    invalid_arg "Router: snapshot arity differs from the graph";
+  if snapshot.levels <= 0 then invalid_arg "Router: levels must be positive"
+
+let weight_matrix ~graph ~weight snapshot =
+  check_snapshot ~graph snapshot;
+  let n = Etx_graph.Digraph.node_count graph in
+  let w = Matrix.init ~dim:n ~f:(fun i j -> if i = j then 0. else infinity) in
+  let failed src dst = List.mem (src, dst) snapshot.failed_links in
+  Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
+      if snapshot.alive.(src) && snapshot.alive.(dst) && not (failed src dst) then
+        Matrix.set w src dst
+          (Weight.edge_weight weight ~length_cm:length
+             ~dst_level:snapshot.battery_level.(dst) ~levels:snapshot.levels));
+  w
+
+let shortest_paths ~graph ~weight snapshot =
+  Etx_graph.Floyd_warshall.run (weight_matrix ~graph ~weight snapshot)
+
+(* Phase three (Fig 6): for node [n] and module [i], choose among the
+   living duplicates the one at minimum weighted distance, skipping
+   candidates whose first hop is a locked port when possible. *)
+let choose_entry ~paths ~snapshot ~locked ~node ~candidates =
+  let open Etx_graph in
+  let consider ~respect_locks =
+    let best = ref None in
+    let try_candidate j =
+      if snapshot.alive.(j) then begin
+        let dist = Floyd_warshall.distance paths ~src:node ~dst:j in
+        if dist < infinity then begin
+          if j = node then begin
+            (* the node itself hosts the module: always optimal (dist 0) *)
+            match !best with
+            | Some (0., _) -> ()
+            | _ -> best := Some (0., Routing_table.Deliver_here)
+          end
+          else
+            match Floyd_warshall.successor paths ~src:node ~dst:j with
+            | None -> ()
+            | Some hop ->
+              if (not respect_locks) || not (locked ~node ~hop) then begin
+                let better =
+                  match !best with Some (d, _) -> dist < d | None -> true
+                in
+                if better then
+                  best :=
+                    Some (dist, Routing_table.Forward { next_hop = hop; destination = j })
+              end
+        end
+      end
+    in
+    List.iter try_candidate candidates;
+    !best
+  in
+  match consider ~respect_locks:true with
+  | Some (_, entry) -> entry
+  | None -> begin
+    (* every viable path starts on a locked port: deadlock recovery
+       prefers a detour, but a locked path beats declaring the module
+       unreachable (locks are transient congestion, not death) *)
+    match consider ~respect_locks:false with
+    | Some (_, entry) -> entry
+    | None -> Routing_table.Unreachable
+  end
+
+let compute ~graph ~mapping ~module_count ~weight snapshot =
+  check_snapshot ~graph snapshot;
+  let node_count = Etx_graph.Digraph.node_count graph in
+  if Mapping.node_count mapping <> node_count then
+    invalid_arg "Router.compute: mapping arity differs from the graph";
+  let paths = shortest_paths ~graph ~weight snapshot in
+  let locked ~node ~hop = List.mem (node, hop) snapshot.locked_ports in
+  let table = Routing_table.create ~node_count ~module_count in
+  let candidates =
+    Array.init module_count (fun i -> Mapping.nodes_of_module mapping ~module_index:i)
+  in
+  for node = 0 to node_count - 1 do
+    if snapshot.alive.(node) then
+      for i = 0 to module_count - 1 do
+        Routing_table.set table ~node ~module_index:i
+          (choose_entry ~paths ~snapshot ~locked ~node ~candidates:candidates.(i))
+      done
+  done;
+  table

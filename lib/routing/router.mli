@@ -1,0 +1,47 @@
+(** The online routing algorithm: phases 1-3 of Sec 6.
+
+    EAR and SDR share this machinery end to end; they differ only in the
+    {!Weight.t} used by phase one (the paper keeps everything else
+    identical "for a fair comparison").
+
+    The controller runs {!compute} on the system state reported over the
+    TDMA medium: which nodes are alive, their quantized battery levels,
+    and which output ports sit in deadlock. *)
+
+type snapshot = {
+  alive : bool array;  (** per node *)
+  battery_level : int array;  (** per node, in [0, levels) *)
+  levels : int;  (** N_B: number of reportable levels *)
+  locked_ports : (int * int) list;
+      (** [(node, next_hop)] pairs whose forwarding is deadlocked; phase
+          three steers the node's table away from these ports *)
+  failed_links : (int * int) list;
+      (** directed interconnects broken by wear-and-tear; phase one cuts
+          them out of the weight matrix like dead nodes *)
+}
+
+val full_snapshot : node_count:int -> levels:int -> snapshot
+(** Everyone alive at the top level; no deadlocks, no failed links. *)
+
+val weight_matrix :
+  graph:Etx_graph.Digraph.t -> weight:Weight.t -> snapshot -> Etx_util.Matrix.t
+(** Phase one: the W matrix.  Diagonal 0; [f(N_B(j)) * L_ij] for an edge
+    between living nodes; infinity elsewhere (dead nodes are cut out of
+    the network entirely). *)
+
+val compute :
+  graph:Etx_graph.Digraph.t ->
+  mapping:Mapping.t ->
+  module_count:int ->
+  weight:Weight.t ->
+  snapshot ->
+  Routing_table.t
+(** All three phases.  For every living node and module, the table entry
+    points one hop along a weighted-shortest path to the best living
+    duplicate, avoiding locked ports when an unlocked alternative exists
+    (the recovery branch of Fig 6).  Entries of dead nodes are
+    [Unreachable]. *)
+
+val shortest_paths :
+  graph:Etx_graph.Digraph.t -> weight:Weight.t -> snapshot -> Etx_graph.Floyd_warshall.result
+(** Phases one and two only (exposed for tests and analysis). *)

@@ -1,0 +1,54 @@
+type entry =
+  | Deliver_here
+  | Forward of { next_hop : int; destination : int }
+  | Unreachable
+
+type t = { entries : entry array array (* node -> module -> entry *) }
+
+let create ~node_count ~module_count =
+  if node_count <= 0 || module_count <= 0 then
+    invalid_arg "Routing_table.create: non-positive dimension";
+  { entries = Array.init node_count (fun _ -> Array.make module_count Unreachable) }
+
+let node_count t = Array.length t.entries
+let module_count t = Array.length t.entries.(0)
+
+let get t ~node ~module_index = t.entries.(node).(module_index)
+let set t ~node ~module_index entry = t.entries.(node).(module_index) <- entry
+
+let next_hop t ~node ~module_index =
+  match get t ~node ~module_index with
+  | Forward { next_hop; _ } -> Some next_hop
+  | Deliver_here | Unreachable -> None
+
+let destination t ~node ~module_index =
+  match get t ~node ~module_index with
+  | Forward { destination; _ } -> Some destination
+  | Deliver_here | Unreachable -> None
+
+let equal a b = a.entries = b.entries
+
+let diff_count a b =
+  if node_count a <> node_count b || module_count a <> module_count b then
+    invalid_arg "Routing_table.diff_count: dimension mismatch";
+  let count = ref 0 in
+  Array.iteri
+    (fun node row ->
+      Array.iteri (fun i entry -> if entry <> b.entries.(node).(i) then incr count) row)
+    a.entries;
+  !count
+
+let pp_entry fmt = function
+  | Deliver_here -> Format.pp_print_string fmt "here"
+  | Forward { next_hop; destination } -> Format.fprintf fmt "->%d(dst %d)" next_hop destination
+  | Unreachable -> Format.pp_print_string fmt "unreachable"
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun node row ->
+      Format.fprintf fmt "node %d:" node;
+      Array.iteri (fun i entry -> Format.fprintf fmt " m%d:%a" (i + 1) pp_entry entry) row;
+      Format.fprintf fmt "@,")
+    t.entries;
+  Format.fprintf fmt "@]"

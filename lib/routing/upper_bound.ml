@@ -1,0 +1,38 @@
+let jobs (problem : Problem.t) =
+  problem.battery_budget_pj
+  *. float_of_int problem.node_budget
+  /. Problem.total_normalized_energy problem
+
+let optimal_duplicates (problem : Problem.t) =
+  let total = Problem.total_normalized_energy problem in
+  Array.init problem.module_count (fun i ->
+      float_of_int problem.node_budget
+      *. Problem.normalized_energy problem ~module_index:i
+      /. total)
+
+let check_duplicates (problem : Problem.t) duplicates =
+  if Array.length duplicates <> problem.module_count then
+    invalid_arg "Upper_bound: duplicates arity mismatch";
+  Array.iter
+    (fun n -> if n <= 0 then invalid_arg "Upper_bound: every module needs a node")
+    duplicates
+
+let pool_jobs (problem : Problem.t) duplicates i =
+  float_of_int duplicates.(i) *. problem.battery_budget_pj
+  /. Problem.normalized_energy problem ~module_index:i
+
+let jobs_for_duplicates (problem : Problem.t) ~duplicates =
+  check_duplicates problem duplicates;
+  let best = ref infinity in
+  for i = 0 to problem.module_count - 1 do
+    best := Float.min !best (pool_jobs problem duplicates i)
+  done;
+  !best
+
+let bottleneck_module (problem : Problem.t) ~duplicates =
+  check_duplicates problem duplicates;
+  let arg = ref 0 in
+  for i = 1 to problem.module_count - 1 do
+    if pool_jobs problem duplicates i < pool_jobs problem duplicates !arg then arg := i
+  done;
+  !arg

@@ -1,0 +1,22 @@
+(** Theorem 1: the analytic bound on completed jobs (Sec 4).
+
+    Over {e all} routing strategies, the number of completed jobs obeys
+    [J <= J* = B * K / sum_i H_i], and the optimal (real-valued) number
+    of duplicates of module [i] is [n_i* = K * H_i / sum_j H_j]: the more
+    normalized energy a module consumes, the more duplicates it gets. *)
+
+val jobs : Problem.t -> float
+(** J* of equation (2). *)
+
+val optimal_duplicates : Problem.t -> float array
+(** n_i* of equation (3); sums to the node budget K. *)
+
+val jobs_for_duplicates : Problem.t -> duplicates:int array -> float
+(** Equation (1) for a concrete integer replication vector: the system
+    under the ideal strategy dies when the weakest pool drains, so
+    [J <= min_i (n_i * B / H_i)].  @raise Invalid_argument if the vector
+    has the wrong arity or a non-positive count. *)
+
+val bottleneck_module : Problem.t -> duplicates:int array -> int
+(** The argmin of [n_i * B / H_i]: the module pool whose depletion kills
+    the platform under a balanced strategy. *)

@@ -1,0 +1,32 @@
+type t =
+  | Shortest_distance
+  | Exponential of { q : float }
+  | Exponential_squared of { q : float }
+  | Inverse_level of { floor : float }
+  | Linear_drain of { slope : float }
+
+let battery_factor t ~level ~levels =
+  if level < 0 || level >= levels then
+    invalid_arg
+      (Printf.sprintf "Weight.battery_factor: level %d outside [0, %d)" level levels);
+  let drained = float_of_int (levels - 1 - level) in
+  match t with
+  | Shortest_distance -> 1.
+  | Exponential { q } -> q ** drained
+  | Exponential_squared { q } -> q ** (2. *. drained)
+  | Inverse_level { floor } -> float_of_int levels /. (float_of_int level +. floor)
+  | Linear_drain { slope } -> 1. +. (slope *. drained)
+
+let edge_weight t ~length_cm ~dst_level ~levels =
+  battery_factor t ~level:dst_level ~levels *. length_cm
+
+let is_battery_aware = function
+  | Shortest_distance -> false
+  | Exponential _ | Exponential_squared _ | Inverse_level _ | Linear_drain _ -> true
+
+let name = function
+  | Shortest_distance -> "SDR"
+  | Exponential { q } -> Printf.sprintf "EAR(q=%g)" q
+  | Exponential_squared { q } -> Printf.sprintf "EAR2(q=%g)" q
+  | Inverse_level { floor } -> Printf.sprintf "INV(floor=%g)" floor
+  | Linear_drain { slope } -> Printf.sprintf "LIN(slope=%g)" slope

@@ -1,0 +1,82 @@
+type t = { dim : int; data : float array }
+
+let create ~dim ~init =
+  if dim <= 0 then invalid_arg "Matrix.create: dim must be positive";
+  { dim; data = Array.make (dim * dim) init }
+
+let dim t = t.dim
+let get t i j = t.data.((i * t.dim) + j)
+let set t i j v = t.data.((i * t.dim) + j) <- v
+let copy t = { t with data = Array.copy t.data }
+
+let init ~dim ~f =
+  let t = create ~dim ~init:0. in
+  for i = 0 to dim - 1 do
+    for j = 0 to dim - 1 do
+      set t i j (f i j)
+    done
+  done;
+  t
+
+let map t ~f = { t with data = Array.map f t.data }
+
+let iteri t ~f =
+  for i = 0 to t.dim - 1 do
+    for j = 0 to t.dim - 1 do
+      f i j (get t i j)
+    done
+  done
+
+let float_close eps a b =
+  if a = b then true (* covers equal infinities *)
+  else Float.abs (a -. b) <= eps
+
+let equal ?(eps = 1e-9) a b =
+  a.dim = b.dim
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i x -> if not (float_close eps x b.data.(i)) then ok := false)
+         a.data;
+       !ok
+     end
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to t.dim - 1 do
+    Format.fprintf fmt "@[<h>";
+    for j = 0 to t.dim - 1 do
+      let v = get t i j in
+      if Float.is_integer v && Float.abs v < 1e15 && v <> infinity then
+        Format.fprintf fmt "%8.0f " v
+      else if v = infinity then Format.fprintf fmt "     inf "
+      else Format.fprintf fmt "%8.3f " v
+    done;
+    Format.fprintf fmt "@]@,"
+  done;
+  Format.fprintf fmt "@]"
+
+module Int = struct
+  type t = { dim : int; data : int array }
+
+  let create ~dim ~init =
+    if dim <= 0 then invalid_arg "Matrix.Int.create: dim must be positive";
+    { dim; data = Array.make (dim * dim) init }
+
+  let dim t = t.dim
+  let get t i j = t.data.((i * t.dim) + j)
+  let set t i j v = t.data.((i * t.dim) + j) <- v
+  let copy t = { t with data = Array.copy t.data }
+  let equal a b = a.dim = b.dim && a.data = b.data
+
+  let pp fmt t =
+    Format.fprintf fmt "@[<v>";
+    for i = 0 to t.dim - 1 do
+      Format.fprintf fmt "@[<h>";
+      for j = 0 to t.dim - 1 do
+        Format.fprintf fmt "%4d " (get t i j)
+      done;
+      Format.fprintf fmt "@]@,"
+    done;
+    Format.fprintf fmt "@]"
+end

@@ -1,0 +1,71 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let account = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri
+        (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell)
+        cells
+  in
+  List.iter account t.rows;
+  widths
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let aligns = Array.of_list t.aligns in
+  let buffer = Buffer.create 256 in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buffer ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buffer "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i cell ->
+        Buffer.add_string buffer "| ";
+        Buffer.add_string buffer (pad aligns.(i) widths.(i) cell);
+        Buffer.add_char buffer ' ')
+      cells;
+    Buffer.add_string buffer "|\n"
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  let emit = function Separator -> rule () | Cells cells -> line cells in
+  List.iter emit (List.rev t.rows);
+  rule ();
+  Buffer.contents buffer
+
+let print t =
+  print_string (render t);
+  flush stdout
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_percent ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100. *. x)

@@ -1,0 +1,31 @@
+(** ASCII table rendering for experiment reports.
+
+    The benchmark harness prints the same rows the paper's tables and
+    figures report; this module renders them with aligned columns. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given header cells and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument if the arity differs from the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between rows. *)
+
+val render : t -> string
+(** Full table as a string, including a top/bottom rule. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline flush. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Format helper: fixed-point with [decimals] (default 2). *)
+
+val cell_percent : ?decimals:int -> float -> string
+(** [cell_percent x] renders the ratio [x] (e.g. 0.478) as ["47.8%"]. *)

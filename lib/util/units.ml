@@ -1,0 +1,19 @@
+type picojoules = float
+type volts = float
+type centimeters = float
+type milliwatts = float
+type hertz = float
+
+let clock_frequency_hz = 100e6
+let cycle_seconds = 1. /. clock_frequency_hz
+
+let picojoules_per_cycle_of_milliwatts mw = mw *. 1e-3 *. cycle_seconds *. 1e12
+
+let joules_of_picojoules pj = pj *. 1e-12
+let picojoules_of_joules j = j *. 1e12
+
+let pp_picojoules fmt pj =
+  let abs = Float.abs pj in
+  if abs >= 1e6 then Format.fprintf fmt "%.3f uJ" (pj /. 1e6)
+  else if abs >= 1e3 then Format.fprintf fmt "%.3f nJ" (pj /. 1e3)
+  else Format.fprintf fmt "%.3f pJ" pj

@@ -1,0 +1,27 @@
+(** Physical units used throughout the platform models.
+
+    All energies are carried as picojoules in plain floats; these helpers
+    document intent at call sites and perform the few conversions the
+    models need (the paper quotes pJ, mW, cm, V, and a 100 MHz clock). *)
+
+type picojoules = float
+type volts = float
+type centimeters = float
+type milliwatts = float
+type hertz = float
+
+val clock_frequency_hz : hertz
+(** The paper's measurement clock: 100 MHz. *)
+
+val cycle_seconds : float
+(** Duration of one clock cycle at {!clock_frequency_hz}. *)
+
+val picojoules_per_cycle_of_milliwatts : milliwatts -> picojoules
+(** Energy drawn per clock cycle by a block dissipating the given power:
+    [mW * 1e-3 W/mW * cycle_seconds * 1e12 pJ/J]. *)
+
+val joules_of_picojoules : picojoules -> float
+val picojoules_of_joules : float -> picojoules
+
+val pp_picojoules : Format.formatter -> picojoules -> unit
+(** Prints with an adaptive suffix (pJ, nJ, uJ). *)

@@ -1,0 +1,388 @@
+(* Tests for etx_aes: GF(2^8), S-box, key schedule, round
+   transformations, the full cipher against FIPS-197 vectors, and the
+   paper's module partitioning. *)
+
+module Galois = Etx_aes.Galois
+module Sbox = Etx_aes.Sbox
+module Key_schedule = Etx_aes.Key_schedule
+module Block = Etx_aes.Block
+module Aes = Etx_aes.Aes
+module Partition = Etx_aes.Partition
+
+let byte = QCheck.int_range 0 255
+
+(* - Galois - *)
+
+let test_galois_xtime () =
+  (* FIPS-197 4.2.1: {57} * {02} = {ae}, and the reduction case *)
+  Alcotest.(check int) "57*02" 0xAE (Galois.xtime 0x57);
+  Alcotest.(check int) "ae*02" 0x47 (Galois.xtime 0xAE);
+  Alcotest.(check int) "80*02 reduces" 0x1B (Galois.xtime 0x80)
+
+let test_galois_mul_known () =
+  (* FIPS-197 4.2: {57} * {83} = {c1}; 4.2.1: {57} * {13} = {fe} *)
+  Alcotest.(check int) "57*83" 0xC1 (Galois.mul 0x57 0x83);
+  Alcotest.(check int) "57*13" 0xFE (Galois.mul 0x57 0x13);
+  Alcotest.(check int) "identity" 0x57 (Galois.mul 0x57 0x01);
+  Alcotest.(check int) "zero" 0 (Galois.mul 0x57 0x00)
+
+let test_galois_inverse_convention () =
+  Alcotest.(check int) "inverse of 0 is 0" 0 (Galois.inverse 0);
+  Alcotest.(check int) "inverse of 1 is 1" 1 (Galois.inverse 1)
+
+let test_galois_pow () =
+  Alcotest.(check int) "a^0" 1 (Galois.pow 0x57 0);
+  Alcotest.(check int) "a^1" 0x57 (Galois.pow 0x57 1);
+  Alcotest.(check int) "a^2 = a*a" (Galois.mul 0x57 0x57) (Galois.pow 0x57 2);
+  Alcotest.check_raises "negative" (Invalid_argument "Galois.pow: negative exponent")
+    (fun () -> ignore (Galois.pow 2 (-1)))
+
+let prop_galois_mul_commutative =
+  QCheck.Test.make ~name:"galois: multiplication commutes" ~count:500 (QCheck.pair byte byte)
+    (fun (a, b) -> Galois.mul a b = Galois.mul b a)
+
+let prop_galois_mul_associative =
+  QCheck.Test.make ~name:"galois: multiplication associates" ~count:500
+    (QCheck.triple byte byte byte) (fun (a, b, c) ->
+      Galois.mul a (Galois.mul b c) = Galois.mul (Galois.mul a b) c)
+
+let prop_galois_distributive =
+  QCheck.Test.make ~name:"galois: distributes over xor" ~count:500
+    (QCheck.triple byte byte byte) (fun (a, b, c) ->
+      Galois.mul a (Galois.add b c) = Galois.add (Galois.mul a b) (Galois.mul a c))
+
+let prop_galois_inverse =
+  QCheck.Test.make ~name:"galois: a * a^-1 = 1 for a <> 0" ~count:255
+    (QCheck.int_range 1 255) (fun a -> Galois.mul a (Galois.inverse a) = 1)
+
+(* - S-box - *)
+
+let test_sbox_known_values () =
+  (* FIPS-197 Figure 7 spot checks *)
+  Alcotest.(check int) "S(00)" 0x63 (Sbox.forward 0x00);
+  Alcotest.(check int) "S(53)" 0xED (Sbox.forward 0x53);
+  Alcotest.(check int) "S(ff)" 0x16 (Sbox.forward 0xFF);
+  Alcotest.(check int) "S(10)" 0xCA (Sbox.forward 0x10)
+
+let test_sbox_roundtrip () =
+  for b = 0 to 255 do
+    Alcotest.(check int) "inverse(forward)" b (Sbox.inverse (Sbox.forward b))
+  done
+
+let test_sbox_is_permutation () =
+  let seen = Array.make 256 false in
+  for b = 0 to 255 do
+    seen.(Sbox.forward b) <- true
+  done;
+  Alcotest.(check bool) "bijective" true (Array.for_all Fun.id seen)
+
+let test_sbox_no_fixed_points () =
+  (* the AES S-box has no fixed points and no opposite fixed points *)
+  for b = 0 to 255 do
+    Alcotest.(check bool) "no fixed point" true (Sbox.forward b <> b);
+    Alcotest.(check bool) "no anti-fixed point" true (Sbox.forward b <> b lxor 0xFF)
+  done
+
+let test_sbox_bounds () =
+  Alcotest.check_raises "range" (Invalid_argument "Sbox: byte out of range") (fun () ->
+      ignore (Sbox.forward 256))
+
+let test_sbox_table_copies () =
+  let t = Sbox.forward_table () in
+  t.(0) <- 0;
+  Alcotest.(check int) "table mutation harmless" 0x63 (Sbox.forward 0x00)
+
+(* - Key schedule - *)
+
+let fips_key = "2b7e151628aed2a6abf7158809cf4f3c"
+
+let test_key_schedule_appendix_a1 () =
+  (* FIPS-197 Appendix A.1 expansion of the 128-bit key *)
+  let ks = Key_schedule.expand ~key:(Block.of_hex fips_key) in
+  Alcotest.(check int) "w0" 0x2b7e1516 (Key_schedule.word ks 0);
+  Alcotest.(check int) "w3" 0x09cf4f3c (Key_schedule.word ks 3);
+  Alcotest.(check int) "w4" 0xa0fafe17 (Key_schedule.word ks 4);
+  Alcotest.(check int) "w9" 0x7a96b943 (Key_schedule.word ks 9);
+  Alcotest.(check int) "w10" 0x5935807a (Key_schedule.word ks 10);
+  Alcotest.(check int) "w43" 0xb6630ca6 (Key_schedule.word ks 43)
+
+let test_key_schedule_sizes () =
+  let check_size bytes nr nk words =
+    let ks = Key_schedule.expand ~key:(Bytes.make bytes '\000') in
+    Alcotest.(check int) "rounds" nr (Key_schedule.rounds ks);
+    Alcotest.(check int) "nk" nk (Key_schedule.key_length_words ks);
+    Alcotest.(check int) "words" words (Key_schedule.word_count ks)
+  in
+  check_size 16 10 4 44;
+  check_size 24 12 6 52;
+  check_size 32 14 8 60
+
+let test_key_schedule_appendix_a2_a3 () =
+  (* first expanded word beyond the key for the 192- and 256-bit vectors *)
+  let ks192 =
+    Key_schedule.expand
+      ~key:(Block.of_hex "8e73b0f7da0e6452c810f32b809079e562f8ead2522c6b7b")
+  in
+  Alcotest.(check int) "A.2 w6" 0xfe0c91f7 (Key_schedule.word ks192 6);
+  let ks256 =
+    Key_schedule.expand
+      ~key:
+        (Block.of_hex
+           "603deb1015ca71be2b73aef0857d77811f352c073b6108d72d9810a30914dff4")
+  in
+  Alcotest.(check int) "A.3 w8" 0x9ba35411 (Key_schedule.word ks256 8)
+
+let test_key_schedule_bad_length () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Key_schedule.expand: bad key length 5")
+    (fun () -> ignore (Key_schedule.expand ~key:(Bytes.make 5 'x')))
+
+let test_key_schedule_rcon () =
+  Alcotest.(check int) "rcon 1" 0x01 (Key_schedule.rcon 1);
+  Alcotest.(check int) "rcon 8" 0x80 (Key_schedule.rcon 8);
+  Alcotest.(check int) "rcon 9 reduces" 0x1B (Key_schedule.rcon 9);
+  Alcotest.(check int) "rcon 10" 0x36 (Key_schedule.rcon 10)
+
+let test_round_key_layout () =
+  let ks = Key_schedule.expand ~key:(Block.of_hex fips_key) in
+  (* round 0 key = the cipher key itself, in state layout *)
+  Alcotest.(check string) "round 0 = key" fips_key
+    (Block.to_hex (Key_schedule.round_key ks ~round:0));
+  Alcotest.check_raises "round range"
+    (Invalid_argument "Key_schedule.round_key: round out of range") (fun () ->
+      ignore (Key_schedule.round_key ks ~round:11))
+
+(* - Block transformations - *)
+
+let test_shift_rows_permutation () =
+  (* state bytes 0..15 column-major; row r rotates left by r *)
+  let state = Bytes.init 16 Char.chr in
+  let shifted = Block.shift_rows state in
+  (* row 0 untouched: positions 0, 4, 8, 12 *)
+  Alcotest.(check int) "row0" 0 (Char.code (Bytes.get shifted 0));
+  (* row 1 rotates: state'[1, 0] = state[1, 1] = byte 5 *)
+  Alcotest.(check int) "row1" 5 (Char.code (Bytes.get shifted 1));
+  (* row 2: state'[2, 0] = state[2, 2] = byte 10 *)
+  Alcotest.(check int) "row2" 10 (Char.code (Bytes.get shifted 2));
+  (* row 3: state'[3, 0] = state[3, 3] = byte 15 *)
+  Alcotest.(check int) "row3" 15 (Char.code (Bytes.get shifted 3))
+
+let test_mix_columns_known () =
+  (* well-known MixColumns test column db 13 53 45 -> 8e 4d a1 bc *)
+  let state = Bytes.make 16 '\000' in
+  List.iteri (fun i b -> Bytes.set state i (Char.chr b)) [ 0xdb; 0x13; 0x53; 0x45 ];
+  let mixed = Block.mix_columns state in
+  let column = List.init 4 (fun i -> Char.code (Bytes.get mixed i)) in
+  Alcotest.(check (list int)) "mixed column" [ 0x8e; 0x4d; 0xa1; 0xbc ] column
+
+let test_add_round_key_self_inverse () =
+  let state = Block.of_hex "00112233445566778899aabbccddeeff" in
+  let key = Block.of_hex "0f0e0d0c0b0a09080706050403020100" in
+  let twice = Block.add_round_key (Block.add_round_key state ~key) ~key in
+  Alcotest.(check string) "xor twice" (Block.to_hex state) (Block.to_hex twice)
+
+let test_block_validation () =
+  Alcotest.check_raises "state size" (Invalid_argument "Block: state must be 16 bytes")
+    (fun () -> ignore (Block.sub_bytes (Bytes.make 15 'a')));
+  Alcotest.check_raises "hex odd" (Invalid_argument "Block.of_hex: odd length") (fun () ->
+      ignore (Block.of_hex "abc"));
+  Alcotest.check_raises "hex digit" (Invalid_argument "Block.of_hex: bad digit")
+    (fun () -> ignore (Block.of_hex "zz"))
+
+let test_hex_roundtrip () =
+  let hex = "00112233445566778899aabbccddeeff" in
+  Alcotest.(check string) "roundtrip" hex (Block.to_hex (Block.of_hex hex))
+
+let bytes16 =
+  QCheck.make
+    ~print:(fun b -> Block.to_hex b)
+    QCheck.Gen.(map Bytes.of_string (string_size ~gen:char (return 16)))
+
+let prop_inverse_transforms =
+  QCheck.Test.make ~name:"block: every transformation inverts" ~count:200 bytes16
+    (fun state ->
+      Bytes.equal (Block.inv_sub_bytes (Block.sub_bytes state)) state
+      && Bytes.equal (Block.inv_shift_rows (Block.shift_rows state)) state
+      && Bytes.equal (Block.inv_mix_columns (Block.mix_columns state)) state)
+
+let prop_transforms_pure =
+  QCheck.Test.make ~name:"block: transformations do not mutate input" ~count:100 bytes16
+    (fun state ->
+      let snapshot = Bytes.copy state in
+      ignore (Block.sub_bytes state);
+      ignore (Block.shift_rows state);
+      ignore (Block.mix_columns state);
+      Bytes.equal snapshot state)
+
+(* - Full cipher - *)
+
+let test_aes_fips_appendix_b () =
+  Alcotest.(check string) "appendix B" "3925841d02dc09fbdc118597196a0b32"
+    (Aes.encrypt_hex ~key:fips_key ~plaintext:"3243f6a8885a308d313198a2e0370734")
+
+let test_aes_fips_c1 () =
+  Alcotest.(check string) "AES-128" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (Aes.encrypt_hex ~key:"000102030405060708090a0b0c0d0e0f"
+       ~plaintext:"00112233445566778899aabbccddeeff")
+
+let test_aes_fips_c2 () =
+  Alcotest.(check string) "AES-192" "dda97ca4864cdfe06eaf70a0ec0d7191"
+    (Aes.encrypt_hex
+       ~key:"000102030405060708090a0b0c0d0e0f1011121314151617"
+       ~plaintext:"00112233445566778899aabbccddeeff")
+
+let test_aes_fips_c3 () =
+  Alcotest.(check string) "AES-256" "8ea2b7ca516745bfeafc49904b496089"
+    (Aes.encrypt_hex
+       ~key:"000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f"
+       ~plaintext:"00112233445566778899aabbccddeeff")
+
+let test_aes_decrypt_known () =
+  let key = Aes.key_of_hex "000102030405060708090a0b0c0d0e0f" in
+  let ct = Block.of_hex "69c4e0d86a7b0430d8cdb78070b4c55a" in
+  Alcotest.(check string) "decrypt" "00112233445566778899aabbccddeeff"
+    (Block.to_hex (Aes.decrypt_block key ct))
+
+let test_aes_rounds () =
+  Alcotest.(check int) "128-bit rounds" 10
+    (Aes.rounds (Aes.key_of_hex "000102030405060708090a0b0c0d0e0f"))
+
+let prop_aes_roundtrip =
+  QCheck.Test.make ~name:"aes: decrypt (encrypt x) = x" ~count:100
+    (QCheck.pair bytes16 bytes16) (fun (key_bytes, plaintext) ->
+      let key = Aes.key_of_bytes key_bytes in
+      Bytes.equal (Aes.decrypt_block key (Aes.encrypt_block key plaintext)) plaintext)
+
+let prop_aes_injective_in_plaintext =
+  QCheck.Test.make ~name:"aes: distinct plaintexts give distinct ciphertexts" ~count:100
+    (QCheck.triple bytes16 bytes16 bytes16) (fun (key_bytes, p1, p2) ->
+      let key = Aes.key_of_bytes key_bytes in
+      Bytes.equal p1 p2
+      || not (Bytes.equal (Aes.encrypt_block key p1) (Aes.encrypt_block key p2)))
+
+(* - Partitioning - *)
+
+let test_partition_act_counts () =
+  (* the paper's f_i = 10, 9, 11 (Sec 3) *)
+  Alcotest.(check int) "f1" 10 (Partition.acts_per_job Partition.Subbytes_shiftrows);
+  Alcotest.(check int) "f2" 9 (Partition.acts_per_job Partition.Mixcolumns);
+  Alcotest.(check int) "f3" 11 (Partition.acts_per_job Partition.Keyexpansion_addroundkey)
+
+let test_partition_plan_structure () =
+  Alcotest.(check int) "30 acts" 30 (Array.length Partition.job_plan);
+  (* counts in the plan match f_i *)
+  let count kind =
+    Array.fold_left
+      (fun acc op -> if op.Partition.kind = kind then acc + 1 else acc)
+      0 Partition.job_plan
+  in
+  Alcotest.(check int) "plan f1" 10 (count Partition.Subbytes_shiftrows);
+  Alcotest.(check int) "plan f2" 9 (count Partition.Mixcolumns);
+  Alcotest.(check int) "plan f3" 11 (count Partition.Keyexpansion_addroundkey);
+  (* steps are sequential *)
+  Array.iteri (fun i op -> Alcotest.(check int) "step" i op.Partition.step) Partition.job_plan
+
+let test_partition_consecutive_acts_alternate_modules () =
+  (* guarantees every act is followed by an act of communication to a
+     different node type, as the paper's operation definition assumes *)
+  let kinds = Partition.module_sequence in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "no consecutive same module" true (a <> b);
+      check rest
+    | _ -> ()
+  in
+  check kinds
+
+let test_partition_first_and_last () =
+  let plan = Partition.job_plan in
+  Alcotest.(check bool) "starts with AddRoundKey(0)" true
+    (plan.(0).Partition.kind = Partition.Keyexpansion_addroundkey && plan.(0).round = 0);
+  Alcotest.(check bool) "ends with AddRoundKey(10)" true
+    (plan.(29).Partition.kind = Partition.Keyexpansion_addroundkey && plan.(29).round = 10)
+
+let test_partition_next_op () =
+  Alcotest.(check bool) "op at 0" true (Partition.next_op ~step:0 <> None);
+  Alcotest.(check bool) "end of plan" true (Partition.next_op ~step:30 = None);
+  Alcotest.check_raises "negative" (Invalid_argument "Partition.next_op: negative step")
+    (fun () -> ignore (Partition.next_op ~step:(-1)))
+
+let test_partition_module_indices () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) "roundtrip" true
+        (Partition.module_of_index (Partition.module_index kind) = kind))
+    [ Partition.Subbytes_shiftrows; Partition.Mixcolumns; Partition.Keyexpansion_addroundkey ];
+  Alcotest.check_raises "range" (Invalid_argument "Partition.module_of_index: 3")
+    (fun () -> ignore (Partition.module_of_index 3))
+
+let prop_partition_plan_equals_cipher =
+  QCheck.Test.make ~name:"partition: distributed plan computes AES exactly" ~count:100
+    (QCheck.pair bytes16 bytes16) (fun (key_bytes, plaintext) ->
+      let key = Aes.key_of_bytes key_bytes in
+      let via_plan = Partition.run_plan ~schedule:(Aes.schedule key) plaintext in
+      Bytes.equal via_plan (Aes.encrypt_block key plaintext))
+
+let suite =
+  [
+    ( "aes/galois",
+      [
+        Alcotest.test_case "xtime" `Quick test_galois_xtime;
+        Alcotest.test_case "mul known values" `Quick test_galois_mul_known;
+        Alcotest.test_case "inverse convention" `Quick test_galois_inverse_convention;
+        Alcotest.test_case "pow" `Quick test_galois_pow;
+        QCheck_alcotest.to_alcotest prop_galois_mul_commutative;
+        QCheck_alcotest.to_alcotest prop_galois_mul_associative;
+        QCheck_alcotest.to_alcotest prop_galois_distributive;
+        QCheck_alcotest.to_alcotest prop_galois_inverse;
+      ] );
+    ( "aes/sbox",
+      [
+        Alcotest.test_case "known values" `Quick test_sbox_known_values;
+        Alcotest.test_case "roundtrip" `Quick test_sbox_roundtrip;
+        Alcotest.test_case "is a permutation" `Quick test_sbox_is_permutation;
+        Alcotest.test_case "no fixed points" `Quick test_sbox_no_fixed_points;
+        Alcotest.test_case "bounds" `Quick test_sbox_bounds;
+        Alcotest.test_case "table copies" `Quick test_sbox_table_copies;
+      ] );
+    ( "aes/key-schedule",
+      [
+        Alcotest.test_case "FIPS A.1 expansion" `Quick test_key_schedule_appendix_a1;
+        Alcotest.test_case "key sizes" `Quick test_key_schedule_sizes;
+        Alcotest.test_case "FIPS A.2/A.3 spots" `Quick test_key_schedule_appendix_a2_a3;
+        Alcotest.test_case "bad length" `Quick test_key_schedule_bad_length;
+        Alcotest.test_case "rcon" `Quick test_key_schedule_rcon;
+        Alcotest.test_case "round key layout" `Quick test_round_key_layout;
+      ] );
+    ( "aes/block",
+      [
+        Alcotest.test_case "shift rows permutation" `Quick test_shift_rows_permutation;
+        Alcotest.test_case "mix columns known column" `Quick test_mix_columns_known;
+        Alcotest.test_case "add round key self-inverse" `Quick test_add_round_key_self_inverse;
+        Alcotest.test_case "validation" `Quick test_block_validation;
+        Alcotest.test_case "hex roundtrip" `Quick test_hex_roundtrip;
+        QCheck_alcotest.to_alcotest prop_inverse_transforms;
+        QCheck_alcotest.to_alcotest prop_transforms_pure;
+      ] );
+    ( "aes/cipher",
+      [
+        Alcotest.test_case "FIPS appendix B" `Quick test_aes_fips_appendix_b;
+        Alcotest.test_case "FIPS C.1 (128)" `Quick test_aes_fips_c1;
+        Alcotest.test_case "FIPS C.2 (192)" `Quick test_aes_fips_c2;
+        Alcotest.test_case "FIPS C.3 (256)" `Quick test_aes_fips_c3;
+        Alcotest.test_case "decrypt known" `Quick test_aes_decrypt_known;
+        Alcotest.test_case "rounds" `Quick test_aes_rounds;
+        QCheck_alcotest.to_alcotest prop_aes_roundtrip;
+        QCheck_alcotest.to_alcotest prop_aes_injective_in_plaintext;
+      ] );
+    ( "aes/partition",
+      [
+        Alcotest.test_case "act counts = f_i" `Quick test_partition_act_counts;
+        Alcotest.test_case "plan structure" `Quick test_partition_plan_structure;
+        Alcotest.test_case "acts alternate modules" `Quick
+          test_partition_consecutive_acts_alternate_modules;
+        Alcotest.test_case "first and last acts" `Quick test_partition_first_and_last;
+        Alcotest.test_case "next_op" `Quick test_partition_next_op;
+        Alcotest.test_case "module indices" `Quick test_partition_module_indices;
+        QCheck_alcotest.to_alcotest prop_partition_plan_equals_cipher;
+      ] );
+  ]

@@ -1,0 +1,182 @@
+(* Tests for the etextile facade: calibration, experiment runners, and
+   report rendering.  Sweeps are narrowed (one size, one seed) so the
+   suite stays fast; the full sweeps live in bench/main.exe. *)
+
+module Calibration = Etextile.Calibration
+module Experiments = Etextile.Experiments
+module Report = Etextile.Report
+
+let contains = Astring_contains.contains
+
+let test_calibration_problem () =
+  let p = Calibration.problem ~mesh_size:4 in
+  Alcotest.(check int) "K" 16 p.Etx_routing.Problem.node_budget;
+  Alcotest.(check (float 1e-9)) "B" 60000. p.battery_budget_pj
+
+let test_calibration_control_line_grows () =
+  Alcotest.(check (float 1e-9)) "4x4" 10. (Calibration.control_line_length_cm ~mesh_size:4);
+  Alcotest.(check (float 1e-9)) "8x8" 15. (Calibration.control_line_length_cm ~mesh_size:8)
+
+let test_calibration_config_shape () =
+  let c = Calibration.config ~mesh_size:5 () in
+  Alcotest.(check int) "25 nodes" 25 (Etx_etsim.Config.node_count c);
+  Alcotest.(check bool) "round robin entry" true
+    (c.Etx_etsim.Config.job_source = Etx_etsim.Config.Round_robin_entry);
+  Alcotest.(check (float 1e-9)) "variation" 0.1 c.battery_capacity_variation
+
+let test_calibration_levels_override () =
+  let c = Calibration.config ~levels_override:4 ~mesh_size:4 () in
+  Alcotest.(check int) "levels" 4 c.Etx_etsim.Config.policy.Etx_routing.Policy.levels
+
+let seeds = [ 1 ]
+
+let test_fig7_row_sanity () =
+  match Experiments.fig7 ~sizes:[ 4 ] ~seeds () with
+  | [ row ] ->
+    Alcotest.(check int) "size" 4 row.Experiments.mesh_size;
+    Alcotest.(check bool) "EAR wins big" true (row.gain >= 4.);
+    Alcotest.(check bool) "overhead small" true (row.ear_overhead < 0.10);
+    Alcotest.(check (float 1e-9)) "paper reference wired" 62.8 row.paper_ear_jobs
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_table2_row_sanity () =
+  match Experiments.table2 ~sizes:[ 4 ] ~seeds () with
+  | [ row ] ->
+    Alcotest.(check (float 0.005)) "J* exact" 131.42 row.Experiments.j_star;
+    Alcotest.(check bool) "ratio in band" true (row.ratio > 0.35 && row.ratio < 0.60);
+    Alcotest.(check bool) "below the bound" true (row.ear_jobs <= row.j_star)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_fig8_grid_shape () =
+  let rows = Experiments.fig8 ~sizes:[ 4 ] ~controller_counts:[ 1; 4 ] ~seeds () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let jobs count =
+    (List.find (fun r -> r.Experiments.controllers = count) rows).Experiments.jobs
+  in
+  Alcotest.(check bool) "redundancy helps" true (jobs 4 >= jobs 1)
+
+let test_thm1_rows () =
+  let rows = Experiments.thm1 ~sizes:[ 4; 8 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let r4 = List.hd rows in
+  Alcotest.(check (float 0.005)) "J*" 131.42 r4.Experiments.j_star;
+  Alcotest.(check (array int)) "checkerboard" [| 4; 4; 8 |] r4.checkerboard_duplicates;
+  Alcotest.(check bool) "mapping bound dominated" true (r4.checkerboard_bound <= r4.j_star)
+
+let test_ablation_weights_has_sdr_and_ear () =
+  let rows = Experiments.ablation_weights ~mesh_size:4 ~seeds () in
+  let find label =
+    List.find (fun r -> Astring_contains.contains r.Experiments.label label) rows
+  in
+  let sdr = find "SDR" and ear = find "q=2" in
+  Alcotest.(check bool) "EAR dominates in the ablation too" true
+    (ear.Experiments.jobs > 3. *. sdr.Experiments.jobs)
+
+let test_ablation_quantization_monotone_coarse () =
+  let rows = Experiments.ablation_quantization ~mesh_size:4 ~seeds () in
+  let jobs levels =
+    let row =
+      List.find
+        (fun (r : Experiments.ablation_row) ->
+          r.label = Printf.sprintf "EAR, N_B = %d" levels)
+        rows
+    in
+    (row.jobs : float)
+  in
+  (* two levels are too coarse to steer well *)
+  Alcotest.(check bool) "N_B = 2 is worst" true (jobs 2 < jobs 8)
+
+let test_ablation_mapping_rows () =
+  let rows = Experiments.ablation_mapping ~mesh_size:4 ~seeds () in
+  Alcotest.(check int) "three variants" 3 (List.length rows);
+  List.iter
+    (fun (r : Experiments.ablation_row) ->
+      Alcotest.(check bool) "both viable" true (r.jobs > 10.))
+    rows
+
+let test_ablation_battery_rows () =
+  let rows = Experiments.ablation_battery ~mesh_size:4 ~seeds () in
+  Alcotest.(check int) "four cases" 4 (List.length rows)
+
+let test_concurrency_rows () =
+  let rows = Experiments.concurrency ~mesh_size:4 ~depths:[ 1; 4 ] ~seeds () in
+  Alcotest.(check int) "two depths" 2 (List.length rows);
+  let deep = List.nth rows 1 in
+  Alcotest.(check int) "depth recorded" 4 deep.Experiments.jobs_in_flight
+
+let test_reproduction_regression () =
+  (* the engine is fully deterministic for a fixed configuration; these
+     exact values pin the calibrated headline results so any future
+     change to the dynamics is caught immediately (update deliberately
+     if the model changes) *)
+  let jobs policy =
+    (Etx_etsim.Engine.simulate (Calibration.config ~policy ~mesh_size:4 ~seed:1 ()))
+      .Etx_etsim.Metrics.jobs_completed
+  in
+  Alcotest.(check int) "EAR 4x4 seed 1" 61 (jobs (Calibration.ear ()));
+  Alcotest.(check int) "SDR 4x4 seed 1" 9 (jobs (Calibration.sdr ()))
+
+let test_mean_jobs () =
+  let configs = [ Calibration.config ~mesh_size:4 ~seed:1 () ] in
+  Alcotest.(check bool) "positive" true (Experiments.mean_jobs configs > 0.)
+
+let test_report_fig7_renders () =
+  let rows = Experiments.fig7 ~sizes:[ 4 ] ~seeds () in
+  let rendered = Report.fig7 rows in
+  Alcotest.(check bool) "mentions Fig 7" true (contains rendered "Fig 7");
+  Alcotest.(check bool) "mesh label" true (contains rendered "4x4");
+  Alcotest.(check bool) "paper column" true (contains rendered "62.8")
+
+let test_report_table2_renders () =
+  let rendered = Report.table2 (Experiments.table2 ~sizes:[ 4 ] ~seeds ()) in
+  Alcotest.(check bool) "J* printed" true (contains rendered "131.42")
+
+let test_report_thm1_renders () =
+  let rendered = Report.thm1 (Experiments.thm1 ~sizes:[ 4 ] ()) in
+  Alcotest.(check bool) "duplicates triple" true (contains rendered "(4, 4, 8)")
+
+let test_report_fig8_renders () =
+  let rendered =
+    Report.fig8 (Experiments.fig8 ~sizes:[ 4 ] ~controller_counts:[ 1 ] ~seeds ())
+  in
+  Alcotest.(check bool) "controllers column" true (contains rendered "controllers")
+
+let test_report_concurrency_renders () =
+  let rendered =
+    Report.concurrency (Experiments.concurrency ~mesh_size:4 ~depths:[ 1 ] ~seeds ())
+  in
+  Alcotest.(check bool) "deadlock column" true (contains rendered "deadlocks")
+
+let suite =
+  [
+    ( "etextile/calibration",
+      [
+        Alcotest.test_case "problem" `Quick test_calibration_problem;
+        Alcotest.test_case "control line grows" `Quick test_calibration_control_line_grows;
+        Alcotest.test_case "config shape" `Quick test_calibration_config_shape;
+        Alcotest.test_case "levels override" `Quick test_calibration_levels_override;
+      ] );
+    ( "etextile/experiments",
+      [
+        Alcotest.test_case "fig7 row sanity" `Slow test_fig7_row_sanity;
+        Alcotest.test_case "table2 row sanity" `Slow test_table2_row_sanity;
+        Alcotest.test_case "fig8 grid shape" `Slow test_fig8_grid_shape;
+        Alcotest.test_case "thm1 rows" `Quick test_thm1_rows;
+        Alcotest.test_case "ablation: weights" `Slow test_ablation_weights_has_sdr_and_ear;
+        Alcotest.test_case "ablation: quantization" `Slow
+          test_ablation_quantization_monotone_coarse;
+        Alcotest.test_case "ablation: mapping" `Slow test_ablation_mapping_rows;
+        Alcotest.test_case "ablation: battery" `Slow test_ablation_battery_rows;
+        Alcotest.test_case "concurrency" `Slow test_concurrency_rows;
+        Alcotest.test_case "mean jobs" `Slow test_mean_jobs;
+        Alcotest.test_case "reproduction regression" `Slow test_reproduction_regression;
+      ] );
+    ( "etextile/report",
+      [
+        Alcotest.test_case "fig7 renders" `Slow test_report_fig7_renders;
+        Alcotest.test_case "table2 renders" `Slow test_report_table2_renders;
+        Alcotest.test_case "thm1 renders" `Quick test_report_thm1_renders;
+        Alcotest.test_case "fig8 renders" `Slow test_report_fig8_renders;
+        Alcotest.test_case "concurrency renders" `Slow test_report_concurrency_renders;
+      ] );
+  ]

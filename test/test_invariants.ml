@@ -1,0 +1,189 @@
+(* Whole-engine property tests: random platform configurations must
+   satisfy the simulator's global invariants. *)
+
+module Config = Etx_etsim.Config
+module Engine = Etx_etsim.Engine
+module Metrics = Etx_etsim.Metrics
+module Policy = Etx_routing.Policy
+module Battery = Etx_battery.Battery
+module Topology = Etx_graph.Topology
+
+type scenario = {
+  size : int;
+  policy_index : int;
+  ideal_battery : bool;
+  concurrent : int;
+  controller_count : int;  (* 0 = infinite *)
+  seed : int;
+  reception : float;
+  frame_period : int;
+  failures : int;
+}
+
+let policy_of_index = function
+  | 0 -> Policy.ear ()
+  | 1 -> Policy.sdr ()
+  | 2 -> Policy.maximin ()
+  | 3 -> Policy.ear_squared ()
+  | _ -> Policy.ear ~q:4. ()
+
+let scenario_gen =
+  QCheck.Gen.(
+    map
+      (fun ((size, policy_index, ideal_battery, concurrent),
+            (controller_count, seed, reception, frame_period, failures)) ->
+        { size; policy_index; ideal_battery; concurrent; controller_count; seed;
+          reception; frame_period; failures })
+      (pair
+         (quad (int_range 3 5) (int_range 0 4) bool (int_range 1 3))
+         (tup5 (int_range 0 3) (int_range 1 1000) (float_bound_inclusive 1.)
+            (int_range 400 1200) (int_range 0 3))))
+
+let scenario_print s =
+  Printf.sprintf
+    "{size=%d policy=%d ideal=%b jobs=%d ctrl=%d seed=%d rx=%.2f frame=%d fail=%d}"
+    s.size s.policy_index s.ideal_battery s.concurrent s.controller_count s.seed
+    s.reception s.frame_period s.failures
+
+let scenario_arbitrary = QCheck.make ~print:scenario_print scenario_gen
+
+let build_config s =
+  let topology = Topology.square_mesh ~size:s.size () in
+  let controllers =
+    if s.controller_count = 0 then Config.Infinite_controller
+    else Config.Battery_controllers { count = s.controller_count }
+  in
+  let link_failure_schedule =
+    if s.failures = 0 then []
+    else
+      Etextile.Experiments.random_failure_schedule ~topology ~count:s.failures
+        ~before_cycle:10_000 ~seed:(s.seed + 17)
+  in
+  Config.make ~topology
+    ~policy:(policy_of_index s.policy_index)
+    ~battery_kind:
+      (if s.ideal_battery then Battery.Ideal
+       else Battery.Thin_film Battery.default_thin_film)
+    ~concurrent_jobs:s.concurrent ~controllers ~seed:s.seed
+    ~reception_energy_fraction:s.reception ~frame_period_cycles:s.frame_period
+    ~link_failure_schedule ~job_source:Config.Round_robin_entry
+    ~max_jobs:(Some 150) ~max_cycles:2_000_000 ()
+
+let run s = Engine.simulate (build_config s)
+
+
+let invariant_every_completed_job_verified =
+  QCheck.Test.make ~name:"engine: every completed job's payload verifies" ~count:40
+    scenario_arbitrary (fun s ->
+      let m = run s in
+      m.Metrics.jobs_verified = m.Metrics.jobs_completed)
+
+let invariant_energy_conservation_ideal =
+  QCheck.Test.make ~name:"engine: ideal-cell energy is conserved" ~count:40
+    scenario_arbitrary (fun s ->
+      let s = { s with ideal_battery = true } in
+      let m = run s in
+      let consumed =
+        m.Metrics.computation_energy_pj +. m.communication_energy_pj
+        +. m.control_upload_energy_pj
+      in
+      let accounted =
+        consumed +. m.stranded_node_energy_pj +. m.residual_node_energy_pj
+      in
+      let capacity = float_of_int (s.size * s.size) *. 60000. in
+      Float.abs (accounted -. capacity) < 1.)
+
+let invariant_act_accounting =
+  QCheck.Test.make ~name:"engine: acts >= 30 x completed jobs" ~count:40
+    scenario_arbitrary (fun s ->
+      let m = run s in
+      m.Metrics.acts_total >= 30 * m.Metrics.jobs_completed)
+
+let invariant_recoveries_bounded =
+  QCheck.Test.make ~name:"engine: recoveries never exceed reports" ~count:40
+    scenario_arbitrary (fun s ->
+      let m = run s in
+      m.Metrics.deadlocks_recovered <= m.Metrics.deadlocks_reported)
+
+let invariant_bookkeeping_sane =
+  QCheck.Test.make ~name:"engine: counters and energies are sane" ~count:40
+    scenario_arbitrary (fun s ->
+      let m = run s in
+      m.Metrics.lifetime_cycles >= 0
+      && m.Metrics.lifetime_cycles <= 2_000_000
+      && m.Metrics.frames >= 1
+      && m.Metrics.recomputations <= m.Metrics.frames
+      && m.Metrics.stranded_node_energy_pj >= 0.
+      && m.Metrics.residual_node_energy_pj >= 0.
+      && m.Metrics.computation_energy_pj >= 0.
+      && m.Metrics.communication_energy_pj >= 0.
+      && m.Metrics.hops_total >= 0
+      && m.Metrics.links_failed <= s.failures
+      && m.Metrics.job_latency_max_cycles >= 0
+      && (m.Metrics.jobs_completed = 0
+          || m.Metrics.job_latency_mean_cycles > 0.))
+
+let invariant_job_cap_respected =
+  QCheck.Test.make ~name:"engine: the job cap stops the run exactly" ~count:40
+    scenario_arbitrary (fun s ->
+      let m = run s in
+      match m.Metrics.death_reason with
+      | Metrics.Job_limit -> m.Metrics.jobs_completed = 150
+      | Metrics.Job_lost_to_node_death _ | Metrics.Module_unreachable _
+      | Metrics.Entry_node_dead _ | Metrics.Controllers_exhausted
+      | Metrics.Cycle_limit ->
+        m.Metrics.jobs_completed < 150)
+
+let invariant_deterministic =
+  QCheck.Test.make ~name:"engine: identical configurations replay identically" ~count:15
+    scenario_arbitrary (fun s ->
+      let a = run s and b = run s in
+      a.Metrics.jobs_completed = b.Metrics.jobs_completed
+      && a.Metrics.lifetime_cycles = b.Metrics.lifetime_cycles
+      && a.Metrics.hops_total = b.Metrics.hops_total
+      && a.Metrics.computation_energy_pj = b.Metrics.computation_energy_pj)
+
+let invariant_per_module_energy_sums =
+  QCheck.Test.make ~name:"engine: per-module energies sum to the total" ~count:40
+    scenario_arbitrary (fun s ->
+      let m = run s in
+      let by_module = Array.fold_left ( +. ) 0. m.Metrics.computation_energy_by_module_pj in
+      Float.abs (by_module -. m.Metrics.computation_energy_pj) < 1e-6)
+
+let invariant_battery_awareness_pays =
+  QCheck.Test.make ~name:"engine: battery-aware routing never loses to SDR badly" ~count:15
+    QCheck.(pair (int_range 3 5) (int_range 1 100))
+    (fun (size, seed) ->
+      let jobs policy_index =
+        (run
+           {
+             size;
+             policy_index;
+             ideal_battery = false;
+             concurrent = 1;
+             controller_count = 0;
+             seed;
+             reception = 0.8;
+             frame_period = 800;
+             failures = 0;
+           })
+          .Metrics.jobs_completed
+      in
+      (* EAR at least matches SDR on every platform we can generate *)
+      jobs 0 >= jobs 1)
+
+let suite =
+  [
+    ( "engine/invariants",
+      [
+        QCheck_alcotest.to_alcotest invariant_every_completed_job_verified;
+        QCheck_alcotest.to_alcotest invariant_energy_conservation_ideal;
+        QCheck_alcotest.to_alcotest invariant_act_accounting;
+        QCheck_alcotest.to_alcotest invariant_recoveries_bounded;
+        QCheck_alcotest.to_alcotest invariant_bookkeeping_sane;
+        QCheck_alcotest.to_alcotest invariant_job_cap_respected;
+        QCheck_alcotest.to_alcotest invariant_deterministic;
+        QCheck_alcotest.to_alcotest invariant_per_module_energy_sums;
+        QCheck_alcotest.to_alcotest invariant_battery_awareness_pays;
+      ] );
+  ]

@@ -1,0 +1,569 @@
+(* Tests for etx_routing: the problem formulation, Theorem 1, mappings,
+   weight functions, and the three-phase EAR/SDR router of Sec 6. *)
+
+module Problem = Etx_routing.Problem
+module Upper_bound = Etx_routing.Upper_bound
+module Mapping = Etx_routing.Mapping
+module Weight = Etx_routing.Weight
+module Router = Etx_routing.Router
+module Routing_table = Etx_routing.Routing_table
+module Policy = Etx_routing.Policy
+module Topology = Etx_graph.Topology
+module Digraph = Etx_graph.Digraph
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+
+let aes_problem k = Problem.aes ~node_budget:k ()
+
+(* - Problem - *)
+
+let test_problem_aes_parameters () =
+  let p = aes_problem 16 in
+  Alcotest.(check int) "p" 3 p.Problem.module_count;
+  Alcotest.(check (array int)) "f" [| 10; 9; 11 |] p.acts_per_job;
+  check_float "E1" 120.1 p.computation_energy_pj.(0);
+  check_float "B" 60000. p.battery_budget_pj;
+  check_float_eps 1e-6 "c = one 1cm hop of 261 bits" 116.7192
+    p.communication_energy_pj.(0)
+
+let test_problem_normalized_energy () =
+  let p = aes_problem 16 in
+  check_float_eps 1e-6 "H1" (10. *. (120.1 +. 116.7192))
+    (Problem.normalized_energy p ~module_index:0);
+  check_float_eps 1e-6 "H3" (11. *. (176.55 +. 116.7192))
+    (Problem.normalized_energy p ~module_index:2);
+  check_float_eps 1e-6 "sum H"
+    (Problem.normalized_energy p ~module_index:0
+    +. Problem.normalized_energy p ~module_index:1
+    +. Problem.normalized_energy p ~module_index:2)
+    (Problem.total_normalized_energy p)
+
+let test_problem_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Problem.make: no modules") (fun () ->
+      ignore
+        (Problem.make ~acts_per_job:[||] ~computation_energy_pj:[||]
+           ~communication_energy_pj:[||] ~battery_budget_pj:1. ~node_budget:1));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Problem.make: array length mismatch")
+    (fun () ->
+      ignore
+        (Problem.make ~acts_per_job:[| 1; 2 |] ~computation_energy_pj:[| 1. |]
+           ~communication_energy_pj:[| 1.; 2. |] ~battery_budget_pj:1. ~node_budget:2));
+  Alcotest.check_raises "node budget"
+    (Invalid_argument "Problem.make: node budget smaller than the module count") (fun () ->
+      ignore
+        (Problem.make ~acts_per_job:[| 1; 1 |] ~computation_energy_pj:[| 1.; 1. |]
+           ~communication_energy_pj:[| 1.; 1. |] ~battery_budget_pj:1. ~node_budget:1))
+
+(* - Theorem 1 - *)
+
+let test_upper_bound_matches_table2 () =
+  (* J* column of Table 2, the analytic anchor of the whole calibration *)
+  let expect = [ (16, 131.42); (25, 205.35); (36, 295.70); (49, 402.48); (64, 525.69) ] in
+  List.iter
+    (fun (k, j_star) ->
+      check_float_eps 0.005 (Printf.sprintf "J* for K=%d" k) j_star
+        (Upper_bound.jobs (aes_problem k)))
+    expect
+(* note: the paper prints 205.25 for 5x5; every other row and the exact
+   formula give 205.35, so 205.25 is a typo in the paper *)
+
+let test_optimal_duplicates_sum_to_k () =
+  List.iter
+    (fun k ->
+      let n_star = Upper_bound.optimal_duplicates (aes_problem k) in
+      check_float_eps 1e-9 "sums to K" (float_of_int k)
+        (Array.fold_left ( +. ) 0. n_star))
+    [ 16; 25; 36; 49; 64 ]
+
+let test_optimal_duplicates_ordering () =
+  (* module 3 has the highest normalized energy, module 2 the lowest:
+     the paper's design rule says replication follows that order *)
+  let n_star = Upper_bound.optimal_duplicates (aes_problem 16) in
+  Alcotest.(check bool) "n3 > n1 > n2" true (n_star.(2) > n_star.(0) && n_star.(0) > n_star.(1))
+
+let test_optimal_duplicates_4x4_values () =
+  let n_star = Upper_bound.optimal_duplicates (aes_problem 16) in
+  check_float_eps 0.01 "n1*" 5.19 n_star.(0);
+  check_float_eps 0.01 "n2*" 3.75 n_star.(1);
+  check_float_eps 0.01 "n3*" 7.07 n_star.(2)
+
+let test_jobs_for_duplicates () =
+  let p = aes_problem 16 in
+  (* the checkerboard (4, 4, 8): bottleneck is module 1's 4 nodes *)
+  let bound = Upper_bound.jobs_for_duplicates p ~duplicates:[| 4; 4; 8 |] in
+  check_float_eps 1e-6 "min pool"
+    (4. *. 60000. /. Problem.normalized_energy p ~module_index:0)
+    bound;
+  Alcotest.(check int) "bottleneck is module 1" 0
+    (Upper_bound.bottleneck_module p ~duplicates:[| 4; 4; 8 |]);
+  (* any integer mapping is dominated by the real-valued optimum *)
+  Alcotest.(check bool) "<= J*" true (bound <= Upper_bound.jobs p)
+
+let test_jobs_for_duplicates_validation () =
+  let p = aes_problem 16 in
+  Alcotest.check_raises "arity" (Invalid_argument "Upper_bound: duplicates arity mismatch")
+    (fun () -> ignore (Upper_bound.jobs_for_duplicates p ~duplicates:[| 1; 2 |]));
+  Alcotest.check_raises "zero" (Invalid_argument "Upper_bound: every module needs a node")
+    (fun () -> ignore (Upper_bound.jobs_for_duplicates p ~duplicates:[| 0; 8; 8 |]))
+
+let prop_integer_mapping_below_j_star =
+  QCheck.Test.make ~name:"thm1: every integer mapping bound <= J*" ~count:200
+    QCheck.(triple (int_range 1 30) (int_range 1 30) (int_range 1 30))
+    (fun (n1, n2, n3) ->
+      let k = n1 + n2 + n3 in
+      let p = aes_problem k in
+      Upper_bound.jobs_for_duplicates p ~duplicates:[| n1; n2; n3 |]
+      <= Upper_bound.jobs p +. 1e-6)
+
+let prop_optimal_duplicates_equalize_pools =
+  QCheck.Test.make ~name:"thm1: n_i* equalizes pool lifetimes" ~count:50
+    (QCheck.int_range 10 200) (fun k ->
+      let p = aes_problem k in
+      let n_star = Upper_bound.optimal_duplicates p in
+      let pool i =
+        n_star.(i) *. p.Problem.battery_budget_pj
+        /. Problem.normalized_energy p ~module_index:i
+      in
+      Float.abs (pool 0 -. pool 1) < 1e-6 && Float.abs (pool 1 -. pool 2) < 1e-6)
+
+(* - Mapping - *)
+
+let test_checkerboard_4x4 () =
+  (* the Fig 3(b) mapping: odd-odd -> module 1, even-even -> module 2,
+     mixed -> module 3; counts (4, 4, 8) on a 4x4 *)
+  let t = Topology.square_mesh ~size:4 () in
+  let m = Mapping.checkerboard t in
+  Alcotest.(check (array int)) "counts" [| 4; 4; 8 |] (Mapping.duplicates m ~module_count:3);
+  let id x y = Topology.node_of_coord t ~x ~y in
+  Alcotest.(check int) "(1,1) -> module 1" 0 (Mapping.module_of_node m ~node:(id 1 1));
+  Alcotest.(check int) "(2,2) -> module 2" 1 (Mapping.module_of_node m ~node:(id 2 2));
+  Alcotest.(check int) "(2,1) -> module 3" 2 (Mapping.module_of_node m ~node:(id 2 1));
+  Alcotest.(check int) "(1,2) -> module 3" 2 (Mapping.module_of_node m ~node:(id 1 2))
+
+let test_checkerboard_all_sizes () =
+  List.iter
+    (fun size ->
+      let m = Mapping.checkerboard (Topology.square_mesh ~size ()) in
+      let counts = Mapping.duplicates m ~module_count:3 in
+      Alcotest.(check int) "covers the mesh" (size * size)
+        (counts.(0) + counts.(1) + counts.(2));
+      Array.iter (fun n -> Alcotest.(check bool) "every module present" true (n > 0)) counts)
+    [ 4; 5; 6; 7; 8 ]
+
+let test_nodes_of_module () =
+  let t = Topology.square_mesh ~size:4 () in
+  let m = Mapping.checkerboard t in
+  let module1 = Mapping.nodes_of_module m ~module_index:0 in
+  Alcotest.(check int) "4 module-1 nodes" 4 (List.length module1);
+  List.iter
+    (fun node -> Alcotest.(check int) "consistent" 0 (Mapping.module_of_node m ~node))
+    module1
+
+let test_proportional_mapping () =
+  let p = aes_problem 36 in
+  let m = Mapping.proportional ~problem:p ~node_count:36 in
+  let counts = Mapping.duplicates m ~module_count:3 in
+  Alcotest.(check int) "covers" 36 (counts.(0) + counts.(1) + counts.(2));
+  Array.iter (fun n -> Alcotest.(check bool) "every module present" true (n > 0)) counts;
+  (* replication ordering follows Theorem 1: n3 >= n1 >= n2 *)
+  Alcotest.(check bool) "ordering" true (counts.(2) >= counts.(0) && counts.(0) >= counts.(1))
+
+let test_proportional_interleaves () =
+  (* the first few node ids should not all belong to one module *)
+  let p = aes_problem 36 in
+  let m = Mapping.proportional ~problem:p ~node_count:36 in
+  let first_six = List.init 6 (fun node -> Mapping.module_of_node m ~node) in
+  Alcotest.(check bool) "mixed prefix" true (List.sort_uniq compare first_six |> List.length > 1)
+
+let test_custom_mapping_validation () =
+  Alcotest.check_raises "missing module"
+    (Invalid_argument "Mapping.custom: module 1 has no node") (fun () ->
+      ignore (Mapping.custom ~assignment:[| 0; 0; 2 |] ~module_count:3))
+
+let prop_proportional_counts_near_optimal =
+  QCheck.Test.make ~name:"mapping: proportional counts within 1 of n_i*" ~count:100
+    (QCheck.int_range 6 120) (fun k ->
+      let p = aes_problem k in
+      let m = Mapping.proportional ~problem:p ~node_count:k in
+      let counts = Mapping.duplicates m ~module_count:3 in
+      let n_star = Upper_bound.optimal_duplicates p in
+      let ok = ref true in
+      Array.iteri
+        (fun i n ->
+          if Float.abs (float_of_int n -. n_star.(i)) > 1.5 then ok := false)
+        counts;
+      !ok)
+
+(* - Weight - *)
+
+let test_weight_full_battery_is_neutral () =
+  (* f(top level) = 1 for the exponential families: EAR = SDR on a fresh
+     platform *)
+  List.iter
+    (fun w ->
+      check_float "factor 1 at full"
+        1.
+        (Weight.battery_factor w ~level:7 ~levels:8))
+    [ Weight.Shortest_distance; Weight.Exponential { q = 2. };
+      Weight.Exponential_squared { q = 2. }; Weight.Linear_drain { slope = 1. } ]
+
+let test_weight_exponential_growth () =
+  let w = Weight.Exponential { q = 2. } in
+  check_float "one level down doubles" 2. (Weight.battery_factor w ~level:6 ~levels:8);
+  check_float "empty level" 128. (Weight.battery_factor w ~level:0 ~levels:8);
+  let w2 = Weight.Exponential_squared { q = 2. } in
+  check_float "squared exponent" 4. (Weight.battery_factor w2 ~level:6 ~levels:8)
+
+let test_weight_sdr_constant () =
+  for level = 0 to 7 do
+    check_float "SDR ignores battery" 1.
+      (Weight.battery_factor Weight.Shortest_distance ~level ~levels:8)
+  done
+
+let test_weight_edge_weight () =
+  check_float "weight = factor * length" 6.
+    (Weight.edge_weight (Weight.Exponential { q = 2. }) ~length_cm:3. ~dst_level:6 ~levels:8)
+
+let test_weight_validation () =
+  Alcotest.check_raises "level range"
+    (Invalid_argument "Weight.battery_factor: level 8 outside [0, 8)") (fun () ->
+      ignore (Weight.battery_factor Weight.Shortest_distance ~level:8 ~levels:8))
+
+let test_weight_names_and_awareness () =
+  Alcotest.(check bool) "sdr unaware" false (Weight.is_battery_aware Weight.Shortest_distance);
+  Alcotest.(check bool) "ear aware" true
+    (Weight.is_battery_aware (Weight.Exponential { q = 2. }));
+  Alcotest.(check string) "sdr name" "SDR" (Weight.name Weight.Shortest_distance)
+
+let prop_weight_monotone_in_drain =
+  QCheck.Test.make ~name:"weight: factor non-increasing in level" ~count:200
+    QCheck.(pair (int_range 2 16) (int_range 0 3))
+    (fun (levels, which) ->
+      let w =
+        match which with
+        | 0 -> Weight.Exponential { q = 2. }
+        | 1 -> Weight.Exponential_squared { q = 1.5 }
+        | 2 -> Weight.Inverse_level { floor = 0.5 }
+        | _ -> Weight.Linear_drain { slope = 2. }
+      in
+      let ok = ref true in
+      for level = 0 to levels - 2 do
+        if
+          Weight.battery_factor w ~level ~levels
+          < Weight.battery_factor w ~level:(level + 1) ~levels -. 1e-9
+        then ok := false
+      done;
+      !ok)
+
+(* - Routing table - *)
+
+let test_routing_table_basics () =
+  let t = Routing_table.create ~node_count:4 ~module_count:2 in
+  Alcotest.(check int) "nodes" 4 (Routing_table.node_count t);
+  Alcotest.(check int) "modules" 2 (Routing_table.module_count t);
+  Alcotest.(check bool) "starts unreachable" true
+    (Routing_table.get t ~node:0 ~module_index:0 = Routing_table.Unreachable);
+  Routing_table.set t ~node:0 ~module_index:1
+    (Routing_table.Forward { next_hop = 2; destination = 3 });
+  Alcotest.(check (option int)) "next hop" (Some 2)
+    (Routing_table.next_hop t ~node:0 ~module_index:1);
+  Alcotest.(check (option int)) "destination" (Some 3)
+    (Routing_table.destination t ~node:0 ~module_index:1)
+
+let test_routing_table_diff () =
+  let a = Routing_table.create ~node_count:2 ~module_count:2 in
+  let b = Routing_table.create ~node_count:2 ~module_count:2 in
+  Alcotest.(check int) "identical" 0 (Routing_table.diff_count a b);
+  Routing_table.set b ~node:1 ~module_index:0 Routing_table.Deliver_here;
+  Alcotest.(check int) "one change" 1 (Routing_table.diff_count a b);
+  Alcotest.(check bool) "equal" false (Routing_table.equal a b)
+
+(* - Router (phases 1-3) - *)
+
+let mesh4 () =
+  let t = Topology.square_mesh ~size:4 () in
+  (t, Mapping.checkerboard t)
+
+let test_router_weight_matrix_masks_dead () =
+  let t, _ = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  snapshot.Router.alive.(1) <- false;
+  let w = Router.weight_matrix ~graph:t.Topology.graph ~weight:Weight.Shortest_distance snapshot in
+  check_float "edge into dead node cut" infinity (Etx_util.Matrix.get w 0 1);
+  check_float "edge out of dead node cut" infinity (Etx_util.Matrix.get w 1 0);
+  check_float "living edge kept" 1. (Etx_util.Matrix.get w 0 4)
+
+let test_router_ear_weights_scale_with_level () =
+  let t, _ = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  snapshot.Router.battery_level.(1) <- 4;
+  let w =
+    Router.weight_matrix ~graph:t.Topology.graph
+      ~weight:(Weight.Exponential { q = 2. })
+      snapshot
+  in
+  check_float "drained destination costs 2^3" 8. (Etx_util.Matrix.get w 0 1);
+  check_float "full destination costs 1" 1. (Etx_util.Matrix.get w 1 0)
+
+let test_router_deliver_here () =
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  let table =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  (* node 0 = (1,1) hosts module 1 *)
+  Alcotest.(check bool) "deliver here" true
+    (Routing_table.get table ~node:0 ~module_index:0 = Routing_table.Deliver_here)
+
+let test_router_forward_reaches_destination () =
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  let table =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  (* following the table from any node for any module terminates on a
+     host of that module *)
+  for node = 0 to 15 do
+    for module_index = 0 to 2 do
+      let rec follow current steps =
+        if steps > 16 then Alcotest.failf "routing loop from %d" node
+        else
+          match Routing_table.get table ~node:current ~module_index with
+          | Routing_table.Deliver_here ->
+            Alcotest.(check int) "terminates on the right module" module_index
+              (Mapping.module_of_node mapping ~node:current)
+          | Routing_table.Forward { next_hop; _ } -> follow next_hop (steps + 1)
+          | Routing_table.Unreachable -> Alcotest.failf "unreachable on a live mesh"
+      in
+      follow node 0
+    done
+  done
+
+let test_router_ear_equals_sdr_when_full () =
+  (* with every battery at the top level the exponential factor is 1, so
+     the two algorithms must produce identical tables *)
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  let sdr =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  let ear =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:(Weight.Exponential { q = 2. })
+      snapshot
+  in
+  Alcotest.(check bool) "identical tables" true (Routing_table.equal sdr ear)
+
+let test_router_steers_around_drained_node () =
+  (* two module-3 candidates at equal distance: EAR must pick the one
+     with the fuller battery, SDR the one with the smaller id *)
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  (* node 0 = (1,1): neighbours 1 = (2,1) and 4 = (1,2), both module 3 *)
+  snapshot.Router.battery_level.(1) <- 0;
+  let sdr =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  let ear =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:(Weight.Exponential { q = 2. })
+      snapshot
+  in
+  Alcotest.(check (option int)) "SDR ignores the battery" (Some 1)
+    (Routing_table.next_hop sdr ~node:0 ~module_index:2);
+  Alcotest.(check (option int)) "EAR avoids the drained node" (Some 4)
+    (Routing_table.next_hop ear ~node:0 ~module_index:2)
+
+let test_router_unreachable_when_pool_dead () =
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  (* kill every module-2 node *)
+  List.iter
+    (fun node -> snapshot.Router.alive.(node) <- false)
+    (Mapping.nodes_of_module mapping ~module_index:1);
+  let table =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  Alcotest.(check bool) "module 2 unreachable" true
+    (Routing_table.get table ~node:0 ~module_index:1 = Routing_table.Unreachable);
+  Alcotest.(check bool) "module 3 still routable" true
+    (Routing_table.get table ~node:0 ~module_index:2 <> Routing_table.Unreachable)
+
+let test_router_dead_nodes_get_no_entries () =
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:16 ~levels:8 in
+  snapshot.Router.alive.(5) <- false;
+  let table =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  for module_index = 0 to 2 do
+    Alcotest.(check bool) "dead node unreachable" true
+      (Routing_table.get table ~node:5 ~module_index = Routing_table.Unreachable)
+  done
+
+let test_router_locked_port_avoidance () =
+  (* node 0's deadlocked port towards 1 forces the detour via 4 for
+     module 3, even though 1 is the nearer tie-break *)
+  let t, mapping = mesh4 () in
+  let snapshot =
+    { (Router.full_snapshot ~node_count:16 ~levels:8) with Router.locked_ports = [ (0, 1) ] }
+  in
+  let table =
+    Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  Alcotest.(check (option int)) "detours around the lock" (Some 4)
+    (Routing_table.next_hop table ~node:0 ~module_index:2)
+
+let test_router_locked_port_fallback () =
+  (* when every viable first hop is locked, the lock is overridden
+     rather than declaring the module unreachable *)
+  let line = Topology.line ~length:3 () in
+  let mapping = Mapping.custom ~assignment:[| 0; 1; 2 |] ~module_count:3 in
+  let snapshot =
+    { (Router.full_snapshot ~node_count:3 ~levels:8) with Router.locked_ports = [ (0, 1) ] }
+  in
+  let table =
+    Router.compute ~graph:line.Topology.graph ~mapping ~module_count:3
+      ~weight:Weight.Shortest_distance snapshot
+  in
+  Alcotest.(check (option int)) "takes the only path anyway" (Some 1)
+    (Routing_table.next_hop table ~node:0 ~module_index:2)
+
+let test_router_snapshot_validation () =
+  let t, mapping = mesh4 () in
+  let snapshot = Router.full_snapshot ~node_count:4 ~levels:8 in
+  Alcotest.check_raises "arity" (Invalid_argument "Router: snapshot arity differs from the graph")
+    (fun () ->
+      ignore
+        (Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+           ~weight:Weight.Shortest_distance snapshot))
+
+let prop_router_tables_terminate =
+  (* on random live meshes with random levels, following any table entry
+     terminates on a correct host *)
+  QCheck.Test.make ~name:"router: tables always terminate on the right module" ~count:50
+    QCheck.(pair (int_range 3 6) (int_range 0 1000))
+    (fun (size, seed) ->
+      let t = Topology.square_mesh ~size () in
+      let mapping = Mapping.checkerboard t in
+      let n = size * size in
+      let prng = Etx_util.Prng.create ~seed in
+      let snapshot = Router.full_snapshot ~node_count:n ~levels:8 in
+      for i = 0 to n - 1 do
+        snapshot.Router.battery_level.(i) <- Etx_util.Prng.int prng ~bound:8
+      done;
+      let table =
+        Router.compute ~graph:t.Topology.graph ~mapping ~module_count:3
+          ~weight:(Weight.Exponential { q = 2. })
+          snapshot
+      in
+      let ok = ref true in
+      for node = 0 to n - 1 do
+        for module_index = 0 to 2 do
+          let rec follow current steps =
+            if steps > n then ok := false
+            else
+              match Routing_table.get table ~node:current ~module_index with
+              | Routing_table.Deliver_here ->
+                if Mapping.module_of_node mapping ~node:current <> module_index then
+                  ok := false
+              | Routing_table.Forward { next_hop; _ } -> follow next_hop (steps + 1)
+              | Routing_table.Unreachable -> ok := false
+          in
+          follow node 0
+        done
+      done;
+      !ok)
+
+(* - Policy - *)
+
+let test_policy_constructors () =
+  Alcotest.(check bool) "ear aware" true (Policy.is_battery_aware (Policy.ear ()));
+  Alcotest.(check bool) "sdr unaware" false (Policy.is_battery_aware (Policy.sdr ()));
+  Alcotest.(check int) "default levels" 8 (Policy.ear ()).Policy.levels;
+  Alcotest.(check string) "sdr name" "SDR" (Policy.sdr ()).Policy.name
+
+let test_policy_validation () =
+  Alcotest.check_raises "q" (Invalid_argument "Policy.ear: Q must be positive") (fun () ->
+      ignore (Policy.ear ~q:0. ()));
+  Alcotest.check_raises "levels" (Invalid_argument "Policy: need at least two battery levels")
+    (fun () -> ignore (Policy.sdr ~levels:1 ()))
+
+let suite =
+  [
+    ( "routing/problem",
+      [
+        Alcotest.test_case "aes parameters" `Quick test_problem_aes_parameters;
+        Alcotest.test_case "normalized energy" `Quick test_problem_normalized_energy;
+        Alcotest.test_case "validation" `Quick test_problem_validation;
+      ] );
+    ( "routing/theorem1",
+      [
+        Alcotest.test_case "J* matches Table 2" `Quick test_upper_bound_matches_table2;
+        Alcotest.test_case "n* sums to K" `Quick test_optimal_duplicates_sum_to_k;
+        Alcotest.test_case "n* ordering" `Quick test_optimal_duplicates_ordering;
+        Alcotest.test_case "n* 4x4 values" `Quick test_optimal_duplicates_4x4_values;
+        Alcotest.test_case "mapping bound" `Quick test_jobs_for_duplicates;
+        Alcotest.test_case "mapping bound validation" `Quick test_jobs_for_duplicates_validation;
+        QCheck_alcotest.to_alcotest prop_integer_mapping_below_j_star;
+        QCheck_alcotest.to_alcotest prop_optimal_duplicates_equalize_pools;
+      ] );
+    ( "routing/mapping",
+      [
+        Alcotest.test_case "checkerboard 4x4" `Quick test_checkerboard_4x4;
+        Alcotest.test_case "checkerboard all sizes" `Quick test_checkerboard_all_sizes;
+        Alcotest.test_case "nodes of module" `Quick test_nodes_of_module;
+        Alcotest.test_case "proportional" `Quick test_proportional_mapping;
+        Alcotest.test_case "proportional interleaves" `Quick test_proportional_interleaves;
+        Alcotest.test_case "custom validation" `Quick test_custom_mapping_validation;
+        QCheck_alcotest.to_alcotest prop_proportional_counts_near_optimal;
+      ] );
+    ( "routing/weight",
+      [
+        Alcotest.test_case "full battery neutral" `Quick test_weight_full_battery_is_neutral;
+        Alcotest.test_case "exponential growth" `Quick test_weight_exponential_growth;
+        Alcotest.test_case "SDR constant" `Quick test_weight_sdr_constant;
+        Alcotest.test_case "edge weight" `Quick test_weight_edge_weight;
+        Alcotest.test_case "validation" `Quick test_weight_validation;
+        Alcotest.test_case "names and awareness" `Quick test_weight_names_and_awareness;
+        QCheck_alcotest.to_alcotest prop_weight_monotone_in_drain;
+      ] );
+    ( "routing/table",
+      [
+        Alcotest.test_case "basics" `Quick test_routing_table_basics;
+        Alcotest.test_case "diff count" `Quick test_routing_table_diff;
+      ] );
+    ( "routing/router",
+      [
+        Alcotest.test_case "weight matrix masks dead" `Quick test_router_weight_matrix_masks_dead;
+        Alcotest.test_case "EAR weights scale" `Quick test_router_ear_weights_scale_with_level;
+        Alcotest.test_case "deliver here" `Quick test_router_deliver_here;
+        Alcotest.test_case "forwarding terminates correctly" `Quick
+          test_router_forward_reaches_destination;
+        Alcotest.test_case "EAR = SDR on full batteries" `Quick
+          test_router_ear_equals_sdr_when_full;
+        Alcotest.test_case "steers around drained node" `Quick
+          test_router_steers_around_drained_node;
+        Alcotest.test_case "unreachable when pool dead" `Quick
+          test_router_unreachable_when_pool_dead;
+        Alcotest.test_case "dead nodes get no entries" `Quick
+          test_router_dead_nodes_get_no_entries;
+        Alcotest.test_case "locked port avoidance" `Quick test_router_locked_port_avoidance;
+        Alcotest.test_case "locked port fallback" `Quick test_router_locked_port_fallback;
+        Alcotest.test_case "snapshot validation" `Quick test_router_snapshot_validation;
+        QCheck_alcotest.to_alcotest prop_router_tables_terminate;
+      ] );
+    ( "routing/policy",
+      [
+        Alcotest.test_case "constructors" `Quick test_policy_constructors;
+        Alcotest.test_case "validation" `Quick test_policy_validation;
+      ] );
+  ]

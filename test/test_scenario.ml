@@ -1,0 +1,120 @@
+(* Tests for the garment scenario presets. *)
+
+module Scenario = Etextile.Scenario
+module Engine = Etx_etsim.Engine
+module Metrics = Etx_etsim.Metrics
+
+let test_all_presets_well_formed () =
+  List.iter
+    (fun (s : Scenario.t) ->
+      let nodes = Etx_graph.Topology.node_count s.topology in
+      Alcotest.(check bool) "has nodes" true (nodes > 0);
+      Alcotest.(check int) "mapping arity" nodes
+        (Etx_routing.Mapping.node_count s.mapping);
+      let counts = Etx_routing.Mapping.duplicates s.mapping ~module_count:3 in
+      Array.iter
+        (fun n ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: every module present" s.name)
+            true (n > 0))
+        counts;
+      Alcotest.(check bool) "connected fabric" true
+        (Etx_graph.Connectivity.is_connected s.topology.Etx_graph.Topology.graph ()))
+    (Scenario.all ())
+
+let test_preset_names_unique () =
+  let names = List.map (fun (s : Scenario.t) -> s.name) (Scenario.all ()) in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_shirt_is_checkerboard () =
+  let shirt = Scenario.shirt () in
+  let expected = Etx_routing.Mapping.checkerboard shirt.topology in
+  Alcotest.(check bool) "checkerboard" true
+    (Etx_routing.Mapping.assignment shirt.mapping
+    = Etx_routing.Mapping.assignment expected)
+
+let test_jacket_straps () =
+  let jacket = Scenario.jacket () in
+  let graph = jacket.topology.Etx_graph.Topology.graph in
+  (* the strap links are the long ones *)
+  Alcotest.(check (float 1e-9)) "strap length" 6. (Etx_graph.Digraph.length graph ~src:3 ~dst:16);
+  Alcotest.(check bool) "panels joined" true (Etx_graph.Connectivity.is_connected graph ())
+
+let test_every_scenario_simulates () =
+  List.iter
+    (fun (s : Scenario.t) ->
+      let m = Engine.simulate (Scenario.config ~seed:1 s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s completes jobs" s.name)
+        true
+        (m.Metrics.jobs_completed > 5);
+      Alcotest.(check int)
+        (Printf.sprintf "%s verifies" s.name)
+        m.jobs_completed m.jobs_verified)
+    (Scenario.all ())
+
+let test_scenario_problem_sizing () =
+  let sleeve = Scenario.sleeve () in
+  let p = Scenario.problem sleeve in
+  Alcotest.(check int) "K = node count" 18 p.Etx_routing.Problem.node_budget
+
+let test_scenarios_experiment () =
+  let rows = Etextile.Experiments.scenarios ~seeds:[ 1 ] () in
+  Alcotest.(check int) "four scenarios" 4 (List.length rows);
+  List.iter
+    (fun (r : Etextile.Experiments.scenario_row) ->
+      Alcotest.(check bool) "EAR wins everywhere" true (r.scenario_gain > 1.);
+      Alcotest.(check bool) "below the bound" true (r.ear_jobs <= r.j_star))
+    rows
+
+let test_algorithms_experiment () =
+  match Etextile.Experiments.algorithms ~sizes:[ 4 ] ~seeds:[ 1 ] () with
+  | [ row ] ->
+    Alcotest.(check bool) "EAR >= maximin" true
+      Etextile.Experiments.(row.ear >= row.maximin);
+    Alcotest.(check bool) "maximin >> SDR" true
+      Etextile.Experiments.(row.maximin > 3. *. row.sdr);
+    Alcotest.(check bool) "renders" true
+      (Astring_contains.contains
+         (Etextile.Report.algorithms [ row ])
+         "max-min")
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_scenario_prediction_works_off_mesh () =
+  (* the static analyzer handles the jacket's irregular topology *)
+  let jacket = Etextile.Scenario.jacket () in
+  let prediction =
+    Etx_routing.Analysis.predict
+      ~problem:(Etextile.Scenario.problem jacket)
+      ~topology:jacket.Etextile.Scenario.topology
+      ~mapping:jacket.Etextile.Scenario.mapping
+      ~module_sequence:Etextile.Experiments.aes_module_sequence ()
+  in
+  Alcotest.(check bool) "positive prediction" true
+    (prediction.Etx_routing.Analysis.predicted_jobs > 10.)
+
+let test_scenarios_report_renders () =
+  let rendered =
+    Etextile.Report.scenarios (Etextile.Experiments.scenarios ~seeds:[ 1 ] ())
+  in
+  Alcotest.(check bool) "mentions the shirt" true (Astring_contains.contains rendered "shirt");
+  Alcotest.(check bool) "mentions gain" true (Astring_contains.contains rendered "gain")
+
+let suite =
+  [
+    ( "etextile/scenario",
+      [
+        Alcotest.test_case "presets well-formed" `Quick test_all_presets_well_formed;
+        Alcotest.test_case "names unique" `Quick test_preset_names_unique;
+        Alcotest.test_case "shirt is the checkerboard" `Quick test_shirt_is_checkerboard;
+        Alcotest.test_case "jacket straps" `Quick test_jacket_straps;
+        Alcotest.test_case "every scenario simulates" `Slow test_every_scenario_simulates;
+        Alcotest.test_case "problem sizing" `Quick test_scenario_problem_sizing;
+        Alcotest.test_case "scenarios experiment" `Slow test_scenarios_experiment;
+        Alcotest.test_case "report renders" `Slow test_scenarios_report_renders;
+        Alcotest.test_case "algorithms sweep" `Slow test_algorithms_experiment;
+        Alcotest.test_case "prediction off-mesh" `Quick
+          test_scenario_prediction_works_off_mesh;
+      ] );
+  ]

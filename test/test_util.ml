@@ -1,0 +1,315 @@
+(* Tests for etx_util: PRNG, statistics, matrices, tables, units. *)
+
+module Prng = Etx_util.Prng
+module Stats = Etx_util.Stats
+module Matrix = Etx_util.Matrix
+module Table = Etx_util.Table
+module Units = Etx_util.Units
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_float_eps eps = Alcotest.(check (float eps))
+
+(* - PRNG - *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int t ~bound:17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_prng_int_covers_range () =
+  let t = Prng.create ~seed:9 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int t ~bound:8) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_prng_float_bounds () =
+  let t = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float t ~bound:3.5 in
+    Alcotest.(check bool) "in range" true (x >= 0. && x < 3.5)
+  done
+
+let test_prng_float_mean () =
+  let t = Prng.create ~seed:13 in
+  let stats = Stats.create () in
+  for _ = 1 to 10_000 do
+    Stats.add stats (Prng.float t ~bound:1.)
+  done;
+  check_float_eps 0.02 "uniform mean near 0.5" 0.5 (Stats.mean stats)
+
+let test_prng_bool_balance () =
+  let t = Prng.create ~seed:17 in
+  let trues = ref 0 in
+  for _ = 1 to 10_000 do
+    if Prng.bool t then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 4500 && !trues < 5500)
+
+let test_prng_bytes_length () =
+  let t = Prng.create ~seed:19 in
+  Alcotest.(check int) "length" 16 (Bytes.length (Prng.bytes t ~len:16))
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create ~seed:23 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:29 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies agree" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_prng_split_differs () =
+  let a = Prng.create ~seed:31 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs" false (Prng.bits64 a = Prng.bits64 b)
+
+let test_prng_byte_range () =
+  let t = Prng.create ~seed:37 in
+  for _ = 1 to 1000 do
+    let b = Prng.byte t in
+    Alcotest.(check bool) "byte range" true (b >= 0 && b <= 255)
+  done
+
+(* - Stats - *)
+
+let test_stats_basic () =
+  let t = Stats.of_list [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "count" 4 (Stats.count t);
+  check_float "mean" 2.5 (Stats.mean t);
+  check_float "min" 1. (Stats.min t);
+  check_float "max" 4. (Stats.max t);
+  check_float "total" 10. (Stats.total t);
+  check_float_eps 1e-9 "variance" (5. /. 3.) (Stats.variance t)
+
+let test_stats_single_observation () =
+  let t = Stats.of_list [ 42. ] in
+  check_float "variance of one" 0. (Stats.variance t);
+  check_float "stddev of one" 0. (Stats.stddev t)
+
+let test_stats_merge_equals_concat () =
+  let a = Stats.of_list [ 1.; 5.; 9. ] and b = Stats.of_list [ 2.; 4. ] in
+  let merged = Stats.merge a b in
+  let direct = Stats.of_list [ 1.; 5.; 9.; 2.; 4. ] in
+  Alcotest.(check int) "count" (Stats.count direct) (Stats.count merged);
+  check_float_eps 1e-9 "mean" (Stats.mean direct) (Stats.mean merged);
+  check_float_eps 1e-9 "variance" (Stats.variance direct) (Stats.variance merged);
+  check_float "min" (Stats.min direct) (Stats.min merged);
+  check_float "max" (Stats.max direct) (Stats.max merged)
+
+let test_stats_merge_empty () =
+  let a = Stats.create () and b = Stats.of_list [ 3.; 7. ] in
+  let merged = Stats.merge a b in
+  check_float "mean survives empty merge" 5. (Stats.mean merged);
+  Alcotest.(check int) "count" 2 (Stats.count merged)
+
+let test_stats_percentile () =
+  let xs = [ 10.; 20.; 30.; 40.; 50. ] in
+  check_float "median" 30. (Stats.percentile xs ~p:0.5);
+  check_float "p0" 10. (Stats.percentile xs ~p:0.);
+  check_float "p100" 50. (Stats.percentile xs ~p:1.);
+  check_float "p25" 20. (Stats.percentile xs ~p:0.25)
+
+let test_stats_percentile_interpolates () =
+  check_float "interpolated" 15. (Stats.percentile [ 10.; 20. ] ~p:0.5)
+
+let test_stats_percentile_empty () =
+  Alcotest.check_raises "empty list" (Invalid_argument "Stats.percentile: empty list")
+    (fun () -> ignore (Stats.percentile [] ~p:0.5))
+
+let prop_stats_mean_bounded =
+  QCheck.Test.make ~name:"stats: min <= mean <= max" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let t = Stats.of_list xs in
+      Stats.min t -. 1e-9 <= Stats.mean t && Stats.mean t <= Stats.max t +. 1e-9)
+
+let prop_stats_merge_commutative =
+  QCheck.Test.make ~name:"stats: merge is commutative" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.))
+        (list_of_size Gen.(1 -- 20) (float_bound_exclusive 100.)))
+    (fun (xs, ys) ->
+      let a = Stats.merge (Stats.of_list xs) (Stats.of_list ys) in
+      let b = Stats.merge (Stats.of_list ys) (Stats.of_list xs) in
+      Float.abs (Stats.mean a -. Stats.mean b) < 1e-9
+      && Float.abs (Stats.variance a -. Stats.variance b) < 1e-6)
+
+(* - Matrix - *)
+
+let test_matrix_create_get_set () =
+  let m = Matrix.create ~dim:3 ~init:1.5 in
+  Alcotest.(check int) "dim" 3 (Matrix.dim m);
+  check_float "init" 1.5 (Matrix.get m 2 2);
+  Matrix.set m 1 2 9.;
+  check_float "set" 9. (Matrix.get m 1 2);
+  check_float "others untouched" 1.5 (Matrix.get m 2 1)
+
+let test_matrix_bad_dim () =
+  Alcotest.check_raises "zero dim" (Invalid_argument "Matrix.create: dim must be positive")
+    (fun () -> ignore (Matrix.create ~dim:0 ~init:0.))
+
+let test_matrix_init () =
+  let m = Matrix.init ~dim:4 ~f:(fun i j -> float_of_int ((i * 10) + j)) in
+  check_float "entry" 23. (Matrix.get m 2 3)
+
+let test_matrix_copy_isolated () =
+  let m = Matrix.create ~dim:2 ~init:0. in
+  let c = Matrix.copy m in
+  Matrix.set c 0 0 5.;
+  check_float "original untouched" 0. (Matrix.get m 0 0)
+
+let test_matrix_map () =
+  let m = Matrix.init ~dim:2 ~f:(fun i j -> float_of_int (i + j)) in
+  let doubled = Matrix.map m ~f:(fun x -> 2. *. x) in
+  check_float "mapped" 4. (Matrix.get doubled 1 1)
+
+let test_matrix_equal () =
+  let a = Matrix.init ~dim:2 ~f:(fun i j -> float_of_int (i + j)) in
+  let b = Matrix.copy a in
+  Alcotest.(check bool) "equal" true (Matrix.equal a b);
+  Matrix.set b 0 1 100.;
+  Alcotest.(check bool) "not equal" false (Matrix.equal a b)
+
+let test_matrix_equal_infinities () =
+  let a = Matrix.create ~dim:2 ~init:infinity in
+  let b = Matrix.create ~dim:2 ~init:infinity in
+  Alcotest.(check bool) "infinities equal" true (Matrix.equal a b)
+
+let test_matrix_iteri_visits_all () =
+  let m = Matrix.create ~dim:3 ~init:1. in
+  let total = ref 0. in
+  Matrix.iteri m ~f:(fun _ _ v -> total := !total +. v);
+  check_float "9 entries" 9. !total
+
+let test_matrix_int () =
+  let m = Matrix.Int.create ~dim:2 ~init:(-1) in
+  Matrix.Int.set m 0 1 7;
+  Alcotest.(check int) "get" 7 (Matrix.Int.get m 0 1);
+  Alcotest.(check int) "init" (-1) (Matrix.Int.get m 1 0);
+  let c = Matrix.Int.copy m in
+  Matrix.Int.set c 0 1 8;
+  Alcotest.(check int) "copy isolated" 7 (Matrix.Int.get m 0 1);
+  Alcotest.(check bool) "equality" false (Matrix.Int.equal m c)
+
+(* - Table - *)
+
+let test_table_renders_rows () =
+  let t = Table.create ~columns:[ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length rendered > 0
+    && Astring_contains.contains rendered "name"
+    && Astring_contains.contains rendered "alpha"
+    && Astring_contains.contains rendered "22")
+
+let test_table_arity_mismatch () =
+  let t = Table.create ~columns:[ ("a", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+let test_table_alignment () =
+  let t = Table.create ~columns:[ ("n", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "100" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  (* the "1" row must be right-padded to the width of "100" *)
+  let row1 = List.nth lines 3 in
+  Alcotest.(check bool) "right aligned" true (Astring_contains.contains row1 "  1")
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "float decimals" "3.1416" (Table.cell_float ~decimals:4 3.14159);
+  Alcotest.(check string) "percent" "47.8%" (Table.cell_percent 0.478)
+
+(* - Units - *)
+
+let test_units_cycle () =
+  check_float "100 MHz" 1e8 Units.clock_frequency_hz;
+  check_float "10 ns" 1e-8 Units.cycle_seconds
+
+let test_units_power_to_energy () =
+  (* 6.94 mW at 100 MHz = 69.4 pJ per cycle *)
+  check_float_eps 1e-6 "controller dynamic" 69.4
+    (Units.picojoules_per_cycle_of_milliwatts 6.94)
+
+let test_units_roundtrip () =
+  check_float_eps 1e-9 "pJ <-> J" 123.45
+    (Units.picojoules_of_joules (Units.joules_of_picojoules 123.45))
+
+let suite =
+  [
+    ( "util/prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+        Alcotest.test_case "int covers range" `Quick test_prng_int_covers_range;
+        Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+        Alcotest.test_case "float mean" `Quick test_prng_float_mean;
+        Alcotest.test_case "bool balance" `Quick test_prng_bool_balance;
+        Alcotest.test_case "bytes length" `Quick test_prng_bytes_length;
+        Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+        Alcotest.test_case "split differs" `Quick test_prng_split_differs;
+        Alcotest.test_case "byte range" `Quick test_prng_byte_range;
+      ] );
+    ( "util/stats",
+      [
+        Alcotest.test_case "basic accumulation" `Quick test_stats_basic;
+        Alcotest.test_case "single observation" `Quick test_stats_single_observation;
+        Alcotest.test_case "merge equals concat" `Quick test_stats_merge_equals_concat;
+        Alcotest.test_case "merge with empty" `Quick test_stats_merge_empty;
+        Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+        Alcotest.test_case "percentile interpolates" `Quick test_stats_percentile_interpolates;
+        Alcotest.test_case "percentile empty" `Quick test_stats_percentile_empty;
+        QCheck_alcotest.to_alcotest prop_stats_mean_bounded;
+        QCheck_alcotest.to_alcotest prop_stats_merge_commutative;
+      ] );
+    ( "util/matrix",
+      [
+        Alcotest.test_case "create/get/set" `Quick test_matrix_create_get_set;
+        Alcotest.test_case "bad dim" `Quick test_matrix_bad_dim;
+        Alcotest.test_case "init" `Quick test_matrix_init;
+        Alcotest.test_case "copy isolated" `Quick test_matrix_copy_isolated;
+        Alcotest.test_case "map" `Quick test_matrix_map;
+        Alcotest.test_case "equal" `Quick test_matrix_equal;
+        Alcotest.test_case "equal infinities" `Quick test_matrix_equal_infinities;
+        Alcotest.test_case "iteri visits all" `Quick test_matrix_iteri_visits_all;
+        Alcotest.test_case "int matrices" `Quick test_matrix_int;
+      ] );
+    ( "util/table",
+      [
+        Alcotest.test_case "renders rows" `Quick test_table_renders_rows;
+        Alcotest.test_case "arity mismatch" `Quick test_table_arity_mismatch;
+        Alcotest.test_case "alignment" `Quick test_table_alignment;
+        Alcotest.test_case "cell formatting" `Quick test_table_cells;
+      ] );
+    ( "util/units",
+      [
+        Alcotest.test_case "cycle constants" `Quick test_units_cycle;
+        Alcotest.test_case "power to energy" `Quick test_units_power_to_energy;
+        Alcotest.test_case "roundtrip" `Quick test_units_roundtrip;
+      ] );
+  ]

@@ -1,0 +1,352 @@
+(* Tests for etx_etsim.Workload, the Timeline recorder, the Heatmap
+   renderer, and link-failure behaviour in the engine. *)
+
+module Workload = Etx_etsim.Workload
+module Timeline = Etx_etsim.Timeline
+module Engine = Etx_etsim.Engine
+module Metrics = Etx_etsim.Metrics
+module Config = Etx_etsim.Config
+module Topology = Etx_graph.Topology
+
+let key_hex = "000102030405060708090a0b0c0d0e0f"
+let contains = Astring_contains.contains
+
+(* - Workload - *)
+
+let test_workload_aes_encrypt_shape () =
+  let w = Workload.aes_encrypt ~key_hex in
+  Alcotest.(check int) "3 modules" 3 (Workload.module_count w);
+  Alcotest.(check int) "30 acts" 30 (Workload.plan_length w);
+  Alcotest.(check (array int)) "f vector" [| 10; 9; 11 |] (Workload.acts_per_job w);
+  Alcotest.(check string) "name" "aes-128-encrypt" (Workload.name w)
+
+let test_workload_aes_encrypt_computes_aes () =
+  let w = Workload.aes_encrypt ~key_hex in
+  let payload = Etx_aes.Block.of_hex "00112233445566778899aabbccddeeff" in
+  let final = Array.fold_left (fun p act -> Workload.apply w act p) payload (Workload.plan w) in
+  Alcotest.(check string) "ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (Etx_aes.Block.to_hex final);
+  Alcotest.(check bool) "reference agrees" true
+    (Bytes.equal final (Workload.reference w payload))
+
+let test_workload_decrypt_inverts_encrypt () =
+  let enc = Workload.aes_encrypt ~key_hex and dec = Workload.aes_decrypt ~key_hex in
+  Alcotest.(check (array int)) "same f vector" (Workload.acts_per_job enc)
+    (Workload.acts_per_job dec);
+  let payload = Bytes.of_string "sixteen byte msg" in
+  let ct = Workload.reference enc payload in
+  Alcotest.(check bool) "decrypt (encrypt x) = x" true
+    (Bytes.equal (Workload.reference dec ct) payload)
+
+let test_workload_synthetic_counts () =
+  let w = Workload.synthetic ~acts_per_job:[| 5; 3; 7; 2 |] () in
+  Alcotest.(check int) "modules" 4 (Workload.module_count w);
+  Alcotest.(check int) "total acts" 17 (Workload.plan_length w);
+  Alcotest.(check (array int)) "counts preserved" [| 5; 3; 7; 2 |] (Workload.acts_per_job w)
+
+let test_workload_synthetic_avoids_repeats () =
+  let w = Workload.synthetic ~acts_per_job:[| 10; 10; 10 |] () in
+  let plan = Workload.plan w in
+  for i = 0 to Array.length plan - 2 do
+    Alcotest.(check bool) "no consecutive repeats" true
+      (plan.(i).Workload.module_index <> plan.(i + 1).Workload.module_index)
+  done
+
+let test_workload_synthetic_payload_identity () =
+  let w = Workload.synthetic ~acts_per_job:[| 2; 2 |] () in
+  let payload = Bytes.of_string "0123456789abcdef" in
+  let final = Array.fold_left (fun p act -> Workload.apply w act p) payload (Workload.plan w) in
+  Alcotest.(check bool) "untransformed" true (Bytes.equal final payload);
+  Alcotest.(check bool) "reference is identity" true
+    (Bytes.equal (Workload.reference w payload) payload)
+
+let test_workload_synthetic_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Workload.synthetic: no modules")
+    (fun () -> ignore (Workload.synthetic ~acts_per_job:[||] ()));
+  Alcotest.check_raises "zero acts"
+    (Invalid_argument "Workload.synthetic: acts must be positive") (fun () ->
+      ignore (Workload.synthetic ~acts_per_job:[| 1; 0 |] ()))
+
+let test_workload_act_at () =
+  let w = Workload.aes_encrypt ~key_hex in
+  Alcotest.(check bool) "first act is module 3" true
+    (match Workload.act_at w ~step:0 with
+    | Some act -> act.Workload.module_index = 2
+    | None -> false);
+  Alcotest.(check bool) "past end" true (Workload.act_at w ~step:30 = None)
+
+let test_workload_problem () =
+  let w = Workload.synthetic ~acts_per_job:[| 4; 6 |] () in
+  let p =
+    Workload.problem w ~computation_energy_pj:[| 100.; 50. |]
+      ~communication_energy_pj:[| 10.; 10. |] ~battery_budget_pj:1000. ~node_budget:4
+  in
+  Alcotest.(check (float 1e-9)) "H1" (4. *. 110.)
+    (Etx_routing.Problem.normalized_energy p ~module_index:0)
+
+let test_engine_runs_decrypt_workload () =
+  let config =
+    Etextile.Calibration.config
+      ~workloads:[ Workload.aes_decrypt ~key_hex ]
+      ~mesh_size:4 ~seed:1 ()
+  in
+  let m = Engine.simulate config in
+  Alcotest.(check bool) "jobs done" true (m.Metrics.jobs_completed > 20);
+  Alcotest.(check int) "all plaintexts verified" m.jobs_completed m.jobs_verified
+
+let test_engine_runs_synthetic_workload () =
+  let config =
+    Etextile.Calibration.config
+      ~workloads:[ Workload.synthetic ~acts_per_job:[| 10; 9; 11 |] () ]
+      ~mesh_size:4 ~seed:1 ()
+  in
+  let m = Engine.simulate config in
+  Alcotest.(check bool) "jobs done" true (m.Metrics.jobs_completed > 20);
+  Alcotest.(check int) "identity payloads verified" m.jobs_completed m.jobs_verified
+
+let test_config_rejects_module_mismatch () =
+  let workload = Workload.synthetic ~acts_per_job:[| 1; 1; 1; 1 |] () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Config.make: workload module count differs from the energy table")
+    (fun () ->
+      ignore
+        (Config.make ~topology:(Topology.square_mesh ~size:4 ()) ~workloads:[ workload ] ()));
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Config.make: need at least one workload") (fun () ->
+      ignore (Config.make ~topology:(Topology.square_mesh ~size:4 ()) ~workloads:[] ()))
+
+let test_engine_duplex_traffic () =
+  (* encryption and decryption jobs interleaved on the same fabric *)
+  let config =
+    Etextile.Calibration.config
+      ~workloads:[ Workload.aes_encrypt ~key_hex; Workload.aes_decrypt ~key_hex ]
+      ~mesh_size:4 ~seed:1 ()
+  in
+  let m = Engine.simulate config in
+  Alcotest.(check bool) "jobs done" true (m.Metrics.jobs_completed > 20);
+  Alcotest.(check int) "both directions verified" m.jobs_completed m.jobs_verified
+
+(* - Timeline - *)
+
+let sample cycle jobs =
+  {
+    Timeline.cycle;
+    jobs_completed = jobs;
+    jobs_in_flight = 1;
+    alive_nodes = 16;
+    mean_soc = 0.5;
+    min_soc = 0.25;
+    total_remaining_pj = 1000.;
+    deadlocked_ports = 0;
+  }
+
+let test_timeline_order_and_csv () =
+  let t = Timeline.create () in
+  Timeline.record t (sample 0 0);
+  Timeline.record t (sample 800 3);
+  Alcotest.(check int) "length" 2 (Timeline.length t);
+  begin
+    match Timeline.samples t with
+    | [ a; b ] ->
+      Alcotest.(check int) "chronological" 0 a.Timeline.cycle;
+      Alcotest.(check int) "second" 800 b.Timeline.cycle
+    | _ -> Alcotest.fail "expected two samples"
+  end;
+  let csv = Timeline.to_csv t in
+  Alcotest.(check bool) "header" true (contains csv "cycle,jobs_completed");
+  Alcotest.(check int) "3 lines + trailing" 4 (List.length (String.split_on_char '\n' csv))
+
+let test_timeline_from_engine () =
+  let config = Etextile.Calibration.config ~mesh_size:4 ~seed:1 () in
+  let engine = Engine.create ~record_timeline:true config in
+  let m = Engine.run engine in
+  match Engine.timeline engine with
+  | None -> Alcotest.fail "timeline missing"
+  | Some timeline ->
+    Alcotest.(check int) "one sample per frame" m.Metrics.frames (Timeline.length timeline);
+    let series = Timeline.samples timeline in
+    let first = List.hd series and last = List.nth series (List.length series - 1) in
+    Alcotest.(check bool) "fabric drains" true
+      (last.Timeline.total_remaining_pj < first.Timeline.total_remaining_pj);
+    Alcotest.(check bool) "jobs monotone" true
+      (let ok = ref true in
+       let previous = ref (-1) in
+       List.iter
+         (fun s ->
+           if s.Timeline.jobs_completed < !previous then ok := false;
+           previous := s.Timeline.jobs_completed)
+         series;
+       !ok)
+
+let test_timeline_disabled_by_default () =
+  let engine = Engine.create (Etextile.Calibration.config ~mesh_size:4 ~seed:1 ()) in
+  ignore (Engine.run engine);
+  Alcotest.(check bool) "no timeline" true (Engine.timeline engine = None)
+
+(* - Heatmap - *)
+
+let test_heatmap_renders_grid () =
+  let topology = Topology.square_mesh ~size:3 () in
+  let values = Array.make 9 0.55 in
+  let alive = Array.make 9 true in
+  alive.(4) <- false;
+  let rendered = Etextile.Heatmap.render ~topology ~values ~alive () in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check string) "first row" "5 5 5 " (List.nth lines 0);
+  Alcotest.(check string) "dead centre" "5 x 5 " (List.nth lines 1);
+  Alcotest.(check bool) "legend" true (contains rendered "tenths")
+
+let test_heatmap_glyphs () =
+  Alcotest.(check char) "full" '9' (Etextile.Heatmap.glyph ~soc:0.95 ~alive:true);
+  Alcotest.(check char) "empty" '0' (Etextile.Heatmap.glyph ~soc:0.01 ~alive:true);
+  Alcotest.(check char) "clamped" '9' (Etextile.Heatmap.glyph ~soc:1.5 ~alive:true);
+  Alcotest.(check char) "dead" 'x' (Etextile.Heatmap.glyph ~soc:0.9 ~alive:false)
+
+let test_heatmap_arity_check () =
+  let topology = Topology.square_mesh ~size:3 () in
+  Alcotest.check_raises "values arity"
+    (Invalid_argument "Heatmap.render: values arity mismatch") (fun () ->
+      ignore (Etextile.Heatmap.render ~topology ~values:[| 1. |] ()))
+
+(* - Link failures - *)
+
+let test_link_failure_validation () =
+  let topology = Topology.square_mesh ~size:4 () in
+  Alcotest.check_raises "bogus link"
+    (Invalid_argument "Config.make: link failure names a non-existent link") (fun () ->
+      ignore (Config.make ~topology ~link_failure_schedule:[ (0, 0, 5) ] ()));
+  Alcotest.check_raises "negative cycle"
+    (Invalid_argument "Config.make: link failure before cycle 0") (fun () ->
+      ignore (Config.make ~topology ~link_failure_schedule:[ (-1, 0, 1) ] ()))
+
+let test_link_failures_counted_and_survivable () =
+  let topology = Topology.square_mesh ~size:6 () in
+  let schedule = [ (1000, 0, 1); (2000, 7, 8); (3000, 14, 20) ] in
+  let config =
+    Etextile.Calibration.config ~link_failure_schedule:schedule ~mesh_size:6 ~seed:1 ()
+  in
+  ignore topology;
+  let m = Engine.simulate config in
+  Alcotest.(check int) "all breaks applied" 3 m.Metrics.links_failed;
+  Alcotest.(check bool) "platform survives and works" true (m.jobs_completed > 50)
+
+let test_link_failures_cost_jobs () =
+  let baseline = Engine.simulate (Etextile.Calibration.config ~mesh_size:6 ~seed:1 ()) in
+  let topology = Topology.square_mesh ~size:6 () in
+  let schedule =
+    Etextile.Experiments.random_failure_schedule ~topology ~count:20 ~before_cycle:20_000
+      ~seed:7
+  in
+  let damaged =
+    Engine.simulate
+      (Etextile.Calibration.config ~link_failure_schedule:schedule ~mesh_size:6 ~seed:1 ())
+  in
+  Alcotest.(check bool) "damage reduces throughput" true
+    (damaged.Metrics.jobs_completed <= baseline.Metrics.jobs_completed)
+
+let test_random_failure_schedule_properties () =
+  let topology = Topology.square_mesh ~size:5 () in
+  let schedule =
+    Etextile.Experiments.random_failure_schedule ~topology ~count:10 ~before_cycle:5000
+      ~seed:3
+  in
+  Alcotest.(check int) "count" 10 (List.length schedule);
+  List.iter
+    (fun (cycle, a, b) ->
+      Alcotest.(check bool) "cycle in range" true (cycle >= 0 && cycle < 5000);
+      Alcotest.(check bool) "link exists" true
+        (Etx_graph.Digraph.mem_edge topology.Topology.graph ~src:a ~dst:b))
+    schedule;
+  let undirected = List.map (fun (_, a, b) -> (min a b, max a b)) schedule in
+  Alcotest.(check int) "links distinct" 10 (List.length (List.sort_uniq compare undirected))
+
+let test_random_failure_schedule_too_many () =
+  let topology = Topology.square_mesh ~size:3 () in
+  Alcotest.check_raises "too many"
+    (Invalid_argument "random_failure_schedule: more failures than links") (fun () ->
+      ignore
+        (Etextile.Experiments.random_failure_schedule ~topology ~count:100
+           ~before_cycle:100 ~seed:1))
+
+(* - New experiment sweeps (narrow) - *)
+
+let test_experiments_workloads_agree () =
+  let rows = Etextile.Experiments.workloads ~mesh_size:4 ~seeds:[ 1 ] () in
+  Alcotest.(check int) "four workloads" 4 (List.length rows);
+  let jobs = List.map (fun (r : Etextile.Experiments.ablation_row) -> r.jobs) rows in
+  let lo = List.fold_left min infinity jobs and hi = List.fold_left max 0. jobs in
+  (* routing is workload-agnostic: all three within ~15% *)
+  Alcotest.(check bool) "near-identical throughput" true (hi -. lo <= 0.15 *. hi)
+
+let test_experiments_generality_rows () =
+  let rows = Etextile.Experiments.generality ~module_counts:[ 2; 4 ] ~seeds:[ 1 ] () in
+  Alcotest.(check int) "two depths" 2 (List.length rows);
+  List.iter
+    (fun (r : Etextile.Experiments.ablation_row) ->
+      Alcotest.(check bool) "pipelines complete work" true (r.jobs > 10.);
+      Alcotest.(check bool) "label mentions gain" true (contains r.label "gain"))
+    rows
+
+let test_experiments_link_failures_rows () =
+  let rows =
+    Etextile.Experiments.link_failures ~mesh_size:4 ~failure_counts:[ 0; 4 ] ~seeds:[ 1 ] ()
+  in
+  match rows with
+  | [ intact; damaged ] ->
+    Alcotest.(check bool) "intact >= damaged"
+      true
+      Etextile.Experiments.(intact.jobs >= damaged.jobs)
+  | _ -> Alcotest.fail "expected two rows"
+
+let suite =
+  [
+    ( "etsim/workload",
+      [
+        Alcotest.test_case "aes encrypt shape" `Quick test_workload_aes_encrypt_shape;
+        Alcotest.test_case "aes encrypt computes AES" `Quick
+          test_workload_aes_encrypt_computes_aes;
+        Alcotest.test_case "decrypt inverts encrypt" `Quick
+          test_workload_decrypt_inverts_encrypt;
+        Alcotest.test_case "synthetic counts" `Quick test_workload_synthetic_counts;
+        Alcotest.test_case "synthetic avoids repeats" `Quick
+          test_workload_synthetic_avoids_repeats;
+        Alcotest.test_case "synthetic payload identity" `Quick
+          test_workload_synthetic_payload_identity;
+        Alcotest.test_case "synthetic validation" `Quick test_workload_synthetic_validation;
+        Alcotest.test_case "act_at" `Quick test_workload_act_at;
+        Alcotest.test_case "problem" `Quick test_workload_problem;
+        Alcotest.test_case "engine runs decrypt" `Quick test_engine_runs_decrypt_workload;
+        Alcotest.test_case "engine runs synthetic" `Quick test_engine_runs_synthetic_workload;
+        Alcotest.test_case "config module mismatch" `Quick test_config_rejects_module_mismatch;
+        Alcotest.test_case "duplex traffic" `Quick test_engine_duplex_traffic;
+      ] );
+    ( "etsim/timeline",
+      [
+        Alcotest.test_case "order and csv" `Quick test_timeline_order_and_csv;
+        Alcotest.test_case "from engine" `Quick test_timeline_from_engine;
+        Alcotest.test_case "disabled by default" `Quick test_timeline_disabled_by_default;
+      ] );
+    ( "etextile/heatmap",
+      [
+        Alcotest.test_case "renders grid" `Quick test_heatmap_renders_grid;
+        Alcotest.test_case "glyphs" `Quick test_heatmap_glyphs;
+        Alcotest.test_case "arity check" `Quick test_heatmap_arity_check;
+      ] );
+    ( "etsim/link-failures",
+      [
+        Alcotest.test_case "validation" `Quick test_link_failure_validation;
+        Alcotest.test_case "counted and survivable" `Quick
+          test_link_failures_counted_and_survivable;
+        Alcotest.test_case "damage costs jobs" `Quick test_link_failures_cost_jobs;
+        Alcotest.test_case "random schedule properties" `Quick
+          test_random_failure_schedule_properties;
+        Alcotest.test_case "random schedule bounds" `Quick
+          test_random_failure_schedule_too_many;
+      ] );
+    ( "etextile/extensions",
+      [
+        Alcotest.test_case "workloads agree" `Slow test_experiments_workloads_agree;
+        Alcotest.test_case "generality rows" `Slow test_experiments_generality_rows;
+        Alcotest.test_case "link failure rows" `Slow test_experiments_link_failures_rows;
+      ] );
+  ]
