@@ -42,10 +42,14 @@ let ear_recompute_kernel =
   let topology = Etx_graph.Topology.square_mesh ~size:8 () in
   let mapping = Etx_routing.Mapping.checkerboard topology in
   let snapshot = Etx_routing.Router.full_snapshot ~node_count:64 ~levels:8 in
+  (* Persistent workspace, like the controller's per-frame path: the
+     scratch matrices are reused across recomputes instead of
+     reallocated. *)
+  let workspace = Etx_routing.Router.create_workspace () in
   fun () ->
     ignore
-      (Etx_routing.Router.compute ~graph:topology.Etx_graph.Topology.graph ~mapping
-         ~module_count:3
+      (Etx_routing.Router.compute ~workspace ~graph:topology.Etx_graph.Topology.graph
+         ~mapping ~module_count:3
          ~weight:(Etx_routing.Weight.Exponential { q = 2. })
          snapshot)
 
@@ -98,14 +102,52 @@ let tests =
       Test.make ~name:"kernel/lifetime-prediction-64" (Staged.stage analysis_kernel);
     ]
 
-let run_benchmarks () =
+(* Flat { "benchmark-name": ns_per_run } object, hand-rolled so the
+   harness stays dependency-free.  Names are ASCII test labels; escape
+   the JSON specials anyway. *)
+let write_json path rows =
+  let escape name =
+    let buffer = Buffer.create (String.length name) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buffer "\\\""
+        | '\\' -> Buffer.add_string buffer "\\\\"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buffer (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buffer c)
+      name;
+    Buffer.contents buffer
+  in
+  let out = open_out path in
+  output_string out "{\n";
+  List.iteri
+    (fun i (name, nanoseconds) ->
+      Printf.fprintf out "  \"%s\": %.1f%s\n" (escape name) nanoseconds
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string out "}\n";
+  close_out out
+
+let run_benchmarks ~smoke ~json () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let cfg =
+    if smoke then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  let estimated =
+    List.filter_map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some [ nanoseconds ] -> Some (name, nanoseconds)
+        | Some _ | None -> None)
+      rows
+  in
   print_endline "Bechamel benchmarks (monotonic clock):";
   List.iter
     (fun (name, result) ->
@@ -113,46 +155,82 @@ let run_benchmarks () =
       | Some [ nanoseconds ] -> Printf.printf "  %-44s %14.1f ns/run\n" name nanoseconds
       | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
     rows;
-  print_newline ()
+  print_newline ();
+  match json with
+  | None -> ()
+  | Some path ->
+    write_json path estimated;
+    Printf.printf "wrote %d estimates to %s\n%!" (List.length estimated) path
 
-let run_reproduction () =
+let run_reproduction ~domains () =
   print_endline "=== Paper reproduction: regenerating every table and figure ===\n";
   Etextile.Report.print (Etextile.Report.thm1 (Etextile.Experiments.thm1 ()));
-  Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ()));
-  Etextile.Report.print (Etextile.Report.table2 (Etextile.Experiments.table2 ()));
-  Etextile.Report.print (Etextile.Report.fig8 (Etextile.Experiments.fig8 ()));
+  Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~domains ()));
+  Etextile.Report.print (Etextile.Report.table2 (Etextile.Experiments.table2 ~domains ()));
+  Etextile.Report.print (Etextile.Report.fig8 (Etextile.Experiments.fig8 ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Ablation - weight families (6x6 mesh)"
-       (Etextile.Experiments.ablation_weights ()));
+       (Etextile.Experiments.ablation_weights ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Ablation - battery-level quantization N_B (6x6)"
-       (Etextile.Experiments.ablation_quantization ()));
+       (Etextile.Experiments.ablation_quantization ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Ablation - mapping strategy (6x6)"
-       (Etextile.Experiments.ablation_mapping ()));
+       (Etextile.Experiments.ablation_mapping ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Ablation - battery model x policy (6x6)"
-       (Etextile.Experiments.ablation_battery ()));
+       (Etextile.Experiments.ablation_battery ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Extension - workload generality (same f vector, 6x6)"
-       (Etextile.Experiments.workloads ()));
+       (Etextile.Experiments.workloads ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Extension - synthetic pipelines of 2..6 modules (6x6)"
-       (Etextile.Experiments.generality ()));
+       (Etextile.Experiments.generality ~domains ()));
   Etextile.Report.print
     (Etextile.Report.ablation ~title:"Extension - wear-and-tear link failures (6x6, EAR)"
-       (Etextile.Experiments.link_failures ()));
+       (Etextile.Experiments.link_failures ~domains ()));
   Etextile.Report.print
-    (Etextile.Report.predictions (Etextile.Experiments.predictions ()));
-  Etextile.Report.print (Etextile.Report.scenarios (Etextile.Experiments.scenarios ()));
+    (Etextile.Report.predictions (Etextile.Experiments.predictions ~domains ()));
   Etextile.Report.print
-    (Etextile.Report.algorithms (Etextile.Experiments.algorithms ()));
+    (Etextile.Report.scenarios (Etextile.Experiments.scenarios ~domains ()));
   Etextile.Report.print
-    (Etextile.Report.concurrency (Etextile.Experiments.concurrency ()))
+    (Etextile.Report.algorithms (Etextile.Experiments.algorithms ~domains ()));
+  Etextile.Report.print
+    (Etextile.Report.concurrency (Etextile.Experiments.concurrency ~domains ()))
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--bench-only | --repro-only] [--smoke] [--json FILE] [--jobs N]";
+  exit 2
 
 let () =
-  let arguments = Array.to_list Sys.argv in
-  let bench_only = List.mem "--bench-only" arguments in
-  let repro_only = List.mem "--repro-only" arguments in
-  if not repro_only then run_benchmarks ();
-  if not bench_only then run_reproduction ()
+  let bench_only = ref false in
+  let repro_only = ref false in
+  let smoke = ref false in
+  let json = ref None in
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let rec parse = function
+    | [] -> ()
+    | "--bench-only" :: rest ->
+      bench_only := true;
+      parse rest
+    | "--repro-only" :: rest ->
+      repro_only := true;
+      parse rest
+    | "--smoke" :: rest ->
+      smoke := true;
+      parse rest
+    | "--json" :: path :: rest ->
+      json := Some path;
+      parse rest
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        jobs := n;
+        parse rest
+      | Some _ | None -> usage ())
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if not !repro_only then run_benchmarks ~smoke:!smoke ~json:!json ();
+  if not !bench_only then run_reproduction ~domains:!jobs ()

@@ -23,6 +23,17 @@ let size_arg =
   let doc = "Square mesh size." in
   Arg.(value & opt int 6 & info [ "size" ] ~docv:"N" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep (simulations are independent, so sweeps \
+     parallelize; results are bit-identical for any value).  Defaults to the \
+     machine's recommended domain count."
+  in
+  Arg.(
+    value
+    & opt int (Domain.recommended_domain_count ())
+    & info [ "jobs" ] ~docv:"N" ~doc)
+
 let check_sizes sizes =
   if List.exists (fun s -> s < 2) sizes then
     `Error (false, "mesh sizes must be at least 2")
@@ -31,26 +42,28 @@ let check_sizes sizes =
 (* - paper artifacts - *)
 
 let fig7_cmd =
-  let run sizes seeds =
-    match check_sizes sizes with
-    | `Error _ as e -> e
-    | `Ok () ->
-      Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~sizes ~seeds ()));
-      `Ok ()
-  in
-  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
-  Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Fig 7: completed jobs, EAR vs SDR.") term
-
-let table2_cmd =
-  let run sizes seeds =
+  let run sizes seeds jobs =
     match check_sizes sizes with
     | `Error _ as e -> e
     | `Ok () ->
       Etextile.Report.print
-        (Etextile.Report.table2 (Etextile.Experiments.table2 ~sizes ~seeds ()));
+        (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~sizes ~seeds ~domains:jobs ()));
       `Ok ()
   in
-  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
+  Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Fig 7: completed jobs, EAR vs SDR.") term
+
+let table2_cmd =
+  let run sizes seeds jobs =
+    match check_sizes sizes with
+    | `Error _ as e -> e
+    | `Ok () ->
+      Etextile.Report.print
+        (Etextile.Report.table2
+           (Etextile.Experiments.table2 ~sizes ~seeds ~domains:jobs ()));
+      `Ok ()
+  in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce Table 2: EAR vs the Theorem 1 upper bound.")
     term
@@ -61,16 +74,16 @@ let fig8_cmd =
     Arg.(
       value & opt (list int) [ 1; 2; 4; 7; 10 ] & info [ "controllers" ] ~docv:"COUNTS" ~doc)
   in
-  let run sizes controller_counts seeds =
+  let run sizes controller_counts seeds jobs =
     match check_sizes sizes with
     | `Error _ as e -> e
     | `Ok () ->
       Etextile.Report.print
         (Etextile.Report.fig8
-           (Etextile.Experiments.fig8 ~sizes ~controller_counts ~seeds ()));
+           (Etextile.Experiments.fig8 ~sizes ~controller_counts ~seeds ~domains:jobs ()));
       `Ok ()
   in
-  let term = Term.(ret (const run $ sizes_arg $ controllers_arg $ seeds_arg)) in
+  let term = Term.(ret (const run $ sizes_arg $ controllers_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v (Cmd.info "fig8" ~doc:"Reproduce Fig 8: lifetime vs number of controllers.") term
 
 let thm1_cmd =
@@ -87,21 +100,21 @@ let thm1_cmd =
     term
 
 let ablations_cmd =
-  let run mesh_size seeds =
+  let run mesh_size seeds jobs =
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Ablation - weight families"
-         (Etextile.Experiments.ablation_weights ~mesh_size ~seeds ()));
+         (Etextile.Experiments.ablation_weights ~mesh_size ~seeds ~domains:jobs ()));
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Ablation - battery-level quantization"
-         (Etextile.Experiments.ablation_quantization ~mesh_size ~seeds ()));
+         (Etextile.Experiments.ablation_quantization ~mesh_size ~seeds ~domains:jobs ()));
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Ablation - mapping strategy"
-         (Etextile.Experiments.ablation_mapping ~mesh_size ~seeds ()));
+         (Etextile.Experiments.ablation_mapping ~mesh_size ~seeds ~domains:jobs ()));
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Ablation - battery model x policy"
-         (Etextile.Experiments.ablation_battery ~mesh_size ~seeds ()))
+         (Etextile.Experiments.ablation_battery ~mesh_size ~seeds ~domains:jobs ()))
   in
-  let term = Term.(const run $ size_arg $ seeds_arg) in
+  let term = Term.(const run $ size_arg $ seeds_arg $ jobs_arg) in
   Cmd.v (Cmd.info "ablations" ~doc:"Run the design-choice ablation sweeps.") term
 
 let concurrency_cmd =
@@ -109,36 +122,36 @@ let concurrency_cmd =
     let doc = "Numbers of concurrent jobs to sweep." in
     Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "depths" ] ~docv:"DEPTHS" ~doc)
   in
-  let run mesh_size depths seeds =
+  let run mesh_size depths seeds jobs =
     Etextile.Report.print
       (Etextile.Report.concurrency
-         (Etextile.Experiments.concurrency ~mesh_size ~depths ~seeds ()))
+         (Etextile.Experiments.concurrency ~mesh_size ~depths ~seeds ~domains:jobs ()))
   in
-  let term = Term.(const run $ size_arg $ depths_arg $ seeds_arg) in
+  let term = Term.(const run $ size_arg $ depths_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "concurrency"
        ~doc:"Sweep concurrent jobs and exercise deadlock recovery.")
     term
 
 let workloads_cmd =
-  let run mesh_size seeds =
+  let run mesh_size seeds jobs =
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Workload generality (same f vector)"
-         (Etextile.Experiments.workloads ~mesh_size ~seeds ()))
+         (Etextile.Experiments.workloads ~mesh_size ~seeds ~domains:jobs ()))
   in
-  let term = Term.(const run $ size_arg $ seeds_arg) in
+  let term = Term.(const run $ size_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "workloads"
        ~doc:"Compare AES encrypt / decrypt / synthetic workloads under EAR.")
     term
 
 let generality_cmd =
-  let run seeds =
+  let run seeds jobs =
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Synthetic pipelines of 2..6 modules (6x6)"
-         (Etextile.Experiments.generality ~seeds ()))
+         (Etextile.Experiments.generality ~seeds ~domains:jobs ()))
   in
-  let term = Term.(const run $ seeds_arg) in
+  let term = Term.(const run $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "generality" ~doc:"EAR-vs-SDR gain across synthetic pipeline depths.")
     term
@@ -148,12 +161,13 @@ let failures_cmd =
     let doc = "Numbers of broken interconnects to sweep." in
     Arg.(value & opt (list int) [ 0; 4; 8; 16; 24 ] & info [ "counts" ] ~docv:"COUNTS" ~doc)
   in
-  let run mesh_size failure_counts seeds =
+  let run mesh_size failure_counts seeds jobs =
     Etextile.Report.print
       (Etextile.Report.ablation ~title:"Wear-and-tear link failures (EAR)"
-         (Etextile.Experiments.link_failures ~mesh_size ~failure_counts ~seeds ()))
+         (Etextile.Experiments.link_failures ~mesh_size ~failure_counts ~seeds
+            ~domains:jobs ()))
   in
-  let term = Term.(const run $ size_arg $ counts_arg $ seeds_arg) in
+  let term = Term.(const run $ size_arg $ counts_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "failures" ~doc:"Sweep randomly breaking textile interconnects mid-life.")
     term
@@ -303,7 +317,7 @@ let simulate_cmd =
     term
 
 let predict_cmd =
-  let run sizes seeds =
+  let run sizes seeds jobs =
     match check_sizes sizes with
     | `Error _ as e -> e
     | `Ok () ->
@@ -320,10 +334,11 @@ let predict_cmd =
             (Etx_routing.Analysis.summary prediction))
         sizes;
       Etextile.Report.print
-        (Etextile.Report.predictions (Etextile.Experiments.predictions ~sizes ~seeds ()));
+        (Etextile.Report.predictions
+           (Etextile.Experiments.predictions ~sizes ~seeds ~domains:jobs ()));
       `Ok ()
   in
-  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
     (Cmd.info "predict" ~doc:"Static lifetime prediction vs simulation.")
     term
@@ -333,7 +348,7 @@ let optimize_cmd =
     let doc = "Local-search iterations." in
     Arg.(value & opt int 400 & info [ "iterations" ] ~docv:"N" ~doc)
   in
-  let run mesh_size iterations seeds =
+  let run mesh_size iterations seeds jobs =
     let problem = Etextile.Calibration.problem ~mesh_size in
     let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
     let result =
@@ -346,7 +361,7 @@ let optimize_cmd =
       result.prediction.Etx_routing.Analysis.predicted_jobs result.improved_swaps
       result.evaluations;
     let simulate mapping =
-      Etextile.Experiments.mean_jobs
+      Etextile.Experiments.mean_jobs ~domains:jobs
         (List.map
            (fun seed ->
              Etextile.Calibration.config ~mapping ~mesh_size ~seed ())
@@ -357,31 +372,33 @@ let optimize_cmd =
     Printf.printf "simulated: optimized %.1f vs checkerboard %.1f jobs\n" optimized
       checkerboard
   in
-  let term = Term.(const run $ size_arg $ iterations_arg $ seeds_arg) in
+  let term = Term.(const run $ size_arg $ iterations_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "optimize" ~doc:"Optimize the module placement by local search.")
     term
 
 let algorithms_cmd =
-  let run sizes seeds =
+  let run sizes seeds jobs =
     match check_sizes sizes with
     | `Error _ as e -> e
     | `Ok () ->
       Etextile.Report.print
-        (Etextile.Report.algorithms (Etextile.Experiments.algorithms ~sizes ~seeds ()));
+        (Etextile.Report.algorithms
+           (Etextile.Experiments.algorithms ~sizes ~seeds ~domains:jobs ()));
       `Ok ()
   in
-  let term = Term.(ret (const run $ sizes_arg $ seeds_arg)) in
+  let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
     (Cmd.info "algorithms" ~doc:"Three-way sweep: EAR vs max-min residual vs SDR.")
     term
 
 let scenarios_cmd =
-  let run seeds =
+  let run seeds jobs =
     Etextile.Report.print
-      (Etextile.Report.scenarios (Etextile.Experiments.scenarios ~seeds ()))
+      (Etextile.Report.scenarios
+         (Etextile.Experiments.scenarios ~seeds ~domains:jobs ()))
   in
-  let term = Term.(const run $ seeds_arg) in
+  let term = Term.(const run $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "scenarios" ~doc:"EAR vs SDR on the garment presets (shirt, jacket, ...).")
     term
@@ -437,13 +454,16 @@ let aes_cmd =
   Cmd.v (Cmd.info "aes" ~doc:"Run the platform's AES cipher on one block.") term
 
 let all_cmd =
-  let run seeds =
+  let run seeds jobs =
     Etextile.Report.print (Etextile.Report.thm1 (Etextile.Experiments.thm1 ()));
-    Etextile.Report.print (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~seeds ()));
-    Etextile.Report.print (Etextile.Report.table2 (Etextile.Experiments.table2 ~seeds ()));
-    Etextile.Report.print (Etextile.Report.fig8 (Etextile.Experiments.fig8 ~seeds ()))
+    Etextile.Report.print
+      (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~seeds ~domains:jobs ()));
+    Etextile.Report.print
+      (Etextile.Report.table2 (Etextile.Experiments.table2 ~seeds ~domains:jobs ()));
+    Etextile.Report.print
+      (Etextile.Report.fig8 (Etextile.Experiments.fig8 ~seeds ~domains:jobs ()))
   in
-  let term = Term.(const run $ seeds_arg) in
+  let term = Term.(const run $ seeds_arg $ jobs_arg) in
   Cmd.v (Cmd.info "all" ~doc:"Regenerate every paper table and figure.") term
 
 let main =

@@ -1,21 +1,55 @@
+module Pool = Etx_util.Pool
+
 let default_sizes = [ 4; 5; 6; 7; 8 ]
 
 let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
-
-let mean_jobs configs =
-  mean
-    (List.map
-       (fun config ->
-         let metrics = Etx_etsim.Engine.simulate config in
-         float_of_int metrics.Etx_etsim.Metrics.jobs_completed)
-       configs)
-
-let run_seeds ~seeds ~make =
-  List.map (fun seed -> Etx_etsim.Engine.simulate (make ~seed)) seeds
-
-let mean_of ~seeds ~make f = mean (List.map f (run_seeds ~seeds ~make))
-
 let jobs_of (m : Etx_etsim.Metrics.t) = float_of_int m.jobs_completed
+let simulate config = Etx_etsim.Engine.simulate config
+
+let mean_jobs ?(domains = 1) configs =
+  mean (List.map jobs_of (Pool.map ~domains simulate configs))
+
+(* - parallel fan-out - *)
+
+(* A sweep is assembled as a list of units, each owning the configs it
+   needs and a [finish] from their metrics (in config order) to a row.
+   All configs across all units are flattened into one batch for the
+   domain pool, so parallelism is never limited by row boundaries; the
+   pool preserves order, so results are bit-identical to a sequential
+   run regardless of [domains]. *)
+type 'row sweep_unit = {
+  configs : Etx_etsim.Config.t list;
+  finish : Etx_etsim.Metrics.t list -> 'row;
+}
+
+let rec take n xs =
+  if n = 0 then ([], xs)
+  else
+    match xs with
+    | [] -> invalid_arg "Experiments.take: batch shorter than its units"
+    | x :: rest ->
+      let mine, others = take (n - 1) rest in
+      (x :: mine, others)
+
+let run_units ~domains units =
+  let flat = List.concat_map (fun unit -> unit.configs) units in
+  let metrics = Pool.map ~domains simulate flat in
+  let rec finish units metrics =
+    match units with
+    | [] -> []
+    | unit :: rest ->
+      let mine, remaining = take (List.length unit.configs) metrics in
+      unit.finish mine :: finish rest remaining
+  in
+  finish units metrics
+
+let configs_of ~seeds ~make = List.map (fun seed -> make ~seed) seeds
+
+let mean_jobs_unit ~seeds ~make finish =
+  {
+    configs = configs_of ~seeds ~make;
+    finish = (fun runs -> finish (mean (List.map jobs_of runs)));
+  }
 
 (* Fig 7 *)
 
@@ -34,24 +68,31 @@ let fig7_paper_overheads = [ (4, 0.028); (5, 0.031); (6, 0.041); (7, 0.093); (8,
 
 let lookup_paper table size = try List.assoc size table with Not_found -> nan
 
-let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
-  let row mesh_size =
+let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  let unit mesh_size =
     let make_policy policy ~seed = Calibration.config ~policy ~mesh_size ~seed () in
-    let ear_runs = run_seeds ~seeds ~make:(make_policy (Calibration.ear ())) in
-    let sdr_runs = run_seeds ~seeds ~make:(make_policy (Calibration.sdr ())) in
-    let ear_jobs = mean (List.map jobs_of ear_runs) in
-    let sdr_jobs = mean (List.map jobs_of sdr_runs) in
+    let ear = configs_of ~seeds ~make:(make_policy (Calibration.ear ())) in
+    let sdr = configs_of ~seeds ~make:(make_policy (Calibration.sdr ())) in
     {
-      mesh_size;
-      ear_jobs;
-      sdr_jobs;
-      gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
-      ear_overhead = mean (List.map Etx_etsim.Metrics.control_overhead_fraction ear_runs);
-      paper_ear_jobs = lookup_paper fig7_paper_jobs mesh_size;
-      paper_overhead = lookup_paper fig7_paper_overheads mesh_size;
+      configs = ear @ sdr;
+      finish =
+        (fun runs ->
+          let ear_runs, sdr_runs = take (List.length ear) runs in
+          let ear_jobs = mean (List.map jobs_of ear_runs) in
+          let sdr_jobs = mean (List.map jobs_of sdr_runs) in
+          {
+            mesh_size;
+            ear_jobs;
+            sdr_jobs;
+            gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
+            ear_overhead =
+              mean (List.map Etx_etsim.Metrics.control_overhead_fraction ear_runs);
+            paper_ear_jobs = lookup_paper fig7_paper_jobs mesh_size;
+            paper_overhead = lookup_paper fig7_paper_overheads mesh_size;
+          });
     }
   in
-  List.map row sizes
+  run_units ~domains (List.map unit sizes)
 
 (* Table 2 *)
 
@@ -75,46 +116,48 @@ let table2_paper =
     (8, (234., 525.69, 0.445));
   ]
 
-let table2 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
-  let row mesh_size =
+let table2 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?(domains = 1) ()
+    =
+  let unit mesh_size =
     let make ~seed =
       Calibration.config ~policy:(Calibration.ear ())
         ~battery_kind:Etx_battery.Battery.Ideal ~mesh_size ~seed ()
     in
-    let ear_jobs = mean_of ~seeds ~make jobs_of in
     let j_star = Etx_routing.Upper_bound.jobs (Calibration.problem ~mesh_size) in
     let paper_ear, paper_j, paper_r =
       try List.assoc mesh_size table2_paper with Not_found -> (nan, nan, nan)
     in
-    {
-      mesh_size;
-      ear_jobs;
-      j_star;
-      ratio = ear_jobs /. j_star;
-      paper_ear_jobs = paper_ear;
-      paper_j_star = paper_j;
-      paper_ratio = paper_r;
-    }
+    mean_jobs_unit ~seeds ~make (fun ear_jobs ->
+        {
+          mesh_size;
+          ear_jobs;
+          j_star;
+          ratio = ear_jobs /. j_star;
+          paper_ear_jobs = paper_ear;
+          paper_j_star = paper_j;
+          paper_ratio = paper_r;
+        })
   in
-  List.map row sizes
+  run_units ~domains (List.map unit sizes)
 
 (* Fig 8 *)
 
 type fig8_row = { mesh_size : int; controllers : int; jobs : float }
 
 let fig8 ?(sizes = default_sizes) ?(controller_counts = [ 1; 2; 4; 7; 10 ])
-    ?(seeds = Calibration.default_seeds) () =
-  let row mesh_size controllers =
+    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  let unit mesh_size controllers =
     let make ~seed =
       Calibration.config ~policy:(Calibration.ear ())
         ~controllers:(Etx_etsim.Config.Battery_controllers { count = controllers })
         ~mesh_size ~seed ()
     in
-    { mesh_size; controllers; jobs = mean_of ~seeds ~make jobs_of }
+    mean_jobs_unit ~seeds ~make (fun jobs -> { mesh_size; controllers; jobs })
   in
-  List.concat_map
-    (fun controllers -> List.map (fun size -> row size controllers) sizes)
-    controller_counts
+  run_units ~domains
+    (List.concat_map
+       (fun controllers -> List.map (fun size -> unit size controllers) sizes)
+       controller_counts)
 
 (* Theorem 1 *)
 
@@ -148,35 +191,39 @@ let thm1 ?(sizes = default_sizes) () =
 
 type ablation_row = { label : string; mesh_size : int; jobs : float }
 
-let policy_row ~mesh_size ~seeds (label, policy) =
+let policy_unit ~mesh_size ~seeds (label, policy) =
   let make ~seed = Calibration.config ~policy ~mesh_size ~seed () in
-  { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+  mean_jobs_unit ~seeds ~make (fun jobs -> { label; mesh_size; jobs })
 
-let ablation_weights ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
-  List.map
-    (policy_row ~mesh_size ~seeds)
-    [
-      ("SDR (no battery term)", Etx_routing.Policy.sdr ());
-      ("EAR q=1.5", Etx_routing.Policy.ear ~q:1.5 ());
-      ("EAR q=2 (paper)", Etx_routing.Policy.ear ());
-      ("EAR q=4", Etx_routing.Policy.ear ~q:4. ());
-      ("EAR squared exponent", Etx_routing.Policy.ear_squared ());
-      ("inverse-level", Etx_routing.Policy.inverse_level ());
-      ("linear drain", Etx_routing.Policy.linear_drain ());
-      ("max-min residual [13]", Etx_routing.Policy.maximin ());
-    ]
+let ablation_weights ?(mesh_size = 6) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) () =
+  run_units ~domains
+    (List.map
+       (policy_unit ~mesh_size ~seeds)
+       [
+         ("SDR (no battery term)", Etx_routing.Policy.sdr ());
+         ("EAR q=1.5", Etx_routing.Policy.ear ~q:1.5 ());
+         ("EAR q=2 (paper)", Etx_routing.Policy.ear ());
+         ("EAR q=4", Etx_routing.Policy.ear ~q:4. ());
+         ("EAR squared exponent", Etx_routing.Policy.ear_squared ());
+         ("inverse-level", Etx_routing.Policy.inverse_level ());
+         ("linear drain", Etx_routing.Policy.linear_drain ());
+         ("max-min residual [13]", Etx_routing.Policy.maximin ());
+       ])
 
-let ablation_quantization ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
-  let row levels =
-    policy_row ~mesh_size ~seeds
+let ablation_quantization ?(mesh_size = 6) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) () =
+  let unit levels =
+    policy_unit ~mesh_size ~seeds
       (Printf.sprintf "EAR, N_B = %d" levels, Etx_routing.Policy.ear ~levels ())
   in
-  List.map row [ 2; 4; 8; 16; 32 ]
+  run_units ~domains (List.map unit [ 2; 4; 8; 16; 32 ])
 
 let aes_module_sequence =
   List.map Etx_aes.Partition.module_index Etx_aes.Partition.module_sequence
 
-let ablation_mapping ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+let ablation_mapping ?(mesh_size = 6) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) () =
   let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
   let problem = Calibration.problem ~mesh_size in
   let node_count = mesh_size * mesh_size in
@@ -192,13 +239,14 @@ let ablation_mapping ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
       ("local-search optimized", optimized);
     ]
   in
-  let row (label, mapping) =
+  let unit (label, mapping) =
     let make ~seed = Calibration.config ~mapping ~mesh_size ~seed () in
-    { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+    mean_jobs_unit ~seeds ~make (fun jobs -> { label; mesh_size; jobs })
   in
-  List.map row mappings
+  run_units ~domains (List.map unit mappings)
 
-let ablation_battery ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+let ablation_battery ?(mesh_size = 6) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) () =
   let cases =
     [
       ("EAR, thin film", Calibration.ear (), None);
@@ -207,11 +255,11 @@ let ablation_battery ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
       ("SDR, ideal cells", Calibration.sdr (), Some Etx_battery.Battery.Ideal);
     ]
   in
-  let row (label, policy, battery_kind) =
+  let unit (label, policy, battery_kind) =
     let make ~seed = Calibration.config ~policy ?battery_kind ~mesh_size ~seed () in
-    { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+    mean_jobs_unit ~seeds ~make (fun jobs -> { label; mesh_size; jobs })
   in
-  List.map row cases
+  run_units ~domains (List.map unit cases)
 
 (* Concurrency / deadlock recovery *)
 
@@ -223,25 +271,34 @@ type concurrency_row = {
 }
 
 let concurrency ?(mesh_size = 6) ?(depths = [ 1; 2; 4; 8 ])
-    ?(seeds = Calibration.default_seeds) () =
-  let row depth =
+    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  let unit depth =
     let make ~seed = Calibration.config ~concurrent_jobs:depth ~mesh_size ~seed () in
-    let runs = run_seeds ~seeds ~make in
     {
-      jobs_in_flight = depth;
-      jobs = mean (List.map jobs_of runs);
-      deadlocks_reported =
-        mean (List.map (fun (m : Etx_etsim.Metrics.t) -> float_of_int m.deadlocks_reported) runs);
-      deadlocks_recovered =
-        mean
-          (List.map (fun (m : Etx_etsim.Metrics.t) -> float_of_int m.deadlocks_recovered) runs);
+      configs = configs_of ~seeds ~make;
+      finish =
+        (fun runs ->
+          {
+            jobs_in_flight = depth;
+            jobs = mean (List.map jobs_of runs);
+            deadlocks_reported =
+              mean
+                (List.map
+                   (fun (m : Etx_etsim.Metrics.t) -> float_of_int m.deadlocks_reported)
+                   runs);
+            deadlocks_recovered =
+              mean
+                (List.map
+                   (fun (m : Etx_etsim.Metrics.t) -> float_of_int m.deadlocks_recovered)
+                   runs);
+          });
     }
   in
-  List.map row depths
+  run_units ~domains (List.map unit depths)
 
 (* Workload generality *)
 
-let workloads ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
+let workloads ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
   let key_hex = "000102030405060708090a0b0c0d0e0f" in
   let cases =
     [
@@ -259,19 +316,19 @@ let workloads ?(mesh_size = 6) ?(seeds = Calibration.default_seeds) () =
         ] );
     ]
   in
-  let row (label, workloads) =
+  let unit (label, workloads) =
     let make ~seed = Calibration.config ~workloads ~mesh_size ~seed () in
-    { label; mesh_size; jobs = mean_of ~seeds ~make jobs_of }
+    mean_jobs_unit ~seeds ~make (fun jobs -> { label; mesh_size; jobs })
   in
-  List.map row cases
+  run_units ~domains (List.map unit cases)
 
 let generality ?(module_counts = [ 2; 3; 4; 5; 6 ]) ?(seeds = Calibration.default_seeds)
-    () =
+    ?(domains = 1) () =
   let mesh_size = 6 in
   let node_count = mesh_size * mesh_size in
   let hop = 261. *. 0.4472 in
   let energies = [| 100.; 140.; 80.; 160.; 120.; 90. |] in
-  let row p =
+  let unit p =
     let acts_per_job = Array.make p 10 in
     let computation_energy_pj = Array.sub energies 0 p in
     let workload =
@@ -284,31 +341,36 @@ let generality ?(module_counts = [ 2; 3; 4; 5; 6 ]) ?(seeds = Calibration.defaul
     in
     let mapping = Etx_routing.Mapping.proportional ~problem ~node_count in
     let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
-    let jobs_for policy =
-      let make ~seed =
-        Etx_etsim.Config.make ~topology ~policy ~mapping ~workloads:[ workload ]
-          ~computation:(Etx_energy.Computation.custom ~energies_pj:computation_energy_pj)
-          ~computation_cycles:(Array.make p 2)
-          ~battery_capacity_pj:Calibration.battery_budget_pj
-          ~battery_capacity_variation:Calibration.battery_capacity_variation
-          ~frame_period_cycles:Calibration.frame_period_cycles
-          ~reception_energy_fraction:Calibration.reception_energy_fraction
-          ~control_line_length_cm:(Calibration.control_line_length_cm ~mesh_size)
-          ~job_source:Etx_etsim.Config.Round_robin_entry ~seed ()
-      in
-      mean_of ~seeds ~make jobs_of
+    let make policy ~seed =
+      Etx_etsim.Config.make ~topology ~policy ~mapping ~workloads:[ workload ]
+        ~computation:(Etx_energy.Computation.custom ~energies_pj:computation_energy_pj)
+        ~computation_cycles:(Array.make p 2)
+        ~battery_capacity_pj:Calibration.battery_budget_pj
+        ~battery_capacity_variation:Calibration.battery_capacity_variation
+        ~frame_period_cycles:Calibration.frame_period_cycles
+        ~reception_energy_fraction:Calibration.reception_energy_fraction
+        ~control_line_length_cm:(Calibration.control_line_length_cm ~mesh_size)
+        ~job_source:Etx_etsim.Config.Round_robin_entry ~seed ()
     in
-    let ear = jobs_for (Calibration.ear ()) in
-    let sdr = jobs_for (Calibration.sdr ()) in
+    let ear_configs = configs_of ~seeds ~make:(make (Calibration.ear ())) in
+    let sdr_configs = configs_of ~seeds ~make:(make (Calibration.sdr ())) in
     {
-      label =
-        Printf.sprintf "p = %d modules: EAR %.1f, SDR %.1f, gain %.1fx" p ear sdr
-          (if sdr > 0. then ear /. sdr else infinity);
-      mesh_size;
-      jobs = ear;
+      configs = ear_configs @ sdr_configs;
+      finish =
+        (fun runs ->
+          let ear_runs, sdr_runs = take (List.length ear_configs) runs in
+          let ear = mean (List.map jobs_of ear_runs) in
+          let sdr = mean (List.map jobs_of sdr_runs) in
+          {
+            label =
+              Printf.sprintf "p = %d modules: EAR %.1f, SDR %.1f, gain %.1fx" p ear sdr
+                (if sdr > 0. then ear /. sdr else infinity);
+            mesh_size;
+            jobs = ear;
+          });
     }
   in
-  List.map row module_counts
+  run_units ~domains (List.map unit module_counts)
 
 (* Link failures *)
 
@@ -328,9 +390,9 @@ let random_failure_schedule ~(topology : Etx_graph.Topology.t) ~count ~before_cy
       (Etx_util.Prng.int prng ~bound:before_cycle, a, b))
 
 let link_failures ?(mesh_size = 6) ?(failure_counts = [ 0; 4; 8; 16; 24 ])
-    ?(seeds = Calibration.default_seeds) () =
+    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
   let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
-  let row count =
+  let unit count =
     let make ~seed =
       let link_failure_schedule =
         if count = 0 then []
@@ -340,21 +402,18 @@ let link_failures ?(mesh_size = 6) ?(failure_counts = [ 0; 4; 8; 16; 24 ])
       in
       Calibration.config ~link_failure_schedule ~mesh_size ~seed ()
     in
-    {
-      label = Printf.sprintf "%d broken interconnects" count;
-      mesh_size;
-      jobs = mean_of ~seeds ~make jobs_of;
-    }
+    mean_jobs_unit ~seeds ~make (fun jobs ->
+        { label = Printf.sprintf "%d broken interconnects" count; mesh_size; jobs })
   in
-  List.map row failure_counts
-
+  run_units ~domains (List.map unit failure_counts)
 
 (* Static prediction vs simulation *)
 
 type prediction_row = { p_mesh_size : int; predicted : float; simulated : float }
 
-let predictions ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
-  let row mesh_size =
+let predictions ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) () =
+  let unit mesh_size =
     let problem = Calibration.problem ~mesh_size in
     let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
     let mapping = Etx_routing.Mapping.checkerboard topology in
@@ -363,14 +422,14 @@ let predictions ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ()
         ~module_sequence:aes_module_sequence ()
     in
     let make ~seed = Calibration.config ~mesh_size ~seed () in
-    {
-      p_mesh_size = mesh_size;
-      predicted = prediction.Etx_routing.Analysis.predicted_jobs;
-      simulated = mean_of ~seeds ~make jobs_of;
-    }
+    mean_jobs_unit ~seeds ~make (fun simulated ->
+        {
+          p_mesh_size = mesh_size;
+          predicted = prediction.Etx_routing.Analysis.predicted_jobs;
+          simulated;
+        })
   in
-  List.map row sizes
-
+  run_units ~domains (List.map unit sizes)
 
 (* Garment scenarios *)
 
@@ -383,39 +442,58 @@ type scenario_row = {
   j_star : float;
 }
 
-let scenarios ?(seeds = Calibration.default_seeds) () =
-  let row (s : Scenario.t) =
-    let jobs policy =
-      mean_of ~seeds ~make:(fun ~seed -> Scenario.config ~policy ~seed s) jobs_of
+let scenarios ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  let unit (s : Scenario.t) =
+    let configs_for policy =
+      configs_of ~seeds ~make:(fun ~seed -> Scenario.config ~policy ~seed s)
     in
-    let ear_jobs = jobs (Calibration.ear ()) in
-    let sdr_jobs = jobs (Calibration.sdr ()) in
+    let ear_configs = configs_for (Calibration.ear ()) in
+    let sdr_configs = configs_for (Calibration.sdr ()) in
     {
-      scenario = s.Scenario.name;
-      nodes = Etx_graph.Topology.node_count s.Scenario.topology;
-      ear_jobs;
-      sdr_jobs;
-      scenario_gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
-      j_star = Etx_routing.Upper_bound.jobs (Scenario.problem s);
+      configs = ear_configs @ sdr_configs;
+      finish =
+        (fun runs ->
+          let ear_runs, sdr_runs = take (List.length ear_configs) runs in
+          let ear_jobs = mean (List.map jobs_of ear_runs) in
+          let sdr_jobs = mean (List.map jobs_of sdr_runs) in
+          {
+            scenario = s.Scenario.name;
+            nodes = Etx_graph.Topology.node_count s.Scenario.topology;
+            ear_jobs;
+            sdr_jobs;
+            scenario_gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
+            j_star = Etx_routing.Upper_bound.jobs (Scenario.problem s);
+          });
     }
   in
-  List.map row (Scenario.all ())
-
+  run_units ~domains (List.map unit (Scenario.all ()))
 
 (* Algorithm comparison *)
 
 type algorithms_row = { a_mesh_size : int; ear : float; maximin : float; sdr : float }
 
-let algorithms ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) () =
-  let row mesh_size =
-    let jobs policy =
-      mean_of ~seeds ~make:(fun ~seed -> Calibration.config ~policy ~mesh_size ~seed ()) jobs_of
+let algorithms ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) () =
+  let unit mesh_size =
+    let configs_for policy =
+      configs_of ~seeds ~make:(fun ~seed ->
+          Calibration.config ~policy ~mesh_size ~seed ())
     in
+    let ear_configs = configs_for (Calibration.ear ()) in
+    let maximin_configs = configs_for (Etx_routing.Policy.maximin ()) in
+    let sdr_configs = configs_for (Calibration.sdr ()) in
     {
-      a_mesh_size = mesh_size;
-      ear = jobs (Calibration.ear ());
-      maximin = jobs (Etx_routing.Policy.maximin ());
-      sdr = jobs (Calibration.sdr ());
+      configs = ear_configs @ maximin_configs @ sdr_configs;
+      finish =
+        (fun runs ->
+          let ear_runs, rest = take (List.length ear_configs) runs in
+          let maximin_runs, sdr_runs = take (List.length maximin_configs) rest in
+          {
+            a_mesh_size = mesh_size;
+            ear = mean (List.map jobs_of ear_runs);
+            maximin = mean (List.map jobs_of maximin_runs);
+            sdr = mean (List.map jobs_of sdr_runs);
+          });
     }
   in
-  List.map row sizes
+  run_units ~domains (List.map unit sizes)

@@ -4,7 +4,13 @@
     (averaging over {!Calibration.default_seeds}) and returns structured
     rows; {!Report} renders them next to the paper's published values.
     Sweeps take seconds, so the benchmark harness can regenerate
-    everything in one run. *)
+    everything in one run.
+
+    Every sweep accepts [?domains] (default [1]): the number of domains
+    {!Etx_util.Pool} fans the independent simulations over.  Simulations
+    share no mutable state, each owns its {!Etx_util.Prng}, and the pool
+    preserves input order, so results are bit-identical for every
+    [domains] value. *)
 
 type fig7_row = {
   mesh_size : int;
@@ -16,7 +22,7 @@ type fig7_row = {
   paper_overhead : float;  (** Sec 7.1 reference percentages *)
 }
 
-val fig7 : ?sizes:int list -> ?seeds:int list -> unit -> fig7_row list
+val fig7 : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> fig7_row list
 (** EAR vs SDR on thin-film batteries, single infinite-energy
     controller. *)
 
@@ -30,12 +36,12 @@ type table2_row = {
   paper_ratio : float;
 }
 
-val table2 : ?sizes:int list -> ?seeds:int list -> unit -> table2_row list
+val table2 : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> table2_row list
 
 type fig8_row = { mesh_size : int; controllers : int; jobs : float }
 
 val fig8 :
-  ?sizes:int list -> ?controller_counts:int list -> ?seeds:int list -> unit ->
+  ?sizes:int list -> ?controller_counts:int list -> ?seeds:int list -> ?domains:int -> unit ->
   fig8_row list
 (** EAR with a finite bank of battery-powered controllers (Sec 7.3). *)
 
@@ -51,17 +57,17 @@ val thm1 : ?sizes:int list -> unit -> thm1_row list
 
 type ablation_row = { label : string; mesh_size : int; jobs : float }
 
-val ablation_weights : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+val ablation_weights : ?mesh_size:int -> ?seeds:int list -> ?domains:int -> unit -> ablation_row list
 (** EAR's weight family against the ablation policies (Sec 6 design
     choice: how strongly battery level should bend the metric). *)
 
-val ablation_quantization : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+val ablation_quantization : ?mesh_size:int -> ?seeds:int list -> ?domains:int -> unit -> ablation_row list
 (** Sensitivity to the number of reported battery levels N_B. *)
 
-val ablation_mapping : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+val ablation_mapping : ?mesh_size:int -> ?seeds:int list -> ?domains:int -> unit -> ablation_row list
 (** Checkerboard (Sec 5.2) vs Theorem-1-proportional mapping. *)
 
-val ablation_battery : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+val ablation_battery : ?mesh_size:int -> ?seeds:int list -> ?domains:int -> unit -> ablation_row list
 (** Thin-film non-idealities on vs off (ideal), for both EAR and SDR:
     quantifies how much of EAR's edge comes from battery physics. *)
 
@@ -72,17 +78,17 @@ type concurrency_row = {
   deadlocks_recovered : float;
 }
 
-val concurrency : ?mesh_size:int -> ?depths:int list -> ?seeds:int list -> unit ->
+val concurrency : ?mesh_size:int -> ?depths:int list -> ?seeds:int list -> ?domains:int -> unit ->
   concurrency_row list
 (** Multiple concurrent jobs exercising the deadlock recovery mechanism
     (Sec 7's closing experiment). *)
 
-val workloads : ?mesh_size:int -> ?seeds:int list -> unit -> ablation_row list
+val workloads : ?mesh_size:int -> ?seeds:int list -> ?domains:int -> unit -> ablation_row list
 (** AES encryption vs AES decryption vs an energy-only synthetic pipeline
     with the same f vector: the routing layer is workload-agnostic, so
     the three should complete nearly the same number of jobs. *)
 
-val generality : ?module_counts:int list -> ?seeds:int list -> unit -> ablation_row list
+val generality : ?module_counts:int list -> ?seeds:int list -> ?domains:int -> unit -> ablation_row list
 (** EAR-vs-SDR gain for synthetic pipelines of 2..6 modules on a 6x6
     mesh with Theorem-1-proportional mappings: the paper claims EAR is
     general-purpose; this sweep shows the gain is not an AES artifact. *)
@@ -97,7 +103,7 @@ val random_failure_schedule :
     a cycle drawn uniformly from [0, before_cycle). *)
 
 val link_failures :
-  ?mesh_size:int -> ?failure_counts:int list -> ?seeds:int list -> unit ->
+  ?mesh_size:int -> ?failure_counts:int list -> ?seeds:int list -> ?domains:int -> unit ->
   ablation_row list
 (** Wear-and-tear sweep (the paper's Sec 1 motivation for a network):
     completed jobs under EAR as progressively more textile interconnects
@@ -110,7 +116,7 @@ type algorithms_row = {
   sdr : float;
 }
 
-val algorithms : ?sizes:int list -> ?seeds:int list -> unit -> algorithms_row list
+val algorithms : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> algorithms_row list
 (** Three-way comparison across mesh sizes: the paper's EAR, the WSN
     max-min residual baseline, and SDR. *)
 
@@ -123,7 +129,7 @@ type scenario_row = {
   j_star : float;
 }
 
-val scenarios : ?seeds:int list -> unit -> scenario_row list
+val scenarios : ?seeds:int list -> ?domains:int -> unit -> scenario_row list
 (** EAR vs SDR on every garment preset of {!Scenario}: the routing
     strategy carries beyond the paper's square meshes. *)
 
@@ -133,13 +139,13 @@ type prediction_row = {
   simulated : float;  (** calibrated EAR simulation *)
 }
 
-val predictions : ?sizes:int list -> ?seeds:int list -> unit -> prediction_row list
+val predictions : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> prediction_row list
 (** Static lifetime prediction vs simulation across mesh sizes: validates
     the Analysis module as a design tool. *)
 
 val aes_module_sequence : int list
 (** The AES job's 30-act module order, as module indices. *)
 
-val mean_jobs : Etx_etsim.Config.t list -> float
+val mean_jobs : ?domains:int -> Etx_etsim.Config.t list -> float
 (** Average completed jobs over a list of prepared configurations
     (exposed for custom sweeps). *)

@@ -12,6 +12,7 @@ type bank = Infinite | Finite of { batteries : Battery.t array; mutable active :
 type t = {
   config : Config.t;
   bank : bank;
+  workspace : Router.workspace;
   mutable previous_snapshot : Router.snapshot option;
   mutable table : Routing_table.t option;
   mutable recomputations : int;
@@ -37,6 +38,7 @@ let create (config : Config.t) =
   {
     config;
     bank;
+    workspace = Router.create_workspace ();
     previous_snapshot = None;
     table = None;
     recomputations = 0;
@@ -59,11 +61,13 @@ let rec bank_draw t ~energy =
       bank_draw t ~energy
     end
 
+(* Engine.build_snapshot delivers locked_ports and failed_links sorted,
+   so structural equality suffices - no per-frame re-sort. *)
 let snapshot_equal (a : Router.snapshot) (b : Router.snapshot) =
   a.alive = b.alive && a.battery_level = b.battery_level
   && a.levels = b.levels
-  && List.sort compare a.locked_ports = List.sort compare b.locked_ports
-  && List.sort compare a.failed_links = List.sort compare b.failed_links
+  && a.locked_ports = b.locked_ports
+  && a.failed_links = b.failed_links
 
 let on_frame t ~cycle ~elapsed_cycles ~snapshot =
   ignore cycle;
@@ -97,7 +101,7 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
         let table =
           match t.config.policy.Etx_routing.Policy.algorithm with
           | Etx_routing.Policy.Weighted weight ->
-            Router.compute ~graph ~mapping:t.config.mapping
+            Router.compute ~workspace:t.workspace ~graph ~mapping:t.config.mapping
               ~module_count:t.config.module_count ~weight snapshot
           | Etx_routing.Policy.Maximin_residual ->
             Etx_routing.Maximin.compute ~graph ~mapping:t.config.mapping

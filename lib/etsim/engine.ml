@@ -9,6 +9,64 @@ module Prng = Etx_util.Prng
 
 type status = Running | Dead of Metrics.death_reason
 
+(* Jobs in flight, kept in launch (id) order.  An intrusive doubly-linked
+   list gives O(1) append and O(1) removal, where the previous [Job.t
+   list] paid O(n) per launch ([jobs @ [job]]) and per completion
+   ([List.filter]).  Unlinking a cell leaves its own pointers intact, so
+   an iteration holding the cell can still step past it; [live] marks
+   removed cells so they are skipped everywhere. *)
+module Jobs = struct
+  type cell = {
+    job : Job.t;
+    mutable prev : cell option;
+    mutable next : cell option;
+    mutable live : bool;
+  }
+
+  type t = {
+    mutable head : cell option;
+    mutable tail : cell option;
+    mutable count : int;
+  }
+
+  let create () = { head = None; tail = None; count = 0 }
+
+  let push t job =
+    let cell = { job; prev = t.tail; next = None; live = true } in
+    (match t.tail with None -> t.head <- Some cell | Some tail -> tail.next <- Some cell);
+    t.tail <- Some cell;
+    t.count <- t.count + 1
+
+  let remove t cell =
+    if cell.live then begin
+      cell.live <- false;
+      (match cell.prev with None -> t.head <- cell.next | Some p -> p.next <- cell.next);
+      (match cell.next with None -> t.tail <- cell.prev | Some n -> n.prev <- cell.prev);
+      t.count <- t.count - 1
+    end
+
+  let length t = t.count
+
+  (* [f] may remove the cell it is given (the next pointer is captured
+     first), but must not remove other cells. *)
+  let iter_cells t ~f =
+    let rec go = function
+      | None -> ()
+      | Some cell ->
+        let next = cell.next in
+        if cell.live then f cell;
+        go next
+    in
+    go t.head
+
+  let iter t ~f = iter_cells t ~f:(fun cell -> f cell.job)
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    iter t ~f:(fun job -> acc := f !acc job);
+    !acc
+end
+
 type t = {
   config : Config.t;
   graph : Digraph.t;
@@ -17,7 +75,7 @@ type t = {
   nodes : Node.t array;
   controller : Controller.t;
   mutable table : Routing_table.t option;
-  mutable jobs : Job.t list;
+  jobs : Jobs.t;
   mutable next_job_id : int;
   mutable cycle : int;
   mutable next_frame : int;
@@ -75,7 +133,7 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
     nodes;
     controller = Controller.create config;
     table = None;
-    jobs = [];
+    jobs = Jobs.create ();
     next_job_id = 0;
     cycle = 0;
     next_frame = 0;
@@ -129,12 +187,15 @@ let die t reason =
 let kill_node t id =
   t.node_deaths <- t.node_deaths + 1;
   emit t (Trace.Node_death { node = id; cycle = t.cycle });
-  let victim job = Job.current_node job = id in
-  let lost, kept = List.partition victim t.jobs in
-  t.jobs <- kept;
-  match lost with
+  let victims = ref [] in
+  Jobs.iter_cells t.jobs ~f:(fun cell ->
+      if Job.current_node cell.Jobs.job = id then begin
+        Jobs.remove t.jobs cell;
+        victims := cell.Jobs.job :: !victims
+      end);
+  match List.rev !victims with
   | [] -> ()
-  | job :: _ ->
+  | job :: _ as lost ->
     t.jobs_lost <- t.jobs_lost + List.length lost;
     List.iter
       (fun j -> emit t (Trace.Job_lost { job = j.Job.id; node = id; cycle = t.cycle }))
@@ -188,10 +249,11 @@ let launch_job t =
     in
     t.next_job_id <- t.next_job_id + 1;
     t.nodes.(entry).Node.occupancy <- t.nodes.(entry).Node.occupancy + 1;
-    t.jobs <- t.jobs @ [ job ];
+    Jobs.push t.jobs job;
     emit t (Trace.Job_launched { job = job.Job.id; entry; cycle = t.cycle })
 
-let complete_job t job =
+let complete_job t cell =
+  let job = cell.Jobs.job in
   t.jobs_completed <- t.jobs_completed + 1;
   let latency = t.cycle - job.Job.launched_at in
   Etx_util.Stats.add t.latency_stats (float_of_int latency);
@@ -201,7 +263,7 @@ let complete_job t job =
   emit t (Trace.Job_completed { job = job.Job.id; cycle = t.cycle; verified });
   let node = Job.current_node job in
   t.nodes.(node).Node.occupancy <- t.nodes.(node).Node.occupancy - 1;
-  t.jobs <- List.filter (fun j -> j != job) t.jobs;
+  Jobs.remove t.jobs cell;
   match t.config.max_jobs with
   | Some cap when t.jobs_completed >= cap -> die t Metrics.Job_limit
   | Some _ | None -> launch_job t
@@ -326,7 +388,8 @@ let try_route t job ~node ~since =
     end
   end
 
-let process_job t job =
+let process_job t cell =
+  let job = cell.Jobs.job in
   match job.Job.phase with
   | Job.Waiting { node; since; retry_at = _ } -> try_route t job ~node ~since
   | Job.Computing { node; until } ->
@@ -340,7 +403,7 @@ let process_job t job =
            module_index = t.nodes.(node).Node.module_index;
            cycle = t.cycle;
          });
-    if Job.finished job then complete_job t job
+    if Job.finished job then complete_job t cell
     else begin
       set_waiting job ~node ~since:t.cycle ~retry_at:t.cycle;
       try_route t job ~node ~since:t.cycle
@@ -368,12 +431,16 @@ let build_snapshot t =
     Array.init n (fun id ->
         if alive.(id) then Node.level t.nodes.(id) ~cycle:t.cycle ~levels else 0)
   in
+  (* both lists are delivered sorted so Controller.snapshot_equal can
+     compare them with plain (=); the filter_map below already visits
+     nodes in ascending id order, the explicit sort pins the invariant *)
   let locked_ports =
     Array.to_list t.nodes
     |> List.filter_map (fun node ->
            if Node.is_dead node then None
            else
              Option.map (fun hop -> (node.Node.id, hop)) node.Node.locked_hop)
+    |> List.sort compare
   in
   let failed_links = Hashtbl.fold (fun link () acc -> link :: acc) t.failed_links [] in
   { Router.alive; battery_level; levels; locked_ports; failed_links = List.sort compare failed_links }
@@ -385,7 +452,7 @@ let wake_waiting_jobs t =
       if retry_at > t.cycle then set_waiting job ~node ~since ~retry_at:t.cycle
     | Job.Computing _ | Job.In_transit _ -> ()
   in
-  List.iter wake t.jobs
+  Jobs.iter t.jobs ~f:wake
 
 let record_timeline_sample t =
   match t.timeline with
@@ -409,7 +476,7 @@ let record_timeline_sample t =
       {
         Timeline.cycle = t.cycle;
         jobs_completed = t.jobs_completed;
-        jobs_in_flight = List.length t.jobs;
+        jobs_in_flight = Jobs.length t.jobs;
         alive_nodes = !alive;
         mean_soc = (if !alive = 0 then 0. else !soc_sum /. float_of_int !alive);
         min_soc = (if !alive = 0 then 0. else !soc_min);
@@ -498,22 +565,35 @@ let run t =
     end
   in
   launch_initial t.config.concurrent_jobs;
-  let rec drain_ready () =
+  (* FIFO fairness: always serve the earliest-launched ready job first.
+     Processing only ever changes the processed job's own ready time (and
+     may remove cells or append fresh launches at the tail), so earlier
+     cells that were not ready stay not ready and the cursor can advance
+     instead of rescanning from the head after every event.  Only when
+     the cursor's cell is removed (completion, node death) does the scan
+     restart from the head - exactly the semantics of the previous
+     List.find_opt loop, without its quadratic rescans. *)
+  let rec drain_from cell =
     if t.status = Running then begin
-      match List.find_opt (fun job -> Job.ready_at job <= t.cycle) t.jobs with
-      | Some job ->
-        process_job t job;
-        drain_ready ()
+      match cell with
       | None -> ()
+      | Some c ->
+        if not c.Jobs.live then drain_from c.Jobs.next
+        else if Job.ready_at c.Jobs.job <= t.cycle then begin
+          process_job t c;
+          if c.Jobs.live then drain_from cell else drain_from t.jobs.Jobs.head
+        end
+        else drain_from c.Jobs.next
     end
   in
+  let drain_ready () = drain_from t.jobs.Jobs.head in
   drain_ready ();
   let rec loop () =
     match t.status with
     | Dead reason -> finalize t reason
     | Running ->
       let job_next =
-        List.fold_left (fun acc job -> min acc (Job.ready_at job)) max_int t.jobs
+        Jobs.fold t.jobs ~init:max_int ~f:(fun acc job -> min acc (Job.ready_at job))
       in
       let next = min job_next t.next_frame in
       if next >= t.config.max_cycles then begin

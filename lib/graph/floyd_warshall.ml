@@ -2,36 +2,54 @@ module Matrix = Etx_util.Matrix
 
 type result = { distances : Matrix.t; successors : Matrix.Int.t }
 
+let create_result ~dim =
+  { distances = Matrix.create ~dim ~init:0.; successors = Matrix.Int.create ~dim ~init:(-1) }
+
 (* Direct transcription of the paper's Fig 5: D(0) = W with S(0)_ij = j
    wherever an edge exists, then relax through every intermediate node n,
-   keeping the incumbent successor on ties. *)
-let run w =
+   keeping the incumbent successor on ties.  The controller recomputes
+   this every TDMA frame, so the triple loop runs on the raw row-major
+   arrays: bounds checks and index arithmetic are hoisted out of the
+   O(n^3) core. *)
+let run_into result w =
   let dim = Matrix.dim w in
+  if Matrix.dim result.distances <> dim || Matrix.Int.dim result.successors <> dim then
+    invalid_arg "Floyd_warshall.run_into: scratch dimension differs from the input";
   Matrix.iteri w ~f:(fun i j v ->
       if v < 0. then
         invalid_arg
           (Printf.sprintf "Floyd_warshall.run: negative weight at (%d, %d)" i j));
-  let d = Matrix.copy w in
-  let s = Matrix.Int.create ~dim ~init:(-1) in
+  let d = Matrix.data result.distances in
+  let s = Matrix.Int.data result.successors in
+  Array.blit (Matrix.data w) 0 d 0 (dim * dim);
+  Array.fill s 0 (dim * dim) (-1);
   for i = 0 to dim - 1 do
+    let row = i * dim in
     for j = 0 to dim - 1 do
-      if i <> j && Matrix.get w i j < infinity then Matrix.Int.set s i j j
+      if i <> j && Array.unsafe_get d (row + j) < infinity then
+        Array.unsafe_set s (row + j) j
     done
   done;
   for n = 0 to dim - 1 do
+    let n_row = n * dim in
     for i = 0 to dim - 1 do
-      let d_in = Matrix.get d i n in
-      if d_in < infinity then
+      let i_row = i * dim in
+      let d_in = Array.unsafe_get d (i_row + n) in
+      if d_in < infinity then begin
+        let s_in = Array.unsafe_get s (i_row + n) in
         for j = 0 to dim - 1 do
-          let via = d_in +. Matrix.get d n j in
-          if via < Matrix.get d i j then begin
-            Matrix.set d i j via;
-            Matrix.Int.set s i j (Matrix.Int.get s i n)
+          let via = d_in +. Array.unsafe_get d (n_row + j) in
+          if via < Array.unsafe_get d (i_row + j) then begin
+            Array.unsafe_set d (i_row + j) via;
+            Array.unsafe_set s (i_row + j) s_in
           end
         done
+      end
     done
   done;
-  { distances = d; successors = s }
+  result
+
+let run w = run_into (create_result ~dim:(Matrix.dim w)) w
 
 let distance result ~src ~dst = Matrix.get result.distances src dst
 

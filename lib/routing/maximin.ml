@@ -20,9 +20,12 @@ let widest_paths ~graph ~(snapshot : Router.snapshot) () =
   for i = 0 to n - 1 do
     values.(i).(i) <- empty_path
   done;
-  let failed src dst = List.mem (src, dst) snapshot.Router.failed_links in
+  let failed_set = Hashtbl.create 16 in
+  List.iter (fun link -> Hashtbl.replace failed_set link ()) snapshot.Router.failed_links;
   Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
-      if snapshot.Router.alive.(src) && snapshot.Router.alive.(dst) && not (failed src dst)
+      if
+        snapshot.Router.alive.(src) && snapshot.Router.alive.(dst)
+        && not (Hashtbl.mem failed_set (src, dst))
       then begin
         let value =
           { width = snapshot.Router.battery_level.(dst); distance = length }
@@ -57,7 +60,9 @@ let compute ~graph ~mapping ~module_count (snapshot : Router.snapshot) =
   if Mapping.node_count mapping <> n then
     invalid_arg "Maximin.compute: mapping arity differs from the graph";
   let values, successors = widest_paths ~graph ~snapshot () in
-  let locked ~node ~hop = List.mem (node, hop) snapshot.Router.locked_ports in
+  let locked_set = Hashtbl.create 16 in
+  List.iter (fun port -> Hashtbl.replace locked_set port ()) snapshot.Router.locked_ports;
+  let locked ~node ~hop = Hashtbl.mem locked_set (node, hop) in
   let table = Routing_table.create ~node_count:n ~module_count in
   let candidates =
     Array.init module_count (fun i -> Mapping.nodes_of_module mapping ~module_index:i)

@@ -8,6 +8,22 @@ type snapshot = {
   failed_links : (int * int) list;
 }
 
+(* Scratch state reused across recomputes: the controller calls
+   [compute] every TDMA frame, so the weight matrix, the Floyd-Warshall
+   result, and the membership sets for failed links / locked ports are
+   filled in place instead of reallocated.  One workspace serves one
+   controller; nothing is shared between engines, so domain-parallel
+   sweeps stay race-free. *)
+type workspace = {
+  mutable weights : Matrix.t option;
+  mutable paths : Etx_graph.Floyd_warshall.result option;
+  failed_set : (int * int, unit) Hashtbl.t;
+  locked_set : (int * int, unit) Hashtbl.t;
+}
+
+let create_workspace () =
+  { weights = None; paths = None; failed_set = Hashtbl.create 16; locked_set = Hashtbl.create 16 }
+
 let full_snapshot ~node_count ~levels =
   {
     alive = Array.make node_count true;
@@ -23,17 +39,49 @@ let check_snapshot ~graph snapshot =
     invalid_arg "Router: snapshot arity differs from the graph";
   if snapshot.levels <= 0 then invalid_arg "Router: levels must be positive"
 
-let weight_matrix ~graph ~weight snapshot =
-  check_snapshot ~graph snapshot;
+let fill_set set pairs =
+  Hashtbl.reset set;
+  List.iter (fun pair -> Hashtbl.replace set pair ()) pairs
+
+let scratch_matrix workspace ~dim =
+  match workspace.weights with
+  | Some w when Matrix.dim w = dim -> w
+  | Some _ | None ->
+    let w = Matrix.create ~dim ~init:0. in
+    workspace.weights <- Some w;
+    w
+
+let scratch_paths workspace ~dim =
+  match workspace.paths with
+  | Some p when Matrix.dim p.Etx_graph.Floyd_warshall.distances = dim -> p
+  | Some _ | None ->
+    let p = Etx_graph.Floyd_warshall.create_result ~dim in
+    workspace.paths <- Some p;
+    p
+
+let fill_weight_matrix w ~graph ~weight ~failed_set snapshot =
   let n = Etx_graph.Digraph.node_count graph in
-  let w = Matrix.init ~dim:n ~f:(fun i j -> if i = j then 0. else infinity) in
-  let failed src dst = List.mem (src, dst) snapshot.failed_links in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      Matrix.set w i j (if i = j then 0. else infinity)
+    done
+  done;
   Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
-      if snapshot.alive.(src) && snapshot.alive.(dst) && not (failed src dst) then
+      if
+        snapshot.alive.(src) && snapshot.alive.(dst)
+        && not (Hashtbl.mem failed_set (src, dst))
+      then
         Matrix.set w src dst
           (Weight.edge_weight weight ~length_cm:length
              ~dst_level:snapshot.battery_level.(dst) ~levels:snapshot.levels));
   w
+
+let weight_matrix ~graph ~weight snapshot =
+  check_snapshot ~graph snapshot;
+  let n = Etx_graph.Digraph.node_count graph in
+  let failed_set = Hashtbl.create 16 in
+  fill_set failed_set snapshot.failed_links;
+  fill_weight_matrix (Matrix.create ~dim:n ~init:0.) ~graph ~weight ~failed_set snapshot
 
 let shortest_paths ~graph ~weight snapshot =
   Etx_graph.Floyd_warshall.run (weight_matrix ~graph ~weight snapshot)
@@ -41,7 +89,7 @@ let shortest_paths ~graph ~weight snapshot =
 (* Phase three (Fig 6): for node [n] and module [i], choose among the
    living duplicates the one at minimum weighted distance, skipping
    candidates whose first hop is a locked port when possible. *)
-let choose_entry ~paths ~snapshot ~locked ~node ~candidates =
+let choose_entry ~paths ~snapshot ~locked_set ~node ~candidates =
   let open Etx_graph in
   let consider ~respect_locks =
     let best = ref None in
@@ -59,7 +107,7 @@ let choose_entry ~paths ~snapshot ~locked ~node ~candidates =
             match Floyd_warshall.successor paths ~src:node ~dst:j with
             | None -> ()
             | Some hop ->
-              if (not respect_locks) || not (locked ~node ~hop) then begin
+              if (not respect_locks) || not (Hashtbl.mem locked_set (node, hop)) then begin
                 let better =
                   match !best with Some (d, _) -> dist < d | None -> true
                 in
@@ -84,13 +132,20 @@ let choose_entry ~paths ~snapshot ~locked ~node ~candidates =
     | None -> Routing_table.Unreachable
   end
 
-let compute ~graph ~mapping ~module_count ~weight snapshot =
+let compute ?workspace ~graph ~mapping ~module_count ~weight snapshot =
   check_snapshot ~graph snapshot;
   let node_count = Etx_graph.Digraph.node_count graph in
   if Mapping.node_count mapping <> node_count then
     invalid_arg "Router.compute: mapping arity differs from the graph";
-  let paths = shortest_paths ~graph ~weight snapshot in
-  let locked ~node ~hop = List.mem (node, hop) snapshot.locked_ports in
+  let ws = match workspace with Some ws -> ws | None -> create_workspace () in
+  fill_set ws.failed_set snapshot.failed_links;
+  fill_set ws.locked_set snapshot.locked_ports;
+  let w =
+    fill_weight_matrix
+      (scratch_matrix ws ~dim:node_count)
+      ~graph ~weight ~failed_set:ws.failed_set snapshot
+  in
+  let paths = Etx_graph.Floyd_warshall.run_into (scratch_paths ws ~dim:node_count) w in
   let table = Routing_table.create ~node_count ~module_count in
   let candidates =
     Array.init module_count (fun i -> Mapping.nodes_of_module mapping ~module_index:i)
@@ -99,7 +154,8 @@ let compute ~graph ~mapping ~module_count ~weight snapshot =
     if snapshot.alive.(node) then
       for i = 0 to module_count - 1 do
         Routing_table.set table ~node ~module_index:i
-          (choose_entry ~paths ~snapshot ~locked ~node ~candidates:candidates.(i))
+          (choose_entry ~paths ~snapshot ~locked_set:ws.locked_set ~node
+             ~candidates:candidates.(i))
       done
   done;
   table

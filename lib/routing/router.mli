@@ -23,6 +23,16 @@ type snapshot = {
 val full_snapshot : node_count:int -> levels:int -> snapshot
 (** Everyone alive at the top level; no deadlocks, no failed links. *)
 
+type workspace
+(** Scratch buffers (weight matrix, Floyd-Warshall matrices, membership
+    sets for failed links and locked ports) reused across recomputes so
+    the controller's per-frame hot path stops allocating.  A workspace
+    belongs to one controller; it must not be shared across domains. *)
+
+val create_workspace : unit -> workspace
+(** An empty workspace; buffers are sized lazily on first use and
+    resized if the graph dimension changes. *)
+
 val weight_matrix :
   graph:Etx_graph.Digraph.t -> weight:Weight.t -> snapshot -> Etx_util.Matrix.t
 (** Phase one: the W matrix.  Diagonal 0; [f(N_B(j)) * L_ij] for an edge
@@ -30,6 +40,7 @@ val weight_matrix :
     the network entirely). *)
 
 val compute :
+  ?workspace:workspace ->
   graph:Etx_graph.Digraph.t ->
   mapping:Mapping.t ->
   module_count:int ->
@@ -40,7 +51,8 @@ val compute :
     points one hop along a weighted-shortest path to the best living
     duplicate, avoiding locked ports when an unlocked alternative exists
     (the recovery branch of Fig 6).  Entries of dead nodes are
-    [Unreachable]. *)
+    [Unreachable].  Passing [?workspace] reuses its scratch matrices
+    instead of allocating; the result is identical either way. *)
 
 val shortest_paths :
   graph:Etx_graph.Digraph.t -> weight:Weight.t -> snapshot -> Etx_graph.Floyd_warshall.result

@@ -8,6 +8,7 @@ let dim t = t.dim
 let get t i j = t.data.((i * t.dim) + j)
 let set t i j v = t.data.((i * t.dim) + j) <- v
 let copy t = { t with data = Array.copy t.data }
+let data t = t.data
 
 let init ~dim ~f =
   let t = create ~dim ~init:0. in
@@ -67,6 +68,7 @@ module Int = struct
   let get t i j = t.data.((i * t.dim) + j)
   let set t i j v = t.data.((i * t.dim) + j) <- v
   let copy t = { t with data = Array.copy t.data }
+  let data t = t.data
   let equal a b = a.dim = b.dim && a.data = b.data
 
   let pp fmt t =

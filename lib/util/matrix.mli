@@ -18,6 +18,11 @@ val set : t -> int -> int -> float -> unit
 
 val copy : t -> t
 
+val data : t -> float array
+(** The underlying row-major array (length [dim * dim]); entry [(i, j)]
+    lives at [i * dim + j].  Exposed for performance-critical kernels
+    (Floyd-Warshall's triple loop); mutations write through. *)
+
 val init : dim:int -> f:(int -> int -> float) -> t
 (** [init ~dim ~f] fills entry [(i, j)] with [f i j]. *)
 
@@ -43,6 +48,10 @@ module Int : sig
   val get : t -> int -> int -> int
   val set : t -> int -> int -> int -> unit
   val copy : t -> t
+
+  val data : t -> int array
+  (** Row-major backing array, as {!Matrix.data}. *)
+
   val equal : t -> t -> bool
   val pp : Format.formatter -> t -> unit
 end

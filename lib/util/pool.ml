@@ -1,0 +1,47 @@
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Sequential reference semantics: apply in list order (List.map's
+   application order is unspecified, so spell it out). *)
+let rec map_seq f = function
+  | [] -> []
+  | x :: rest ->
+    let y = f x in
+    y :: map_seq f rest
+
+type 'b slot = Empty | Value of 'b | Error of exn
+
+let map ?domains f xs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when domains <= 1 -> map_seq f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n Empty in
+    let next = ref 0 in
+    let lock = Mutex.create () in
+    let take () =
+      Mutex.lock lock;
+      let i = !next in
+      if i < n then incr next;
+      Mutex.unlock lock;
+      if i < n then Some i else None
+    in
+    let rec worker () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        results.(i) <-
+          (match f input.(i) with y -> Value y | exception e -> Error e);
+        worker ()
+    in
+    (* the calling domain is one of the workers *)
+    let spawned = min domains n - 1 in
+    let workers = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join workers;
+    Array.iter (function Error e -> raise e | Empty | Value _ -> ()) results;
+    Array.to_list
+      (Array.map (function Value y -> y | Empty | Error _ -> assert false) results)

@@ -1,0 +1,26 @@
+(** Deterministic fixed-size domain pool for embarrassingly-parallel maps.
+
+    The experiment driver runs hundreds of independent simulations; this
+    module fans them out over OCaml 5 domains while keeping the results
+    bit-identical to a sequential run: outputs are written into an
+    index-addressed buffer, so scheduling order never leaks into the
+    result, and the lowest-index exception is the one re-raised.
+
+    Built on stdlib [Domain]/[Mutex] only — no external dependencies. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()]: the hardware parallelism the
+    runtime suggests for this machine. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs], computed by a pool of
+    [domains] workers (the calling domain included) that pull indices
+    from a shared counter.  Input order is preserved exactly.
+
+    With [domains <= 1] (or a singleton/empty list) no domain is
+    spawned and [f] is applied sequentially, left to right.
+
+    If one or more applications raise, every in-flight element still
+    runs to completion, then the exception of the {e lowest} input index
+    is re-raised — the same exception a sequential [List.map] would have
+    surfaced first.  [domains] defaults to {!default_domains}. *)

@@ -116,6 +116,21 @@ let test_reproduction_regression () =
   Alcotest.(check int) "EAR 4x4 seed 1" 61 (jobs (Calibration.ear ()));
   Alcotest.(check int) "SDR 4x4 seed 1" 9 (jobs (Calibration.sdr ()))
 
+let test_parallel_sweep_determinism () =
+  (* the pool must not change a single bit of any row, whatever the
+     domain count *)
+  let sequential = Experiments.fig7 ~sizes:[ 4 ] ~seeds:[ 1; 2 ] ~domains:1 () in
+  let parallel = Experiments.fig7 ~sizes:[ 4 ] ~seeds:[ 1; 2 ] ~domains:4 () in
+  Alcotest.(check int) "row count" (List.length sequential) (List.length parallel);
+  List.iter2
+    (fun (a : Experiments.fig7_row) (b : Experiments.fig7_row) ->
+      Alcotest.(check int) "mesh" a.Experiments.mesh_size b.Experiments.mesh_size;
+      Alcotest.(check (float 0.)) "ear jobs" a.ear_jobs b.ear_jobs;
+      Alcotest.(check (float 0.)) "sdr jobs" a.sdr_jobs b.sdr_jobs;
+      Alcotest.(check (float 0.)) "gain" a.gain b.gain;
+      Alcotest.(check (float 0.)) "overhead" a.ear_overhead b.ear_overhead)
+    sequential parallel
+
 let test_mean_jobs () =
   let configs = [ Calibration.config ~mesh_size:4 ~seed:1 () ] in
   Alcotest.(check bool) "positive" true (Experiments.mean_jobs configs > 0.)
@@ -169,6 +184,8 @@ let suite =
         Alcotest.test_case "ablation: battery" `Slow test_ablation_battery_rows;
         Alcotest.test_case "concurrency" `Slow test_concurrency_rows;
         Alcotest.test_case "mean jobs" `Slow test_mean_jobs;
+        Alcotest.test_case "parallel sweep determinism" `Slow
+          test_parallel_sweep_determinism;
         Alcotest.test_case "reproduction regression" `Slow test_reproduction_regression;
       ] );
     ( "etextile/report",

@@ -196,6 +196,34 @@ let random_graph prng ~nodes ~edge_probability =
   done;
   g
 
+let test_fw_run_into_matches_run () =
+  (* one scratch result reused across ten random graphs: every pass must
+     agree with a fresh [run], so no state leaks between recomputes *)
+  let prng = Etx_util.Prng.create ~seed:7 in
+  let scratch = Fw.create_result ~dim:8 in
+  for _ = 1 to 10 do
+    let g = random_graph prng ~nodes:8 ~edge_probability:0.4 in
+    let w = Digraph.adjacency_matrix g in
+    let reused = Fw.run_into scratch w in
+    let fresh = Fw.run w in
+    for src = 0 to 7 do
+      for dst = 0 to 7 do
+        if
+          Fw.distance reused ~src ~dst <> Fw.distance fresh ~src ~dst
+          || Fw.successor reused ~src ~dst <> Fw.successor fresh ~src ~dst
+        then Alcotest.failf "run_into diverges from run at %d -> %d" src dst
+      done
+    done
+  done
+
+let test_fw_run_into_rejects_dim_mismatch () =
+  let scratch = Fw.create_result ~dim:3 in
+  let w = Matrix.create ~dim:2 ~init:0. in
+  Alcotest.check_raises "dim mismatch"
+    (Invalid_argument "Floyd_warshall.run_into: scratch dimension differs from the input")
+    (fun () ->
+      ignore (Fw.run_into scratch w))
+
 let test_fw_matches_dijkstra () =
   let prng = Etx_util.Prng.create ~seed:99 in
   for _ = 1 to 25 do
@@ -371,6 +399,9 @@ let suite =
         Alcotest.test_case "matches Dijkstra on random graphs" `Quick test_fw_matches_dijkstra;
         Alcotest.test_case "successor paths are shortest" `Quick
           test_fw_successor_paths_are_shortest;
+        Alcotest.test_case "run_into matches run" `Quick test_fw_run_into_matches_run;
+        Alcotest.test_case "run_into dim mismatch" `Quick
+          test_fw_run_into_rejects_dim_mismatch;
         QCheck_alcotest.to_alcotest prop_mesh_distance_is_manhattan;
       ] );
     ( "graph/dijkstra",

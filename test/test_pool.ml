@@ -1,0 +1,78 @@
+(* Tests for Etx_util.Pool, the domain pool behind every experiment
+   sweep.  The contract: [map] preserves input order for any domain
+   count, re-raises the lowest-index exception, and degrades to a plain
+   sequential map when [domains <= 1]. *)
+
+module Pool = Etx_util.Pool
+
+let test_empty () =
+  Alcotest.(check (list int)) "empty" [] (Pool.map ~domains:4 (fun x -> x) [])
+
+let test_singleton () =
+  Alcotest.(check (list int)) "singleton" [ 9 ] (Pool.map ~domains:4 (fun x -> x * x) [ 3 ])
+
+let test_order_preserved () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * 7919) mod 101 in
+  let expected = List.map f xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domains=%d" domains)
+        expected
+        (Pool.map ~domains f xs))
+    [ 1; 2; 3; 4; 8 ]
+
+let test_sequential_fallback () =
+  (* domains <= 1 must not spawn: the unsynchronized trace stays safe
+     and left-to-right *)
+  let trace = ref [] in
+  let result =
+    Pool.map ~domains:1
+      (fun x ->
+        trace := x :: !trace;
+        x + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "result" [ 2; 3; 4 ] result;
+  Alcotest.(check (list int)) "left-to-right" [ 3; 2; 1 ] !trace;
+  Alcotest.(check (list int)) "domains=0" [ 2; 3; 4 ]
+    (Pool.map ~domains:0 (fun x -> x + 1) [ 1; 2; 3 ])
+
+let test_exception_lowest_index () =
+  (* indices 2 and 4 both fail; the pool must surface index 2 *)
+  List.iter
+    (fun domains ->
+      match
+        Pool.map ~domains
+          (fun x -> if x >= 20 then failwith (string_of_int x) else x)
+          [ 0; 1; 25; 3; 42; 5 ]
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure payload ->
+        Alcotest.(check string) (Printf.sprintf "domains=%d" domains) "25" payload)
+    [ 1; 2; 4 ]
+
+let test_default_domains_positive () =
+  Alcotest.(check bool) "positive" true (Pool.default_domains () >= 1)
+
+let prop_matches_list_map =
+  QCheck.Test.make ~count:100 ~name:"pool: map = List.map for any domain count"
+    QCheck.(pair (small_list small_int) (int_range 1 6))
+    (fun (xs, domains) ->
+      let f x = (x * 31) + 7 in
+      Pool.map ~domains f xs = List.map f xs)
+
+let suite =
+  [
+    ( "util/pool",
+      [
+        Alcotest.test_case "empty list" `Quick test_empty;
+        Alcotest.test_case "singleton" `Quick test_singleton;
+        Alcotest.test_case "order preserved" `Quick test_order_preserved;
+        Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
+        Alcotest.test_case "lowest-index exception" `Quick test_exception_lowest_index;
+        Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+        QCheck_alcotest.to_alcotest prop_matches_list_map;
+      ] );
+  ]

@@ -437,6 +437,46 @@ let test_router_locked_port_fallback () =
   Alcotest.(check (option int)) "takes the only path anyway" (Some 1)
     (Routing_table.next_hop table ~node:0 ~module_index:2)
 
+let test_router_workspace_matches_fresh_compute () =
+  (* a degraded snapshot exercising every membership set on the fast
+     path: drained batteries, a dead node, locked ports, failed links *)
+  let t, mapping = mesh4 () in
+  let graph = t.Topology.graph in
+  let weight = Weight.Exponential { q = 2. } in
+  let full = Router.full_snapshot ~node_count:16 ~levels:8 in
+  let degraded = Router.full_snapshot ~node_count:16 ~levels:8 in
+  degraded.Router.battery_level.(5) <- 1;
+  degraded.Router.battery_level.(10) <- 2;
+  degraded.Router.alive.(15) <- false;
+  let degraded =
+    {
+      degraded with
+      Router.locked_ports = [ (0, 1); (5, 6) ];
+      failed_links = [ (1, 2); (2, 1); (9, 10) ];
+    }
+  in
+  let fresh snapshot =
+    Router.compute ~graph ~mapping ~module_count:3 ~weight snapshot
+  in
+  let workspace = Router.create_workspace () in
+  let reused snapshot =
+    Router.compute ~workspace ~graph ~mapping ~module_count:3 ~weight snapshot
+  in
+  Alcotest.(check bool) "degraded snapshot" true
+    (Routing_table.equal (fresh degraded) (reused degraded));
+  (* the same workspace across changing snapshots: no state may leak *)
+  Alcotest.(check bool) "full snapshot after reuse" true
+    (Routing_table.equal (fresh full) (reused full));
+  Alcotest.(check bool) "degraded again" true
+    (Routing_table.equal (fresh degraded) (reused degraded));
+  (* and the broken 1 -> 2 interconnect is never used as a next hop *)
+  let table = reused degraded in
+  for module_index = 0 to 2 do
+    match Routing_table.next_hop table ~node:1 ~module_index with
+    | Some 2 -> Alcotest.failf "module %d routed over the failed 1 -> 2 link" module_index
+    | Some _ | None -> ()
+  done
+
 let test_router_snapshot_validation () =
   let t, mapping = mesh4 () in
   let snapshot = Router.full_snapshot ~node_count:4 ~levels:8 in
@@ -558,6 +598,8 @@ let suite =
           test_router_dead_nodes_get_no_entries;
         Alcotest.test_case "locked port avoidance" `Quick test_router_locked_port_avoidance;
         Alcotest.test_case "locked port fallback" `Quick test_router_locked_port_fallback;
+        Alcotest.test_case "workspace matches fresh compute" `Quick
+          test_router_workspace_matches_fresh_compute;
         Alcotest.test_case "snapshot validation" `Quick test_router_snapshot_validation;
         QCheck_alcotest.to_alcotest prop_router_tables_terminate;
       ] );
