@@ -73,10 +73,14 @@ let maximin_kernel =
   let topology = Etx_graph.Topology.square_mesh ~size:8 () in
   let mapping = Etx_routing.Mapping.checkerboard topology in
   let snapshot = Etx_routing.Router.full_snapshot ~node_count:64 ~levels:8 in
+  (* Persistent workspace, like the controller's per-frame path: flat
+     SoA matrices, hash sets, candidate arrays and the table pair are
+     all reused across recomputes. *)
+  let workspace = Etx_routing.Maximin.create_workspace () in
   fun () ->
     ignore
-      (Etx_routing.Maximin.compute ~graph:topology.Etx_graph.Topology.graph ~mapping
-         ~module_count:3 snapshot)
+      (Etx_routing.Maximin.compute ~workspace ~graph:topology.Etx_graph.Topology.graph
+         ~mapping ~module_count:3 snapshot)
 
 let analysis_kernel =
   let problem = Etextile.Calibration.problem ~mesh_size:8 in
@@ -129,7 +133,81 @@ let write_json path rows =
   output_string out "}\n";
   close_out out
 
-let run_benchmarks ~smoke ~json () =
+(* Read back the flat { "name": ns } object written by [write_json].
+   Hand-rolled like the writer: names are benchmark labels (no escapes
+   in practice), values are plain decimal numbers. *)
+let read_json path =
+  let contents =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let rows = ref [] in
+  let len = String.length contents in
+  let pos = ref 0 in
+  let fail reason = failwith (Printf.sprintf "%s: %s" path reason) in
+  while !pos < len do
+    match String.index_from_opt contents !pos '"' with
+    | None -> pos := len
+    | Some name_start -> (
+      match String.index_from_opt contents (name_start + 1) '"' with
+      | None -> fail "unterminated name"
+      | Some name_end -> (
+        let name = String.sub contents (name_start + 1) (name_end - name_start - 1) in
+        match String.index_from_opt contents name_end ':' with
+        | None -> fail "missing value"
+        | Some colon ->
+          let value_end = ref (colon + 1) in
+          while
+            !value_end < len
+            && (match contents.[!value_end] with
+               | ',' | '}' -> false
+               | _ -> true)
+          do
+            incr value_end
+          done;
+          let raw = String.trim (String.sub contents (colon + 1) (!value_end - colon - 1)) in
+          (match float_of_string_opt raw with
+          | Some v -> rows := (name, v) :: !rows
+          | None -> fail (Printf.sprintf "bad number %S for %s" raw name));
+          pos := !value_end + 1))
+  done;
+  List.rev !rows
+
+(* Per-benchmark ratio table against a recorded baseline; true when any
+   benchmark regressed (new/old above 1 + threshold). *)
+let compare_against ~baseline_path ~threshold rows =
+  let baseline = read_json baseline_path in
+  Printf.printf "Comparison against %s (threshold %+.0f%%):\n" baseline_path
+    (threshold *. 100.);
+  Printf.printf "  %-44s %14s %14s %8s\n" "benchmark" "baseline ns" "new ns" "ratio";
+  let regressed = ref false in
+  List.iter
+    (fun (name, nanoseconds) ->
+      match List.assoc_opt name baseline with
+      | None -> Printf.printf "  %-44s %14s %14.1f %8s\n" name "-" nanoseconds "new"
+      | Some old ->
+        let ratio = nanoseconds /. old in
+        let flag =
+          if ratio > 1. +. threshold then begin
+            regressed := true;
+            "  REGRESSED"
+          end
+          else ""
+        in
+        Printf.printf "  %-44s %14.1f %14.1f %7.2fx%s\n" name old nanoseconds ratio flag)
+    rows;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name rows) then
+        Printf.printf "  %-44s (missing from this run)\n" name)
+    baseline;
+  print_newline ();
+  !regressed
+
+let run_benchmarks ~smoke ~json ~compare_with ~threshold () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -156,11 +234,19 @@ let run_benchmarks ~smoke ~json () =
       | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
     rows;
   print_newline ();
-  match json with
+  (match json with
   | None -> ()
   | Some path ->
     write_json path estimated;
-    Printf.printf "wrote %d estimates to %s\n%!" (List.length estimated) path
+    Printf.printf "wrote %d estimates to %s\n%!" (List.length estimated) path);
+  match compare_with with
+  | None -> ()
+  | Some baseline_path ->
+    if compare_against ~baseline_path ~threshold estimated then begin
+      Printf.printf "FAIL: kernels regressed beyond %.0f%% of %s\n%!" (threshold *. 100.)
+        baseline_path;
+      exit 1
+    end
 
 let run_reproduction ~domains () =
   print_endline "=== Paper reproduction: regenerating every table and figure ===\n";
@@ -200,7 +286,8 @@ let run_reproduction ~domains () =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--bench-only | --repro-only] [--smoke] [--json FILE] [--jobs N]";
+    "usage: main.exe [--bench-only | --repro-only] [--smoke] [--json FILE]\n\
+    \                [--compare BASELINE.json] [--threshold FRACTION] [--jobs N]";
   exit 2
 
 let () =
@@ -208,6 +295,8 @@ let () =
   let repro_only = ref false in
   let smoke = ref false in
   let json = ref None in
+  let compare = ref None in
+  let threshold = ref 0.10 in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let rec parse = function
     | [] -> ()
@@ -223,6 +312,15 @@ let () =
     | "--json" :: path :: rest ->
       json := Some path;
       parse rest
+    | "--compare" :: path :: rest ->
+      compare := Some path;
+      parse rest
+    | "--threshold" :: x :: rest -> (
+      match float_of_string_opt x with
+      | Some x when x >= 0. ->
+        threshold := x;
+        parse rest
+      | Some _ | None -> usage ())
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -232,5 +330,6 @@ let () =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if not !repro_only then run_benchmarks ~smoke:!smoke ~json:!json ();
+  if not !repro_only then
+    run_benchmarks ~smoke:!smoke ~json:!json ~compare_with:!compare ~threshold:!threshold ();
   if not !bench_only then run_reproduction ~domains:!jobs ()

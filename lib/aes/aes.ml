@@ -8,30 +8,30 @@ let rounds key = Key_schedule.rounds key
 let encrypt_block key plaintext =
   Block.check_state plaintext;
   let nr = Key_schedule.rounds key in
-  let state = ref (Block.add_round_key plaintext ~key:(Key_schedule.round_key key ~round:0)) in
+  let state = ref (Block.add_round_key plaintext ~key:(Key_schedule.round_key_ref key ~round:0)) in
   for round = 1 to nr - 1 do
     state := Block.sub_bytes_shift_rows !state;
     state := Block.mix_columns !state;
-    state := Block.add_round_key !state ~key:(Key_schedule.round_key key ~round)
+    state := Block.add_round_key !state ~key:(Key_schedule.round_key_ref key ~round)
   done;
   state := Block.sub_bytes_shift_rows !state;
-  Block.add_round_key !state ~key:(Key_schedule.round_key key ~round:nr)
+  Block.add_round_key !state ~key:(Key_schedule.round_key_ref key ~round:nr)
 
 let decrypt_block key ciphertext =
   Block.check_state ciphertext;
   let nr = Key_schedule.rounds key in
   let state =
-    ref (Block.add_round_key ciphertext ~key:(Key_schedule.round_key key ~round:nr))
+    ref (Block.add_round_key ciphertext ~key:(Key_schedule.round_key_ref key ~round:nr))
   in
   for round = nr - 1 downto 1 do
     state := Block.inv_shift_rows !state;
     state := Block.inv_sub_bytes !state;
-    state := Block.add_round_key !state ~key:(Key_schedule.round_key key ~round);
+    state := Block.add_round_key !state ~key:(Key_schedule.round_key_ref key ~round);
     state := Block.inv_mix_columns !state
   done;
   state := Block.inv_shift_rows !state;
   state := Block.inv_sub_bytes !state;
-  Block.add_round_key !state ~key:(Key_schedule.round_key key ~round:0)
+  Block.add_round_key !state ~key:(Key_schedule.round_key_ref key ~round:0)
 
 let encrypt_hex ~key ~plaintext =
   Block.to_hex (encrypt_block (key_of_hex key) (Block.of_hex plaintext))

@@ -1,57 +1,120 @@
 let check_state state =
   if Bytes.length state <> 16 then invalid_arg "Block: state must be 16 bytes"
 
-let map_state f state =
-  check_state state;
-  Bytes.init 16 (fun i -> Char.chr (f (Char.code (Bytes.get state i))))
+(* The round transformations run once per act in the simulator's inner
+   loop, so everything data-independent is precomputed: the S-boxes and
+   the GF(2^8) multiplications by the fixed MixColumns coefficients
+   become 256-entry tables, and the ShiftRows byte shuffles become
+   16-entry source-index permutations.  The results are byte-for-byte
+   those of the definitional formulas (the tables are built from them). *)
 
-let sub_bytes state = map_state Sbox.forward state
-let inv_sub_bytes state = map_state Sbox.inverse state
+let sbox = Sbox.forward_table ()
+let inv_sbox = Sbox.inverse_table ()
+let mul_table c = Array.init 256 (fun b -> Galois.mul c b)
+let m2 = mul_table 0x02
+let m3 = mul_table 0x03
+let m9 = mul_table 0x09
+let m11 = mul_table 0x0B
+let m13 = mul_table 0x0D
+let m14 = mul_table 0x0E
 
-let permute_rows offset_of_row state =
-  check_state state;
-  Bytes.init 16 (fun i ->
-      let r = i mod 4 and c = i / 4 in
-      let source_col = (c + offset_of_row r) mod 4 in
-      Bytes.get state ((4 * source_col) + r))
-
-(* row r rotates left by r positions *)
-let shift_rows state = permute_rows (fun r -> r) state
-
-(* inverse: rotate right by r = rotate left by 4 - r *)
-let inv_shift_rows state = permute_rows (fun r -> (4 - r) mod 4) state
-
-let mix_single_column coefficients column =
-  Array.init 4 (fun r ->
-      let acc = ref 0 in
-      for k = 0 to 3 do
-        acc := !acc lxor Galois.mul coefficients.((k - r + 4) mod 4) column.(k)
-      done;
-      !acc)
-
-let mix_with coefficients state =
+let map_table table state =
   check_state state;
   let out = Bytes.create 16 in
-  for c = 0 to 3 do
-    let column = Array.init 4 (fun r -> Char.code (Bytes.get state ((4 * c) + r))) in
-    let mixed = mix_single_column coefficients column in
-    for r = 0 to 3 do
-      Bytes.set out ((4 * c) + r) (Char.chr mixed.(r))
-    done
+  for i = 0 to 15 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr table.(Char.code (Bytes.unsafe_get state i)))
   done;
   out
 
-(* first rows of the circulant MixColumns matrices (FIPS 5.1.3 / 5.3.3) *)
-let mix_columns state = mix_with [| 0x02; 0x03; 0x01; 0x01 |] state
-let inv_mix_columns state = mix_with [| 0x0E; 0x0B; 0x0D; 0x09 |] state
+let sub_bytes state = map_table sbox state
+let inv_sub_bytes state = map_table inv_sbox state
+
+(* source index feeding each output position; byte [i] holds state
+   element (row [i mod 4], column [i / 4]) *)
+let shift_perm offset_of_row =
+  Array.init 16 (fun i ->
+      let r = i mod 4 and c = i / 4 in
+      let source_col = (c + offset_of_row r) mod 4 in
+      (4 * source_col) + r)
+
+(* row r rotates left by r positions *)
+let shift_rows_perm = shift_perm (fun r -> r)
+
+(* inverse: rotate right by r = rotate left by 4 - r *)
+let inv_shift_rows_perm = shift_perm (fun r -> (4 - r) mod 4)
+
+let permute perm state =
+  check_state state;
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.unsafe_set out i (Bytes.unsafe_get state (Array.unsafe_get perm i))
+  done;
+  out
+
+let shift_rows state = permute shift_rows_perm state
+let inv_shift_rows state = permute inv_shift_rows_perm state
+
+(* the circulant MixColumns matrices (FIPS 5.1.3 / 5.3.3), unrolled per
+   column with the coefficient rows written out *)
+let mix_columns state =
+  check_state state;
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    let base = 4 * c in
+    let a0 = Char.code (Bytes.unsafe_get state base) in
+    let a1 = Char.code (Bytes.unsafe_get state (base + 1)) in
+    let a2 = Char.code (Bytes.unsafe_get state (base + 2)) in
+    let a3 = Char.code (Bytes.unsafe_get state (base + 3)) in
+    Bytes.unsafe_set out base (Char.unsafe_chr (m2.(a0) lxor m3.(a1) lxor a2 lxor a3));
+    Bytes.unsafe_set out (base + 1) (Char.unsafe_chr (a0 lxor m2.(a1) lxor m3.(a2) lxor a3));
+    Bytes.unsafe_set out (base + 2) (Char.unsafe_chr (a0 lxor a1 lxor m2.(a2) lxor m3.(a3)));
+    Bytes.unsafe_set out (base + 3) (Char.unsafe_chr (m3.(a0) lxor a1 lxor a2 lxor m2.(a3)))
+  done;
+  out
+
+let inv_mix_columns state =
+  check_state state;
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    let base = 4 * c in
+    let a0 = Char.code (Bytes.unsafe_get state base) in
+    let a1 = Char.code (Bytes.unsafe_get state (base + 1)) in
+    let a2 = Char.code (Bytes.unsafe_get state (base + 2)) in
+    let a3 = Char.code (Bytes.unsafe_get state (base + 3)) in
+    Bytes.unsafe_set out base
+      (Char.unsafe_chr (m14.(a0) lxor m11.(a1) lxor m13.(a2) lxor m9.(a3)));
+    Bytes.unsafe_set out (base + 1)
+      (Char.unsafe_chr (m9.(a0) lxor m14.(a1) lxor m11.(a2) lxor m13.(a3)));
+    Bytes.unsafe_set out (base + 2)
+      (Char.unsafe_chr (m13.(a0) lxor m9.(a1) lxor m14.(a2) lxor m11.(a3)));
+    Bytes.unsafe_set out (base + 3)
+      (Char.unsafe_chr (m11.(a0) lxor m13.(a1) lxor m9.(a2) lxor m14.(a3)))
+  done;
+  out
 
 let add_round_key state ~key =
   check_state state;
   check_state key;
-  Bytes.init 16 (fun i ->
-      Char.chr (Char.code (Bytes.get state i) lxor Char.code (Bytes.get key i)))
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr
+         (Char.code (Bytes.unsafe_get state i) lxor Char.code (Bytes.unsafe_get key i)))
+  done;
+  out
 
-let sub_bytes_shift_rows state = shift_rows (sub_bytes state)
+(* SubBytes then ShiftRows, fused into one pass: the substitution
+   commutes with the byte shuffle *)
+let sub_bytes_shift_rows state =
+  check_state state;
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.unsafe_set out i
+      (Char.unsafe_chr
+         sbox.(Char.code (Bytes.unsafe_get state (Array.unsafe_get shift_rows_perm i))))
+  done;
+  out
 
 let of_hex s =
   let n = String.length s in

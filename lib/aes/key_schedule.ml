@@ -1,4 +1,11 @@
-type t = { words : int array; nk : int; nr : int }
+type t = {
+  words : int array;
+  nk : int;
+  nr : int;
+  (* round keys materialized as 16-byte state-layout buffers, so the
+     per-act AddRoundKey path does not rebuild them from words *)
+  round_keys : Bytes.t array;
+}
 
 let sub_word w =
   let byte i = (w lsr (8 * i)) land 0xFF in
@@ -40,7 +47,18 @@ let expand ~key =
     in
     words.(i) <- words.(i - nk) lxor temp
   done;
-  { words; nk; nr }
+  let round_keys =
+    Array.init (nr + 1) (fun round ->
+        let out = Bytes.create 16 in
+        for c = 0 to 3 do
+          let w = words.((4 * round) + c) in
+          for r = 0 to 3 do
+            Bytes.set out ((4 * c) + r) (Char.chr ((w lsr (8 * (3 - r))) land 0xFF))
+          done
+        done;
+        out)
+  in
+  { words; nk; nr; round_keys }
 
 let rounds t = t.nr
 let key_length_words t = t.nk
@@ -51,14 +69,9 @@ let word t i =
     invalid_arg "Key_schedule.word: index out of range";
   t.words.(i)
 
-let round_key t ~round =
+let round_key_ref t ~round =
   if round < 0 || round > t.nr then
     invalid_arg "Key_schedule.round_key: round out of range";
-  let out = Bytes.create 16 in
-  for c = 0 to 3 do
-    let w = t.words.((4 * round) + c) in
-    for r = 0 to 3 do
-      Bytes.set out ((4 * c) + r) (Char.chr ((w lsr (8 * (3 - r))) land 0xFF))
-    done
-  done;
-  out
+  t.round_keys.(round)
+
+let round_key t ~round = Bytes.copy (round_key_ref t ~round)

@@ -24,6 +24,11 @@ val round_key : t -> round:int -> Bytes.t
     state (byte [4*c + r] is byte r of word c), ready for AddRoundKey.
     @raise Invalid_argument for [round] outside [0, rounds]. *)
 
+val round_key_ref : t -> round:int -> Bytes.t
+(** Like {!round_key} but returns the schedule's own cached buffer
+    without copying; the caller must treat it as read-only.  For the
+    per-act AddRoundKey hot path. *)
+
 val word_count : t -> int
 
 val rcon : int -> int

@@ -49,7 +49,7 @@ let apply ~schedule op state =
   | Subbytes_shiftrows -> Block.sub_bytes_shift_rows state
   | Mixcolumns -> Block.mix_columns state
   | Keyexpansion_addroundkey ->
-    Block.add_round_key state ~key:(Key_schedule.round_key schedule ~round:op.round)
+    Block.add_round_key state ~key:(Key_schedule.round_key_ref schedule ~round:op.round)
 
 let run_plan ~schedule state = Array.fold_left (fun s op -> apply ~schedule op s) state job_plan
 
@@ -77,7 +77,7 @@ let apply_decrypt ~schedule op state =
   | Subbytes_shiftrows -> Block.inv_sub_bytes (Block.inv_shift_rows state)
   | Mixcolumns -> Block.inv_mix_columns state
   | Keyexpansion_addroundkey ->
-    Block.add_round_key state ~key:(Key_schedule.round_key schedule ~round:op.round)
+    Block.add_round_key state ~key:(Key_schedule.round_key_ref schedule ~round:op.round)
 
 let run_decrypt_plan ~schedule state =
   Array.fold_left (fun s op -> apply_decrypt ~schedule op s) state decrypt_plan

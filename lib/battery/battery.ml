@@ -9,21 +9,31 @@ type thin_film_params = {
 
 type kind = Ideal | Thin_film of thin_film_params
 
+(* The mutable charge state lives in standalone all-float records: those
+   get the flat float representation, so the per-draw and per-tick writes
+   do not box.  (Inline records inside the variant cannot be flat - the
+   block must carry the constructor tag - so mutable float fields there
+   would allocate on every write.) *)
+type ideal_state = { mutable charge : float }
+
+type thin_film_wells = {
+  mutable available : float;
+  mutable bound : float;
+  mutable load_power : float; (* EWMA, pJ per cycle *)
+}
+
 type state =
-  | Ideal_state of { mutable charge : float }
-  | Thin_film_state of {
-      params : thin_film_params;
-      mutable available : float;
-      mutable bound : float;
-      mutable load_power : float; (* EWMA, pJ per cycle *)
-    }
+  | Ideal_state of ideal_state
+  | Thin_film_state of { params : thin_film_params; wells : thin_film_wells }
 
 type t = {
   kind : kind;
   capacity : float;
   state : state;
   mutable dead : bool;
-  mutable delivered : float;
+  (* one-cell array: a mutable float field of this mixed record would
+     box on every draw, and draw runs once per node per frame *)
+  delivered : float array;
 }
 
 let default_thin_film =
@@ -51,12 +61,15 @@ let create ~kind ~capacity_pj =
       Thin_film_state
         {
           params;
-          available = params.available_fraction *. capacity_pj;
-          bound = (1. -. params.available_fraction) *. capacity_pj;
-          load_power = 0.;
+          wells =
+            {
+              available = params.available_fraction *. capacity_pj;
+              bound = (1. -. params.available_fraction) *. capacity_pj;
+              load_power = 0.;
+            };
         }
   in
-  { kind; capacity = capacity_pj; state; dead = false; delivered = 0. }
+  { kind; capacity = capacity_pj; state; dead = false; delivered = [| 0. |] }
 
 let kind t = t.kind
 let capacity_pj t = t.capacity
@@ -66,11 +79,11 @@ let voltage t =
   else
     match t.state with
     | Ideal_state _ -> 4.2 (* ideal cell: constant voltage until depletion *)
-    | Thin_film_state tf ->
-      let well_capacity = tf.params.available_fraction *. t.capacity in
+    | Thin_film_state { params; wells = tf } ->
+      let well_capacity = params.available_fraction *. t.capacity in
       let soc_available = tf.available /. well_capacity in
-      let open_circuit = Profile.voltage tf.params.profile ~soc:soc_available in
-      let sag = tf.params.sag_volts_per_power *. tf.load_power in
+      let open_circuit = Profile.voltage params.profile ~soc:soc_available in
+      let sag = params.sag_volts_per_power *. tf.load_power in
       Float.max 0. (open_circuit -. sag)
 
 (* latch death when the output voltage crosses the cutoff *)
@@ -78,8 +91,8 @@ let check_death t =
   if not t.dead then
     match t.state with
     | Ideal_state s -> if s.charge <= 0. then t.dead <- true
-    | Thin_film_state tf ->
-      if voltage t < tf.params.cutoff_volts then t.dead <- true
+    | Thin_film_state { params; wells = _ } ->
+      if voltage t < params.cutoff_volts then t.dead <- true
 
 let draw t ~energy_pj =
   if energy_pj < 0. then invalid_arg "Battery.draw: negative energy";
@@ -89,7 +102,7 @@ let draw t ~energy_pj =
     | Ideal_state s ->
       if s.charge >= energy_pj then begin
         s.charge <- s.charge -. energy_pj;
-        t.delivered <- t.delivered +. energy_pj;
+        t.delivered.(0) <- t.delivered.(0) +. energy_pj;
         check_death t;
         true
       end
@@ -97,11 +110,11 @@ let draw t ~energy_pj =
         t.dead <- true;
         false
       end
-    | Thin_film_state tf ->
+    | Thin_film_state { params; wells = tf } ->
       if tf.available >= energy_pj then begin
         tf.available <- tf.available -. energy_pj;
-        tf.load_power <- tf.load_power +. (energy_pj /. tf.params.load_window_cycles);
-        t.delivered <- t.delivered +. energy_pj;
+        tf.load_power <- tf.load_power +. (energy_pj /. params.load_window_cycles);
+        t.delivered.(0) <- t.delivered.(0) +. energy_pj;
         check_death t;
         not t.dead
       end
@@ -116,16 +129,16 @@ let tick t ~cycles =
   if (not t.dead) && cycles > 0 then
     match t.state with
     | Ideal_state _ -> ()
-    | Thin_film_state tf ->
+    | Thin_film_state { params; wells = tf } ->
       let dt = float_of_int cycles in
-      tf.load_power <- tf.load_power *. exp (-.dt /. tf.params.load_window_cycles);
+      tf.load_power <- tf.load_power *. exp (-.dt /. params.load_window_cycles);
       (* bound -> available diffusion driven by well-height difference *)
-      let c = tf.params.available_fraction in
+      let c = params.available_fraction in
       let height_available = tf.available /. c in
       let height_bound = if c >= 1. then height_available else tf.bound /. (1. -. c) in
       let gradient = height_bound -. height_available in
       if gradient > 0. then begin
-        let transfer_factor = 1. -. exp (-.tf.params.diffusion_per_cycle *. dt) in
+        let transfer_factor = 1. -. exp (-.params.diffusion_per_cycle *. dt) in
         let flow = gradient *. c *. (1. -. c) *. transfer_factor in
         let flow = Float.min flow tf.bound in
         tf.bound <- tf.bound -. flow;
@@ -137,15 +150,23 @@ let is_dead t = t.dead
 let remaining_pj t =
   match t.state with
   | Ideal_state s -> Float.max 0. s.charge
-  | Thin_film_state tf -> tf.available +. tf.bound
+  | Thin_film_state { params = _; wells = tf } -> tf.available +. tf.bound
 
 let soc t = remaining_pj t /. t.capacity
-let delivered_pj t = t.delivered
+let delivered_pj t = t.delivered.(0)
 
 let level t ~levels =
   if levels <= 0 then invalid_arg "Battery.level: levels must be positive";
   if t.dead then 0
   else begin
-    let raw = int_of_float (soc t *. float_of_int levels) in
+    (* the remaining/soc computation is open-coded: chaining through
+       the float-returning helpers boxes an intermediate per call, and
+       level runs once per node per control frame *)
+    let remaining =
+      match t.state with
+      | Ideal_state s -> if s.charge > 0. then s.charge else 0.
+      | Thin_film_state { params = _; wells = tf } -> tf.available +. tf.bound
+    in
+    let raw = int_of_float (remaining /. t.capacity *. float_of_int levels) in
     if raw >= levels then levels - 1 else if raw < 0 then 0 else raw
   end

@@ -13,7 +13,17 @@ type t = {
   config : Config.t;
   bank : bank;
   workspace : Router.workspace;
+  maximin_workspace : Etx_routing.Maximin.workspace;
+  (* controller-owned copy of the last recomputed-for snapshot: the
+     engine refills its snapshot buffer in place every frame, so the
+     comparison baseline must not alias it *)
   mutable previous_snapshot : Router.snapshot option;
+  (* per-frame energy constants, fixed by the config: cached here so
+     the frame loop does not redo the power-model scaling (a [**] and
+     friends) every frame *)
+  leakage_per_cycle : float;
+  dynamic_per_recompute : float;
+  instruction_energy : float;
   mutable table : Routing_table.t option;
   mutable recomputations : int;
   mutable download_energy : float;
@@ -39,7 +49,13 @@ let create (config : Config.t) =
     config;
     bank;
     workspace = Router.create_workspace ();
+    maximin_workspace = Etx_routing.Maximin.create_workspace ();
     previous_snapshot = None;
+    leakage_per_cycle = Config.leakage_pj_per_cycle config;
+    dynamic_per_recompute =
+      Config.dynamic_pj_per_cycle config
+      *. float_of_int (Config.recompute_cycles config);
+    instruction_energy = Config.instruction_energy_pj config;
     table = None;
     recomputations = 0;
     download_energy = 0.;
@@ -69,6 +85,27 @@ let snapshot_equal (a : Router.snapshot) (b : Router.snapshot) =
   && a.locked_ports = b.locked_ports
   && a.failed_links = b.failed_links
 
+(* Remember the snapshot just recomputed for.  The arrays are blitted
+   into a controller-owned buffer (the caller's buffer is refilled next
+   frame); the immutable list values are shared by reference. *)
+let remember t (snapshot : Router.snapshot) =
+  let n = Array.length snapshot.alive in
+  match t.previous_snapshot with
+  | Some prev
+    when Array.length prev.alive = n && prev.levels = snapshot.levels ->
+    Array.blit snapshot.alive 0 prev.alive 0 n;
+    Array.blit snapshot.battery_level 0 prev.battery_level 0 n;
+    prev.locked_ports <- snapshot.locked_ports;
+    prev.failed_links <- snapshot.failed_links
+  | Some _ | None ->
+    t.previous_snapshot <-
+      Some
+        {
+          snapshot with
+          Router.alive = Array.copy snapshot.alive;
+          battery_level = Array.copy snapshot.battery_level;
+        }
+
 let on_frame t ~cycle ~elapsed_cycles ~snapshot =
   ignore cycle;
   begin
@@ -77,9 +114,7 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
       Battery.tick f.batteries.(f.active) ~cycles:elapsed_cycles
     | Finite _ | Infinite -> ()
   end;
-  let leakage =
-    Config.leakage_pj_per_cycle t.config *. float_of_int elapsed_cycles
-  in
+  let leakage = t.leakage_per_cycle *. float_of_int elapsed_cycles in
   t.compute_energy <- t.compute_energy +. leakage;
   if not (bank_draw t ~energy:leakage) then Exhausted
   else begin
@@ -90,10 +125,7 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
     in
     if unchanged then No_change
     else begin
-      let dynamic =
-        Config.dynamic_pj_per_cycle t.config
-        *. float_of_int (Config.recompute_cycles t.config)
-      in
+      let dynamic = t.dynamic_per_recompute in
       t.compute_energy <- t.compute_energy +. dynamic;
       if not (bank_draw t ~energy:dynamic) then Exhausted
       else begin
@@ -104,8 +136,8 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
             Router.compute ~workspace:t.workspace ~graph ~mapping:t.config.mapping
               ~module_count:t.config.module_count ~weight snapshot
           | Etx_routing.Policy.Maximin_residual ->
-            Etx_routing.Maximin.compute ~graph ~mapping:t.config.mapping
-              ~module_count:t.config.module_count snapshot
+            Etx_routing.Maximin.compute ~workspace:t.maximin_workspace ~graph
+              ~mapping:t.config.mapping ~module_count:t.config.module_count snapshot
         in
         t.recomputations <- t.recomputations + 1;
         let changed =
@@ -114,11 +146,11 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
           | None ->
             Routing_table.node_count table * Routing_table.module_count table
         in
-        let download = float_of_int changed *. Config.instruction_energy_pj t.config in
+        let download = float_of_int changed *. t.instruction_energy in
         t.download_energy <- t.download_energy +. download;
         if not (bank_draw t ~energy:download) then Exhausted
         else begin
-          t.previous_snapshot <- Some snapshot;
+          remember t snapshot;
           t.table <- Some table;
           Table_updated table
         end

@@ -80,9 +80,28 @@ type t = {
   mutable cycle : int;
   mutable next_frame : int;
   mutable last_frame : int;
-  links : (int * int, int) Hashtbl.t; (* directed link -> busy until *)
-  failed_links : (int * int, unit) Hashtbl.t;
+  (* flat row-major [n * n] link state and per-link energy tables: the
+     hop path runs once per packet, so the busy-until clocks, failure
+     flags and transmission-line energies all live in arrays indexed by
+     [src * n + dst] instead of tuple-keyed hash tables and interpolated
+     on demand *)
+  link_busy : int array; (* directed link -> busy until *)
+  link_dead : bool array;
+  hop_energy : float array; (* Packet.hop_energy per directed edge *)
+  reception_energy : float array;
+  serialization_cycles : int;
+  act_energy : float array; (* Computation.energy_per_act per module *)
+  (* failed links as a sorted list, rebuilt only when a failure lands,
+     so the per-frame snapshot hands the controller a ready-made value *)
+  mutable failed_links_sorted : (int * int) list;
   mutable pending_failures : (int * int * int) list; (* sorted by cycle *)
+  (* per-frame snapshot buffer: the alive/battery arrays are refilled in
+     place and the list fields replaced, instead of allocating fresh
+     arrays and a record every frame *)
+  snapshot : Router.snapshot;
+  (* per-frame status-upload cost, fixed by the config: computed once
+     here instead of once per frame *)
+  report_energy : float;
   mutable links_failed : int;
   prng : Prng.t;
   mutable entry_rotation : int;
@@ -125,6 +144,15 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
           ~module_index:(Mapping.module_of_node config.mapping ~node:id)
           ~kind:config.battery_kind ~capacity_pj:(node_capacity ()))
   in
+  let graph = config.topology.Etx_graph.Topology.graph in
+  let cells = node_count * node_count in
+  let hop_energy = Array.make cells nan in
+  let reception_energy = Array.make cells nan in
+  Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
+      let idx = (src * node_count) + dst in
+      hop_energy.(idx) <-
+        Packet.hop_energy config.packet ~line:config.line ~length_cm:length;
+      reception_energy.(idx) <- Config.reception_energy_pj config ~length_cm:length);
   {
     config;
     graph = config.topology.Etx_graph.Topology.graph;
@@ -138,8 +166,21 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
     cycle = 0;
     next_frame = 0;
     last_frame = 0;
-    links = Hashtbl.create 64;
-    failed_links = Hashtbl.create 16;
+    link_busy = Array.make cells 0;
+    link_dead = Array.make cells false;
+    hop_energy;
+    reception_energy;
+    serialization_cycles =
+      Packet.serialization_cycles config.packet
+        ~link_width_bits:config.link_width_bits;
+    act_energy =
+      Array.init config.Config.module_count (fun module_index ->
+          Computation.energy_per_act config.computation ~module_index);
+    failed_links_sorted = [];
+    snapshot =
+      Router.full_snapshot ~node_count
+        ~levels:config.policy.Etx_routing.Policy.levels;
+    report_energy = Config.report_energy_pj config;
     pending_failures =
       List.sort
         (fun (a, _, _) (b, _, _) -> compare a b)
@@ -268,25 +309,38 @@ let complete_job t cell =
   | Some cap when t.jobs_completed >= cap -> die t Metrics.Job_limit
   | Some _ | None -> launch_job t
 
-let link_alive t ~src ~dst = not (Hashtbl.mem t.failed_links (src, dst))
+let link_alive t ~src ~dst = not t.link_dead.((src * Array.length t.nodes) + dst)
 
 (* break interconnects whose scheduled failure cycle has arrived *)
 let apply_link_failures t =
-  let due, later =
-    List.partition (fun (cycle, _, _) -> cycle <= t.cycle) t.pending_failures
-  in
-  t.pending_failures <- later;
-  List.iter
-    (fun (_, a, b) ->
-      if link_alive t ~src:a ~dst:b then begin
-        Hashtbl.replace t.failed_links (a, b) ();
-        Hashtbl.replace t.failed_links (b, a) ();
-        t.links_failed <- t.links_failed + 1
-      end)
-    due
+  match t.pending_failures with
+  | [] -> () (* steady state: nothing scheduled, nothing allocated *)
+  | pending ->
+    let due, later = List.partition (fun (cycle, _, _) -> cycle <= t.cycle) pending in
+    t.pending_failures <- later;
+    let n = Array.length t.nodes in
+    let landed = ref false in
+    List.iter
+      (fun (_, a, b) ->
+        if link_alive t ~src:a ~dst:b then begin
+          t.link_dead.((a * n) + b) <- true;
+          t.link_dead.((b * n) + a) <- true;
+          t.links_failed <- t.links_failed + 1;
+          landed := true
+        end)
+      due;
+    if !landed then begin
+      (* ascending scan of the flag matrix yields the list sorted *)
+      let acc = ref [] in
+      for src = n - 1 downto 0 do
+        for dst = n - 1 downto 0 do
+          if t.link_dead.((src * n) + dst) then acc := (src, dst) :: !acc
+        done
+      done;
+      t.failed_links_sorted <- !acc
+    end
 
-let link_busy_until t ~src ~dst =
-  match Hashtbl.find_opt t.links (src, dst) with Some until -> until | None -> 0
+let link_busy_until t ~src ~dst = t.link_busy.((src * Array.length t.nodes) + dst)
 
 (* Does a living duplicate of [module_index] remain reachable from
    [node] through living relays?  The exact oracle behind the
@@ -318,7 +372,7 @@ let start_computation t job ~node ~module_index ~since =
   let busy_until = t.nodes.(node).Node.busy_until in
   if busy_until > t.cycle then set_waiting job ~node ~since ~retry_at:busy_until
   else begin
-    let energy = Computation.energy_per_act t.config.computation ~module_index in
+    let energy = t.act_energy.(module_index) in
     if Node.draw t.nodes.(node) ~cycle:t.cycle ~energy_pj:energy then begin
       t.computation_energy <- t.computation_energy +. energy;
       t.computation_by_module.(module_index) <-
@@ -348,18 +402,13 @@ let start_transmission t job ~node ~next_hop ~since =
     let free_at = link_busy_until t ~src:node ~dst:next_hop in
     if free_at > t.cycle then set_waiting job ~node ~since ~retry_at:free_at
     else begin
-      let length = Digraph.length t.graph ~src:node ~dst:next_hop in
-      let energy = Packet.hop_energy t.config.packet ~line:t.config.line ~length_cm:length in
+      let energy = t.hop_energy.((node * Array.length t.nodes) + next_hop) in
       if Node.draw t.nodes.(node) ~cycle:t.cycle ~energy_pj:energy then begin
         t.communication_energy <- t.communication_energy +. energy;
         t.hops <- t.hops + 1;
         clear_lock t node;
-        let duration =
-          Packet.serialization_cycles t.config.packet
-            ~link_width_bits:t.config.link_width_bits
-        in
-        let until = t.cycle + duration in
-        Hashtbl.replace t.links (node, next_hop) until;
+        let until = t.cycle + t.serialization_cycles in
+        t.link_busy.((node * Array.length t.nodes) + next_hop) <- until;
         t.nodes.(node).Node.occupancy <- t.nodes.(node).Node.occupancy - 1;
         t.nodes.(next_hop).Node.occupancy <- t.nodes.(next_hop).Node.occupancy + 1;
         emit t (Trace.Packet_sent { job = job.Job.id; src = node; dst = next_hop; cycle = t.cycle });
@@ -413,8 +462,7 @@ let process_job t cell =
     (* kill_node retires jobs flying to a dying node, so arrival implies
        a living receiver *)
     assert (node_alive t dst);
-    let length = Digraph.length t.graph ~src ~dst in
-    let reception = Config.reception_energy_pj t.config ~length_cm:length in
+    let reception = t.reception_energy.((src * Array.length t.nodes) + dst) in
     if reception > 0. && not (Node.draw t.nodes.(dst) ~cycle:t.cycle ~energy_pj:reception)
     then kill_node t dst (* the receiver died accepting the packet *)
     else begin
@@ -423,27 +471,41 @@ let process_job t cell =
       try_route t job ~node:dst ~since:t.cycle
     end
 
+(* Refill the engine's snapshot buffer in place: no array, list or
+   record allocation in the steady state (locked ports are usually
+   absent, and the failed-link list is maintained incrementally).  Both
+   lists are delivered sorted so Controller.snapshot_equal can compare
+   them with plain (=); the descending id walk below conses locked
+   ports in ascending (id, hop) order, each node holding at most one
+   locked hop. *)
 let build_snapshot t =
   let n = Array.length t.nodes in
-  let levels = t.config.policy.Etx_routing.Policy.levels in
-  let alive = Array.init n (fun id -> node_alive t id) in
-  let battery_level =
-    Array.init n (fun id ->
-        if alive.(id) then Node.level t.nodes.(id) ~cycle:t.cycle ~levels else 0)
+  let levels = t.snapshot.Router.levels in
+  let alive = t.snapshot.Router.alive in
+  let battery_level = t.snapshot.Router.battery_level in
+  for id = 0 to n - 1 do
+    let living = node_alive t id in
+    alive.(id) <- living;
+    battery_level.(id) <-
+      (if living then Node.level t.nodes.(id) ~cycle:t.cycle ~levels else 0)
+  done;
+  let rec locked id acc =
+    if id < 0 then acc
+    else begin
+      let node = t.nodes.(id) in
+      let acc =
+        if Node.is_dead node then acc
+        else
+          match node.Node.locked_hop with
+          | Some hop -> (id, hop) :: acc
+          | None -> acc
+      in
+      locked (id - 1) acc
+    end
   in
-  (* both lists are delivered sorted so Controller.snapshot_equal can
-     compare them with plain (=); the filter_map below already visits
-     nodes in ascending id order, the explicit sort pins the invariant *)
-  let locked_ports =
-    Array.to_list t.nodes
-    |> List.filter_map (fun node ->
-           if Node.is_dead node then None
-           else
-             Option.map (fun hop -> (node.Node.id, hop)) node.Node.locked_hop)
-    |> List.sort compare
-  in
-  let failed_links = Hashtbl.fold (fun link () acc -> link :: acc) t.failed_links [] in
-  { Router.alive; battery_level; levels; locked_ports; failed_links = List.sort compare failed_links }
+  t.snapshot.Router.locked_ports <- locked (n - 1) [];
+  t.snapshot.Router.failed_links <- t.failed_links_sorted;
+  t.snapshot
 
 let wake_waiting_jobs t =
   let wake job =
@@ -488,15 +550,19 @@ let run_frame t =
   t.frames <- t.frames + 1;
   apply_link_failures t;
   record_timeline_sample t;
-  let report_energy = Config.report_energy_pj t.config in
-  Array.iter
-    (fun node ->
-      if t.status = Running && not (Node.is_dead node) then begin
-        if Node.draw node ~cycle:t.cycle ~energy_pj:report_energy then
-          t.upload_energy <- t.upload_energy +. report_energy
-        else kill_node t node.Node.id
-      end)
-    t.nodes;
+  (* every report slot costs the same, so count the successful draws
+     and charge the accumulator once: one boxed-float write per frame
+     instead of one per node *)
+  let paid = ref 0 in
+  for id = 0 to Array.length t.nodes - 1 do
+    let node = t.nodes.(id) in
+    if t.status = Running && not (Node.is_dead node) then begin
+      if Node.draw node ~cycle:t.cycle ~energy_pj:t.report_energy then incr paid
+      else kill_node t node.Node.id
+    end
+  done;
+  if !paid > 0 then
+    t.upload_energy <- t.upload_energy +. (float_of_int !paid *. t.report_energy);
   if t.status = Running then begin
     let snapshot = build_snapshot t in
     let elapsed = t.cycle - t.last_frame in
@@ -511,6 +577,16 @@ let run_frame t =
       wake_waiting_jobs t
     | Controller.No_change -> emit t (Trace.Frame_run { cycle = t.cycle; recomputed = false })
   end
+
+let run_frames t ~count =
+  if t.ran then invalid_arg "Engine.run_frames: engine already ran";
+  for _ = 1 to count do
+    if t.status = Running then begin
+      run_frame t;
+      t.cycle <- t.cycle + t.config.frame_period_cycles;
+      t.next_frame <- t.cycle
+    end
+  done
 
 let finalize t reason =
   Array.iter (fun node -> Node.sync node ~cycle:t.cycle) t.nodes;

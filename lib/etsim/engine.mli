@@ -28,6 +28,14 @@ val run : t -> Metrics.t
 (** Simulate until platform death and return the collected metrics.
     [run] may only be called once per engine. *)
 
+val run_frames : t -> count:int -> unit
+(** Advance the control plane only: execute [count] TDMA frames
+    (status upload, controller compare/recompute) one frame period
+    apart, without launching any jobs.  A probe for allocation and
+    timing tests of the frame loop; must precede [run], which still
+    begins with its own frame 0.
+    @raise Invalid_argument after [run]. *)
+
 val simulate : ?trace_capacity:int -> ?record_timeline:bool -> Config.t -> Metrics.t
 (** [create] followed by [run]. *)
 

@@ -1,112 +1,245 @@
-module Matrix = Etx_util.Matrix
+module Scratch = Etx_util.Scratch
 
 type path_value = { width : int; distance : float }
 
-let unreachable = { width = -1; distance = infinity }
-let empty_path = { width = max_int; distance = 0. }
+(* sentinels live directly in the flat buffers now: width -1 /
+   distance infinity for "unreachable", width max_int / distance 0 on
+   the diagonal (the empty path) *)
 
 let better a b =
   a.width > b.width || (a.width = b.width && a.distance < b.distance)
 
-(* combining two path segments: the bottleneck is the narrower one *)
-let join a b = { width = min a.width b.width; distance = a.distance +. b.distance }
+(* Struct-of-arrays widest-path matrices: parallel row-major [n * n]
+   buffers instead of an array-of-arrays of boxed records, so the DP
+   triple loop below runs on flat unboxed data and allocates nothing. *)
+type paths = {
+  dim : int;
+  widths : int array;  (* bottleneck level; -1 = unreachable *)
+  distances : float array;  (* tie-breaking physical length *)
+  succ : int array;  (* first hop; -1 = none *)
+}
 
-let widest_paths ~graph ~(snapshot : Router.snapshot) () =
+let dim paths = paths.dim
+let path_width paths ~src ~dst = paths.widths.((src * paths.dim) + dst)
+let path_distance paths ~src ~dst = paths.distances.((src * paths.dim) + dst)
+
+let path_value paths ~src ~dst =
+  {
+    width = path_width paths ~src ~dst;
+    distance = path_distance paths ~src ~dst;
+  }
+
+let successor paths ~src ~dst =
+  match paths.succ.((src * paths.dim) + dst) with -1 -> None | hop -> Some hop
+
+(* Scratch state reused across recomputes, mirroring [Router.workspace]:
+   the flat value/successor buffers, the membership hash sets, the
+   per-module candidate arrays, and the rotating routing-table pair.
+   One workspace serves one controller; never share across domains. *)
+type workspace = {
+  widths : Scratch.Ints.t;
+  distances : Scratch.Floats.t;
+  succ : Scratch.Ints.t;
+  failed_set : (int * int, unit) Hashtbl.t;
+  locked_set : (int * int, unit) Hashtbl.t;
+  mutable candidates : int array array;
+  (* cache key for [candidates]: the mapping (physical identity) and
+     module count they were extracted from *)
+  mutable candidates_mapping : Mapping.t option;
+  mutable candidates_module_count : int;
+  mutable tables : Routing_table.t array;
+  mutable table_flip : int;
+}
+
+let create_workspace () =
+  {
+    widths = Scratch.Ints.create ();
+    distances = Scratch.Floats.create ();
+    succ = Scratch.Ints.create ();
+    failed_set = Hashtbl.create 16;
+    locked_set = Hashtbl.create 16;
+    candidates = [||];
+    candidates_mapping = None;
+    candidates_module_count = 0;
+    tables = [||];
+    table_flip = 0;
+  }
+
+let widest_paths ?workspace ~graph ~(snapshot : Router.snapshot) () =
   let n = Etx_graph.Digraph.node_count graph in
   if Array.length snapshot.Router.alive <> n then
     invalid_arg "Maximin: snapshot arity differs from the graph";
-  let values = Array.init n (fun _ -> Array.make n unreachable) in
-  let successors = Matrix.Int.create ~dim:n ~init:(-1) in
+  let ws = match workspace with Some ws -> ws | None -> create_workspace () in
+  let cells = n * n in
+  let width = Scratch.Ints.get ws.widths ~len:cells in
+  let dist = Scratch.Floats.get ws.distances ~len:cells in
+  let succ = Scratch.Ints.get ws.succ ~len:cells in
+  Array.fill width 0 cells (-1);
+  Array.fill dist 0 cells infinity;
+  Array.fill succ 0 cells (-1);
   for i = 0 to n - 1 do
-    values.(i).(i) <- empty_path
+    let ii = (i * n) + i in
+    width.(ii) <- max_int;
+    dist.(ii) <- 0.
   done;
-  let failed_set = Hashtbl.create 16 in
-  List.iter (fun link -> Hashtbl.replace failed_set link ()) snapshot.Router.failed_links;
+  let failed_set = ws.failed_set in
+  Router.fill_set failed_set snapshot.Router.failed_links;
+  let alive = snapshot.Router.alive in
+  let battery_level = snapshot.Router.battery_level in
   Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
       if
-        snapshot.Router.alive.(src) && snapshot.Router.alive.(dst)
+        alive.(src) && alive.(dst)
         && not (Hashtbl.mem failed_set (src, dst))
       then begin
-        let value =
-          { width = snapshot.Router.battery_level.(dst); distance = length }
-        in
-        if better value values.(src).(dst) then begin
-          values.(src).(dst) <- value;
-          Matrix.Int.set successors src dst dst
+        let w = battery_level.(dst) in
+        let idx = (src * n) + dst in
+        if w > width.(idx) || (w = width.(idx) && length < dist.(idx)) then begin
+          width.(idx) <- w;
+          dist.(idx) <- length;
+          succ.(idx) <- dst
         end
       end);
+  (* The (max width, min distance) lexicographic Floyd-Warshall, with
+     [join]/[better] folded into branch logic on the flat arrays: the
+     joined width is the narrower side, and the joined distance is only
+     summed when the width test alone cannot decide. *)
   for via = 0 to n - 1 do
+    let via_row = via * n in
     for i = 0 to n - 1 do
-      let left = values.(i).(via) in
-      if left.width >= 0 then
+      let i_row = i * n in
+      let lw = Array.unsafe_get width (i_row + via) in
+      if lw >= 0 then begin
+        let ld = Array.unsafe_get dist (i_row + via) in
+        (* successors (i, via) is never relaxed while [via] is the
+           intermediate (the candidate through the empty (via, via)
+           path never improves), so the read can be hoisted *)
+        let s_via = Array.unsafe_get succ (i_row + via) in
         for j = 0 to n - 1 do
           if i <> j then begin
-            let right = values.(via).(j) in
-            if right.width >= 0 then begin
-              let candidate = join left right in
-              if better candidate values.(i).(j) then begin
-                values.(i).(j) <- candidate;
-                Matrix.Int.set successors i j (Matrix.Int.get successors i via)
+            let rw = Array.unsafe_get width (via_row + j) in
+            if rw >= 0 then begin
+              let cw = if lw < rw then lw else rw in
+              let ow = Array.unsafe_get width (i_row + j) in
+              if cw > ow then begin
+                Array.unsafe_set width (i_row + j) cw;
+                Array.unsafe_set dist (i_row + j)
+                  (ld +. Array.unsafe_get dist (via_row + j));
+                Array.unsafe_set succ (i_row + j) s_via
+              end
+              else if cw = ow then begin
+                let cd = ld +. Array.unsafe_get dist (via_row + j) in
+                if cd < Array.unsafe_get dist (i_row + j) then begin
+                  Array.unsafe_set dist (i_row + j) cd;
+                  Array.unsafe_set succ (i_row + j) s_via
+                end
               end
             end
           end
         done
+      end
     done
   done;
-  (values, successors)
+  { dim = n; widths = width; distances = dist; succ }
 
-let compute ~graph ~mapping ~module_count (snapshot : Router.snapshot) =
+(* Candidate node lists per module, as arrays so phase three iterates
+   without list-cell chasing; cached on the workspace keyed by the
+   mapping's identity. *)
+let candidate_arrays ws ~mapping ~module_count =
+  let fresh () =
+    Array.init module_count (fun i ->
+        Array.of_list (Mapping.nodes_of_module mapping ~module_index:i))
+  in
+  match ws.candidates_mapping with
+  | Some cached when cached == mapping && ws.candidates_module_count = module_count ->
+    ws.candidates
+  | Some _ | None ->
+    let candidates = fresh () in
+    ws.candidates <- candidates;
+    ws.candidates_mapping <- Some mapping;
+    ws.candidates_module_count <- module_count;
+    candidates
+
+let compute ?workspace ~graph ~mapping ~module_count (snapshot : Router.snapshot) =
   let n = Etx_graph.Digraph.node_count graph in
   if Mapping.node_count mapping <> n then
     invalid_arg "Maximin.compute: mapping arity differs from the graph";
-  let values, successors = widest_paths ~graph ~snapshot () in
-  let locked_set = Hashtbl.create 16 in
-  List.iter (fun port -> Hashtbl.replace locked_set port ()) snapshot.Router.locked_ports;
-  let locked ~node ~hop = Hashtbl.mem locked_set (node, hop) in
-  let table = Routing_table.create ~node_count:n ~module_count in
-  let candidates =
-    Array.init module_count (fun i -> Mapping.nodes_of_module mapping ~module_index:i)
+  let ws = match workspace with Some ws -> ws | None -> create_workspace () in
+  let paths = widest_paths ~workspace:ws ~graph ~snapshot () in
+  let width = paths.widths and dist = paths.distances and succ = paths.succ in
+  let locked_set = ws.locked_set in
+  Router.fill_set locked_set snapshot.Router.locked_ports;
+  let table =
+    match workspace with
+    | Some _ ->
+      let tables, table =
+        Router.scratch_table_of ~tables:ws.tables ~flip:ws.table_flip ~node_count:n
+          ~module_count
+      in
+      ws.tables <- tables;
+      ws.table_flip <- 1 - ws.table_flip;
+      table
+    | None -> Routing_table.create ~node_count:n ~module_count
   in
-  let choose ~node ~module_index =
-    let consider ~respect_locks =
-      let best = ref None in
-      let try_candidate j =
-        if snapshot.Router.alive.(j) then begin
-          if j = node then best := Some (empty_path, Routing_table.Deliver_here)
-          else begin
-            let value = values.(node).(j) in
-            if value.width >= 0 then begin
-              let hop = Etx_util.Matrix.Int.get successors node j in
-              if hop >= 0 && ((not respect_locks) || not (locked ~node ~hop)) then begin
-                let improves =
-                  match !best with
-                  | Some (_, Routing_table.Deliver_here) -> false
-                  | Some (current, _) -> better value current
-                  | None -> true
-                in
-                if improves then
-                  best :=
-                    Some (value, Routing_table.Forward { next_hop = hop; destination = j })
+  let candidates = candidate_arrays ws ~mapping ~module_count in
+  let alive = snapshot.Router.alive in
+  let no_locks = Hashtbl.length locked_set = 0 in
+  (* Phase three with the (width, distance) incumbent tracked in
+     hoisted mutable state instead of an option of boxed records: kind
+     0 = none yet, 1 = deliver here (unbeatable), 2 = forward.  The
+     incumbent distance lives in a one-cell float array so comparisons
+     never box. *)
+  let best_kind = ref 0 in
+  let best_w = ref 0 in
+  let best_hop = ref (-1) in
+  let best_dst = ref (-1) in
+  let best_d = [| 0. |] in
+  let consider ~node ~node_row ~pool ~respect_locks =
+    best_kind := 0;
+    for c = 0 to Array.length pool - 1 do
+      let j = Array.unsafe_get pool c in
+      if alive.(j) then begin
+        if j = node then best_kind := 1
+        else if !best_kind <> 1 then begin
+          let w = Array.unsafe_get width (node_row + j) in
+          if w >= 0 then begin
+            let hop = Array.unsafe_get succ (node_row + j) in
+            if
+              hop >= 0
+              && ((not respect_locks) || no_locks
+                 || not (Hashtbl.mem locked_set (node, hop)))
+            then begin
+              let d = Array.unsafe_get dist (node_row + j) in
+              if
+                !best_kind = 0 || w > !best_w
+                || (w = !best_w && d < best_d.(0))
+              then begin
+                best_kind := 2;
+                best_w := w;
+                best_d.(0) <- d;
+                best_hop := hop;
+                best_dst := j
               end
             end
           end
         end
-      in
-      List.iter try_candidate candidates.(module_index);
-      !best
-    in
-    match consider ~respect_locks:true with
-    | Some (_, entry) -> entry
-    | None -> begin
-      match consider ~respect_locks:false with
-      | Some (_, entry) -> entry
-      | None -> Routing_table.Unreachable
-    end
+      end
+    done
   in
   for node = 0 to n - 1 do
-    if snapshot.Router.alive.(node) then
+    if alive.(node) then begin
+      let node_row = node * n in
       for module_index = 0 to module_count - 1 do
-        Routing_table.set table ~node ~module_index (choose ~node ~module_index)
+        let pool = candidates.(module_index) in
+        consider ~node ~node_row ~pool ~respect_locks:true;
+        if !best_kind = 0 then consider ~node ~node_row ~pool ~respect_locks:false;
+        let entry =
+          match !best_kind with
+          | 1 -> Routing_table.Deliver_here
+          | 2 -> Routing_table.Forward { next_hop = !best_hop; destination = !best_dst }
+          | _ -> Routing_table.Unreachable
+        in
+        Routing_table.set table ~node ~module_index entry
       done
+    end
   done;
   table

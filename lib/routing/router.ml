@@ -4,25 +4,65 @@ type snapshot = {
   alive : bool array;
   battery_level : int array;
   levels : int;
-  locked_ports : (int * int) list;
-  failed_links : (int * int) list;
+  (* the list fields are mutable so the engine can refresh one snapshot
+     buffer in place every frame instead of rebuilding the record; the
+     lists themselves stay immutable values and may be shared *)
+  mutable locked_ports : (int * int) list;
+  mutable failed_links : (int * int) list;
 }
 
 (* Scratch state reused across recomputes: the controller calls
    [compute] every TDMA frame, so the weight matrix, the Floyd-Warshall
-   result, and the membership sets for failed links / locked ports are
-   filled in place instead of reallocated.  One workspace serves one
-   controller; nothing is shared between engines, so domain-parallel
-   sweeps stay race-free. *)
+   result, the membership sets for failed links / locked ports, and the
+   routing-table rows are filled in place instead of reallocated.  One
+   workspace serves one controller; nothing is shared between engines,
+   so domain-parallel sweeps stay race-free. *)
 type workspace = {
   mutable weights : Matrix.t option;
   mutable paths : Etx_graph.Floyd_warshall.result option;
   failed_set : (int * int, unit) Hashtbl.t;
   locked_set : (int * int, unit) Hashtbl.t;
+  (* two tables rotated across recomputes: the caller (controller,
+     engine) holds the previous result while the next one is written, so
+     a single buffer would be overwritten under its feet *)
+  mutable tables : Routing_table.t array;
+  mutable table_flip : int;
 }
 
 let create_workspace () =
-  { weights = None; paths = None; failed_set = Hashtbl.create 16; locked_set = Hashtbl.create 16 }
+  {
+    weights = None;
+    paths = None;
+    failed_set = Hashtbl.create 16;
+    locked_set = Hashtbl.create 16;
+    tables = [||];
+    table_flip = 0;
+  }
+
+(* The next table of the rotating pair, cleared.  Shared with Maximin's
+   workspace via this helper so both policies reuse rows identically. *)
+let scratch_table_of ~tables ~flip ~node_count ~module_count =
+  let usable =
+    Array.length tables = 2
+    && Routing_table.node_count tables.(0) = node_count
+    && Routing_table.module_count tables.(0) = module_count
+  in
+  let tables =
+    if usable then tables
+    else
+      Array.init 2 (fun _ -> Routing_table.create ~node_count ~module_count)
+  in
+  let table = tables.(flip) in
+  Routing_table.clear table;
+  (tables, table)
+
+let scratch_table ws ~node_count ~module_count =
+  let tables, table =
+    scratch_table_of ~tables:ws.tables ~flip:ws.table_flip ~node_count ~module_count
+  in
+  ws.tables <- tables;
+  ws.table_flip <- 1 - ws.table_flip;
+  table
 
 let full_snapshot ~node_count ~levels =
   {
@@ -146,7 +186,11 @@ let compute ?workspace ~graph ~mapping ~module_count ~weight snapshot =
       ~graph ~weight ~failed_set:ws.failed_set snapshot
   in
   let paths = Etx_graph.Floyd_warshall.run_into (scratch_paths ws ~dim:node_count) w in
-  let table = Routing_table.create ~node_count ~module_count in
+  let table =
+    match workspace with
+    | Some _ -> scratch_table ws ~node_count ~module_count
+    | None -> Routing_table.create ~node_count ~module_count
+  in
   let candidates =
     Array.init module_count (fun i -> Mapping.nodes_of_module mapping ~module_index:i)
   in

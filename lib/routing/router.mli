@@ -12,10 +12,12 @@ type snapshot = {
   alive : bool array;  (** per node *)
   battery_level : int array;  (** per node, in [0, levels) *)
   levels : int;  (** N_B: number of reportable levels *)
-  locked_ports : (int * int) list;
+  mutable locked_ports : (int * int) list;
       (** [(node, next_hop)] pairs whose forwarding is deadlocked; phase
-          three steers the node's table away from these ports *)
-  failed_links : (int * int) list;
+          three steers the node's table away from these ports.  Mutable
+          so the engine can refresh one snapshot buffer in place per
+          frame; the list values themselves are immutable and sharable *)
+  mutable failed_links : (int * int) list;
       (** directed interconnects broken by wear-and-tear; phase one cuts
           them out of the weight matrix like dead nodes *)
 }
@@ -25,13 +27,31 @@ val full_snapshot : node_count:int -> levels:int -> snapshot
 
 type workspace
 (** Scratch buffers (weight matrix, Floyd-Warshall matrices, membership
-    sets for failed links and locked ports) reused across recomputes so
-    the controller's per-frame hot path stops allocating.  A workspace
-    belongs to one controller; it must not be shared across domains. *)
+    sets for failed links and locked ports, and a rotating pair of
+    routing tables) reused across recomputes so the controller's
+    per-frame hot path stops allocating.  A workspace belongs to one
+    controller; it must not be shared across domains. *)
 
 val create_workspace : unit -> workspace
 (** An empty workspace; buffers are sized lazily on first use and
     resized if the graph dimension changes. *)
+
+val fill_set : (int * int, unit) Hashtbl.t -> (int * int) list -> unit
+(** Reset [set] to contain exactly the given pairs (hash-set membership,
+    unit values).  The workspace fast path shared with {!Maximin}. *)
+
+val scratch_table_of :
+  tables:Routing_table.t array ->
+  flip:int ->
+  node_count:int ->
+  module_count:int ->
+  Routing_table.t array * Routing_table.t
+(** The rotating-table helper behind both workspaces: given the cached
+    pair (possibly empty or wrongly sized) and the rotation index,
+    return the (re)usable pair and the cleared table to write into.
+    Two tables rotate because callers hold the previous recompute's
+    result (for {!Routing_table.diff_count}) while the next one is
+    written. *)
 
 val weight_matrix :
   graph:Etx_graph.Digraph.t -> weight:Weight.t -> snapshot -> Etx_util.Matrix.t
@@ -52,7 +72,11 @@ val compute :
     duplicate, avoiding locked ports when an unlocked alternative exists
     (the recovery branch of Fig 6).  Entries of dead nodes are
     [Unreachable].  Passing [?workspace] reuses its scratch matrices
-    instead of allocating; the result is identical either way. *)
+    instead of allocating; the result is identical either way, but the
+    returned table then belongs to the workspace's rotating pair: it
+    stays valid across exactly one further [compute] on the same
+    workspace (so the previous table can be diffed against the new one)
+    and is overwritten by the one after that. *)
 
 val shortest_paths :
   graph:Etx_graph.Digraph.t -> weight:Weight.t -> snapshot -> Etx_graph.Floyd_warshall.result

@@ -16,6 +16,9 @@ let module_count t = Array.length t.entries.(0)
 let get t ~node ~module_index = t.entries.(node).(module_index)
 let set t ~node ~module_index entry = t.entries.(node).(module_index) <- entry
 
+let clear t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) Unreachable) t.entries
+
 let next_hop t ~node ~module_index =
   match get t ~node ~module_index with
   | Forward { next_hop; _ } -> Some next_hop

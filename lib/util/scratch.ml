@@ -1,0 +1,21 @@
+module Floats = struct
+  type t = { mutable buffer : float array }
+
+  let create () = { buffer = [||] }
+
+  let get t ~len =
+    if len <= 0 then invalid_arg "Scratch.Floats.get: len must be positive";
+    if Array.length t.buffer <> len then t.buffer <- Array.make len 0.;
+    t.buffer
+end
+
+module Ints = struct
+  type t = { mutable buffer : int array }
+
+  let create () = { buffer = [||] }
+
+  let get t ~len =
+    if len <= 0 then invalid_arg "Scratch.Ints.get: len must be positive";
+    if Array.length t.buffer <> len then t.buffer <- Array.make len 0;
+    t.buffer
+end

@@ -1,0 +1,30 @@
+(** Reusable flat scratch buffers for struct-of-arrays kernels.
+
+    The routing kernels (Floyd-Warshall, the maximin widest-path DP)
+    run every TDMA frame on row-major [n * n] arrays.  A [Scratch]
+    cell caches one such array between calls: [get] returns the cached
+    array when the requested length matches and allocates (then caches)
+    otherwise, so a kernel that keeps its workspace allocates exactly
+    once per dimension change.  Contents are whatever the previous use
+    left behind — callers must fill what they read. *)
+
+module Floats : sig
+  type t
+
+  val create : unit -> t
+  (** An empty cell; the first [get] allocates. *)
+
+  val get : t -> len:int -> float array
+  (** The cached array when its length is [len]; otherwise a fresh
+      array of that length, cached for next time.
+      @raise Invalid_argument if [len <= 0]. *)
+end
+
+module Ints : sig
+  type t
+
+  val create : unit -> t
+
+  val get : t -> len:int -> int array
+  (** As {!Floats.get}, for integers. *)
+end

@@ -31,10 +31,10 @@ let test_maximin_widest_on_line () =
   let snapshot = Router.full_snapshot ~node_count:3 ~levels:8 in
   snapshot.Router.battery_level.(1) <- 2;
   snapshot.Router.battery_level.(2) <- 5;
-  let values, successors = Maximin.widest_paths ~graph:line.Topology.graph ~snapshot () in
-  Alcotest.(check int) "bottleneck" 2 values.(0).(2).Maximin.width;
-  Alcotest.(check (float 1e-9)) "distance" 2. values.(0).(2).Maximin.distance;
-  Alcotest.(check int) "successor" 1 (Etx_util.Matrix.Int.get successors 0 2)
+  let paths = Maximin.widest_paths ~graph:line.Topology.graph ~snapshot () in
+  Alcotest.(check int) "bottleneck" 2 (Maximin.path_width paths ~src:0 ~dst:2);
+  Alcotest.(check (float 1e-9)) "distance" 2. (Maximin.path_distance paths ~src:0 ~dst:2);
+  Alcotest.(check (option int)) "successor" (Some 1) (Maximin.successor paths ~src:0 ~dst:2)
 
 let test_maximin_prefers_wide_detour () =
   (* diamond: 0 -> 3 via 1 (level 1) or via 2 (level 6): widest path goes
@@ -47,11 +47,10 @@ let test_maximin_prefers_wide_detour () =
   let snapshot = Router.full_snapshot ~node_count:4 ~levels:8 in
   snapshot.Router.battery_level.(1) <- 1;
   snapshot.Router.battery_level.(2) <- 6;
-  let values, successors =
-    Maximin.widest_paths ~graph:topology.Topology.graph ~snapshot ()
-  in
-  Alcotest.(check int) "width through node 2" 6 values.(0).(3).Maximin.width;
-  Alcotest.(check int) "detours" 2 (Etx_util.Matrix.Int.get successors 0 3)
+  let paths = Maximin.widest_paths ~graph:topology.Topology.graph ~snapshot () in
+  Alcotest.(check int) "width through node 2" 6
+    (Maximin.path_value paths ~src:0 ~dst:3).Maximin.width;
+  Alcotest.(check (option int)) "detours" (Some 2) (Maximin.successor paths ~src:0 ~dst:3)
 
 let mesh4_with_mapping () =
   let t = Topology.square_mesh ~size:4 () in
@@ -100,6 +99,73 @@ let test_maximin_respects_locked_ports () =
   let table = Maximin.compute ~graph:t.Topology.graph ~mapping ~module_count:3 snapshot in
   Alcotest.(check (option int)) "detours around the lock" (Some 4)
     (Routing_table.next_hop table ~node:0 ~module_index:2)
+
+let test_maximin_workspace_matches_fresh_compute () =
+  (* a degraded snapshot exercising every fast-path structure: drained
+     batteries, a dead node, locked ports, failed links *)
+  let t, mapping = mesh4_with_mapping () in
+  let graph = t.Topology.graph in
+  let full = Router.full_snapshot ~node_count:16 ~levels:8 in
+  let degraded = Router.full_snapshot ~node_count:16 ~levels:8 in
+  degraded.Router.battery_level.(5) <- 1;
+  degraded.Router.battery_level.(10) <- 2;
+  degraded.Router.alive.(15) <- false;
+  let degraded =
+    {
+      degraded with
+      Router.locked_ports = [ (0, 1); (5, 6) ];
+      failed_links = [ (1, 2); (2, 1); (9, 10) ];
+    }
+  in
+  let fresh snapshot = Maximin.compute ~graph ~mapping ~module_count:3 snapshot in
+  let workspace = Maximin.create_workspace () in
+  let reused snapshot =
+    Maximin.compute ~workspace ~graph ~mapping ~module_count:3 snapshot
+  in
+  Alcotest.(check bool) "degraded snapshot" true
+    (Routing_table.equal (fresh degraded) (reused degraded));
+  (* the same workspace across changing snapshots (cached candidate
+     arrays, refilled hash sets): no state may leak between computes *)
+  Alcotest.(check bool) "full snapshot after reuse" true
+    (Routing_table.equal (fresh full) (reused full));
+  Alcotest.(check bool) "degraded again" true
+    (Routing_table.equal (fresh degraded) (reused degraded));
+  (* the rotating table pair: a returned table must survive exactly one
+     further compute, the lifetime Controller.diff_count relies on *)
+  let first = reused degraded in
+  let second = reused full in
+  Alcotest.(check bool) "previous table intact after one recompute" true
+    (Routing_table.equal (fresh degraded) first);
+  Alcotest.(check bool) "current table correct" true
+    (Routing_table.equal (fresh full) second)
+
+let prop_maximin_workspace_equivalence =
+  (* one long-lived workspace against fresh computes over random
+     degraded snapshots: alive flags, battery levels, failed links and
+     locked ports all drawn at random *)
+  let workspace = Maximin.create_workspace () in
+  QCheck.Test.make ~name:"maximin: workspace compute equals fresh compute" ~count:60
+    QCheck.(pair (int_range 3 6) (int_range 0 1000))
+    (fun (size, seed) ->
+      let t = Topology.square_mesh ~size () in
+      let mapping = Mapping.checkerboard t in
+      let graph = t.Topology.graph in
+      let n = size * size in
+      let prng = Etx_util.Prng.create ~seed in
+      let snapshot = Router.full_snapshot ~node_count:n ~levels:8 in
+      for i = 0 to n - 1 do
+        snapshot.Router.battery_level.(i) <- Etx_util.Prng.int prng ~bound:8;
+        if Etx_util.Prng.int prng ~bound:8 = 0 then snapshot.Router.alive.(i) <- false
+      done;
+      let failed = ref [] and locked = ref [] in
+      Etx_graph.Digraph.iter_edges graph ~f:(fun ~src ~dst ~length:_ ->
+          if Etx_util.Prng.int prng ~bound:10 = 0 then failed := (src, dst) :: !failed;
+          if Etx_util.Prng.int prng ~bound:12 = 0 then locked := (src, dst) :: !locked);
+      snapshot.Router.failed_links <- List.sort compare !failed;
+      snapshot.Router.locked_ports <- List.sort compare !locked;
+      let fresh = Maximin.compute ~graph ~mapping ~module_count:3 snapshot in
+      let reused = Maximin.compute ~workspace ~graph ~mapping ~module_count:3 snapshot in
+      Routing_table.equal fresh reused)
 
 let test_maximin_policy_in_engine () =
   let config =
@@ -312,6 +378,9 @@ let suite =
         Alcotest.test_case "avoids drained duplicate" `Quick
           test_maximin_avoids_drained_duplicate;
         Alcotest.test_case "respects locked ports" `Quick test_maximin_respects_locked_ports;
+        Alcotest.test_case "workspace matches fresh compute" `Quick
+          test_maximin_workspace_matches_fresh_compute;
+        QCheck_alcotest.to_alcotest prop_maximin_workspace_equivalence;
         Alcotest.test_case "runs in the engine" `Quick test_maximin_policy_in_engine;
         Alcotest.test_case "beats SDR" `Quick test_maximin_beats_sdr;
         Alcotest.test_case "policy metadata" `Quick test_maximin_policy_metadata;

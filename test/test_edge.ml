@@ -139,8 +139,8 @@ let test_maximin_failed_links_respected () =
     { (Router.full_snapshot ~node_count:3 ~levels:8) with
       Router.failed_links = [ (0, 1); (1, 0) ] }
   in
-  let values, _ = Maximin.widest_paths ~graph:line.Topology.graph ~snapshot () in
-  Alcotest.(check int) "cut" (-1) values.(0).(2).Maximin.width
+  let paths = Maximin.widest_paths ~graph:line.Topology.graph ~snapshot () in
+  Alcotest.(check int) "cut" (-1) (Maximin.path_width paths ~src:0 ~dst:2)
 
 let test_analysis_reception_parameter_matters () =
   let problem = Etextile.Calibration.problem ~mesh_size:4 in

@@ -403,6 +403,33 @@ let test_engine_socs_and_alive_exposed () =
   Alcotest.(check bool) "at least one death" true
     (Array.exists (fun a -> not a) alive)
 
+(* The zero-allocation frame loop must not silently rot: with ideal
+   batteries every level report repeats, so each warm frame is a
+   No_change frame, and the snapshot refill + compare path should stay
+   within a few boxed floats per frame.  The budget (64 minor words per
+   frame) sits far above the measured steady state (~14 words) but far
+   below what reintroducing a per-frame array/list rebuild (~300 words
+   at this size) or a per-node boxed-float write (~128 words) costs. *)
+let test_engine_frame_loop_allocation policy () =
+  let config =
+    base_config ~policy ~battery_kind:Battery.Ideal ~frame_period_cycles:1000 8
+  in
+  let engine = Engine.create config in
+  Engine.run_frames engine ~count:50;
+  let frames = 200 in
+  let before = Gc.minor_words () in
+  Engine.run_frames engine ~count:frames;
+  let per_frame = (Gc.minor_words () -. before) /. float_of_int frames in
+  if per_frame > 64. then
+    Alcotest.failf "steady-state frame loop allocates %.1f minor words/frame" per_frame
+
+let test_engine_run_frames_then_run_rejected () =
+  let engine = Engine.create (calibrated 4) in
+  ignore (Engine.run engine);
+  Alcotest.check_raises "no probing after run"
+    (Invalid_argument "Engine.run_frames: engine already ran") (fun () ->
+      Engine.run_frames engine ~count:1)
+
 let test_engine_acts_per_job_ratio () =
   (* every completed job is exactly 30 acts; lost jobs add a partial
      tail, so acts >= 30 * completed *)
@@ -465,6 +492,12 @@ let suite =
         Alcotest.test_case "overhead in paper band" `Quick test_engine_overhead_in_paper_band;
         Alcotest.test_case "trace records the story" `Quick test_engine_trace_records_story;
         Alcotest.test_case "run only once" `Quick test_engine_run_only_once;
+        Alcotest.test_case "frame loop allocation (EAR)" `Quick
+          (test_engine_frame_loop_allocation (Policy.ear ()));
+        Alcotest.test_case "frame loop allocation (maximin)" `Quick
+          (test_engine_frame_loop_allocation (Policy.maximin ()));
+        Alcotest.test_case "run_frames after run rejected" `Quick
+          test_engine_run_frames_then_run_rejected;
         Alcotest.test_case "seeds inert without variation" `Quick
           test_engine_seed_changes_nothing_without_variation;
         Alcotest.test_case "capacity variation varies" `Quick
