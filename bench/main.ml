@@ -82,6 +82,17 @@ let maximin_kernel =
       (Etx_routing.Maximin.compute ~workspace ~graph:topology.Etx_graph.Topology.graph
          ~mapping ~module_count:3 snapshot)
 
+(* the hardened frame loop under a lossy fault environment: per-packet
+   CRC draws, retransmissions, and upload loss on an 8x8 fabric *)
+let fault_frame_kernel =
+  let fault =
+    Etx_fault.Spec.make ~seed:7 ~bit_error_rate:1e-4 ~upload_loss_rate:0.02 ()
+  in
+  let config = Etextile.Calibration.config ~fault ~mesh_size:8 ~seed:1 () in
+  fun () ->
+    let engine = Etx_etsim.Engine.create config in
+    Etx_etsim.Engine.run_frames engine ~count:64
+
 let analysis_kernel =
   let problem = Etextile.Calibration.problem ~mesh_size:8 in
   let topology = Etx_graph.Topology.square_mesh ~size:8 () in
@@ -104,6 +115,7 @@ let tests =
       Test.make ~name:"kernel/battery-100-steps" (Staged.stage battery_kernel);
       Test.make ~name:"kernel/maximin-recompute-64" (Staged.stage maximin_kernel);
       Test.make ~name:"kernel/lifetime-prediction-64" (Staged.stage analysis_kernel);
+      Test.make ~name:"kernel/fault-frame-64" (Staged.stage fault_frame_kernel);
     ]
 
 (* Flat { "benchmark-name": ns_per_run } object, hand-rolled so the

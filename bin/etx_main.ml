@@ -174,6 +174,62 @@ let failures_cmd =
 
 (* - one-off simulation - *)
 
+(* shared fault-injection flags: [None] when every rate is zero, so the
+   default invocation exercises the bit-identical fault-free path *)
+let fault_args =
+  let ber_arg =
+    let doc = "Transient bit-error rate (per bit per cm of link)." in
+    Arg.(value & opt float 0. & info [ "ber" ] ~docv:"RATE" ~doc)
+  in
+  let wearout_arg =
+    let doc = "Permanent link wear-out rate (Weibull scale, per cm per cycle)." in
+    Arg.(value & opt float 0. & info [ "wearout" ] ~docv:"RATE" ~doc)
+  in
+  let brownout_rate_arg =
+    let doc = "Node brown-out rate (per node per cycle)." in
+    Arg.(value & opt float 0. & info [ "brownout-rate" ] ~docv:"RATE" ~doc)
+  in
+  let brownout_cycles_arg =
+    let doc = "Cycles a browned-out node stays offline." in
+    Arg.(value & opt int 2000 & info [ "brownout-cycles" ] ~docv:"N" ~doc)
+  in
+  let upload_loss_arg =
+    let doc = "Probability a status upload is lost (per node per frame)." in
+    Arg.(value & opt float 0. & info [ "upload-loss" ] ~docv:"P" ~doc)
+  in
+  let download_loss_arg =
+    let doc = "Probability an instruction download is lost (per recomputation)." in
+    Arg.(value & opt float 0. & info [ "download-loss" ] ~docv:"P" ~doc)
+  in
+  let fault_seed_arg =
+    let doc =
+      "Seed of the fault event stream (replays the exact faults of a failing run)."
+    in
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let gather ber wearout brownout_rate brownout_cycles upload_loss download_loss
+      fault_seed =
+    if
+      ber = 0. && wearout = 0. && brownout_rate = 0. && upload_loss = 0.
+      && download_loss = 0.
+    then Ok None
+    else
+      match
+        Etx_fault.Spec.make ~seed:fault_seed ~link_wearout_rate:wearout
+          ~bit_error_rate:ber ~brownout_rate ~brownout_duration_cycles:brownout_cycles
+          ~upload_loss_rate:upload_loss ~download_loss_rate:download_loss ()
+      with
+      | spec -> Ok (Some spec)
+      | exception Invalid_argument message -> Error message
+  in
+  Term.(
+    const gather $ ber_arg $ wearout_arg $ brownout_rate_arg $ brownout_cycles_arg
+    $ upload_loss_arg $ download_loss_arg $ fault_seed_arg)
+
+let retries_arg =
+  let doc = "Retransmission budget per hop after a corrupted delivery." in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
 let simulate_cmd =
   let policy_arg =
     let doc = "Routing policy: ear, sdr, ear2, inverse, linear, maximin." in
@@ -216,7 +272,7 @@ let simulate_cmd =
     Arg.(value & flag & info [ "heatmap" ] ~doc)
   in
   let run size policy battery seed controllers jobs trace workload_kind fail_links
-      timeline_file heatmap =
+      timeline_file heatmap fault retries =
     let policy =
       match String.lowercase_ascii policy with
       | "ear" -> Ok (Etx_routing.Policy.ear ())
@@ -255,9 +311,10 @@ let simulate_cmd =
              ])
       | other -> Error (Printf.sprintf "unknown workload %S" other)
     in
-    match (policy, battery, workload) with
-    | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
-    | Ok policy, Ok battery_kind, Ok workload ->
+    match (policy, battery, workload, fault) with
+    | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
+      `Error (false, e)
+    | Ok policy, Ok battery_kind, Ok workload, Ok fault ->
       let controllers =
         if controllers = 0 then Etx_etsim.Config.Infinite_controller
         else Etx_etsim.Config.Battery_controllers { count = controllers }
@@ -271,8 +328,8 @@ let simulate_cmd =
       in
       let config =
         Etextile.Calibration.config ~policy ~battery_kind ~controllers ~seed
-          ~concurrent_jobs:jobs ?workloads:workload ~link_failure_schedule
-          ~mesh_size:size ()
+          ~concurrent_jobs:jobs ?workloads:workload ~link_failure_schedule ?fault
+          ~max_retransmissions:retries ~mesh_size:size ()
       in
       let engine =
         Etx_etsim.Engine.create
@@ -310,7 +367,7 @@ let simulate_cmd =
       ret
         (const run $ size_arg $ policy_arg $ battery_arg $ seed_arg $ controllers_arg
        $ jobs_arg $ trace_arg $ workload_arg $ fail_links_arg $ timeline_arg
-       $ heatmap_arg))
+       $ heatmap_arg $ fault_args $ retries_arg))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation with custom knobs and print metrics.")
@@ -390,6 +447,52 @@ let algorithms_cmd =
   let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
     (Cmd.info "algorithms" ~doc:"Three-way sweep: EAR vs max-min residual vs SDR.")
+    term
+
+let resilience_cmd =
+  let mesh_arg =
+    let doc = "Square mesh size (the acceptance scenario is the 5x5 fabric)." in
+    Arg.(value & opt int 5 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let ber_rates_arg =
+    let doc = "Bit-error rates to sweep." in
+    Arg.(
+      value
+      & opt (list float) [ 0.; 1e-4; 3e-4; 1e-3 ]
+      & info [ "ber-rates" ] ~docv:"RATES" ~doc)
+  in
+  let wearout_rates_arg =
+    let doc = "Link wear-out rates to sweep." in
+    Arg.(
+      value
+      & opt (list float) [ 0.; 3e-6; 1e-5; 3e-5 ]
+      & info [ "wearout-rates" ] ~docv:"RATES" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Base seed of the fault streams (the run's fault seed is this + seed)." in
+    Arg.(value & opt int 1009 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+  in
+  let run mesh_size bit_error_rates wearout_rates fault_seed seeds jobs =
+    if mesh_size < 2 then `Error (false, "mesh size must be at least 2")
+    else
+      match
+        Etextile.Experiments.resilience ~mesh_size ~bit_error_rates ~wearout_rates
+          ~fault_seed ~seeds ~domains:jobs ()
+      with
+      | rows ->
+        Etextile.Report.print (Etextile.Report.resilience rows);
+        `Ok ()
+      | exception Invalid_argument message -> `Error (false, message)
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ mesh_arg $ ber_rates_arg $ wearout_rates_arg $ fault_seed_arg
+       $ seeds_arg $ jobs_arg))
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:"Sweep injected faults (bit errors, link wear-out): EAR vs SDR.")
     term
 
 let scenarios_cmd =
@@ -480,6 +583,7 @@ let main =
       workloads_cmd;
       generality_cmd;
       failures_cmd;
+      resilience_cmd;
       predict_cmd;
       optimize_cmd;
       scenarios_cmd;

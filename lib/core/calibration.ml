@@ -13,7 +13,8 @@ let problem ~mesh_size =
   Etx_routing.Problem.aes ~battery_budget_pj ~node_budget:(mesh_size * mesh_size) ()
 
 let config ?policy ?battery_kind ?controllers ?(seed = 1) ?(concurrent_jobs = 1)
-    ?mapping ?levels_override ?workloads ?link_failure_schedule ~mesh_size () =
+    ?mapping ?levels_override ?workloads ?link_failure_schedule ?fault
+    ?max_retransmissions ~mesh_size () =
   let policy =
     match (policy, levels_override) with
     | Some p, None -> p
@@ -23,7 +24,8 @@ let config ?policy ?battery_kind ?controllers ?(seed = 1) ?(concurrent_jobs = 1)
   in
   let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
   Etx_etsim.Config.make ~topology ~policy ?battery_kind ?controllers ?mapping
-    ?workloads ?link_failure_schedule ~battery_capacity_pj:battery_budget_pj
+    ?workloads ?link_failure_schedule ?fault ?max_retransmissions
+    ~battery_capacity_pj:battery_budget_pj
     ~battery_capacity_variation ~frame_period_cycles ~reception_energy_fraction
     ~control_line_length_cm:(control_line_length_cm ~mesh_size)
     ~job_source:Etx_etsim.Config.Round_robin_entry ~concurrent_jobs ~seed ()

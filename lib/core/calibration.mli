@@ -39,6 +39,8 @@ val config :
   ?levels_override:int ->
   ?workloads:Etx_etsim.Workload.t list ->
   ?link_failure_schedule:(int * int * int) list ->
+  ?fault:Etx_fault.Spec.t ->
+  ?max_retransmissions:int ->
   mesh_size:int ->
   unit ->
   Etx_etsim.Config.t

@@ -407,6 +407,71 @@ let link_failures ?(mesh_size = 6) ?(failure_counts = [ 0; 4; 8; 16; 24 ])
   in
   run_units ~domains (List.map unit failure_counts)
 
+(* Resilience sweep: jobs completed under injected faults, EAR vs SDR *)
+
+type resilience_row = {
+  axis : string; (* "bit-error" or "wear-out" *)
+  rate : float;
+  ear_jobs : float;
+  sdr_jobs : float;
+  r_gain : float;
+  retransmissions : float;
+  packets_dropped : float;
+  wearouts : float;
+}
+
+let resilience ?(mesh_size = 5) ?(bit_error_rates = [ 0.; 1e-4; 3e-4; 1e-3 ])
+    ?(wearout_rates = [ 0.; 3e-6; 1e-5; 3e-5 ]) ?(fault_seed = 1009)
+    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  (* the fault seed depends only on the workload seed, never on the
+     policy or the rate: EAR and SDR face the identical fault stream at
+     every point, and raising the wear-out rate with a fixed stream only
+     scales the same death times down (monotone degradation) *)
+  let unit ~axis ~rate ~spec_of =
+    let config_for policy ~seed =
+      let fault = if rate = 0. then None else Some (spec_of ~seed) in
+      Calibration.config ~policy ?fault ~mesh_size ~seed ()
+    in
+    let ear = configs_of ~seeds ~make:(config_for (Calibration.ear ())) in
+    let sdr = configs_of ~seeds ~make:(config_for (Calibration.sdr ())) in
+    {
+      configs = ear @ sdr;
+      finish =
+        (fun runs ->
+          let ear_runs, sdr_runs = take (List.length ear) runs in
+          let ear_jobs = mean (List.map jobs_of ear_runs) in
+          let sdr_jobs = mean (List.map jobs_of sdr_runs) in
+          let ear_mean field =
+            mean (List.map (fun (m : Etx_etsim.Metrics.t) -> float_of_int (field m)) ear_runs)
+          in
+          {
+            axis;
+            rate;
+            ear_jobs;
+            sdr_jobs;
+            r_gain = (if sdr_jobs > 0. then ear_jobs /. sdr_jobs else infinity);
+            retransmissions = ear_mean (fun m -> m.retransmissions);
+            packets_dropped = ear_mean (fun m -> m.packets_dropped);
+            wearouts = ear_mean (fun m -> m.link_wearouts);
+          });
+    }
+  in
+  let ber_units =
+    List.map
+      (fun rate ->
+        unit ~axis:"bit-error" ~rate ~spec_of:(fun ~seed ->
+            Etx_fault.Spec.make ~seed:(fault_seed + seed) ~bit_error_rate:rate ()))
+      bit_error_rates
+  in
+  let wear_units =
+    List.map
+      (fun rate ->
+        unit ~axis:"wear-out" ~rate ~spec_of:(fun ~seed ->
+            Etx_fault.Spec.make ~seed:(fault_seed + seed) ~link_wearout_rate:rate ()))
+      wearout_rates
+  in
+  run_units ~domains (ber_units @ wear_units)
+
 (* Static prediction vs simulation *)
 
 type prediction_row = { p_mesh_size : int; predicted : float; simulated : float }

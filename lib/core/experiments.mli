@@ -120,6 +120,35 @@ val algorithms : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> a
 (** Three-way comparison across mesh sizes: the paper's EAR, the WSN
     max-min residual baseline, and SDR. *)
 
+(** {1 Resilience under injected faults} *)
+
+type resilience_row = {
+  axis : string;  (** ["bit-error"] or ["wear-out"] *)
+  rate : float;
+  ear_jobs : float;
+  sdr_jobs : float;
+  r_gain : float;
+  retransmissions : float;  (** mean over the EAR runs *)
+  packets_dropped : float;
+  wearouts : float;
+}
+
+val resilience :
+  ?mesh_size:int ->
+  ?bit_error_rates:float list ->
+  ?wearout_rates:float list ->
+  ?fault_seed:int ->
+  ?seeds:int list ->
+  ?domains:int ->
+  unit ->
+  resilience_row list
+(** Jobs completed under injected faults, EAR vs SDR, along two axes:
+    transient bit errors (per bit per cm) and permanent Weibull link
+    wear-out.  Both policies face the identical fault stream at every
+    sampled rate (the fault seed is [fault_seed + seed], independent of
+    the policy and the rate), so the comparison isolates the routing
+    policy and degradation is monotone along the wear-out axis. *)
+
 type scenario_row = {
   scenario : string;
   nodes : int;

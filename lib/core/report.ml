@@ -232,6 +232,38 @@ let algorithms rows =
   "Routing algorithms - EAR vs max-min residual vs SDR (jobs completed)\n"
   ^ Table.render table
 
+let resilience rows =
+  let table =
+    Table.create
+      ~columns:
+        [
+          ("fault axis", Table.Left);
+          ("rate", Table.Right);
+          ("EAR jobs", Table.Right);
+          ("SDR jobs", Table.Right);
+          ("gain", Table.Right);
+          ("retransmits", Table.Right);
+          ("drops", Table.Right);
+          ("wear-outs", Table.Right);
+        ]
+  in
+  let add (r : Experiments.resilience_row) =
+    Table.add_row table
+      [
+        r.axis;
+        Printf.sprintf "%g" r.rate;
+        Table.cell_float ~decimals:1 r.ear_jobs;
+        Table.cell_float ~decimals:1 r.sdr_jobs;
+        Printf.sprintf "%.2fx" r.r_gain;
+        Table.cell_float ~decimals:1 r.retransmissions;
+        Table.cell_float ~decimals:1 r.packets_dropped;
+        Table.cell_float ~decimals:1 r.wearouts;
+      ]
+  in
+  List.iter add rows;
+  "Resilience - jobs completed under injected faults (EAR vs SDR)
+" ^ Table.render table
+
 let print s =
   print_string s;
   print_newline ()

@@ -13,6 +13,7 @@ val concurrency : Experiments.concurrency_row list -> string
 val predictions : Experiments.prediction_row list -> string
 val scenarios : Experiments.scenario_row list -> string
 val algorithms : Experiments.algorithms_row list -> string
+val resilience : Experiments.resilience_row list -> string
 
 val print : string -> unit
 (** Write a rendered table to stdout with a flush. *)

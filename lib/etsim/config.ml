@@ -23,6 +23,9 @@ type t = {
   control_line_length_cm : float;
   deadlock_threshold_cycles : int;
   link_failure_schedule : (int * int * int) list;
+  fault : Etx_fault.Spec.t option;
+  max_retransmissions : int;
+  ack_timeout_cycles : int;
   controllers : controllers;
   controller_power : Etx_energy.Controller_power.t;
   controller_battery_kind : Etx_battery.Battery.kind;
@@ -52,7 +55,8 @@ let make ?policy ?mapping ?(packet = Etx_energy.Packet.aes_default)
     ?(frame_period_cycles = 500)
     ?(control_medium_width_bits = 2) ?(report_bits = 4) ?(instruction_bits = 8)
     ?(control_line_length_cm = 10.) ?(deadlock_threshold_cycles = 1000)
-    ?(link_failure_schedule = [])
+    ?(link_failure_schedule = []) ?fault ?(max_retransmissions = 3)
+    ?(ack_timeout_cycles = 25)
     ?(controllers = Infinite_controller)
     ?(controller_power = Etx_energy.Controller_power.paper_anchor)
     ?(controller_battery_kind = Etx_battery.Battery.Thin_film
@@ -108,14 +112,26 @@ let make ?policy ?mapping ?(packet = Etx_energy.Packet.aes_default)
     invalid_arg "Config.make: control line length must be positive";
   if deadlock_threshold_cycles <= 0 then
     invalid_arg "Config.make: deadlock threshold must be positive";
+  let seen_failures = Hashtbl.create 16 in
   List.iter
     (fun (cycle, a, b) ->
       if cycle < 0 then invalid_arg "Config.make: link failure before cycle 0";
+      if a < 0 || a >= node_count || b < 0 || b >= node_count then
+        invalid_arg "Config.make: link failure node id out of range";
+      if a = b then invalid_arg "Config.make: link failure is a self-loop";
       if
         not
           (Etx_graph.Digraph.mem_edge topology.Etx_graph.Topology.graph ~src:a ~dst:b)
-      then invalid_arg "Config.make: link failure names a non-existent link")
+      then invalid_arg "Config.make: link failure names a non-existent link";
+      let key = (min a b, max a b) in
+      if Hashtbl.mem seen_failures key then
+        invalid_arg "Config.make: duplicate link failure";
+      Hashtbl.add seen_failures key ())
     link_failure_schedule;
+  if max_retransmissions < 0 then
+    invalid_arg "Config.make: max_retransmissions must be >= 0";
+  if ack_timeout_cycles < 0 then
+    invalid_arg "Config.make: ack_timeout_cycles must be >= 0";
   begin
     match controllers with
     | Infinite_controller -> ()
@@ -161,6 +177,9 @@ let make ?policy ?mapping ?(packet = Etx_energy.Packet.aes_default)
     control_line_length_cm;
     deadlock_threshold_cycles;
     link_failure_schedule;
+    fault;
+    max_retransmissions;
+    ack_timeout_cycles;
     controllers;
     controller_power;
     controller_battery_kind;

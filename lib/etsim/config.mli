@@ -54,7 +54,21 @@ type t = {
       (** wear-and-tear injection: [(cycle, a, b)] breaks the textile
           interconnect between nodes [a] and [b] (both directions) at the
           given cycle.  The paper motivates the move from a bus to a
-          network with exactly this failure mode (Sec 1) *)
+          network with exactly this failure mode (Sec 1).  [make]
+          rejects out-of-range ids, self-loops, non-adjacent pairs and
+          duplicate (undirected) entries *)
+  fault : Etx_fault.Spec.t option;
+      (** stochastic fault environment (wear-out, bit errors,
+          brown-outs, control-frame loss); [None] disables fault
+          injection entirely and reproduces the fault-free engine bit
+          for bit *)
+  max_retransmissions : int;
+      (** data-plane hardening: retransmission budget per hop after CRC
+          failures; once exhausted the packet waits for the next control
+          frame before re-routing *)
+  ack_timeout_cycles : int;
+      (** extra cycles a retransmitted hop waits for the missing ACK
+          before the wire is re-driven *)
   (* controllers (Sec 7.3) *)
   controllers : controllers;
   controller_power : Etx_energy.Controller_power.t;
@@ -106,6 +120,9 @@ val make :
   ?control_line_length_cm:float ->
   ?deadlock_threshold_cycles:int ->
   ?link_failure_schedule:(int * int * int) list ->
+  ?fault:Etx_fault.Spec.t ->
+  ?max_retransmissions:int ->
+  ?ack_timeout_cycles:int ->
   ?controllers:controllers ->
   ?controller_power:Etx_energy.Controller_power.t ->
   ?controller_battery_kind:Etx_battery.Battery.kind ->

@@ -6,6 +6,8 @@ module Mapping = Etx_routing.Mapping
 module Computation = Etx_energy.Computation
 module Packet = Etx_energy.Packet
 module Prng = Etx_util.Prng
+module Fault_spec = Etx_fault.Spec
+module Fault_plan = Etx_fault.Plan
 
 type status = Running | Dead of Metrics.death_reason
 
@@ -121,6 +123,30 @@ type t = {
   computation_by_module : float array;
   latency_stats : Etx_util.Stats.t;
   mutable latency_max : int;
+  (* fault injection and hardening.  [plan] is the compiled event
+     stream; [None] when the config carries no fault spec, in which case
+     every per-packet and per-frame guard below reduces to a single
+     comparison and the engine is bit-identical to the fault-free one *)
+  plan : Fault_plan.t option;
+  packet_bits : int;
+  link_length_cm : float array; (* physical length per directed edge *)
+  max_retransmissions : int;
+  retransmit_delay : int; (* serialization + ACK timeout *)
+  (* controller-side degraded state: last level heard per node, how
+     stale it is, and which uploads vanished this frame *)
+  reported_level : int array;
+  staleness : int array;
+  upload_dropped_now : bool array;
+  mutable stale_table : Routing_table.t option;
+  mutable staleness_total : int;
+  mutable staleness_max : int;
+  mutable retransmissions : int;
+  mutable packets_corrupted : int;
+  mutable packets_dropped : int;
+  mutable link_wearouts : int;
+  mutable brownouts : int;
+  mutable uploads_dropped : int;
+  mutable downloads_dropped : int;
   mutable status : status;
   mutable ran : bool;
   trace : Trace.t option;
@@ -148,11 +174,22 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
   let cells = node_count * node_count in
   let hop_energy = Array.make cells nan in
   let reception_energy = Array.make cells nan in
+  let link_length_cm = Array.make cells nan in
   Digraph.iter_edges graph ~f:(fun ~src ~dst ~length ->
       let idx = (src * node_count) + dst in
       hop_energy.(idx) <-
         Packet.hop_energy config.packet ~line:config.line ~length_cm:length;
-      reception_energy.(idx) <- Config.reception_energy_pj config ~length_cm:length);
+      reception_energy.(idx) <- Config.reception_energy_pj config ~length_cm:length;
+      link_length_cm.(idx) <- length);
+  let plan =
+    Option.map
+      (fun spec ->
+        Fault_plan.compile ~spec ~topology:config.topology ~horizon:config.max_cycles ())
+      config.Config.fault
+  in
+  let serialization_cycles =
+    Packet.serialization_cycles config.packet ~link_width_bits:config.link_width_bits
+  in
   {
     config;
     graph = config.topology.Etx_graph.Topology.graph;
@@ -170,9 +207,7 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
     link_dead = Array.make cells false;
     hop_energy;
     reception_energy;
-    serialization_cycles =
-      Packet.serialization_cycles config.packet
-        ~link_width_bits:config.link_width_bits;
+    serialization_cycles;
     act_energy =
       Array.init config.Config.module_count (fun module_index ->
           Computation.energy_per_act config.computation ~module_index);
@@ -203,6 +238,25 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
     computation_by_module = Array.make config.Config.module_count 0.;
     latency_stats = Etx_util.Stats.create ();
     latency_max = 0;
+    plan;
+    packet_bits = Packet.total_bits config.packet;
+    link_length_cm;
+    max_retransmissions = config.Config.max_retransmissions;
+    retransmit_delay = serialization_cycles + config.Config.ack_timeout_cycles;
+    (* until a node speaks, the controller assumes a full battery *)
+    reported_level = Array.make node_count (config.policy.Etx_routing.Policy.levels - 1);
+    staleness = Array.make node_count 0;
+    upload_dropped_now = Array.make node_count false;
+    stale_table = None;
+    staleness_total = 0;
+    staleness_max = 0;
+    retransmissions = 0;
+    packets_corrupted = 0;
+    packets_dropped = 0;
+    link_wearouts = 0;
+    brownouts = 0;
+    uploads_dropped = 0;
+    downloads_dropped = 0;
     status = Running;
     ran = false;
     trace = Option.map (fun capacity -> Trace.create ~capacity) trace_capacity;
@@ -213,6 +267,11 @@ let emit t event =
   match t.trace with None -> () | Some trace -> Trace.record trace event
 
 let node_alive t id = not (Node.is_dead t.nodes.(id))
+
+(* alive AND not rebooting from a brown-out: the distinction only exists
+   under fault injection ([offline_until] stays 0 otherwise) *)
+let node_available t id =
+  node_alive t id && t.nodes.(id).Node.offline_until <= t.cycle
 
 let die t reason =
   match t.status with
@@ -311,6 +370,17 @@ let complete_job t cell =
 
 let link_alive t ~src ~dst = not t.link_dead.((src * Array.length t.nodes) + dst)
 
+(* ascending scan of the flag matrix yields the list sorted *)
+let rebuild_failed_links t =
+  let n = Array.length t.nodes in
+  let acc = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if t.link_dead.((src * n) + dst) then acc := (src, dst) :: !acc
+    done
+  done;
+  t.failed_links_sorted <- !acc
+
 (* break interconnects whose scheduled failure cycle has arrived *)
 let apply_link_failures t =
   match t.pending_failures with
@@ -329,16 +399,7 @@ let apply_link_failures t =
           landed := true
         end)
       due;
-    if !landed then begin
-      (* ascending scan of the flag matrix yields the list sorted *)
-      let acc = ref [] in
-      for src = n - 1 downto 0 do
-        for dst = n - 1 downto 0 do
-          if t.link_dead.((src * n) + dst) then acc := (src, dst) :: !acc
-        done
-      done;
-      t.failed_links_sorted <- !acc
-    end
+    if !landed then rebuild_failed_links t
 
 let link_busy_until t ~src ~dst = t.link_busy.((src * Array.length t.nodes) + dst)
 
@@ -355,6 +416,81 @@ let duplicate_reachable t ~node ~module_index =
 
 let set_waiting job ~node ~since ~retry_at =
   job.Job.phase <- Job.Waiting { node; since; retry_at }
+
+(* Volatile buffers: a brown-out with the [Drop] policy loses every job
+   resident at (or in flight towards) the node, which kills the platform
+   just like a node death would - the launcher waits forever. *)
+let drop_jobs_for_brownout t id =
+  let victims = ref [] in
+  Jobs.iter_cells t.jobs ~f:(fun cell ->
+      if Job.current_node cell.Jobs.job = id then begin
+        Jobs.remove t.jobs cell;
+        victims := cell.Jobs.job :: !victims
+      end);
+  match List.rev !victims with
+  | [] -> ()
+  | job :: _ as lost ->
+    t.jobs_lost <- t.jobs_lost + List.length lost;
+    List.iter
+      (fun j -> emit t (Trace.Job_lost { job = j.Job.id; node = id; cycle = t.cycle }))
+      lost;
+    die t (Metrics.Job_lost_to_brownout { node = id; job = job.Job.id })
+
+(* The [Preserve] policy keeps buffered jobs across the reboot: waiting
+   jobs retry once the node is back, a paused act resumes with its
+   remaining cycles, and packets in flight sit on the wire until the
+   receiver can accept them. *)
+let stall_jobs_for_brownout t id ~until =
+  Jobs.iter t.jobs ~f:(fun job ->
+      match job.Job.phase with
+      | Job.Waiting { node; since; retry_at } when node = id ->
+        if retry_at < until then set_waiting job ~node ~since ~retry_at:until
+      | Job.Computing { node; until = busy } when node = id ->
+        let resumed = until + max 0 (busy - t.cycle) in
+        job.Job.phase <- Job.Computing { node; until = resumed };
+        if t.nodes.(id).Node.busy_until < resumed then
+          t.nodes.(id).Node.busy_until <- resumed
+      | Job.In_transit { src; dst; until = arrive; attempt } when dst = id ->
+        if arrive < until then job.Job.phase <- Job.In_transit { src; dst; until; attempt }
+      | Job.Waiting _ | Job.Computing _ | Job.In_transit _ -> ())
+
+(* Deliver every timed fault event due at this frame boundary, matching
+   the semantics of the scheduled [apply_link_failures]. *)
+let apply_fault_events t =
+  match t.plan with
+  | None -> ()
+  | Some plan ->
+    if Fault_plan.next_cycle plan <= t.cycle then begin
+      let n = Array.length t.nodes in
+      let landed = ref false in
+      Fault_plan.iter_due plan ~cycle:t.cycle ~f:(fun event ->
+          if t.status = Running then
+            match event with
+            | Fault_plan.Link_wearout { a; b } ->
+              if link_alive t ~src:a ~dst:b then begin
+                t.link_dead.((a * n) + b) <- true;
+                t.link_dead.((b * n) + a) <- true;
+                t.links_failed <- t.links_failed + 1;
+                t.link_wearouts <- t.link_wearouts + 1;
+                landed := true;
+                emit t (Trace.Link_wearout { a; b; cycle = t.cycle })
+              end
+            | Fault_plan.Brownout { node } ->
+              if node_alive t node then begin
+                t.brownouts <- t.brownouts + 1;
+                let spec = Fault_plan.spec plan in
+                let until =
+                  max t.nodes.(node).Node.offline_until
+                    (t.cycle + spec.Fault_spec.brownout_duration_cycles)
+                in
+                t.nodes.(node).Node.offline_until <- until;
+                emit t (Trace.Node_brownout { node; until; cycle = t.cycle });
+                match spec.Fault_spec.brownout_job_policy with
+                | Fault_spec.Drop -> drop_jobs_for_brownout t node
+                | Fault_spec.Preserve -> stall_jobs_for_brownout t node ~until
+              end);
+      if !landed then rebuild_failed_links t
+    end
 
 (* Deadlock bookkeeping for a job blocked on an output port: after the
    threshold the node flags the port for its next upload slot. *)
@@ -387,7 +523,8 @@ let start_computation t job ~node ~module_index ~since =
   end
 
 let start_transmission t job ~node ~next_hop ~since =
-  if (not (node_alive t next_hop)) || not (link_alive t ~src:node ~dst:next_hop) then begin
+  if (not (node_available t next_hop)) || not (link_alive t ~src:node ~dst:next_hop)
+  then begin
     (* stale table: wait for the controller to learn about the death *)
     note_blocked t ~node ~since ~hop:next_hop;
     set_waiting job ~node ~since ~retry_at:t.next_frame
@@ -412,13 +549,17 @@ let start_transmission t job ~node ~next_hop ~since =
         t.nodes.(node).Node.occupancy <- t.nodes.(node).Node.occupancy - 1;
         t.nodes.(next_hop).Node.occupancy <- t.nodes.(next_hop).Node.occupancy + 1;
         emit t (Trace.Packet_sent { job = job.Job.id; src = node; dst = next_hop; cycle = t.cycle });
-        job.Job.phase <- Job.In_transit { src = node; dst = next_hop; until }
+        job.Job.phase <- Job.In_transit { src = node; dst = next_hop; until; attempt = 1 }
       end
       else kill_node t node
     end
   end
 
 let try_route t job ~node ~since =
+  if t.nodes.(node).Node.offline_until > t.cycle then
+    (* the node is rebooting: its buffered jobs wait out the brown-out *)
+    set_waiting job ~node ~since ~retry_at:t.nodes.(node).Node.offline_until
+  else
   match Job.needed_module job with
   | None -> assert false (* finished jobs are retired at act completion *)
   | Some module_index -> begin
@@ -434,6 +575,53 @@ let try_route t job ~node ~since =
           (* the table predates recent level changes; wait for a refresh *)
           set_waiting job ~node ~since ~retry_at:t.next_frame
         else die t (Metrics.Module_unreachable { module_index; from_node = node })
+    end
+  end
+
+(* The CRC at the receiver failed: the delivered payload is junk, but
+   the sender still holds the authoritative copy, and the missing ACK
+   triggers a bounded retransmission billed to both endpoints like any
+   other hop.  Once the budget is exhausted the packet waits at the
+   sender for the next control frame and re-routes. *)
+let handle_corruption t cell ~src ~dst ~attempt =
+  let job = cell.Jobs.job in
+  t.packets_corrupted <- t.packets_corrupted + 1;
+  emit t
+    (Trace.Packet_corrupted { job = job.Job.id; src; dst; attempt; cycle = t.cycle });
+  t.nodes.(dst).Node.occupancy <- t.nodes.(dst).Node.occupancy - 1;
+  if not (node_alive t src) then begin
+    (* the sender depleted while the corrupt copy was in flight: the
+       authoritative payload died with it *)
+    Jobs.remove t.jobs cell;
+    t.jobs_lost <- t.jobs_lost + 1;
+    emit t (Trace.Job_lost { job = job.Job.id; node = src; cycle = t.cycle });
+    die t (Metrics.Job_lost_to_node_death { node = src; job = job.Job.id })
+  end
+  else begin
+    t.nodes.(src).Node.occupancy <- t.nodes.(src).Node.occupancy + 1;
+    set_waiting job ~node:src ~since:t.cycle ~retry_at:t.cycle;
+    if attempt > t.max_retransmissions then begin
+      t.packets_dropped <- t.packets_dropped + 1;
+      emit t (Trace.Packet_dropped { job = job.Job.id; src; dst; cycle = t.cycle });
+      set_waiting job ~node:src ~since:t.cycle ~retry_at:t.next_frame
+    end
+    else if t.nodes.(src).Node.offline_until > t.cycle || not (link_alive t ~src ~dst)
+    then set_waiting job ~node:src ~since:t.cycle ~retry_at:t.next_frame
+    else begin
+      let energy = t.hop_energy.((src * Array.length t.nodes) + dst) in
+      if Node.draw t.nodes.(src) ~cycle:t.cycle ~energy_pj:energy then begin
+        t.communication_energy <- t.communication_energy +. energy;
+        t.hops <- t.hops + 1;
+        t.retransmissions <- t.retransmissions + 1;
+        t.nodes.(src).Node.occupancy <- t.nodes.(src).Node.occupancy - 1;
+        t.nodes.(dst).Node.occupancy <- t.nodes.(dst).Node.occupancy + 1;
+        let until = t.cycle + t.retransmit_delay in
+        t.link_busy.((src * Array.length t.nodes) + dst) <- until;
+        emit t
+          (Trace.Retransmission { job = job.Job.id; src; dst; attempt; cycle = t.cycle });
+        job.Job.phase <- Job.In_transit { src; dst; until; attempt = attempt + 1 }
+      end
+      else kill_node t src
     end
   end
 
@@ -457,18 +645,37 @@ let process_job t cell =
       set_waiting job ~node ~since:t.cycle ~retry_at:t.cycle;
       try_route t job ~node ~since:t.cycle
     end
-  | Job.In_transit { src; dst; until } ->
+  | Job.In_transit { src; dst; until; attempt } ->
     assert (until <= t.cycle);
     (* kill_node retires jobs flying to a dying node, so arrival implies
        a living receiver *)
     assert (node_alive t dst);
-    let reception = t.reception_energy.((src * Array.length t.nodes) + dst) in
-    if reception > 0. && not (Node.draw t.nodes.(dst) ~cycle:t.cycle ~energy_pj:reception)
-    then kill_node t dst (* the receiver died accepting the packet *)
+    if t.nodes.(dst).Node.offline_until > t.cycle then
+      (* the receiver is rebooting: the packet sits on the wire until it
+         comes back up *)
+      job.Job.phase <-
+        Job.In_transit { src; dst; until = t.nodes.(dst).Node.offline_until; attempt }
     else begin
-      t.communication_energy <- t.communication_energy +. reception;
-      set_waiting job ~node:dst ~since:t.cycle ~retry_at:t.cycle;
-      try_route t job ~node:dst ~since:t.cycle
+      let reception = t.reception_energy.((src * Array.length t.nodes) + dst) in
+      if
+        reception > 0.
+        && not (Node.draw t.nodes.(dst) ~cycle:t.cycle ~energy_pj:reception)
+      then kill_node t dst (* the receiver died accepting the packet *)
+      else begin
+        t.communication_energy <- t.communication_energy +. reception;
+        let corrupted =
+          match t.plan with
+          | None -> false
+          | Some plan ->
+            Fault_plan.corrupt_packet plan ~bits:t.packet_bits
+              ~length_cm:t.link_length_cm.((src * Array.length t.nodes) + dst)
+        in
+        if corrupted then handle_corruption t cell ~src ~dst ~attempt
+        else begin
+          set_waiting job ~node:dst ~since:t.cycle ~retry_at:t.cycle;
+          try_route t job ~node:dst ~since:t.cycle
+        end
+      end
     end
 
 (* Refill the engine's snapshot buffer in place: no array, list or
@@ -484,17 +691,41 @@ let build_snapshot t =
   let alive = t.snapshot.Router.alive in
   let battery_level = t.snapshot.Router.battery_level in
   for id = 0 to n - 1 do
-    let living = node_alive t id in
-    alive.(id) <- living;
-    battery_level.(id) <-
-      (if living then Node.level t.nodes.(id) ~cycle:t.cycle ~levels else 0)
+    (* a browned-out node neither reports nor receives: the controller
+       routes around it exactly as it would a dead one *)
+    let available = node_available t id in
+    alive.(id) <- available;
+    let dropped =
+      available
+      && (match t.plan with None -> false | Some plan -> Fault_plan.drop_upload plan)
+    in
+    t.upload_dropped_now.(id) <- dropped;
+    if dropped then begin
+      (* degraded control plane: fall back to the last level heard and
+         count how stale that report is *)
+      t.uploads_dropped <- t.uploads_dropped + 1;
+      t.staleness.(id) <- t.staleness.(id) + 1;
+      t.staleness_total <- t.staleness_total + 1;
+      if t.staleness.(id) > t.staleness_max then t.staleness_max <- t.staleness.(id);
+      emit t (Trace.Upload_dropped { node = id; cycle = t.cycle });
+      battery_level.(id) <- t.reported_level.(id)
+    end
+    else if available then begin
+      let level = Node.level t.nodes.(id) ~cycle:t.cycle ~levels in
+      t.reported_level.(id) <- level;
+      t.staleness.(id) <- 0;
+      battery_level.(id) <- level
+    end
+    else battery_level.(id) <- 0
   done;
   let rec locked id acc =
     if id < 0 then acc
     else begin
       let node = t.nodes.(id) in
       let acc =
-        if Node.is_dead node then acc
+        (* a deadlock report rides the status upload, so it is lost with
+           it (and never sent while the node is offline) *)
+        if (not alive.(id)) || t.upload_dropped_now.(id) then acc
         else
           match node.Node.locked_hop with
           | Some hop -> (id, hop) :: acc
@@ -546,9 +777,41 @@ let record_timeline_sample t =
         deadlocked_ports = !locked;
       }
 
+(* The router workspace rotates a pair of tables across recomputes, so
+   the table the fabric holds stays valid for exactly one further
+   recompute.  When a download is lost, copy the current entries into an
+   engine-owned buffer and route on that, or the "stale" reference would
+   be silently overwritten two recomputes later. *)
+let preserve_stale_table t =
+  match t.table with
+  | None -> () (* no table was ever delivered; jobs keep waiting *)
+  | Some current ->
+    let stale =
+      match t.stale_table with
+      | Some stale -> stale
+      | None ->
+        let stale =
+          Routing_table.create
+            ~node_count:(Routing_table.node_count current)
+            ~module_count:(Routing_table.module_count current)
+        in
+        t.stale_table <- Some stale;
+        stale
+    in
+    if current != stale then begin
+      for node = 0 to Routing_table.node_count current - 1 do
+        for module_index = 0 to Routing_table.module_count current - 1 do
+          Routing_table.set stale ~node ~module_index
+            (Routing_table.get current ~node ~module_index)
+        done
+      done;
+      t.table <- Some stale
+    end
+
 let run_frame t =
   t.frames <- t.frames + 1;
   apply_link_failures t;
+  apply_fault_events t;
   record_timeline_sample t;
   (* every report slot costs the same, so count the successful draws
      and charge the accumulator once: one boxed-float write per frame
@@ -556,7 +819,8 @@ let run_frame t =
   let paid = ref 0 in
   for id = 0 to Array.length t.nodes - 1 do
     let node = t.nodes.(id) in
-    if t.status = Running && not (Node.is_dead node) then begin
+    if t.status = Running && not (Node.is_dead node) && node.Node.offline_until <= t.cycle
+    then begin
       if Node.draw node ~cycle:t.cycle ~energy_pj:t.report_energy then incr paid
       else kill_node t node.Node.id
     end
@@ -572,9 +836,22 @@ let run_frame t =
       emit t (Trace.Controller_failover { survivors = 0; cycle = t.cycle });
       die t Metrics.Controllers_exhausted
     | Controller.Table_updated table ->
-      t.table <- Some table;
-      emit t (Trace.Frame_run { cycle = t.cycle; recomputed = true });
-      wake_waiting_jobs t
+      let dropped =
+        match t.plan with None -> false | Some plan -> Fault_plan.drop_download plan
+      in
+      if dropped then begin
+        (* the controller billed a download that never arrived: nodes
+           keep routing on whatever table they had *)
+        t.downloads_dropped <- t.downloads_dropped + 1;
+        emit t (Trace.Download_dropped { cycle = t.cycle });
+        emit t (Trace.Frame_run { cycle = t.cycle; recomputed = true });
+        preserve_stale_table t
+      end
+      else begin
+        t.table <- Some table;
+        emit t (Trace.Frame_run { cycle = t.cycle; recomputed = true });
+        wake_waiting_jobs t
+      end
     | Controller.No_change -> emit t (Trace.Frame_run { cycle = t.cycle; recomputed = false })
   end
 
@@ -621,6 +898,16 @@ let finalize t reason =
     deadlocks_recovered = t.deadlocks_recovered;
     hops_total = t.hops;
     acts_total = t.acts;
+    jobs_launched = t.next_job_id;
+    retransmissions = t.retransmissions;
+    packets_corrupted = t.packets_corrupted;
+    packets_dropped = t.packets_dropped;
+    link_wearouts = t.link_wearouts;
+    brownouts = t.brownouts;
+    uploads_dropped = t.uploads_dropped;
+    downloads_dropped = t.downloads_dropped;
+    stale_reports_total = t.staleness_total;
+    stale_reports_max = t.staleness_max;
     computation_energy_by_module_pj = Array.copy t.computation_by_module;
     job_latency_mean_cycles =
       (if t.jobs_completed = 0 then 0. else Etx_util.Stats.mean t.latency_stats);

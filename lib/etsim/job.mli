@@ -10,7 +10,7 @@ type phase =
       (** resident at a node, waiting for routing, a free core, a free
           link, or fresh tables *)
   | Computing of { node : int; until : int }
-  | In_transit of { src : int; dst : int; until : int }
+  | In_transit of { src : int; dst : int; until : int; attempt : int }
 
 type t = {
   id : int;

@@ -5,6 +5,7 @@ type death_reason =
   | Controllers_exhausted
   | Cycle_limit
   | Job_limit
+  | Job_lost_to_brownout of { node : int; job : int }
 
 type t = {
   jobs_completed : int;
@@ -30,6 +31,16 @@ type t = {
   deadlocks_recovered : int;
   hops_total : int;
   acts_total : int;
+  jobs_launched : int;
+  retransmissions : int;
+  packets_corrupted : int;
+  packets_dropped : int;
+  link_wearouts : int;
+  brownouts : int;
+  uploads_dropped : int;
+  downloads_dropped : int;
+  stale_reports_total : int;
+  stale_reports_max : int;
   computation_energy_by_module_pj : float array;
   job_latency_mean_cycles : float;
   job_latency_max_cycles : int;
@@ -58,6 +69,8 @@ let death_reason_string = function
   | Controllers_exhausted -> "all central controllers depleted"
   | Cycle_limit -> "cycle limit reached"
   | Job_limit -> "job cap reached"
+  | Job_lost_to_brownout { node; job } ->
+    Printf.sprintf "job %d lost: node %d browned out while holding it" job node
 
 let pp fmt t =
   Format.fprintf fmt
@@ -69,11 +82,16 @@ let pp fmt t =
      stranded in dead nodes: %.1f; residual in living nodes: %.1f@,\
      node deaths: %d; recomputations: %d over %d frames@,\
      deadlocks: %d reported, %d recovered@,\
-     totals: %d acts, %d hops@]"
+     totals: %d acts, %d hops@,\
+     faults: %d wear-outs, %d brownouts, %d corrupted (%d retransmitted, %d \
+     dropped)@,\
+     control loss: %d uploads, %d downloads; stale reports: %d (worst %d)@]"
     t.jobs_completed t.jobs_verified t.jobs_lost t.lifetime_cycles
     (death_reason_string t.death_reason)
     t.computation_energy_pj t.communication_energy_pj (control_energy_pj t)
     (100. *. control_overhead_fraction t)
     t.controller_compute_energy_pj t.stranded_node_energy_pj t.residual_node_energy_pj
     t.node_deaths t.recomputations t.frames t.deadlocks_reported t.deadlocks_recovered
-    t.acts_total t.hops_total
+    t.acts_total t.hops_total t.link_wearouts t.brownouts t.packets_corrupted
+    t.retransmissions t.packets_dropped t.uploads_dropped t.downloads_dropped
+    t.stale_reports_total t.stale_reports_max

@@ -16,6 +16,9 @@ type death_reason =
       (** Sec 7.3: the last central controller depleted *)
   | Cycle_limit
   | Job_limit  (** stopped by the configured cap, not by the platform *)
+  | Job_lost_to_brownout of { node : int; job : int }
+      (** a brown-out with the [Drop] job policy destroyed a buffered job
+          mid-flight: the launcher never sees it complete *)
 
 type t = {
   jobs_completed : int;
@@ -44,6 +47,23 @@ type t = {
   deadlocks_recovered : int;
   hops_total : int;
   acts_total : int;
+  (* fault injection and hardening *)
+  jobs_launched : int;  (** jobs entered into the platform (completed or not) *)
+  retransmissions : int;  (** hops re-driven after a CRC failure *)
+  packets_corrupted : int;  (** hop deliveries that failed the CRC check *)
+  packets_dropped : int;
+      (** corrupted hops whose retransmission budget was exhausted; the
+          job waits for the next control frame and re-routes *)
+  link_wearouts : int;  (** permanent stochastic link deaths (Weibull wear) *)
+  brownouts : int;  (** node brown-out/reboot events *)
+  uploads_dropped : int;  (** status uploads lost on the control medium *)
+  downloads_dropped : int;
+      (** instruction downloads lost; nodes kept routing on stale tables *)
+  stale_reports_total : int;
+      (** sum over frames of nodes whose status the controller had to take
+          from an older frame *)
+  stale_reports_max : int;
+      (** worst staleness (consecutive missed uploads) of any node *)
   (* per-module and latency detail *)
   computation_energy_by_module_pj : float array;
       (** length p: computation energy per application module *)

@@ -6,6 +6,7 @@ type t = {
   mutable busy_until : int;
   mutable occupancy : int;
   mutable locked_hop : int option;
+  mutable offline_until : int;
 }
 
 let create ~id ~module_index ~kind ~capacity_pj =
@@ -17,6 +18,7 @@ let create ~id ~module_index ~kind ~capacity_pj =
     busy_until = 0;
     occupancy = 0;
     locked_hop = None;
+    offline_until = 0;
   }
 
 let sync t ~cycle =

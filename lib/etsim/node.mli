@@ -13,6 +13,9 @@ type t = {
   mutable busy_until : int;  (** computation occupancy *)
   mutable occupancy : int;  (** jobs resident (buffered, computing, inbound) *)
   mutable locked_hop : int option;  (** output port reported deadlocked *)
+  mutable offline_until : int;
+      (** brown-out/reboot: battery intact but the node is unavailable
+          until this cycle (0 when never browned out) *)
 }
 
 val create :

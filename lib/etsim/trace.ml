@@ -9,6 +9,13 @@ type event =
   | Deadlock_report of { node : int; hop : int; cycle : int }
   | Controller_failover of { survivors : int; cycle : int }
   | System_death of { cycle : int; reason : string }
+  | Link_wearout of { a : int; b : int; cycle : int }
+  | Packet_corrupted of { job : int; src : int; dst : int; attempt : int; cycle : int }
+  | Retransmission of { job : int; src : int; dst : int; attempt : int; cycle : int }
+  | Packet_dropped of { job : int; src : int; dst : int; cycle : int }
+  | Node_brownout of { node : int; until : int; cycle : int }
+  | Upload_dropped of { node : int; cycle : int }
+  | Download_dropped of { cycle : int }
 
 type t = {
   capacity : int;
@@ -59,6 +66,23 @@ let pp_event fmt = function
     Format.fprintf fmt "[%8d] controller failover (%d left)" cycle survivors
   | System_death { cycle; reason } ->
     Format.fprintf fmt "[%8d] SYSTEM DEATH: %s" cycle reason
+  | Link_wearout { a; b; cycle } ->
+    Format.fprintf fmt "[%8d] link %d <-> %d wore out" cycle a b
+  | Packet_corrupted { job; src; dst; attempt; cycle } ->
+    Format.fprintf fmt "[%8d] job %d: packet %d -> %d corrupted (attempt %d)" cycle
+      job src dst attempt
+  | Retransmission { job; src; dst; attempt; cycle } ->
+    Format.fprintf fmt "[%8d] job %d: retransmit %d -> %d (attempt %d)" cycle job src
+      dst attempt
+  | Packet_dropped { job; src; dst; cycle } ->
+    Format.fprintf fmt "[%8d] job %d: packet %d -> %d dropped (retries exhausted)"
+      cycle job src dst
+  | Node_brownout { node; until; cycle } ->
+    Format.fprintf fmt "[%8d] node %d browned out (offline until %d)" cycle node until
+  | Upload_dropped { node; cycle } ->
+    Format.fprintf fmt "[%8d] status upload from node %d lost" cycle node
+  | Download_dropped { cycle } ->
+    Format.fprintf fmt "[%8d] instruction download lost (stale tables)" cycle
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>";

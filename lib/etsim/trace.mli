@@ -15,6 +15,13 @@ type event =
   | Deadlock_report of { node : int; hop : int; cycle : int }
   | Controller_failover of { survivors : int; cycle : int }
   | System_death of { cycle : int; reason : string }
+  | Link_wearout of { a : int; b : int; cycle : int }
+  | Packet_corrupted of { job : int; src : int; dst : int; attempt : int; cycle : int }
+  | Retransmission of { job : int; src : int; dst : int; attempt : int; cycle : int }
+  | Packet_dropped of { job : int; src : int; dst : int; cycle : int }
+  | Node_brownout of { node : int; until : int; cycle : int }
+  | Upload_dropped of { node : int; cycle : int }
+  | Download_dropped of { cycle : int }
 
 type t
 

@@ -31,6 +31,13 @@ let test_trace_event_printers () =
       (Trace.Deadlock_report { node = 1; hop = 2; cycle = 3 }, "deadlock");
       (Trace.Controller_failover { survivors = 1; cycle = 2 }, "failover");
       (Trace.System_death { cycle = 1; reason = "the reason" }, "the reason");
+      (Trace.Link_wearout { a = 1; b = 2; cycle = 3 }, "wore out");
+      (Trace.Packet_corrupted { job = 1; src = 2; dst = 3; attempt = 1; cycle = 4 }, "corrupted");
+      (Trace.Retransmission { job = 1; src = 2; dst = 3; attempt = 2; cycle = 4 }, "retransmit");
+      (Trace.Packet_dropped { job = 1; src = 2; dst = 3; cycle = 4 }, "retries exhausted");
+      (Trace.Node_brownout { node = 1; until = 900; cycle = 4 }, "browned out");
+      (Trace.Upload_dropped { node = 1; cycle = 2 }, "upload");
+      (Trace.Download_dropped { cycle = 2 }, "stale");
     ]
   in
   List.iter
@@ -221,6 +228,7 @@ let test_death_reason_strings () =
       (Metrics.Controllers_exhausted, "controller");
       (Metrics.Cycle_limit, "cycle");
       (Metrics.Job_limit, "cap");
+      (Metrics.Job_lost_to_brownout { node = 4; job = 9 }, "browned out");
     ]
 
 (* - analysis/report coverage - *)

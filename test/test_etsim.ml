@@ -18,11 +18,13 @@ let mesh size = Topology.square_mesh ~size ()
 
 let base_config ?policy ?battery_kind ?controllers ?concurrent_jobs ?seed
     ?job_source ?max_jobs ?max_cycles ?frame_period_cycles ?reception_energy_fraction
-    ?battery_capacity_pj ?deadlock_threshold_cycles ?buffer_capacity size =
+    ?battery_capacity_pj ?deadlock_threshold_cycles ?buffer_capacity
+    ?link_failure_schedule ?fault ?max_retransmissions ?ack_timeout_cycles size =
   Config.make ~topology:(mesh size) ?policy ?battery_kind ?controllers
     ?concurrent_jobs ?seed ?job_source ?max_jobs ?max_cycles ?frame_period_cycles
     ?reception_energy_fraction ?battery_capacity_pj ?deadlock_threshold_cycles
-    ?buffer_capacity ()
+    ?buffer_capacity ?link_failure_schedule ?fault ?max_retransmissions
+    ?ack_timeout_cycles ()
 
 (* - Config - *)
 
@@ -56,7 +58,25 @@ let test_config_validation () =
   expect "Config.make: need at least one controller" (fun () ->
       base_config ~controllers:(Config.Battery_controllers { count = 0 }) 4);
   expect "Config.make: max_jobs must be positive" (fun () ->
-      base_config ~max_jobs:(Some 0) 4)
+      base_config ~max_jobs:(Some 0) 4);
+  (* link-failure schedule validation (nodes 0 and 1 are adjacent in the
+     4x4 mesh; 0 and 5 are diagonal neighbours, hence non-adjacent) *)
+  expect "Config.make: link failure before cycle 0" (fun () ->
+      base_config ~link_failure_schedule:[ (-1, 0, 1) ] 4);
+  expect "Config.make: link failure node id out of range" (fun () ->
+      base_config ~link_failure_schedule:[ (0, 0, 16) ] 4);
+  expect "Config.make: link failure node id out of range" (fun () ->
+      base_config ~link_failure_schedule:[ (0, -2, 1) ] 4);
+  expect "Config.make: link failure is a self-loop" (fun () ->
+      base_config ~link_failure_schedule:[ (0, 3, 3) ] 4);
+  expect "Config.make: link failure names a non-existent link" (fun () ->
+      base_config ~link_failure_schedule:[ (0, 0, 5) ] 4);
+  expect "Config.make: duplicate link failure" (fun () ->
+      base_config ~link_failure_schedule:[ (0, 0, 1); (100, 1, 0) ] 4);
+  expect "Config.make: max_retransmissions must be >= 0" (fun () ->
+      base_config ~max_retransmissions:(-1) 4);
+  expect "Config.make: ack_timeout_cycles must be >= 0" (fun () ->
+      base_config ~ack_timeout_cycles:(-1) 4)
 
 let test_config_mapping_arity_checked () =
   let topology = mesh 4 in
@@ -121,7 +141,7 @@ let test_job_phase_accessors () =
   job.Job.phase <- Job.Computing { node = 7; until = 500 };
   Alcotest.(check int) "computing node" 7 (Job.current_node job);
   Alcotest.(check int) "computing ready" 500 (Job.ready_at job);
-  job.Job.phase <- Job.In_transit { src = 7; dst = 9; until = 600 };
+  job.Job.phase <- Job.In_transit { src = 7; dst = 9; until = 600; attempt = 1 };
   Alcotest.(check int) "transit counts at destination" 9 (Job.current_node job)
 
 (* - Trace - *)

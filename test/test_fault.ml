@@ -1,0 +1,321 @@
+(* Fault-injection subsystem: spec validation, plan compilation, the
+   hardened data/control plane, and crash-freedom under random fault
+   plans. *)
+
+module Spec = Etx_fault.Spec
+module Plan = Etx_fault.Plan
+module Config = Etx_etsim.Config
+module Engine = Etx_etsim.Engine
+module Metrics = Etx_etsim.Metrics
+module Policy = Etx_routing.Policy
+module Topology = Etx_graph.Topology
+module Calibration = Etextile.Calibration
+
+let mesh size = Topology.square_mesh ~size ()
+
+(* - Spec - *)
+
+let test_spec_validation () =
+  let expect message build =
+    Alcotest.check_raises message (Invalid_argument message) (fun () ->
+        ignore (build ()))
+  in
+  expect "Fault.Spec.make: link_wearout_rate must be finite and >= 0" (fun () ->
+      Spec.make ~link_wearout_rate:(-1.) ());
+  expect "Fault.Spec.make: link_wearout_rate must be finite and >= 0" (fun () ->
+      Spec.make ~link_wearout_rate:Float.nan ());
+  expect "Fault.Spec.make: link_wearout_shape must be positive" (fun () ->
+      Spec.make ~link_wearout_shape:0. ());
+  expect "Fault.Spec.make: bit_error_rate must be finite and >= 0" (fun () ->
+      Spec.make ~bit_error_rate:neg_infinity ());
+  expect "Fault.Spec.make: brownout_duration_cycles must be positive" (fun () ->
+      Spec.make ~brownout_duration_cycles:0 ());
+  expect "Fault.Spec.make: upload_loss_rate must be within [0, 1]" (fun () ->
+      Spec.make ~upload_loss_rate:1.5 ());
+  expect "Fault.Spec.make: download_loss_rate must be within [0, 1]" (fun () ->
+      Spec.make ~download_loss_rate:2. ())
+
+let test_spec_zero () =
+  Alcotest.(check bool) "zero spec is zero" true (Spec.is_zero Spec.zero);
+  Alcotest.(check bool) "brownout-only spec is not zero" false
+    (Spec.is_zero (Spec.make ~brownout_rate:1e-5 ()));
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" Spec.pp Spec.zero) > 0)
+
+(* - Plan - *)
+
+let test_zero_plan_is_empty () =
+  let plan = Plan.compile ~spec:Spec.zero ~topology:(mesh 5) ~horizon:1_000_000 () in
+  Alcotest.(check int) "no events" 0 (Plan.event_count plan);
+  Alcotest.(check int) "drained" max_int (Plan.next_cycle plan);
+  Alcotest.(check (float 0.)) "no error probability" 0.
+    (Plan.error_probability plan ~bits:261 ~length_cm:1.);
+  (* rate-0 draws must not touch the PRNG streams *)
+  Alcotest.(check bool) "no corruption" false
+    (Plan.corrupt_packet plan ~bits:261 ~length_cm:1.);
+  Alcotest.(check bool) "no upload loss" false (Plan.drop_upload plan);
+  Alcotest.(check bool) "no download loss" false (Plan.drop_download plan)
+
+let test_plan_compile_deterministic () =
+  let spec = Spec.make ~seed:42 ~link_wearout_rate:1e-5 ~brownout_rate:1e-5 () in
+  let compile () = Plan.compile ~spec ~topology:(mesh 5) ~horizon:500_000 () in
+  let a = compile () and b = compile () in
+  Alcotest.(check bool) "equal event streams" true (Plan.events a = Plan.events b);
+  Alcotest.(check bool) "some events sampled" true (Plan.event_count a > 0);
+  List.iter
+    (fun (cycle, _) ->
+      Alcotest.(check bool) "within horizon" true (cycle >= 0 && cycle < 500_000))
+    (Plan.events a)
+
+let test_wearout_monotone_in_rate () =
+  (* same seed: a higher rate only scales every Weibull death time down,
+     so the event set within the horizon can only grow *)
+  let count rate =
+    Plan.event_count
+      (Plan.compile
+         ~spec:(Spec.make ~seed:7 ~link_wearout_rate:rate ())
+         ~topology:(mesh 5) ~horizon:500_000 ())
+  in
+  let counts = List.map count [ 1e-7; 1e-6; 1e-5; 1e-4 ] in
+  let rec non_decreasing = function
+    | a :: (b :: _ as rest) -> a <= b && non_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "wear-out counts non-decreasing: %s"
+       (String.concat "," (List.map string_of_int counts)))
+    true (non_decreasing counts);
+  Alcotest.(check bool) "top rate breaks links" true (List.nth counts 3 > 0)
+
+let test_error_probability_monotone () =
+  let spec = Spec.make ~seed:1 ~bit_error_rate:1e-4 () in
+  let plan = Plan.compile ~spec ~topology:(mesh 4) ~horizon:1000 () in
+  let p ~bits ~length_cm = Plan.error_probability plan ~bits ~length_cm in
+  let short = p ~bits:261 ~length_cm:1. in
+  let long = p ~bits:261 ~length_cm:4. in
+  let big = p ~bits:1044 ~length_cm:1. in
+  Alcotest.(check bool) "probability in (0, 1)" true (short > 0. && short < 1.);
+  Alcotest.(check bool) "longer links corrupt more" true (long > short);
+  Alcotest.(check bool) "bigger packets corrupt more" true (big > short);
+  Alcotest.(check (float 1e-12)) "matches the closed form"
+    (-.Float.expm1 (-.1e-4 *. 261.))
+    short
+
+let test_brownout_sampling () =
+  let count rate =
+    Plan.event_count
+      (Plan.compile
+         ~spec:(Spec.make ~seed:3 ~brownout_rate:rate ())
+         ~topology:(mesh 4) ~horizon:200_000 ())
+  in
+  Alcotest.(check bool) "brown-outs sampled" true (count 1e-4 > 0);
+  Alcotest.(check bool) "roughly proportional to the rate" true
+    (count 1e-3 > count 1e-5)
+
+(* - satellite 3: the zero-rate plan reproduces the seed path bit for
+   bit (Fig 7 scenario, 4x4 calibrated mesh) - *)
+
+let test_zero_fault_regression () =
+  let baseline = Engine.simulate (Calibration.config ~mesh_size:4 ~seed:1 ()) in
+  let zeroed =
+    Engine.simulate (Calibration.config ~fault:Spec.zero ~mesh_size:4 ~seed:1 ())
+  in
+  Alcotest.(check bool) "bit-identical metrics" true (baseline = zeroed);
+  Alcotest.(check bool) "no fault counters ticked" true
+    (zeroed.Metrics.retransmissions = 0
+    && zeroed.Metrics.packets_corrupted = 0
+    && zeroed.Metrics.link_wearouts = 0
+    && zeroed.Metrics.brownouts = 0
+    && zeroed.Metrics.uploads_dropped = 0
+    && zeroed.Metrics.downloads_dropped = 0)
+
+(* - hardened data plane - *)
+
+let faulted ?fault ?max_retransmissions ~seed size =
+  Engine.simulate (Calibration.config ?fault ?max_retransmissions ~mesh_size:size ~seed ())
+
+let test_retransmission_under_bit_errors () =
+  let fault = Spec.make ~seed:11 ~bit_error_rate:1e-3 () in
+  let m = faulted ~fault ~seed:1 4 in
+  Alcotest.(check bool) "corruptions observed" true (m.Metrics.packets_corrupted > 0);
+  Alcotest.(check bool) "retransmissions observed" true (m.Metrics.retransmissions > 0);
+  (* every corrupted delivery is either re-driven or gives up *)
+  Alcotest.(check bool) "corruption accounting" true
+    (m.Metrics.retransmissions + m.Metrics.packets_dropped
+    <= m.Metrics.packets_corrupted);
+  (* the CRC guarantee: junk never reaches the application *)
+  Alcotest.(check int) "all completions verified" m.Metrics.jobs_completed
+    m.Metrics.jobs_verified
+
+let test_retry_budget_exhaustion () =
+  (* no retries allowed: every corruption is a drop, never a retransmit *)
+  let fault = Spec.make ~seed:11 ~bit_error_rate:1e-3 () in
+  let m = faulted ~fault ~max_retransmissions:0 ~seed:1 4 in
+  Alcotest.(check int) "no retransmissions" 0 m.Metrics.retransmissions;
+  Alcotest.(check int) "every corruption dropped" m.Metrics.packets_corrupted
+    m.Metrics.packets_dropped;
+  Alcotest.(check bool) "jobs still complete" true (m.Metrics.jobs_completed > 0)
+
+let test_wearout_kills_links () =
+  let fault = Spec.make ~seed:5 ~link_wearout_rate:1e-5 () in
+  let m = faulted ~fault ~seed:1 4 in
+  Alcotest.(check bool) "links wore out" true (m.Metrics.link_wearouts > 0);
+  Alcotest.(check int) "wear-outs are the only link failures"
+    m.Metrics.link_wearouts m.Metrics.links_failed
+
+let test_brownouts_preserve_jobs () =
+  let fault = Spec.make ~seed:9 ~brownout_rate:2e-5 ~brownout_duration_cycles:1000 () in
+  let m = faulted ~fault ~seed:1 4 in
+  Alcotest.(check bool) "brown-outs observed" true (m.Metrics.brownouts > 0);
+  (* Preserve policy: reboots alone never lose a job *)
+  (match m.Metrics.death_reason with
+  | Metrics.Job_lost_to_brownout _ -> Alcotest.fail "Preserve policy lost a job"
+  | _ -> ());
+  Alcotest.(check bool) "jobs still complete" true (m.Metrics.jobs_completed > 0)
+
+(* - degraded control plane - *)
+
+let test_upload_loss_staleness () =
+  let fault = Spec.make ~seed:13 ~upload_loss_rate:0.3 () in
+  let m = faulted ~fault ~seed:1 4 in
+  Alcotest.(check bool) "uploads lost" true (m.Metrics.uploads_dropped > 0);
+  Alcotest.(check int) "one stale report per lost upload"
+    m.Metrics.uploads_dropped m.Metrics.stale_reports_total;
+  Alcotest.(check bool) "worst staleness recorded" true
+    (m.Metrics.stale_reports_max >= 1);
+  Alcotest.(check bool) "platform survives on stale levels" true
+    (m.Metrics.jobs_completed > 0)
+
+let test_download_loss_stale_tables () =
+  let fault = Spec.make ~seed:17 ~download_loss_rate:0.5 () in
+  let m = faulted ~fault ~seed:1 4 in
+  Alcotest.(check bool) "downloads lost" true (m.Metrics.downloads_dropped > 0);
+  Alcotest.(check bool) "platform routes on stale tables" true
+    (m.Metrics.jobs_completed > 0);
+  Alcotest.(check int) "all completions verified" m.Metrics.jobs_completed
+    m.Metrics.jobs_verified
+
+(* - resilience sweep plumbing - *)
+
+let test_resilience_sweep () =
+  let rows ~domains =
+    Etextile.Experiments.resilience ~mesh_size:4 ~bit_error_rates:[ 0.; 1e-3 ]
+      ~wearout_rates:[ 0. ] ~seeds:[ 1; 2 ] ~domains ()
+  in
+  let sequential = rows ~domains:1 in
+  Alcotest.(check int) "three rows" 3 (List.length sequential);
+  let clean = List.nth sequential 0 and noisy = List.nth sequential 1 in
+  Alcotest.(check bool) "bit errors cost completions" true
+    (noisy.Etextile.Experiments.ear_jobs <= clean.Etextile.Experiments.ear_jobs);
+  List.iter
+    (fun (r : Etextile.Experiments.resilience_row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "EAR >= SDR at %s %g" r.axis r.rate)
+        true
+        (r.ear_jobs >= r.sdr_jobs))
+    sequential;
+  Alcotest.(check bool) "identical for any worker count" true
+    (rows ~domains:2 = sequential);
+  Alcotest.(check bool) "report renders" true
+    (String.length (Etextile.Report.resilience sequential) > 0)
+
+(* - satellite 2: crash freedom under random fault plans - *)
+
+type fault_scenario = {
+  size : int;
+  seed : int;
+  fault_seed : int;
+  ber : float;
+  wearout : float;
+  brownout : float;
+  duration : int;
+  drop_jobs : bool;
+  upload_loss : float;
+  download_loss : float;
+  retries : int;
+}
+
+let fault_scenario_gen =
+  QCheck.Gen.(
+    map
+      (fun ((size, seed, fault_seed, ber, wearout),
+            (brownout, duration, drop_jobs, upload_loss, download_loss),
+            retries ) ->
+        { size; seed; fault_seed; ber; wearout; brownout; duration; drop_jobs;
+          upload_loss; download_loss; retries })
+      (triple
+         (tup5 (int_range 3 5) (int_range 1 1000) (int_range 0 10_000)
+            (float_bound_inclusive 1e-3) (float_bound_inclusive 1e-5))
+         (tup5 (float_bound_inclusive 1e-4) (int_range 100 5000) bool
+            (float_bound_inclusive 0.3) (float_bound_inclusive 0.3))
+         (int_range 0 4)))
+
+let fault_scenario_print s =
+  Printf.sprintf
+    "{size=%d seed=%d ber=%g wear=%g brown=%g/%d drop=%b up=%.2f down=%.2f \
+     retries=%d} replayable with --fault-seed %d"
+    s.size s.seed s.ber s.wearout s.brownout s.duration s.drop_jobs s.upload_loss
+    s.download_loss s.retries s.fault_seed
+
+let fault_scenario_arbitrary = QCheck.make ~print:fault_scenario_print fault_scenario_gen
+
+let run_fault_scenario s =
+  let fault =
+    Spec.make ~seed:s.fault_seed ~link_wearout_rate:s.wearout ~bit_error_rate:s.ber
+      ~brownout_rate:s.brownout ~brownout_duration_cycles:s.duration
+      ~brownout_job_policy:(if s.drop_jobs then Spec.Drop else Spec.Preserve)
+      ~upload_loss_rate:s.upload_loss ~download_loss_rate:s.download_loss ()
+  in
+  Engine.simulate
+    (Config.make ~topology:(mesh s.size) ~policy:(Policy.ear ()) ~fault
+       ~max_retransmissions:s.retries ~job_source:Config.Round_robin_entry
+       ~seed:s.seed ~max_jobs:(Some 100) ~max_cycles:1_000_000 ())
+
+let invariant_crash_free =
+  QCheck.Test.make ~name:"fault: any compiled plan simulates to consistent metrics"
+    ~count:200 fault_scenario_arbitrary (fun s ->
+      let m = run_fault_scenario s in
+      (* terminated with a well-formed reason... *)
+      String.length (Metrics.death_reason_string m.Metrics.death_reason) > 0
+      (* ...and self-consistent counters *)
+      && m.Metrics.jobs_completed <= m.Metrics.jobs_launched
+      && m.Metrics.jobs_verified = m.Metrics.jobs_completed
+      && m.Metrics.retransmissions >= 0
+      && m.Metrics.retransmissions + m.Metrics.packets_dropped
+         <= m.Metrics.packets_corrupted
+      && m.Metrics.link_wearouts <= m.Metrics.links_failed
+      && m.Metrics.stale_reports_total = m.Metrics.uploads_dropped
+      && m.Metrics.lifetime_cycles <= 1_000_000)
+
+let invariant_fault_deterministic =
+  QCheck.Test.make ~name:"fault: identical plans replay identically" ~count:15
+    fault_scenario_arbitrary (fun s ->
+      let a = run_fault_scenario s and b = run_fault_scenario s in
+      a = b)
+
+let suite =
+  [
+    ( "fault/spec-plan",
+      [
+        ("spec validation", `Quick, test_spec_validation);
+        ("zero spec", `Quick, test_spec_zero);
+        ("zero plan is empty", `Quick, test_zero_plan_is_empty);
+        ("compile is deterministic", `Quick, test_plan_compile_deterministic);
+        ("wear-out monotone in rate", `Quick, test_wearout_monotone_in_rate);
+        ("error probability monotone", `Quick, test_error_probability_monotone);
+        ("brownout sampling", `Quick, test_brownout_sampling);
+      ] );
+    ( "fault/engine",
+      [
+        ("zero-fault regression", `Quick, test_zero_fault_regression);
+        ("retransmission under bit errors", `Quick, test_retransmission_under_bit_errors);
+        ("retry budget exhaustion", `Quick, test_retry_budget_exhaustion);
+        ("wear-out kills links", `Quick, test_wearout_kills_links);
+        ("brown-outs preserve jobs", `Quick, test_brownouts_preserve_jobs);
+        ("upload loss staleness", `Quick, test_upload_loss_staleness);
+        ("download loss stale tables", `Quick, test_download_loss_stale_tables);
+        ("resilience sweep", `Slow, test_resilience_sweep);
+        QCheck_alcotest.to_alcotest invariant_crash_free;
+        QCheck_alcotest.to_alcotest invariant_fault_deterministic;
+      ] );
+  ]

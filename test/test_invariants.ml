@@ -131,7 +131,7 @@ let invariant_job_cap_respected =
       | Metrics.Job_limit -> m.Metrics.jobs_completed = 150
       | Metrics.Job_lost_to_node_death _ | Metrics.Module_unreachable _
       | Metrics.Entry_node_dead _ | Metrics.Controllers_exhausted
-      | Metrics.Cycle_limit ->
+      | Metrics.Cycle_limit | Metrics.Job_lost_to_brownout _ ->
         m.Metrics.jobs_completed < 150)
 
 let invariant_deterministic =

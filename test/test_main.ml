@@ -1,7 +1,7 @@
 let () =
   Alcotest.run "etextile"
     (Test_util.suite @ Test_pool.suite @ Test_graph.suite @ Test_battery.suite @ Test_energy.suite
-   @ Test_aes.suite @ Test_routing.suite @ Test_etsim.suite @ Test_workload.suite
+   @ Test_aes.suite @ Test_routing.suite @ Test_etsim.suite @ Test_fault.suite @ Test_workload.suite
    @ Test_analysis.suite @ Test_invariants.suite @ Test_scenario.suite @ Test_coverage.suite
    @ Test_edge.suite
    @ Test_experiments.suite)
