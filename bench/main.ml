@@ -93,6 +93,20 @@ let fault_frame_kernel =
     let engine = Etx_etsim.Engine.create config in
     Etx_etsim.Engine.run_frames engine ~count:64
 
+(* checkpoint serialization cost: snapshot a mid-life 6x6 engine and
+   validate the frame round-trip (what --checkpoint-every pays per tick,
+   minus the file system) *)
+let checkpoint_kernel =
+  let config = Etextile.Calibration.config ~mesh_size:6 ~seed:1 () in
+  let engine = Etx_etsim.Engine.create config in
+  (match Etx_etsim.Engine.run_until engine ~cycle:10_000 with
+  | Etx_etsim.Engine.Paused -> ()
+  | Etx_etsim.Engine.Finished _ -> failwith "bench engine died before cycle 10000");
+  fun () ->
+    ignore
+      (Etx_etsim.Checkpoint.unframe
+         (Etx_etsim.Checkpoint.frame (Etx_etsim.Engine.checkpoint engine)))
+
 let analysis_kernel =
   let problem = Etextile.Calibration.problem ~mesh_size:8 in
   let topology = Etx_graph.Topology.square_mesh ~size:8 () in
@@ -116,6 +130,7 @@ let tests =
       Test.make ~name:"kernel/maximin-recompute-64" (Staged.stage maximin_kernel);
       Test.make ~name:"kernel/lifetime-prediction-64" (Staged.stage analysis_kernel);
       Test.make ~name:"kernel/fault-frame-64" (Staged.stage fault_frame_kernel);
+      Test.make ~name:"kernel/checkpoint-36" (Staged.stage checkpoint_kernel);
     ]
 
 (* Flat { "benchmark-name": ns_per_run } object, hand-rolled so the

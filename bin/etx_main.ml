@@ -41,16 +41,57 @@ let check_sizes sizes =
 
 (* - paper artifacts - *)
 
+(* supervised-sweep flags shared by fig7 and resilience *)
+let manifest_arg =
+  let doc =
+    "Checkpoint the sweep to $(docv): completed cells are saved after each one \
+     and an interrupted invocation resumes without recomputing them."
+  in
+  Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+
+let sweep_retries_arg =
+  let doc = "Extra attempts for a crashing simulation before its cell is reported failed." in
+  Arg.(value & opt int 0 & info [ "sweep-retries" ] ~docv:"N" ~doc)
+
+(* render the completed rows, print each failed cell to stderr, and fail
+   the invocation if any cell failed *)
+let render_supervised ~report results =
+  let rows = List.filter_map (function Ok row -> Some row | Error _ -> None) results in
+  let failures =
+    List.filter_map (function Ok _ -> None | Error f -> Some f) results
+  in
+  Etextile.Report.print (report rows);
+  List.iter
+    (fun (f : Etextile.Experiments.sweep_failure) ->
+      Printf.eprintf "sweep cell %d failed after %d attempt(s): %s\n%s%!"
+        f.unit_index f.attempts f.message f.backtrace)
+    failures;
+  if failures = [] then `Ok ()
+  else
+    `Error
+      (false, Printf.sprintf "%d sweep cell(s) failed; see stderr" (List.length failures))
+
 let fig7_cmd =
-  let run sizes seeds jobs =
+  let run sizes seeds jobs manifest retries =
     match check_sizes sizes with
     | `Error _ as e -> e
+    | `Ok () when retries < 0 -> `Error (false, "--sweep-retries must be non-negative")
     | `Ok () ->
-      Etextile.Report.print
-        (Etextile.Report.fig7 (Etextile.Experiments.fig7 ~sizes ~seeds ~domains:jobs ()));
-      `Ok ()
+      if manifest = None && retries = 0 then begin
+        Etextile.Report.print
+          (Etextile.Report.fig7
+             (Etextile.Experiments.fig7 ~sizes ~seeds ~domains:jobs ()));
+        `Ok ()
+      end
+      else
+        render_supervised ~report:Etextile.Report.fig7
+          (Etextile.Experiments.fig7_supervised ~sizes ~seeds ~domains:jobs ~retries
+             ?manifest ())
   in
-  let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
+  let term =
+    Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg $ manifest_arg
+               $ sweep_retries_arg))
+  in
   Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Fig 7: completed jobs, EAR vs SDR.") term
 
 let table2_cmd =
@@ -271,8 +312,28 @@ let simulate_cmd =
     let doc = "Render the final charge heatmap." in
     Arg.(value & flag & info [ "heatmap" ] ~doc)
   in
+  let checkpoint_every_arg =
+    let doc = "Write a checkpoint every N simulated cycles (requires --checkpoint-file)." in
+    Arg.(value & opt (some int) None & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let checkpoint_file_arg =
+    let doc = "Checkpoint destination (written atomically; CRC-protected)." in
+    Arg.(value & opt (some string) None & info [ "checkpoint-file" ] ~docv:"FILE" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Resume from a checkpoint file taken under the same flags.  The continued \
+       run is bit-identical to an uninterrupted one."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
+  let audit_arg =
+    let doc = "Run the invariant auditor every control frame and report violations." in
+    Arg.(value & flag & info [ "audit" ] ~doc)
+  in
   let run size policy battery seed controllers jobs trace workload_kind fail_links
-      timeline_file heatmap fault retries =
+      timeline_file heatmap fault retries checkpoint_every checkpoint_file resume audit
+      =
     let policy =
       match String.lowercase_ascii policy with
       | "ear" -> Ok (Etx_routing.Policy.ear ())
@@ -314,30 +375,79 @@ let simulate_cmd =
     match (policy, battery, workload, fault) with
     | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e ->
       `Error (false, e)
-    | Ok policy, Ok battery_kind, Ok workload, Ok fault ->
+    | _ when checkpoint_every <> None && checkpoint_file = None ->
+      `Error (false, "--checkpoint-every requires --checkpoint-file")
+    | _ when (match checkpoint_every with Some n -> n <= 0 | None -> false) ->
+      `Error (false, "--checkpoint-every must be positive")
+    | Ok policy, Ok battery_kind, Ok workload, Ok fault -> (
       let controllers =
         if controllers = 0 then Etx_etsim.Config.Infinite_controller
         else Etx_etsim.Config.Battery_controllers { count = controllers }
       in
-      let link_failure_schedule =
-        if fail_links = 0 then []
-        else
-          Etextile.Experiments.random_failure_schedule
-            ~topology:(Etx_graph.Topology.square_mesh ~size ())
-            ~count:fail_links ~before_cycle:40_000 ~seed:(seed * 31)
-      in
-      let config =
+      match
+        let link_failure_schedule =
+          if fail_links = 0 then []
+          else
+            Etextile.Experiments.random_failure_schedule
+              ~topology:(Etx_graph.Topology.square_mesh ~size ())
+              ~count:fail_links ~before_cycle:40_000 ~seed:(seed * 31)
+        in
         Etextile.Calibration.config ~policy ~battery_kind ~controllers ~seed
           ~concurrent_jobs:jobs ?workloads:workload ~link_failure_schedule ?fault
           ~max_retransmissions:retries ~mesh_size:size ()
+      with
+      | exception Invalid_argument message -> `Error (false, message)
+      | config ->
+      let trace_capacity = if trace > 0 then Some trace else None in
+      let record_timeline = timeline_file <> None in
+      match
+        match resume with
+        | Some path ->
+          Etx_etsim.Engine.restore_from_file ?trace_capacity ~record_timeline config
+            path
+        | None -> Etx_etsim.Engine.create ?trace_capacity ~record_timeline config
+      with
+      | exception Etx_etsim.Checkpoint.Error e ->
+        `Error (false, Etx_etsim.Checkpoint.error_to_string e)
+      | exception Sys_error message -> `Error (false, message)
+      | engine ->
+      let recorder =
+        if audit then begin
+          let recorder = Etx_etsim.Audit.create () in
+          Etx_etsim.Engine.enable_audit engine recorder;
+          Some recorder
+        end
+        else None
       in
-      let engine =
-        Etx_etsim.Engine.create
-          ?trace_capacity:(if trace > 0 then Some trace else None)
-          ~record_timeline:(timeline_file <> None) config
+      (* with periodic checkpointing the run advances in --checkpoint-every
+         slices, persisting the engine between them; otherwise one shot *)
+      let rec advance () =
+        let stop =
+          match checkpoint_every with
+          | Some every -> Etx_etsim.Engine.cycle engine + every
+          | None -> max_int
+        in
+        match Etx_etsim.Engine.run_until engine ~cycle:stop with
+        | Etx_etsim.Engine.Finished metrics -> metrics
+        | Etx_etsim.Engine.Paused ->
+          (match checkpoint_file with
+          | Some path -> Etx_etsim.Engine.checkpoint_to_file engine path
+          | None -> ());
+          advance ()
       in
-      let metrics = Etx_etsim.Engine.run engine in
+      let metrics = advance () in
       Format.printf "%a@." Etx_etsim.Metrics.pp metrics;
+      begin
+        match recorder with
+        | None -> ()
+        | Some recorder ->
+          Format.printf "audit: %d passes, %d violation(s)@."
+            (Etx_etsim.Audit.passes recorder)
+            (Etx_etsim.Audit.violation_count recorder);
+          List.iter
+            (fun v -> Format.printf "  %a@." Etx_etsim.Audit.pp_violation v)
+            (Etx_etsim.Audit.violations recorder)
+      end;
       begin
         match Etx_etsim.Engine.trace engine with
         | Some t when trace > 0 -> Format.printf "@.%a@." Etx_etsim.Trace.pp t
@@ -360,14 +470,15 @@ let simulate_cmd =
             (Etx_etsim.Timeline.length timeline)
         | Some _, None | None, _ -> ()
       end;
-      `Ok ()
+      `Ok ())
   in
   let term =
     Term.(
       ret
         (const run $ size_arg $ policy_arg $ battery_arg $ seed_arg $ controllers_arg
        $ jobs_arg $ trace_arg $ workload_arg $ fail_links_arg $ timeline_arg
-       $ heatmap_arg $ fault_args $ retries_arg))
+       $ heatmap_arg $ fault_args $ retries_arg $ checkpoint_every_arg
+       $ checkpoint_file_arg $ resume_arg $ audit_arg))
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run one simulation with custom knobs and print metrics.")
@@ -472,9 +583,13 @@ let resilience_cmd =
     let doc = "Base seed of the fault streams (the run's fault seed is this + seed)." in
     Arg.(value & opt int 1009 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
   in
-  let run mesh_size bit_error_rates wearout_rates fault_seed seeds jobs =
+  let run mesh_size bit_error_rates wearout_rates fault_seed seeds jobs manifest retries
+      =
     if mesh_size < 2 then `Error (false, "mesh size must be at least 2")
-    else
+    else if retries < 0 then `Error (false, "--sweep-retries must be non-negative")
+    else if List.exists (fun r -> r < 0.) (bit_error_rates @ wearout_rates) then
+      `Error (false, "fault rates must be non-negative")
+    else if manifest = None && retries = 0 then
       match
         Etextile.Experiments.resilience ~mesh_size ~bit_error_rates ~wearout_rates
           ~fault_seed ~seeds ~domains:jobs ()
@@ -483,12 +598,19 @@ let resilience_cmd =
         Etextile.Report.print (Etextile.Report.resilience rows);
         `Ok ()
       | exception Invalid_argument message -> `Error (false, message)
+    else
+      match
+        Etextile.Experiments.resilience_supervised ~mesh_size ~bit_error_rates
+          ~wearout_rates ~fault_seed ~seeds ~domains:jobs ~retries ?manifest ()
+      with
+      | results -> render_supervised ~report:Etextile.Report.resilience results
+      | exception Invalid_argument message -> `Error (false, message)
   in
   let term =
     Term.(
       ret
         (const run $ mesh_arg $ ber_rates_arg $ wearout_rates_arg $ fault_seed_arg
-       $ seeds_arg $ jobs_arg))
+       $ seeds_arg $ jobs_arg $ manifest_arg $ sweep_retries_arg))
   in
   Cmd.v
     (Cmd.info "resilience"
@@ -504,6 +626,58 @@ let scenarios_cmd =
   let term = Term.(const run $ seeds_arg $ jobs_arg) in
   Cmd.v
     (Cmd.info "scenarios" ~doc:"EAR vs SDR on the garment presets (shirt, jacket, ...).")
+    term
+
+let audit_cmd =
+  let every_arg =
+    let doc = "Run an audit pass every N control frames." in
+    Arg.(value & opt int 1 & info [ "every" ] ~docv:"N" ~doc)
+  in
+  let run sizes seeds every fault retries =
+    match (check_sizes sizes, fault) with
+    | (`Error _ as e), _ -> e
+    | _, Error e -> `Error (false, e)
+    | `Ok (), Ok fault -> (
+      if every <= 0 then `Error (false, "--every must be positive")
+      else
+        match
+          List.concat_map
+            (fun mesh_size ->
+              List.map
+                (fun seed ->
+                  let config =
+                    Etextile.Calibration.config ?fault ~max_retransmissions:retries
+                      ~mesh_size ~seed ()
+                  in
+                  let recorder = Etx_etsim.Audit.create ~every_frames:every () in
+                  let engine = Etx_etsim.Engine.create config in
+                  Etx_etsim.Engine.enable_audit engine recorder;
+                  ignore (Etx_etsim.Engine.run engine);
+                  Printf.printf "%dx%d seed %d: %d passes, %d violation(s)\n" mesh_size
+                    mesh_size seed
+                    (Etx_etsim.Audit.passes recorder)
+                    (Etx_etsim.Audit.violation_count recorder);
+                  List.iter
+                    (fun v -> Format.printf "  %a@." Etx_etsim.Audit.pp_violation v)
+                    (Etx_etsim.Audit.violations recorder);
+                  Etx_etsim.Audit.violation_count recorder)
+                seeds)
+            sizes
+        with
+        | exception Invalid_argument message -> `Error (false, message)
+        | counts ->
+          let total = List.fold_left ( + ) 0 counts in
+          if total = 0 then `Ok ()
+          else `Error (false, Printf.sprintf "%d invariant violation(s) found" total))
+  in
+  let term =
+    Term.(ret (const run $ sizes_arg $ seeds_arg $ every_arg $ fault_args $ retries_arg))
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run the calibrated configurations under the runtime invariant auditor; \
+          exits non-zero if any conservation invariant is violated.")
     term
 
 (* - analytic helpers - *)
@@ -589,6 +763,7 @@ let main =
       scenarios_cmd;
       algorithms_cmd;
       simulate_cmd;
+      audit_cmd;
       battery_curve_cmd;
       aes_cmd;
       all_cmd;

@@ -155,7 +155,34 @@ let remaining_pj t =
 let soc t = remaining_pj t /. t.capacity
 let delivered_pj t = t.delivered.(0)
 
-let level t ~levels =
+type charge = {
+  dead : bool;
+  delivered_pj : float;
+  available_pj : float;
+  bound_pj : float;
+  load_power : float;
+}
+
+let dump (t : t) : charge =
+  match t.state with
+  | Ideal_state s ->
+    { dead = t.dead; delivered_pj = t.delivered.(0); available_pj = s.charge;
+      bound_pj = 0.; load_power = 0. }
+  | Thin_film_state { params = _; wells = tf } ->
+    { dead = t.dead; delivered_pj = t.delivered.(0); available_pj = tf.available;
+      bound_pj = tf.bound; load_power = tf.load_power }
+
+let restore (t : t) (c : charge) =
+  t.dead <- c.dead;
+  t.delivered.(0) <- c.delivered_pj;
+  (match t.state with
+   | Ideal_state s -> s.charge <- c.available_pj
+   | Thin_film_state { params = _; wells = tf } ->
+     tf.available <- c.available_pj;
+     tf.bound <- c.bound_pj;
+     tf.load_power <- c.load_power)
+
+let level (t : t) ~levels =
   if levels <= 0 then invalid_arg "Battery.level: levels must be positive";
   if t.dead then 0
   else begin

@@ -68,6 +68,24 @@ val remaining_pj : t -> float
 val delivered_pj : t -> float
 (** Total energy actually supplied so far. *)
 
+type charge = {
+  dead : bool;
+  delivered_pj : float;
+  available_pj : float;  (** ideal model: the whole remaining charge *)
+  bound_pj : float;  (** 0 for the ideal model *)
+  load_power : float;  (** EWMA, 0 for the ideal model *)
+}
+(** Full mutable state of a battery, for checkpointing. *)
+
+val dump : t -> charge
+(** Capture the mutable state.  Restoring it into a battery created with
+    the same [kind] and [capacity_pj] reproduces the original exactly. *)
+
+val restore : t -> charge -> unit
+(** Overwrite the mutable state from a captured {!charge}.  The battery
+    must have been created with the same kind and capacity as the dumped
+    one; static parameters are not part of the charge record. *)
+
 val level : t -> levels:int -> int
 (** Quantized state of charge reported to the central controller over the
     narrow TDMA medium: an integer in [0, levels); a dead battery reports

@@ -43,6 +43,109 @@ let run_units ~domains units =
   in
   finish units metrics
 
+(* - supervised fan-out with manifest resume - *)
+
+type sweep_failure = {
+  unit_index : int;
+  message : string;
+  backtrace : string;
+  attempts : int;
+}
+
+module Checkpoint = Etx_etsim.Checkpoint
+
+(* A manifest is a checkpoint frame whose payload holds the sweep
+   fingerprint and, per completed unit, its index and metrics list.  The
+   fingerprint ties the file to one specific sweep shape; a mismatch (or
+   any corruption) silently starts fresh rather than mixing results. *)
+let load_manifest ~fingerprint path =
+  let completed = Hashtbl.create 16 in
+  (if Sys.file_exists path then
+     try
+       let r = Checkpoint.Reader.create (Checkpoint.read_file path) in
+       if Checkpoint.Reader.string r = fingerprint then begin
+         let entries =
+           Checkpoint.Reader.list r (fun () ->
+               let index = Checkpoint.Reader.int r in
+               let metrics =
+                 Checkpoint.Reader.list r (fun () -> Etx_etsim.Metrics.read r)
+               in
+               (index, metrics))
+         in
+         Checkpoint.Reader.expect_end r;
+         List.iter (fun (i, ms) -> Hashtbl.replace completed i ms) entries
+       end
+     with Checkpoint.Error _ | Sys_error _ -> Hashtbl.reset completed);
+  completed
+
+let save_manifest ~fingerprint path completed =
+  let w = Checkpoint.Writer.create () in
+  Checkpoint.Writer.string w fingerprint;
+  let entries = Hashtbl.fold (fun i ms acc -> (i, ms) :: acc) completed [] in
+  let entries = List.sort compare entries in
+  Checkpoint.Writer.list w
+    (fun (i, ms) ->
+      Checkpoint.Writer.int w i;
+      Checkpoint.Writer.list w (Etx_etsim.Metrics.write w) ms)
+    entries;
+  Checkpoint.write_file path (Checkpoint.Writer.contents w)
+
+let run_units_supervised ?(domains = 1) ?(retries = 0) ?manifest ?(fingerprint = "")
+    ?(simulate = simulate) units =
+  let completed =
+    match manifest with
+    | Some path -> load_manifest ~fingerprint path
+    | None -> Hashtbl.create 16
+  in
+  let save () =
+    match manifest with
+    | Some path -> save_manifest ~fingerprint path completed
+    | None -> ()
+  in
+  List.mapi
+    (fun index unit ->
+      let finish metrics =
+        match unit.finish metrics with
+        | row -> Ok row
+        | exception exn ->
+          Error
+            {
+              unit_index = index;
+              message = Printexc.to_string exn;
+              backtrace = Printexc.get_backtrace ();
+              attempts = 1;
+            }
+      in
+      match Hashtbl.find_opt completed index with
+      | Some metrics when List.length metrics = List.length unit.configs ->
+        finish metrics
+      | _ -> (
+        let outcomes = Pool.map_result ~domains ~retries simulate unit.configs in
+        let crash =
+          List.find_map
+            (function Pool.Crashed e -> Some e | Pool.Completed _ -> None)
+            outcomes
+        in
+        match crash with
+        | Some { Pool.exn; backtrace; attempts } ->
+          Error
+            {
+              unit_index = index;
+              message = Printexc.to_string exn;
+              backtrace = Printexc.raw_backtrace_to_string backtrace;
+              attempts;
+            }
+        | None ->
+          let metrics =
+            List.map
+              (function Pool.Completed m -> m | Pool.Crashed _ -> assert false)
+              outcomes
+          in
+          Hashtbl.replace completed index metrics;
+          save ();
+          finish metrics))
+    units
+
 let configs_of ~seeds ~make = List.map (fun seed -> make ~seed) seeds
 
 let mean_jobs_unit ~seeds ~make finish =
@@ -68,7 +171,10 @@ let fig7_paper_overheads = [ (4, 0.028); (5, 0.031); (6, 0.041); (7, 0.093); (8,
 
 let lookup_paper table size = try List.assoc size table with Not_found -> nan
 
-let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+let fingerprint_ints xs = String.concat "," (List.map string_of_int xs)
+let fingerprint_floats xs = String.concat "," (List.map (Printf.sprintf "%h") xs)
+
+let fig7_units ~sizes ~seeds =
   let unit mesh_size =
     let make_policy policy ~seed = Calibration.config ~policy ~mesh_size ~seed () in
     let ear = configs_of ~seeds ~make:(make_policy (Calibration.ear ())) in
@@ -92,7 +198,20 @@ let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?(domains
           });
     }
   in
-  run_units ~domains (List.map unit sizes)
+  List.map unit sizes
+
+let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  run_units ~domains (fig7_units ~sizes ~seeds)
+
+let fig7_fingerprint ~sizes ~seeds =
+  Printf.sprintf "fig7;sizes=%s;seeds=%s" (fingerprint_ints sizes)
+    (fingerprint_ints seeds)
+
+let fig7_supervised ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds)
+    ?(domains = 1) ?retries ?manifest () =
+  run_units_supervised ~domains ?retries ?manifest
+    ~fingerprint:(fig7_fingerprint ~sizes ~seeds)
+    (fig7_units ~sizes ~seeds)
 
 (* Table 2 *)
 
@@ -420,9 +539,7 @@ type resilience_row = {
   wearouts : float;
 }
 
-let resilience ?(mesh_size = 5) ?(bit_error_rates = [ 0.; 1e-4; 3e-4; 1e-3 ])
-    ?(wearout_rates = [ 0.; 3e-6; 1e-5; 3e-5 ]) ?(fault_seed = 1009)
-    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+let resilience_units ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~seeds =
   (* the fault seed depends only on the workload seed, never on the
      policy or the rate: EAR and SDR face the identical fault stream at
      every point, and raising the wear-out rate with a fixed stream only
@@ -470,7 +587,29 @@ let resilience ?(mesh_size = 5) ?(bit_error_rates = [ 0.; 1e-4; 3e-4; 1e-3 ])
             Etx_fault.Spec.make ~seed:(fault_seed + seed) ~link_wearout_rate:rate ()))
       wearout_rates
   in
-  run_units ~domains (ber_units @ wear_units)
+  ber_units @ wear_units
+
+let resilience ?(mesh_size = 5) ?(bit_error_rates = [ 0.; 1e-4; 3e-4; 1e-3 ])
+    ?(wearout_rates = [ 0.; 3e-6; 1e-5; 3e-5 ]) ?(fault_seed = 1009)
+    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
+  run_units ~domains
+    (resilience_units ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~seeds)
+
+let resilience_fingerprint ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~seeds
+    =
+  Printf.sprintf "resilience;mesh=%d;ber=%s;wear=%s;fault-seed=%d;seeds=%s" mesh_size
+    (fingerprint_floats bit_error_rates)
+    (fingerprint_floats wearout_rates)
+    fault_seed (fingerprint_ints seeds)
+
+let resilience_supervised ?(mesh_size = 5) ?(bit_error_rates = [ 0.; 1e-4; 3e-4; 1e-3 ])
+    ?(wearout_rates = [ 0.; 3e-6; 1e-5; 3e-5 ]) ?(fault_seed = 1009)
+    ?(seeds = Calibration.default_seeds) ?(domains = 1) ?retries ?manifest () =
+  run_units_supervised ~domains ?retries ?manifest
+    ~fingerprint:
+      (resilience_fingerprint ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed
+         ~seeds)
+    (resilience_units ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~seeds)
 
 (* Static prediction vs simulation *)
 

@@ -12,6 +12,49 @@
     preserves input order, so results are bit-identical for every
     [domains] value. *)
 
+(** {1 Sweep machinery}
+
+    A sweep is a list of units; each owns the configs it needs and folds
+    their metrics (in config order) into one row.  {!run_units} flattens
+    all configs into one batch for the domain pool — bit-identical to a
+    sequential run for every [domains] value.  {!run_units_supervised}
+    trades that for crash-tolerance: units run one after another (each
+    fanned over the pool), a crashing simulation only loses its own unit,
+    and an optional manifest file checkpoints each completed unit so an
+    interrupted sweep resumes without recomputing. *)
+
+type 'row sweep_unit = {
+  configs : Etx_etsim.Config.t list;
+  finish : Etx_etsim.Metrics.t list -> 'row;
+}
+
+val run_units : domains:int -> 'row sweep_unit list -> 'row list
+
+type sweep_failure = {
+  unit_index : int;  (** position of the failed unit in the sweep *)
+  message : string;  (** [Printexc.to_string] of the exception *)
+  backtrace : string;
+  attempts : int;  (** how many times the failing simulation was tried *)
+}
+
+val run_units_supervised :
+  ?domains:int ->
+  ?retries:int ->
+  ?manifest:string ->
+  ?fingerprint:string ->
+  ?simulate:(Etx_etsim.Config.t -> Etx_etsim.Metrics.t) ->
+  'row sweep_unit list ->
+  ('row, sweep_failure) result list
+(** Each unit's simulations are attempted up to [1 + retries] times
+    ({!Etx_util.Pool.map_result}); a unit with any simulation still
+    crashing yields [Error] and the sweep moves on.  [?manifest] names a
+    checkpoint file (re)written atomically after every completed unit and
+    consulted on startup: units already present under the same
+    [fingerprint] are finished from their stored metrics without
+    simulating.  A missing, corrupted or mismatching manifest starts
+    fresh.  [?simulate] overrides the simulation function (test hook).
+    Output order matches unit order. *)
+
 type fig7_row = {
   mesh_size : int;
   ear_jobs : float;  (** mean completed jobs under EAR *)
@@ -25,6 +68,18 @@ type fig7_row = {
 val fig7 : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> fig7_row list
 (** EAR vs SDR on thin-film batteries, single infinite-energy
     controller. *)
+
+val fig7_supervised :
+  ?sizes:int list ->
+  ?seeds:int list ->
+  ?domains:int ->
+  ?retries:int ->
+  ?manifest:string ->
+  unit ->
+  (fig7_row, sweep_failure) result list
+(** {!fig7} through {!run_units_supervised}: one mesh size crashing never
+    loses the others, and with [?manifest] an interrupted sweep resumes
+    from the completed sizes. *)
 
 type table2_row = {
   mesh_size : int;
@@ -148,6 +203,20 @@ val resilience :
     sampled rate (the fault seed is [fault_seed + seed], independent of
     the policy and the rate), so the comparison isolates the routing
     policy and degradation is monotone along the wear-out axis. *)
+
+val resilience_supervised :
+  ?mesh_size:int ->
+  ?bit_error_rates:float list ->
+  ?wearout_rates:float list ->
+  ?fault_seed:int ->
+  ?seeds:int list ->
+  ?domains:int ->
+  ?retries:int ->
+  ?manifest:string ->
+  unit ->
+  (resilience_row, sweep_failure) result list
+(** {!resilience} through {!run_units_supervised}: each (axis, rate)
+    cell survives the others' crashes and resumes from a manifest. *)
 
 type scenario_row = {
   scenario : string;

@@ -1,0 +1,61 @@
+type violation = {
+  cycle : int;
+  node : int option;
+  invariant : string;
+  detail : string;
+}
+
+type t = {
+  every_frames : int;
+  mutable countdown : int;
+  mutable passes : int;
+  mutable seen : int;
+  mutable stored : int;
+  max_recorded : int;
+  mutable recorded : violation list; (* newest first *)
+  mutable prev : float array;
+}
+
+let create ?(every_frames = 1) ?(max_recorded = 1000) () =
+  if every_frames <= 0 then invalid_arg "Audit.create: every_frames must be positive";
+  if max_recorded <= 0 then invalid_arg "Audit.create: max_recorded must be positive";
+  {
+    every_frames;
+    countdown = 1; (* audit the very first frame, then every K *)
+    passes = 0;
+    seen = 0;
+    stored = 0;
+    max_recorded;
+    recorded = [];
+    prev = [||];
+  }
+
+let frame_tick t =
+  t.countdown <- t.countdown - 1;
+  if t.countdown <= 0 then begin
+    t.countdown <- t.every_frames;
+    t.passes <- t.passes + 1;
+    true
+  end
+  else false
+
+let record t v =
+  t.seen <- t.seen + 1;
+  if t.stored < t.max_recorded then begin
+    t.recorded <- v :: t.recorded;
+    t.stored <- t.stored + 1
+  end
+
+let passes t = t.passes
+let violation_count t = t.seen
+let violations t = List.rev t.recorded
+let dropped t = t.seen - t.stored
+
+let prev_remaining t ~node_count =
+  if Array.length t.prev <> node_count then t.prev <- Array.make node_count infinity;
+  t.prev
+
+let pp_violation fmt v =
+  Format.fprintf fmt "@[<h>cycle %d%a [%s] %s@]" v.cycle
+    (fun fmt -> function None -> () | Some n -> Format.fprintf fmt " node %d" n)
+    v.node v.invariant v.detail

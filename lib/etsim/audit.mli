@@ -1,0 +1,55 @@
+(** Runtime invariant auditor.
+
+    A self-check layer for the engine: every K control frames a pass
+    sweeps the live simulation state and checks conservation-style
+    invariants (energy ledger balance, battery monotonicity, routing
+    tables referencing only alive adjacent links, retransmission budgets,
+    job-lifecycle validity).  Failures are reported as structured
+    {!violation} values carrying cycle and node context — never as
+    [assert]s — so a corrupted state is diagnosable instead of fatal.
+
+    The auditor is off by default; {!Engine.enable_audit} plugs a
+    recorder into an engine.  A pass is read-only: it never synchronizes
+    batteries or draws randomness, so an audited run is bit-identical to
+    an unaudited one. *)
+
+type violation = {
+  cycle : int;  (** engine cycle when the check ran *)
+  node : int option;  (** offending node, when the invariant is per-node *)
+  invariant : string;  (** stable identifier, e.g. ["energy-conservation"] *)
+  detail : string;  (** human-readable specifics with the observed values *)
+}
+
+type t
+(** A recorder: cadence, counters, and the capped violation log. *)
+
+val create : ?every_frames:int -> ?max_recorded:int -> unit -> t
+(** [every_frames] (default 1) runs a pass every that many control
+    frames; [max_recorded] (default 1000) caps the stored violations
+    (further ones are counted but dropped).
+    @raise Invalid_argument on non-positive parameters. *)
+
+val frame_tick : t -> bool
+(** Called by the engine once per control frame; [true] when a pass is
+    due this frame (counts the pass). *)
+
+val record : t -> violation -> unit
+
+val passes : t -> int
+(** Audit passes run so far. *)
+
+val violation_count : t -> int
+(** Total violations seen, including ones dropped beyond the cap. *)
+
+val violations : t -> violation list
+(** Recorded violations, oldest first. *)
+
+val dropped : t -> int
+(** Violations seen but not stored because the cap was reached. *)
+
+val prev_remaining : t -> node_count:int -> float array
+(** Auditor-owned scratch holding each node's remaining energy as of the
+    previous pass, for the monotone-discharge invariant.  Sized (and
+    initialized to [infinity]) on first use. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,226 @@
+let version = 1
+
+let magic = "ETXCKPT1"
+
+type error =
+  | Truncated
+  | Bad_magic
+  | Unsupported_version of int
+  | Crc_mismatch
+  | Fingerprint_mismatch of { expected : string; found : string }
+  | Malformed of string
+
+exception Error of error
+
+let pp_error fmt = function
+  | Truncated -> Format.pp_print_string fmt "file truncated"
+  | Bad_magic -> Format.pp_print_string fmt "not a checkpoint file (bad magic)"
+  | Unsupported_version v -> Format.fprintf fmt "unsupported checkpoint version %d" v
+  | Crc_mismatch -> Format.pp_print_string fmt "payload CRC mismatch (file corrupted)"
+  | Fingerprint_mismatch { expected; found } ->
+    Format.fprintf fmt
+      "checkpoint was taken under a different configuration@ (expected %s, found %s)"
+      expected found
+  | Malformed what -> Format.fprintf fmt "malformed checkpoint: %s" what
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Checkpoint.Error (%s)" (error_to_string e))
+    | _ -> None)
+
+(* IEEE CRC-32, table-driven (polynomial 0xEDB88320, reflected). *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0l) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Checkpoint.crc32: range out of bounds";
+  let table = Lazy.force crc_table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let index = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get buf i)))) 0xFFl) in
+    c := Int32.logxor table.(index) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+
+  let byte t v = Buffer.add_char t (Char.chr (v land 0xFF))
+  let bool t v = byte t (if v then 1 else 0)
+  let int64 t v = Buffer.add_int64_le t v
+  let int t v = int64 t (Int64.of_int v)
+  let float t v = int64 t (Int64.bits_of_float v)
+
+  let string t s =
+    int t (String.length s);
+    Buffer.add_string t s
+
+  let bytes t b =
+    int t (Bytes.length b);
+    Buffer.add_bytes t b
+
+  let option t f = function
+    | None -> bool t false
+    | Some v ->
+      bool t true;
+      f v
+
+  let list t f xs =
+    int t (List.length xs);
+    List.iter f xs
+
+  let array t f xs =
+    int t (Array.length xs);
+    Array.iter f xs
+
+  let int_array t xs = array t (int t) xs
+  let float_array t xs = array t (float t) xs
+  let bool_array t xs = array t (bool t) xs
+
+  let contents t = Buffer.to_bytes t
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let create buf = { buf; pos = 0 }
+
+  let malformed what = raise (Error (Malformed what))
+
+  (* [t.pos + n] could overflow for a hostile length prefix, so compare
+     against the remaining byte count instead *)
+  let need t n =
+    if n < 0 || n > Bytes.length t.buf - t.pos then
+      malformed "field runs past end of payload"
+
+  let byte t =
+    need t 1;
+    let v = Char.code (Bytes.get t.buf t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | n -> malformed (Printf.sprintf "invalid bool byte %d" n)
+
+  let int64 t =
+    need t 8;
+    let v = Bytes.get_int64_le t.buf t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let int t =
+    let v = int64 t in
+    let n = Int64.to_int v in
+    if Int64.of_int n <> v then malformed "integer out of native int range";
+    n
+
+  let float t = Int64.float_of_bits (int64 t)
+
+  let length_prefix t what =
+    let n = int t in
+    if n < 0 then malformed (Printf.sprintf "negative %s length" what);
+    need t n;
+    n
+
+  let string t =
+    let n = length_prefix t "string" in
+    let v = Bytes.sub_string t.buf t.pos n in
+    t.pos <- t.pos + n;
+    v
+
+  let bytes t =
+    let n = length_prefix t "bytes" in
+    let v = Bytes.sub t.buf t.pos n in
+    t.pos <- t.pos + n;
+    v
+
+  let option t f = if bool t then Some (f ()) else None
+
+  let count t what =
+    let n = int t in
+    if n < 0 then malformed (Printf.sprintf "negative %s length" what);
+    (* cheap sanity bound: each element costs at least one payload byte *)
+    if n > Bytes.length t.buf - t.pos then malformed (Printf.sprintf "%s length exceeds payload" what);
+    n
+
+  let list t f = List.init (count t "list") (fun _ -> f ())
+  let array t f = Array.init (count t "array") (fun _ -> f ())
+  let int_array t = array t (fun () -> int t)
+  let float_array t = array t (fun () -> float t)
+  let bool_array t = array t (fun () -> bool t)
+
+  let at_end t = t.pos = Bytes.length t.buf
+  let expect_end t = if not (at_end t) then malformed "trailing bytes after payload"
+end
+
+(* Frame layout: magic (8) | version u32 | length u64 | payload | crc u32 *)
+let header_len = 8 + 4 + 8
+let trailer_len = 4
+
+let frame payload =
+  let len = Bytes.length payload in
+  let out = Bytes.create (header_len + len + trailer_len) in
+  Bytes.blit_string magic 0 out 0 8;
+  Bytes.set_int32_le out 8 (Int32.of_int version);
+  Bytes.set_int64_le out 12 (Int64.of_int len);
+  Bytes.blit payload 0 out header_len len;
+  Bytes.set_int32_le out (header_len + len) (crc32 payload ~pos:0 ~len);
+  out
+
+let unframe buf =
+  if Bytes.length buf < header_len + trailer_len then raise (Error Truncated);
+  if Bytes.sub_string buf 0 8 <> magic then raise (Error Bad_magic);
+  let v = Int32.to_int (Bytes.get_int32_le buf 8) in
+  if v <> version then raise (Error (Unsupported_version v));
+  let len64 = Bytes.get_int64_le buf 12 in
+  let len = Int64.to_int len64 in
+  if Int64.of_int len <> len64 || len < 0 then raise (Error (Malformed "frame length"));
+  if Bytes.length buf <> header_len + len + trailer_len then raise (Error Truncated);
+  let stored = Bytes.get_int32_le buf (header_len + len) in
+  if crc32 buf ~pos:header_len ~len <> stored then raise (Error Crc_mismatch);
+  Bytes.sub buf header_len len
+
+let write_file path payload =
+  let framed = frame payload in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
+  let ok = ref false in
+  Fun.protect
+    ~finally:(fun () -> if not !ok then try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_bytes oc framed);
+      Sys.rename tmp path;
+      ok := true)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let buf =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let len = in_channel_length ic in
+        let buf = Bytes.create len in
+        really_input ic buf 0 len;
+        buf)
+  in
+  unframe buf

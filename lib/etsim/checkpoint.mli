@@ -1,0 +1,123 @@
+(** Versioned, CRC-protected binary checkpoint encoding.
+
+    The simulator's crash-safety layer serializes engine state (and sweep
+    manifests) through this module.  A checkpoint file is a single frame:
+
+    {v
+      magic   "ETXCKPT1"          8 bytes
+      version u32 LE              format version (see {!version})
+      length  u64 LE              payload byte count
+      payload length bytes
+      crc32   u32 LE              IEEE CRC-32 of the payload
+    v}
+
+    The payload itself is written and read with the primitive {!Writer} /
+    {!Reader} combinators below: fixed-width little-endian integers,
+    IEEE-754 bit patterns for floats, and length-prefixed strings.  Both
+    sides must agree on the field sequence; there is no self-description.
+    Mismatched reads surface as {!Error} values, never as [assert]s or
+    out-of-bounds exceptions.
+
+    Writes are atomic: {!write_file} writes to a temporary file in the
+    destination directory and renames it into place, so a crash mid-write
+    never leaves a truncated checkpoint behind. *)
+
+val version : int
+(** Current payload format version.  Bumped whenever the engine field
+    sequence changes; older files are rejected with
+    [Unsupported_version]. *)
+
+type error =
+  | Truncated  (** file shorter than its frame header promises *)
+  | Bad_magic  (** not a checkpoint file *)
+  | Unsupported_version of int
+  | Crc_mismatch  (** payload bytes corrupted *)
+  | Fingerprint_mismatch of { expected : string; found : string }
+      (** checkpoint was taken under a different configuration *)
+  | Malformed of string  (** field decode ran off the payload or was invalid *)
+
+exception Error of error
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val crc32 : ?crc:int32 -> bytes -> pos:int -> len:int -> int32
+(** Incremental IEEE CRC-32 (polynomial 0xEDB88320) over a byte range.
+    [?crc] chains a previous result; defaults to the empty-message
+    initial value. *)
+
+(** Payload serialization. *)
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+  val bool : t -> bool -> unit
+
+  val int : t -> int -> unit
+  (** 8-byte two's-complement LE. *)
+
+  val int64 : t -> int64 -> unit
+
+  val float : t -> float -> unit
+  (** IEEE-754 bit pattern, exact round-trip. *)
+
+  val string : t -> string -> unit
+  (** Length-prefixed. *)
+
+  val bytes : t -> bytes -> unit
+  (** Length-prefixed. *)
+
+  val option : t -> ('a -> unit) -> 'a option -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  val array : t -> ('a -> unit) -> 'a array -> unit
+  val int_array : t -> int array -> unit
+  val float_array : t -> float array -> unit
+  val bool_array : t -> bool array -> unit
+
+  val contents : t -> bytes
+  (** The payload accumulated so far. *)
+end
+
+(** Payload deserialization.  Every read checks bounds and raises
+    [Error (Malformed _)] instead of running off the buffer. *)
+module Reader : sig
+  type t
+
+  val create : bytes -> t
+  val byte : t -> int
+  val bool : t -> bool
+  val int : t -> int
+  val int64 : t -> int64
+  val float : t -> float
+  val string : t -> string
+  val bytes : t -> bytes
+  val option : t -> (unit -> 'a) -> 'a option
+  val list : t -> (unit -> 'a) -> 'a list
+  val array : t -> (unit -> 'a) -> 'a array
+  val int_array : t -> int array
+  val float_array : t -> float array
+  val bool_array : t -> bool array
+
+  val at_end : t -> bool
+  (** All payload bytes consumed. *)
+
+  val expect_end : t -> unit
+  (** @raise Error [(Malformed _)] if payload bytes remain. *)
+end
+
+val frame : bytes -> bytes
+(** Wrap a payload in the magic/version/length/CRC frame. *)
+
+val unframe : bytes -> bytes
+(** Validate a frame and return the payload.
+    @raise Error on any integrity failure. *)
+
+val write_file : string -> bytes -> unit
+(** [write_file path payload] frames [payload] and writes it atomically
+    (temp file + rename in [path]'s directory).
+    @raise Sys_error on I/O failure. *)
+
+val read_file : string -> bytes
+(** Read and validate a framed file, returning the payload.
+    @raise Error on integrity failure, [Sys_error] on I/O failure. *)

@@ -148,7 +148,9 @@ type t = {
   mutable uploads_dropped : int;
   mutable downloads_dropped : int;
   mutable status : status;
-  mutable ran : bool;
+  mutable started : bool;
+  mutable finished : bool;
+  mutable audit : Audit.t option;
   trace : Trace.t option;
   timeline : Timeline.t option;
 }
@@ -258,7 +260,9 @@ let create ?trace_capacity ?(record_timeline = false) (config : Config.t) =
     uploads_dropped = 0;
     downloads_dropped = 0;
     status = Running;
-    ran = false;
+    started = false;
+    finished = false;
+    audit = None;
     trace = Option.map (fun capacity -> Trace.create ~capacity) trace_capacity;
     timeline = (if record_timeline then Some (Timeline.create ()) else None);
   }
@@ -808,6 +812,166 @@ let preserve_stale_table t =
       t.table <- Some stale
     end
 
+(* One audit pass: sweep the live state and report every violated
+   invariant into the recorder.  Strictly read-only — in particular it
+   must never call [Node.sync]: the thin-film diffusion step is not
+   split-invariant, so forcing a sync here would perturb the simulation
+   and break the audited-run ≡ unaudited-run guarantee. *)
+let audit_pass t recorder =
+  let cycle = t.cycle in
+  let add ?node invariant detail =
+    Audit.record recorder { Audit.cycle; node; invariant; detail }
+  in
+  let n = Array.length t.nodes in
+  (* batteries: per-cell accounting, monotone discharge, clock sanity *)
+  let prev = Audit.prev_remaining recorder ~node_count:n in
+  let delivered_sum = ref 0. in
+  for id = 0 to n - 1 do
+    let node = t.nodes.(id) in
+    let battery = node.Node.battery in
+    let capacity = Etx_battery.Battery.capacity_pj battery in
+    let remaining = Etx_battery.Battery.remaining_pj battery in
+    let delivered = Etx_battery.Battery.delivered_pj battery in
+    delivered_sum := !delivered_sum +. delivered;
+    if Float.abs (delivered +. remaining -. capacity) > 1e-6 *. capacity then
+      add ~node:id "battery-accounting"
+        (Printf.sprintf "delivered %.3f + remaining %.3f != capacity %.3f pJ"
+           delivered remaining capacity);
+    if remaining > prev.(id) +. (1e-9 *. capacity) then
+      add ~node:id "battery-monotone"
+        (Printf.sprintf "remaining energy rose between audits: %.6f -> %.6f pJ"
+           prev.(id) remaining);
+    prev.(id) <- remaining;
+    if node.Node.synced_to > cycle then
+      add ~node:id "clock"
+        (Printf.sprintf "battery synced to cycle %d beyond engine cycle %d"
+           node.Node.synced_to cycle)
+  done;
+  (* energy ledger: everything the node batteries delivered must show up
+     in the metered accumulators.  A killing draw can deliver energy the
+     engine never meters (the act it paid for did not happen), so the
+     ledger is allowed one worst-case draw of slack per node death. *)
+  let metered = t.computation_energy +. t.communication_energy +. t.upload_energy in
+  let max_draw = ref t.report_energy in
+  Array.iter (fun e -> if e > !max_draw then max_draw := e) t.act_energy;
+  Array.iter (fun e -> if e > !max_draw then max_draw := e) t.hop_energy;
+  Array.iter (fun e -> if e > !max_draw then max_draw := e) t.reception_energy;
+  let tol = 1e-6 *. (metered +. 1.) in
+  let diff = !delivered_sum -. metered in
+  if diff < -.tol || diff > tol +. (float_of_int t.node_deaths *. !max_draw) then
+    add "energy-ledger"
+      (Printf.sprintf
+         "batteries delivered %.3f pJ but accumulators metered %.3f pJ (%d node deaths)"
+         !delivered_sum metered t.node_deaths);
+  (* routing table: fresh entries reference only alive, adjacent, living
+     links whose destination really hosts the wanted module.  A stale
+     table (preserved across a dropped download) legitimately references
+     state the controller has not learned about, so it is skipped. *)
+  let table_is_stale =
+    match (t.table, t.stale_table) with
+    | Some current, Some stale -> current == stale
+    | _ -> false
+  in
+  (match t.table with
+  | Some table when not table_is_stale ->
+    let modules = Routing_table.module_count table in
+    for node = 0 to n - 1 do
+      if node_available t node then
+        for module_index = 0 to modules - 1 do
+          match Routing_table.get table ~node ~module_index with
+          | Routing_table.Deliver_here | Routing_table.Unreachable -> ()
+          | Routing_table.Forward { next_hop; destination } ->
+            if next_hop < 0 || next_hop >= n || destination < 0 || destination >= n
+            then
+              add ~node "routing-table"
+                (Printf.sprintf "module %d: forward out of range (%d via %d)"
+                   (module_index + 1) destination next_hop)
+            else if not (Digraph.mem_edge t.graph ~src:node ~dst:next_hop) then
+              add ~node "routing-table"
+                (Printf.sprintf "module %d: next hop %d is not adjacent"
+                   (module_index + 1) next_hop)
+            else if not (link_alive t ~src:node ~dst:next_hop) then
+              add ~node "routing-table"
+                (Printf.sprintf "module %d: link to %d is dead" (module_index + 1)
+                   next_hop)
+            else if not (node_available t next_hop) then
+              add ~node "routing-table"
+                (Printf.sprintf "module %d: next hop %d is dead or offline"
+                   (module_index + 1) next_hop)
+            else if
+              Mapping.module_of_node t.config.mapping ~node:destination
+              <> module_index
+            then
+              add ~node "routing-table"
+                (Printf.sprintf "module %d: destination %d hosts module %d"
+                   (module_index + 1) destination
+                   (Mapping.module_of_node t.config.mapping ~node:destination + 1))
+        done
+    done
+  | Some _ | None -> ());
+  (* jobs: lifecycle validity, retransmission budget, occupancy census *)
+  let expected_occupancy = Array.make n 0 in
+  Jobs.iter t.jobs ~f:(fun job ->
+      let jid = job.Job.id in
+      if jid < 0 || jid >= t.next_job_id then
+        add "job-lifecycle" (Printf.sprintf "job %d has an unissued id" jid);
+      let plan_length = Workload.plan_length job.Job.workload in
+      if job.Job.step < 0 || job.Job.step > plan_length then
+        add "job-lifecycle"
+          (Printf.sprintf "job %d step %d outside plan of %d acts" jid job.Job.step
+             plan_length);
+      (match job.Job.phase with
+      | Job.Waiting { node; since; retry_at = _ } ->
+        if node < 0 || node >= n then
+          add "job-lifecycle" (Printf.sprintf "job %d waits at invalid node %d" jid node)
+        else if since > cycle then
+          add ~node "job-lifecycle"
+            (Printf.sprintf "job %d waiting since future cycle %d" jid since)
+      | Job.Computing { node; until = _ } ->
+        if node < 0 || node >= n then
+          add "job-lifecycle"
+            (Printf.sprintf "job %d computes at invalid node %d" jid node)
+      | Job.In_transit { src; dst; until = _; attempt } ->
+        if src < 0 || src >= n || dst < 0 || dst >= n then
+          add "job-lifecycle"
+            (Printf.sprintf "job %d in transit on invalid link %d->%d" jid src dst)
+        else if not (Digraph.mem_edge t.graph ~src ~dst) then
+          add ~node:src "job-lifecycle"
+            (Printf.sprintf "job %d in transit over non-adjacent %d->%d" jid src dst);
+        if attempt < 1 || attempt > t.max_retransmissions + 1 then
+          add "retransmission-budget"
+            (Printf.sprintf "job %d on attempt %d with budget %d" jid attempt
+               t.max_retransmissions));
+      let where = Job.current_node job in
+      if where >= 0 && where < n then
+        expected_occupancy.(where) <- expected_occupancy.(where) + 1);
+  for id = 0 to n - 1 do
+    if t.nodes.(id).Node.occupancy <> expected_occupancy.(id) then
+      add ~node:id "occupancy-census"
+        (Printf.sprintf "node holds %d jobs but occupancy counter says %d"
+           expected_occupancy.(id) t.nodes.(id).Node.occupancy)
+  done;
+  (* global counters *)
+  let in_flight = Jobs.length t.jobs in
+  if t.next_job_id <> t.jobs_completed + t.jobs_lost + in_flight then
+    add "job-census"
+      (Printf.sprintf "%d launched != %d completed + %d lost + %d in flight"
+         t.next_job_id t.jobs_completed t.jobs_lost in_flight);
+  if t.jobs_verified > t.jobs_completed then
+    add "job-census"
+      (Printf.sprintf "%d verified > %d completed" t.jobs_verified t.jobs_completed);
+  if t.packets_dropped > t.packets_corrupted then
+    add "retransmission-budget"
+      (Printf.sprintf "%d drops > %d corruptions" t.packets_dropped t.packets_corrupted);
+  if t.last_frame > cycle then
+    add "clock" (Printf.sprintf "last frame at %d beyond engine cycle %d" t.last_frame cycle)
+
+let maybe_audit t =
+  match t.audit with
+  | None -> ()
+  | Some recorder ->
+    if t.status = Running && Audit.frame_tick recorder then audit_pass t recorder
+
 let run_frame t =
   t.frames <- t.frames + 1;
   apply_link_failures t;
@@ -853,10 +1017,11 @@ let run_frame t =
         wake_waiting_jobs t
       end
     | Controller.No_change -> emit t (Trace.Frame_run { cycle = t.cycle; recomputed = false })
-  end
+  end;
+  maybe_audit t
 
 let run_frames t ~count =
-  if t.ran then invalid_arg "Engine.run_frames: engine already ran";
+  if t.started then invalid_arg "Engine.run_frames: engine already ran";
   for _ = 1 to count do
     if t.status = Running then begin
       run_frame t;
@@ -914,46 +1079,56 @@ let finalize t reason =
     job_latency_max_cycles = t.latency_max;
   }
 
-let run t =
-  if t.ran then invalid_arg "Engine.run: engine already ran";
-  t.ran <- true;
-  (* frame 0 establishes the first routing tables, then the workload
-     starts *)
-  run_frame t;
-  t.next_frame <- t.config.frame_period_cycles;
-  let rec launch_initial remaining =
-    if remaining > 0 && t.status = Running then begin
-      launch_job t;
-      launch_initial (remaining - 1)
-    end
-  in
-  launch_initial t.config.concurrent_jobs;
-  (* FIFO fairness: always serve the earliest-launched ready job first.
-     Processing only ever changes the processed job's own ready time (and
-     may remove cells or append fresh launches at the tail), so earlier
-     cells that were not ready stay not ready and the cursor can advance
-     instead of rescanning from the head after every event.  Only when
-     the cursor's cell is removed (completion, node death) does the scan
-     restart from the head - exactly the semantics of the previous
-     List.find_opt loop, without its quadratic rescans. *)
-  let rec drain_from cell =
-    if t.status = Running then begin
-      match cell with
-      | None -> ()
-      | Some c ->
-        if not c.Jobs.live then drain_from c.Jobs.next
-        else if Job.ready_at c.Jobs.job <= t.cycle then begin
-          process_job t c;
-          if c.Jobs.live then drain_from cell else drain_from t.jobs.Jobs.head
-        end
-        else drain_from c.Jobs.next
-    end
-  in
-  let drain_ready () = drain_from t.jobs.Jobs.head in
-  drain_ready ();
+(* FIFO fairness: always serve the earliest-launched ready job first.
+   Processing only ever changes the processed job's own ready time (and
+   may remove cells or append fresh launches at the tail), so earlier
+   cells that were not ready stay not ready and the cursor can advance
+   instead of rescanning from the head after every event.  Only when
+   the cursor's cell is removed (completion, node death) does the scan
+   restart from the head - exactly the semantics of the previous
+   List.find_opt loop, without its quadratic rescans. *)
+let rec drain_from t cell =
+  if t.status = Running then begin
+    match cell with
+    | None -> ()
+    | Some c ->
+      if not c.Jobs.live then drain_from t c.Jobs.next
+      else if Job.ready_at c.Jobs.job <= t.cycle then begin
+        process_job t c;
+        if c.Jobs.live then drain_from t cell else drain_from t t.jobs.Jobs.head
+      end
+      else drain_from t c.Jobs.next
+  end
+
+let drain_ready t = drain_from t t.jobs.Jobs.head
+
+(* Frame 0 establishes the first routing tables, then the workload
+   starts.  Idempotent: a restored engine arrives already started. *)
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    run_frame t;
+    t.next_frame <- t.config.frame_period_cycles;
+    let rec launch_initial remaining =
+      if remaining > 0 && t.status = Running then begin
+        launch_job t;
+        launch_initial (remaining - 1)
+      end
+    in
+    launch_initial t.config.concurrent_jobs;
+    drain_ready t
+  end
+
+type run_outcome = Paused | Finished of Metrics.t
+
+let run_until t ~cycle:stop =
+  if t.finished then invalid_arg "Engine.run_until: engine already finished";
+  start t;
   let rec loop () =
     match t.status with
-    | Dead reason -> finalize t reason
+    | Dead reason ->
+      t.finished <- true;
+      Finished (finalize t reason)
     | Running ->
       let job_next =
         Jobs.fold t.jobs ~init:max_int ~f:(fun acc job -> min acc (Job.ready_at job))
@@ -964,6 +1139,11 @@ let run t =
         die t Metrics.Cycle_limit;
         loop ()
       end
+      else if next > stop then
+        (* pause before mutating anything: a checkpoint taken here and
+           resumed re-derives exactly this [next], so an interrupted run
+           is bit-identical to an uninterrupted one *)
+        Paused
       else begin
         assert (next > t.cycle || job_next <= t.cycle);
         t.cycle <- max t.cycle next;
@@ -971,17 +1151,472 @@ let run t =
           run_frame t;
           t.next_frame <- t.next_frame + t.config.frame_period_cycles
         end;
-        drain_ready ();
+        drain_ready t;
         loop ()
       end
   in
   loop ()
+
+let run t =
+  if t.started then invalid_arg "Engine.run: engine already ran";
+  match run_until t ~cycle:max_int with
+  | Finished metrics -> metrics
+  | Paused -> assert false (* unreachable: no cycle exceeds max_int *)
 
 let simulate ?trace_capacity ?record_timeline config =
   run (create ?trace_capacity ?record_timeline config)
 
 let trace t = t.trace
 let timeline t = t.timeline
+let cycle t = t.cycle
+
+let enable_audit t recorder = t.audit <- Some recorder
+
+let audit_now t recorder = audit_pass t recorder
+
+(* Deliberately desynchronize counters that the auditor cross-checks:
+   the occupancy census and the energy ledger both break.  Test hook for
+   the corrupted-state detection path; never called by the simulator. *)
+let corrupt_state_for_test t =
+  t.nodes.(0).Node.occupancy <- t.nodes.(0).Node.occupancy + 1;
+  t.computation_energy <- t.computation_energy +. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore.                                              *)
+(*                                                                    *)
+(* Only the dynamic state is serialized: everything static or derived *)
+(* (graph, per-edge energies, node capacities, the compiled fault     *)
+(* plan's event arrays) is recomputed deterministically by [create]   *)
+(* from the same config, and a fingerprint embedded in the payload    *)
+(* guards against restoring under a different configuration.          *)
+(* ------------------------------------------------------------------ *)
+
+let fingerprint (config : Config.t) =
+  let battery_kind = function
+    | Etx_battery.Battery.Ideal -> "ideal"
+    | Etx_battery.Battery.Thin_film _ -> "thin-film"
+  in
+  let fault =
+    match config.Config.fault with
+    | None -> "none"
+    | Some s ->
+      Printf.sprintf "seed=%d,wear=%g/%g,ber=%g,brown=%g/%d/%s,up=%g,down=%g"
+        s.Fault_spec.seed s.Fault_spec.link_wearout_rate
+        s.Fault_spec.link_wearout_shape s.Fault_spec.bit_error_rate
+        s.Fault_spec.brownout_rate s.Fault_spec.brownout_duration_cycles
+        (match s.Fault_spec.brownout_job_policy with
+        | Fault_spec.Preserve -> "preserve"
+        | Fault_spec.Drop -> "drop")
+        s.Fault_spec.upload_loss_rate s.Fault_spec.download_loss_rate
+  in
+  Printf.sprintf
+    "etsim-ckpt-v%d;n=%d;m=%d;edges=%d;policy=%s/%d;seed=%d;frame=%d;max=%d;\
+     jobs=%d;batt=%s/%g/%g;wl=%s;fault=%s;retx=%d;ack=%d;sched=%d"
+    Checkpoint.version (Config.node_count config) config.Config.module_count
+    (Digraph.edge_count config.Config.topology.Etx_graph.Topology.graph)
+    config.Config.policy.Etx_routing.Policy.name
+    config.Config.policy.Etx_routing.Policy.levels config.Config.seed
+    config.Config.frame_period_cycles config.Config.max_cycles
+    config.Config.concurrent_jobs
+    (battery_kind config.Config.battery_kind)
+    config.Config.battery_capacity_pj config.Config.battery_capacity_variation
+    (String.concat "+" (List.map Workload.name config.Config.workloads))
+    fault config.Config.max_retransmissions config.Config.ack_timeout_cycles
+    (List.length config.Config.link_failure_schedule)
+
+module W = Checkpoint.Writer
+module R = Checkpoint.Reader
+
+let malformed what = raise (Checkpoint.Error (Checkpoint.Malformed what))
+
+let write_charge w (c : Etx_battery.Battery.charge) =
+  W.bool w c.Etx_battery.Battery.dead;
+  W.float w c.Etx_battery.Battery.delivered_pj;
+  W.float w c.Etx_battery.Battery.available_pj;
+  W.float w c.Etx_battery.Battery.bound_pj;
+  W.float w c.Etx_battery.Battery.load_power
+
+let read_charge r : Etx_battery.Battery.charge =
+  let dead = R.bool r in
+  let delivered_pj = R.float r in
+  let available_pj = R.float r in
+  let bound_pj = R.float r in
+  let load_power = R.float r in
+  { Etx_battery.Battery.dead; delivered_pj; available_pj; bound_pj; load_power }
+
+let write_table w table =
+  let node_count = Routing_table.node_count table in
+  let module_count = Routing_table.module_count table in
+  W.int w node_count;
+  W.int w module_count;
+  for node = 0 to node_count - 1 do
+    for module_index = 0 to module_count - 1 do
+      match Routing_table.get table ~node ~module_index with
+      | Routing_table.Deliver_here -> W.byte w 0
+      | Routing_table.Forward { next_hop; destination } ->
+        W.byte w 1;
+        W.int w next_hop;
+        W.int w destination
+      | Routing_table.Unreachable -> W.byte w 2
+    done
+  done
+
+let read_table r =
+  let node_count = R.int r in
+  let module_count = R.int r in
+  if node_count <= 0 || module_count <= 0 then malformed "routing table dimensions";
+  let table = Routing_table.create ~node_count ~module_count in
+  for node = 0 to node_count - 1 do
+    for module_index = 0 to module_count - 1 do
+      let entry =
+        match R.byte r with
+        | 0 -> Routing_table.Deliver_here
+        | 1 ->
+          let next_hop = R.int r in
+          let destination = R.int r in
+          Routing_table.Forward { next_hop; destination }
+        | 2 -> Routing_table.Unreachable
+        | tag -> malformed (Printf.sprintf "routing entry tag %d" tag)
+      in
+      Routing_table.set table ~node ~module_index entry
+    done
+  done;
+  table
+
+let write_pair w (a, b) =
+  W.int w a;
+  W.int w b
+
+let read_pair r =
+  let a = R.int r in
+  let b = R.int r in
+  (a, b)
+
+let write_snapshot w (s : Router.snapshot) =
+  W.bool_array w s.Router.alive;
+  W.int_array w s.Router.battery_level;
+  W.int w s.Router.levels;
+  W.list w (write_pair w) s.Router.locked_ports;
+  W.list w (write_pair w) s.Router.failed_links
+
+let read_snapshot r : Router.snapshot =
+  let alive = R.bool_array r in
+  let battery_level = R.int_array r in
+  let levels = R.int r in
+  let locked_ports = R.list r (fun () -> read_pair r) in
+  let failed_links = R.list r (fun () -> read_pair r) in
+  { Router.alive; battery_level; levels; locked_ports; failed_links }
+
+let write_phase w (phase : Job.phase) =
+  match phase with
+  | Job.Waiting { node; since; retry_at } ->
+    W.byte w 0;
+    W.int w node;
+    W.int w since;
+    W.int w retry_at
+  | Job.Computing { node; until } ->
+    W.byte w 1;
+    W.int w node;
+    W.int w until
+  | Job.In_transit { src; dst; until; attempt } ->
+    W.byte w 2;
+    W.int w src;
+    W.int w dst;
+    W.int w until;
+    W.int w attempt
+
+let read_phase r : Job.phase =
+  match R.byte r with
+  | 0 ->
+    let node = R.int r in
+    let since = R.int r in
+    let retry_at = R.int r in
+    Job.Waiting { node; since; retry_at }
+  | 1 ->
+    let node = R.int r in
+    let until = R.int r in
+    Job.Computing { node; until }
+  | 2 ->
+    let src = R.int r in
+    let dst = R.int r in
+    let until = R.int r in
+    let attempt = R.int r in
+    Job.In_transit { src; dst; until; attempt }
+  | tag -> malformed (Printf.sprintf "job phase tag %d" tag)
+
+let workload_index t workload =
+  let rec go i =
+    if i >= Array.length t.workloads then
+      invalid_arg "Engine.checkpoint: job carries an unknown workload"
+    else if t.workloads.(i) == workload then i
+    else go (i + 1)
+  in
+  go 0
+
+let checkpoint t =
+  if not t.started then invalid_arg "Engine.checkpoint: engine has not started";
+  if t.finished then invalid_arg "Engine.checkpoint: engine already finished";
+  (match t.status with
+  | Dead _ -> invalid_arg "Engine.checkpoint: platform already dead"
+  | Running -> ());
+  let w = W.create () in
+  W.string w (fingerprint t.config);
+  let n = Array.length t.nodes in
+  W.int w n;
+  W.int w t.config.Config.module_count;
+  W.int w t.workload_rotation;
+  W.int w t.next_job_id;
+  W.int w t.cycle;
+  W.int w t.next_frame;
+  W.int w t.last_frame;
+  Array.iter
+    (fun node ->
+      write_charge w (Etx_battery.Battery.dump node.Node.battery);
+      W.int w node.Node.synced_to;
+      W.int w node.Node.busy_until;
+      W.int w node.Node.occupancy;
+      W.option w (W.int w) node.Node.locked_hop;
+      W.int w node.Node.offline_until)
+    t.nodes;
+  let controller = Controller.dump t.controller in
+  W.int w controller.Controller.bank_active;
+  W.array w (write_charge w) controller.Controller.bank_charges;
+  W.option w (write_snapshot w) controller.Controller.previous_snapshot;
+  W.option w (write_table w) controller.Controller.table;
+  W.int w controller.Controller.recomputations;
+  W.float w controller.Controller.download_energy;
+  W.float w controller.Controller.compute_energy;
+  W.int w controller.Controller.deaths;
+  W.option w (write_table w) t.table;
+  (* the stale-copy buffer matters only while [table] aliases it; the
+     alias bit lets restore re-create that sharing exactly *)
+  W.bool w
+    (match (t.table, t.stale_table) with
+    | Some current, Some stale -> current == stale
+    | _ -> false);
+  W.int w (Jobs.length t.jobs);
+  Jobs.iter t.jobs ~f:(fun job ->
+      W.int w job.Job.id;
+      W.int w (workload_index t job.Job.workload);
+      W.bytes w job.Job.payload0;
+      W.bytes w job.Job.expected;
+      W.bytes w job.Job.payload;
+      W.int w job.Job.step;
+      write_phase w job.Job.phase;
+      W.int w job.Job.launched_at);
+  W.int_array w t.link_busy;
+  W.bool_array w t.link_dead;
+  W.list w
+    (fun (c, a, b) ->
+      W.int w c;
+      W.int w a;
+      W.int w b)
+    t.pending_failures;
+  W.int w t.links_failed;
+  W.int64 w (Prng.state t.prng);
+  W.int w t.entry_rotation;
+  W.int w t.jobs_completed;
+  W.int w t.jobs_verified;
+  W.int w t.jobs_lost;
+  W.float w t.computation_energy;
+  W.float w t.communication_energy;
+  W.float w t.upload_energy;
+  W.int w t.node_deaths;
+  W.int w t.frames;
+  W.int w t.deadlocks_reported;
+  W.int w t.deadlocks_recovered;
+  W.int w t.hops;
+  W.int w t.acts;
+  W.float_array w t.computation_by_module;
+  let latency = Etx_util.Stats.dump t.latency_stats in
+  W.int w latency.Etx_util.Stats.count;
+  W.float w latency.Etx_util.Stats.mean;
+  W.float w latency.Etx_util.Stats.m2;
+  W.float w latency.Etx_util.Stats.min;
+  W.float w latency.Etx_util.Stats.max;
+  W.float w latency.Etx_util.Stats.total;
+  W.int w t.latency_max;
+  W.option w
+    (fun plan ->
+      let p = Fault_plan.position plan in
+      W.int w p.Fault_plan.cursor;
+      W.int64 w p.Fault_plan.data_state;
+      W.int64 w p.Fault_plan.control_state)
+    t.plan;
+  W.int_array w t.reported_level;
+  W.int_array w t.staleness;
+  W.int w t.staleness_total;
+  W.int w t.staleness_max;
+  W.int w t.retransmissions;
+  W.int w t.packets_corrupted;
+  W.int w t.packets_dropped;
+  W.int w t.link_wearouts;
+  W.int w t.brownouts;
+  W.int w t.uploads_dropped;
+  W.int w t.downloads_dropped;
+  W.contents w
+
+let restore ?trace_capacity ?record_timeline config payload =
+  let t = create ?trace_capacity ?record_timeline config in
+  let r = R.create payload in
+  let found = R.string r in
+  let expected = fingerprint config in
+  if found <> expected then
+    raise (Checkpoint.Error (Checkpoint.Fingerprint_mismatch { expected; found }));
+  let n = Array.length t.nodes in
+  if R.int r <> n then malformed "node count";
+  if R.int r <> t.config.Config.module_count then malformed "module count";
+  t.workload_rotation <- R.int r;
+  t.next_job_id <- R.int r;
+  t.cycle <- R.int r;
+  t.next_frame <- R.int r;
+  t.last_frame <- R.int r;
+  Array.iter
+    (fun node ->
+      Etx_battery.Battery.restore node.Node.battery (read_charge r);
+      node.Node.synced_to <- R.int r;
+      node.Node.busy_until <- R.int r;
+      node.Node.occupancy <- R.int r;
+      node.Node.locked_hop <- R.option r (fun () -> R.int r);
+      node.Node.offline_until <- R.int r)
+    t.nodes;
+  let bank_active = R.int r in
+  let bank_charges = R.array r (fun () -> read_charge r) in
+  let previous_snapshot = R.option r (fun () -> read_snapshot r) in
+  let controller_table = R.option r (fun () -> read_table r) in
+  let recomputations = R.int r in
+  let download_energy = R.float r in
+  let compute_energy = R.float r in
+  let deaths = R.int r in
+  (try
+     Controller.restore t.controller
+       {
+         Controller.bank_active;
+         bank_charges;
+         previous_snapshot;
+         table = controller_table;
+         recomputations;
+         download_energy;
+         compute_energy;
+         deaths;
+       }
+   with Invalid_argument what -> malformed what);
+  let table = R.option r (fun () -> read_table r) in
+  (match table with
+  | Some table
+    when Routing_table.node_count table <> n
+         || Routing_table.module_count table <> t.config.Config.module_count ->
+    malformed "routing table dimensions"
+  | Some _ | None -> ());
+  let table_aliases_stale = R.bool r in
+  if table_aliases_stale then begin
+    t.table <- table;
+    t.stale_table <- table
+  end
+  else begin
+    t.table <- table;
+    t.stale_table <- None
+  end;
+  let job_count = R.int r in
+  if job_count < 0 then malformed "job count";
+  for _ = 1 to job_count do
+    let id = R.int r in
+    let wl = R.int r in
+    if wl < 0 || wl >= Array.length t.workloads then malformed "workload index";
+    let payload0 = R.bytes r in
+    let expected = R.bytes r in
+    let payload = R.bytes r in
+    let step = R.int r in
+    let phase = read_phase r in
+    let launched_at = R.int r in
+    let job =
+      Job.launch ~id ~workload:t.workloads.(wl) ~payload:payload0 ~expected ~entry:0
+        ~cycle:launched_at
+    in
+    job.Job.payload <- payload;
+    job.Job.step <- step;
+    job.Job.phase <- phase;
+    Jobs.push t.jobs job
+  done;
+  let link_busy = R.int_array r in
+  if Array.length link_busy <> Array.length t.link_busy then malformed "link matrix";
+  Array.blit link_busy 0 t.link_busy 0 (Array.length link_busy);
+  let link_dead = R.bool_array r in
+  if Array.length link_dead <> Array.length t.link_dead then malformed "link matrix";
+  Array.blit link_dead 0 t.link_dead 0 (Array.length link_dead);
+  rebuild_failed_links t;
+  t.pending_failures <-
+    R.list r (fun () ->
+        let c = R.int r in
+        let a = R.int r in
+        let b = R.int r in
+        (c, a, b));
+  t.links_failed <- R.int r;
+  Prng.set_state t.prng (R.int64 r);
+  t.entry_rotation <- R.int r;
+  t.jobs_completed <- R.int r;
+  t.jobs_verified <- R.int r;
+  t.jobs_lost <- R.int r;
+  t.computation_energy <- R.float r;
+  t.communication_energy <- R.float r;
+  t.upload_energy <- R.float r;
+  t.node_deaths <- R.int r;
+  t.frames <- R.int r;
+  t.deadlocks_reported <- R.int r;
+  t.deadlocks_recovered <- R.int r;
+  t.hops <- R.int r;
+  t.acts <- R.int r;
+  let by_module = R.float_array r in
+  if Array.length by_module <> Array.length t.computation_by_module then
+    malformed "per-module energy vector";
+  Array.blit by_module 0 t.computation_by_module 0 (Array.length by_module);
+  let count = R.int r in
+  let mean = R.float r in
+  let m2 = R.float r in
+  let min = R.float r in
+  let max = R.float r in
+  let total = R.float r in
+  Etx_util.Stats.restore_into t.latency_stats
+    { Etx_util.Stats.count; mean; m2; min; max; total };
+  t.latency_max <- R.int r;
+  let plan_position =
+    R.option r (fun () ->
+        let cursor = R.int r in
+        let data_state = R.int64 r in
+        let control_state = R.int64 r in
+        { Fault_plan.cursor; data_state; control_state })
+  in
+  (match (t.plan, plan_position) with
+  | Some plan, Some position -> (
+    try Fault_plan.seek plan position
+    with Invalid_argument what -> malformed what)
+  | None, None -> ()
+  | Some _, None | None, Some _ -> malformed "fault plan presence mismatch");
+  let reported_level = R.int_array r in
+  if Array.length reported_level <> n then malformed "reported levels";
+  Array.blit reported_level 0 t.reported_level 0 n;
+  let staleness = R.int_array r in
+  if Array.length staleness <> n then malformed "staleness vector";
+  Array.blit staleness 0 t.staleness 0 n;
+  t.staleness_total <- R.int r;
+  t.staleness_max <- R.int r;
+  t.retransmissions <- R.int r;
+  t.packets_corrupted <- R.int r;
+  t.packets_dropped <- R.int r;
+  t.link_wearouts <- R.int r;
+  t.brownouts <- R.int r;
+  t.uploads_dropped <- R.int r;
+  t.downloads_dropped <- R.int r;
+  R.expect_end r;
+  t.status <- Running;
+  t.started <- true;
+  t.finished <- false;
+  t
+
+let checkpoint_to_file t path = Checkpoint.write_file path (checkpoint t)
+
+let restore_from_file ?trace_capacity ?record_timeline config path =
+  restore ?trace_capacity ?record_timeline config (Checkpoint.read_file path)
 
 let battery_socs t =
   Array.map (fun node -> Etx_battery.Battery.soc node.Node.battery) t.nodes

@@ -26,7 +26,25 @@ val create : ?trace_capacity:int -> ?record_timeline:bool -> Config.t -> t
 
 val run : t -> Metrics.t
 (** Simulate until platform death and return the collected metrics.
-    [run] may only be called once per engine. *)
+    [run] may only be called once per engine, and only on a freshly
+    created (not restored) one; use {!run_until} to continue a restored
+    engine. *)
+
+type run_outcome =
+  | Paused  (** the stop cycle was reached with the platform still alive *)
+  | Finished of Metrics.t
+
+val run_until : t -> cycle:int -> run_outcome
+(** Incremental execution: simulate until the next event would land
+    beyond [cycle] (returning [Paused] without mutating anything), or
+    until platform death ([Finished]).  Resuming a paused engine — or a
+    {!restore}d one — with a later stop cycle continues the run
+    bit-identically to an uninterrupted one.  May be called repeatedly;
+    [run_until ~cycle:max_int] always finishes.
+    @raise Invalid_argument once the engine has finished. *)
+
+val cycle : t -> int
+(** Current simulation cycle (useful between {!run_until} calls). *)
 
 val run_frames : t -> count:int -> unit
 (** Advance the control plane only: execute [count] TDMA frames
@@ -51,3 +69,51 @@ val alive_mask : t -> bool array
 
 val timeline : t -> Timeline.t option
 (** The per-frame series (inspect after [run]). *)
+
+(** {2 Checkpoint / restore}
+
+    The full dynamic simulation state round-trips through the
+    {!Checkpoint} binary format with a bit-identity guarantee: running
+    to cycle N, checkpointing, restoring and running to completion
+    produces metrics identical to the uninterrupted run.  Static and
+    derived state (topology, per-edge energies, node battery capacities,
+    the compiled fault-event stream) is recomputed from the config by
+    [restore]; a fingerprint embedded in the payload rejects restores
+    under a different configuration.  Trace and timeline recorders are
+    not checkpointed: a restored engine starts them empty. *)
+
+val checkpoint : t -> bytes
+(** Serialize the engine's dynamic state as a checkpoint payload (frame
+    it with {!Checkpoint.write_file} or {!Checkpoint.frame}).  Only a
+    started, still-running engine can be checkpointed.
+    @raise Invalid_argument before {!run_until} first runs, or after the
+    platform died. *)
+
+val restore : ?trace_capacity:int -> ?record_timeline:bool -> Config.t -> bytes -> t
+(** Rebuild an engine from a config and a checkpoint payload taken under
+    that same config.  Continue it with {!run_until}.
+    @raise Checkpoint.Error on fingerprint mismatch or a malformed
+    payload. *)
+
+val checkpoint_to_file : t -> string -> unit
+(** {!checkpoint} framed and written atomically to a file. *)
+
+val restore_from_file :
+  ?trace_capacity:int -> ?record_timeline:bool -> Config.t -> string -> t
+(** Read, validate and {!restore} a checkpoint file.
+    @raise Checkpoint.Error on any integrity failure. *)
+
+(** {2 Runtime invariant audit} *)
+
+val enable_audit : t -> Audit.t -> unit
+(** Plug an auditor into the engine: every K control frames (the
+    recorder's cadence) a read-only pass checks conservation invariants
+    and records violations.  Off by default; auditing never changes
+    simulation results. *)
+
+val audit_now : t -> Audit.t -> unit
+(** Run one audit pass immediately, recording into the given recorder. *)
+
+val corrupt_state_for_test : t -> unit
+(** Test hook: deliberately desynchronize internal counters so the
+    auditor has something to find.  Never called by the simulator. *)

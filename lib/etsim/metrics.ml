@@ -95,3 +95,160 @@ let pp fmt t =
     t.acts_total t.hops_total t.link_wearouts t.brownouts t.packets_corrupted
     t.retransmissions t.packets_dropped t.uploads_dropped t.downloads_dropped
     t.stale_reports_total t.stale_reports_max
+
+(* Binary serialization for sweep manifests (Checkpoint payload idiom:
+   fixed field order, no self-description). *)
+
+let write_death_reason w = function
+  | Job_lost_to_node_death { node; job } ->
+    Checkpoint.Writer.byte w 0;
+    Checkpoint.Writer.int w node;
+    Checkpoint.Writer.int w job
+  | Module_unreachable { module_index; from_node } ->
+    Checkpoint.Writer.byte w 1;
+    Checkpoint.Writer.int w module_index;
+    Checkpoint.Writer.int w from_node
+  | Entry_node_dead { node } ->
+    Checkpoint.Writer.byte w 2;
+    Checkpoint.Writer.int w node
+  | Controllers_exhausted -> Checkpoint.Writer.byte w 3
+  | Cycle_limit -> Checkpoint.Writer.byte w 4
+  | Job_limit -> Checkpoint.Writer.byte w 5
+  | Job_lost_to_brownout { node; job } ->
+    Checkpoint.Writer.byte w 6;
+    Checkpoint.Writer.int w node;
+    Checkpoint.Writer.int w job
+
+let read_death_reason r =
+  match Checkpoint.Reader.byte r with
+  | 0 ->
+    let node = Checkpoint.Reader.int r in
+    let job = Checkpoint.Reader.int r in
+    Job_lost_to_node_death { node; job }
+  | 1 ->
+    let module_index = Checkpoint.Reader.int r in
+    let from_node = Checkpoint.Reader.int r in
+    Module_unreachable { module_index; from_node }
+  | 2 -> Entry_node_dead { node = Checkpoint.Reader.int r }
+  | 3 -> Controllers_exhausted
+  | 4 -> Cycle_limit
+  | 5 -> Job_limit
+  | 6 ->
+    let node = Checkpoint.Reader.int r in
+    let job = Checkpoint.Reader.int r in
+    Job_lost_to_brownout { node; job }
+  | n -> raise (Checkpoint.Error (Checkpoint.Malformed (Printf.sprintf "death reason tag %d" n)))
+
+let write w t =
+  Checkpoint.Writer.int w t.jobs_completed;
+  Checkpoint.Writer.int w t.jobs_verified;
+  Checkpoint.Writer.int w t.jobs_lost;
+  Checkpoint.Writer.int w t.lifetime_cycles;
+  write_death_reason w t.death_reason;
+  Checkpoint.Writer.float w t.computation_energy_pj;
+  Checkpoint.Writer.float w t.communication_energy_pj;
+  Checkpoint.Writer.float w t.control_upload_energy_pj;
+  Checkpoint.Writer.float w t.control_download_energy_pj;
+  Checkpoint.Writer.float w t.controller_compute_energy_pj;
+  Checkpoint.Writer.float w t.stranded_node_energy_pj;
+  Checkpoint.Writer.float w t.residual_node_energy_pj;
+  Checkpoint.Writer.float w t.stranded_controller_energy_pj;
+  Checkpoint.Writer.float w t.residual_controller_energy_pj;
+  Checkpoint.Writer.int w t.node_deaths;
+  Checkpoint.Writer.int w t.links_failed;
+  Checkpoint.Writer.int w t.controller_deaths;
+  Checkpoint.Writer.int w t.recomputations;
+  Checkpoint.Writer.int w t.frames;
+  Checkpoint.Writer.int w t.deadlocks_reported;
+  Checkpoint.Writer.int w t.deadlocks_recovered;
+  Checkpoint.Writer.int w t.hops_total;
+  Checkpoint.Writer.int w t.acts_total;
+  Checkpoint.Writer.int w t.jobs_launched;
+  Checkpoint.Writer.int w t.retransmissions;
+  Checkpoint.Writer.int w t.packets_corrupted;
+  Checkpoint.Writer.int w t.packets_dropped;
+  Checkpoint.Writer.int w t.link_wearouts;
+  Checkpoint.Writer.int w t.brownouts;
+  Checkpoint.Writer.int w t.uploads_dropped;
+  Checkpoint.Writer.int w t.downloads_dropped;
+  Checkpoint.Writer.int w t.stale_reports_total;
+  Checkpoint.Writer.int w t.stale_reports_max;
+  Checkpoint.Writer.float_array w t.computation_energy_by_module_pj;
+  Checkpoint.Writer.float w t.job_latency_mean_cycles;
+  Checkpoint.Writer.int w t.job_latency_max_cycles
+
+let read r =
+  let jobs_completed = Checkpoint.Reader.int r in
+  let jobs_verified = Checkpoint.Reader.int r in
+  let jobs_lost = Checkpoint.Reader.int r in
+  let lifetime_cycles = Checkpoint.Reader.int r in
+  let death_reason = read_death_reason r in
+  let computation_energy_pj = Checkpoint.Reader.float r in
+  let communication_energy_pj = Checkpoint.Reader.float r in
+  let control_upload_energy_pj = Checkpoint.Reader.float r in
+  let control_download_energy_pj = Checkpoint.Reader.float r in
+  let controller_compute_energy_pj = Checkpoint.Reader.float r in
+  let stranded_node_energy_pj = Checkpoint.Reader.float r in
+  let residual_node_energy_pj = Checkpoint.Reader.float r in
+  let stranded_controller_energy_pj = Checkpoint.Reader.float r in
+  let residual_controller_energy_pj = Checkpoint.Reader.float r in
+  let node_deaths = Checkpoint.Reader.int r in
+  let links_failed = Checkpoint.Reader.int r in
+  let controller_deaths = Checkpoint.Reader.int r in
+  let recomputations = Checkpoint.Reader.int r in
+  let frames = Checkpoint.Reader.int r in
+  let deadlocks_reported = Checkpoint.Reader.int r in
+  let deadlocks_recovered = Checkpoint.Reader.int r in
+  let hops_total = Checkpoint.Reader.int r in
+  let acts_total = Checkpoint.Reader.int r in
+  let jobs_launched = Checkpoint.Reader.int r in
+  let retransmissions = Checkpoint.Reader.int r in
+  let packets_corrupted = Checkpoint.Reader.int r in
+  let packets_dropped = Checkpoint.Reader.int r in
+  let link_wearouts = Checkpoint.Reader.int r in
+  let brownouts = Checkpoint.Reader.int r in
+  let uploads_dropped = Checkpoint.Reader.int r in
+  let downloads_dropped = Checkpoint.Reader.int r in
+  let stale_reports_total = Checkpoint.Reader.int r in
+  let stale_reports_max = Checkpoint.Reader.int r in
+  let computation_energy_by_module_pj = Checkpoint.Reader.float_array r in
+  let job_latency_mean_cycles = Checkpoint.Reader.float r in
+  let job_latency_max_cycles = Checkpoint.Reader.int r in
+  {
+    jobs_completed;
+    jobs_verified;
+    jobs_lost;
+    lifetime_cycles;
+    death_reason;
+    computation_energy_pj;
+    communication_energy_pj;
+    control_upload_energy_pj;
+    control_download_energy_pj;
+    controller_compute_energy_pj;
+    stranded_node_energy_pj;
+    residual_node_energy_pj;
+    stranded_controller_energy_pj;
+    residual_controller_energy_pj;
+    node_deaths;
+    links_failed;
+    controller_deaths;
+    recomputations;
+    frames;
+    deadlocks_reported;
+    deadlocks_recovered;
+    hops_total;
+    acts_total;
+    jobs_launched;
+    retransmissions;
+    packets_corrupted;
+    packets_dropped;
+    link_wearouts;
+    brownouts;
+    uploads_dropped;
+    downloads_dropped;
+    stale_reports_total;
+    stale_reports_max;
+    computation_energy_by_module_pj;
+    job_latency_mean_cycles;
+    job_latency_max_cycles;
+  }

@@ -92,3 +92,10 @@ val death_reason_string : death_reason -> string
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable report. *)
+
+val write : Checkpoint.Writer.t -> t -> unit
+(** Serialize into a checkpoint payload (used by sweep manifests). *)
+
+val read : Checkpoint.Reader.t -> t
+(** Inverse of {!write}.
+    @raise Checkpoint.Error on a malformed payload. *)

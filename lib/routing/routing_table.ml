@@ -31,6 +31,15 @@ let destination t ~node ~module_index =
 
 let equal a b = a.entries = b.entries
 
+let copy t = { entries = Array.map Array.copy t.entries }
+
+let blit ~src ~dst =
+  if node_count src <> node_count dst || module_count src <> module_count dst then
+    invalid_arg "Routing_table.blit: dimension mismatch";
+  Array.iteri
+    (fun node row -> Array.blit row 0 dst.entries.(node) 0 (Array.length row))
+    src.entries
+
 let diff_count a b =
   if node_count a <> node_count b || module_count a <> module_count b then
     invalid_arg "Routing_table.diff_count: dimension mismatch";

@@ -36,6 +36,13 @@ val destination : t -> node:int -> module_index:int -> int option
 
 val equal : t -> t -> bool
 
+val copy : t -> t
+(** Deep copy: mutations of either table never show through the other. *)
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite every entry of [dst] with [src]'s.
+    @raise Invalid_argument on dimension mismatch. *)
+
 val diff_count : t -> t -> int
 (** Number of (node, module) entries that differ: the volume of routing
     instructions the controller must download after a recomputation.

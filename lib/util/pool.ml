@@ -8,7 +8,7 @@ let rec map_seq f = function
     let y = f x in
     y :: map_seq f rest
 
-type 'b slot = Empty | Value of 'b | Error of exn
+type 'b slot = Empty | Value of 'b | Raised of exn * Printexc.raw_backtrace
 
 let map ?domains f xs =
   let domains = match domains with Some d -> d | None -> default_domains () in
@@ -16,6 +16,77 @@ let map ?domains f xs =
   | [] -> []
   | [ x ] -> [ f x ]
   | _ when domains <= 1 -> map_seq f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n Empty in
+    let next = ref 0 in
+    let lock = Mutex.create () in
+    let cancelled = Atomic.make false in
+    let take () =
+      if Atomic.get cancelled then None
+      else begin
+        Mutex.lock lock;
+        let i = !next in
+        if i < n then incr next;
+        Mutex.unlock lock;
+        if i < n then Some i else None
+      end
+    in
+    let rec worker () =
+      match take () with
+      | None -> ()
+      | Some i ->
+        (match f input.(i) with
+        | y -> results.(i) <- Value y
+        | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          results.(i) <- Raised (e, bt);
+          Atomic.set cancelled true);
+        worker ()
+    in
+    (* the calling domain is one of the workers *)
+    let spawned = min domains n - 1 in
+    let workers = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join workers;
+    (* Indices are handed out in order, so everything below a failed index
+       ran to completion: the lowest-index recorded exception is exactly
+       the one a sequential run would have surfaced first. *)
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty | Value _ -> ())
+      results;
+    Array.to_list
+      (Array.map (function Value y -> y | Empty | Raised _ -> assert false) results)
+
+type error = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;
+}
+
+type 'a outcome = Completed of 'a | Crashed of error
+
+let attempt ~retries f x =
+  let rec go attempts =
+    match f x with
+    | y -> Completed y
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      if attempts <= retries then go (attempts + 1)
+      else Crashed { exn = e; backtrace = bt; attempts }
+  in
+  go 1
+
+let map_result ?domains ?(retries = 0) f xs =
+  if retries < 0 then invalid_arg "Pool.map_result: negative retry budget";
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ attempt ~retries f x ]
+  | _ when domains <= 1 -> map_seq (attempt ~retries f) xs
   | _ ->
     let input = Array.of_list xs in
     let n = Array.length input in
@@ -33,15 +104,12 @@ let map ?domains f xs =
       match take () with
       | None -> ()
       | Some i ->
-        results.(i) <-
-          (match f input.(i) with y -> Value y | exception e -> Error e);
+        results.(i) <- Value (attempt ~retries f input.(i));
         worker ()
     in
-    (* the calling domain is one of the workers *)
     let spawned = min domains n - 1 in
     let workers = Array.init spawned (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join workers;
-    Array.iter (function Error e -> raise e | Empty | Value _ -> ()) results;
     Array.to_list
-      (Array.map (function Value y -> y | Empty | Error _ -> assert false) results)
+      (Array.map (function Value y -> y | Empty | Raised _ -> assert false) results)

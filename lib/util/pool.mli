@@ -6,7 +6,8 @@
     index-addressed buffer, so scheduling order never leaks into the
     result, and the lowest-index exception is the one re-raised.
 
-    Built on stdlib [Domain]/[Mutex] only — no external dependencies. *)
+    Built on stdlib [Domain]/[Mutex]/[Atomic] only — no external
+    dependencies. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()]: the hardware parallelism the
@@ -20,7 +21,27 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     With [domains <= 1] (or a singleton/empty list) no domain is
     spawned and [f] is applied sequentially, left to right.
 
-    If one or more applications raise, every in-flight element still
-    runs to completion, then the exception of the {e lowest} input index
-    is re-raised — the same exception a sequential [List.map] would have
-    surfaced first.  [domains] defaults to {!default_domains}. *)
+    If an application raises, remaining work is cancelled promptly:
+    elements already in flight finish, but no new element starts.  The
+    exception of the {e lowest} input index is then re-raised {e with its
+    original backtrace} — the same exception a sequential [List.map]
+    would have surfaced first (indices are handed out in order, so every
+    element below a failed one has run to completion).  [domains]
+    defaults to {!default_domains}. *)
+
+type error = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;  (** backtrace of the last attempt *)
+  attempts : int;  (** how many times the element was tried *)
+}
+
+type 'a outcome = Completed of 'a | Crashed of error
+
+val map_result : ?domains:int -> ?retries:int -> ('a -> 'b) -> 'a list -> 'b outcome list
+(** Supervised variant of {!map}: one element crashing never aborts the
+    rest.  Each element is attempted up to [1 + retries] times (in the
+    same worker, immediately); if every attempt raises, its slot becomes
+    [Crashed] carrying the last exception, its backtrace and the attempt
+    count, and the remaining elements still run.  Output order matches
+    input order exactly.  [retries] defaults to [0].
+    @raise Invalid_argument on a negative [retries]. *)

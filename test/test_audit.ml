@@ -1,0 +1,109 @@
+(* Runtime invariant auditor: clean on healthy runs (with and without
+   faults), non-perturbing, and able to flag a deliberately corrupted
+   state with structured violations. *)
+
+module Audit = Etx_etsim.Audit
+module Engine = Etx_etsim.Engine
+module Spec = Etx_fault.Spec
+module Calibration = Etextile.Calibration
+
+let run_audited ?(every_frames = 1) config =
+  let recorder = Audit.create ~every_frames () in
+  let engine = Engine.create config in
+  Engine.enable_audit engine recorder;
+  match Engine.run_until engine ~cycle:max_int with
+  | Engine.Finished metrics -> (recorder, metrics)
+  | Engine.Paused -> Alcotest.fail "run_until max_int paused"
+
+let check_clean name recorder =
+  List.iter
+    (fun v -> Format.printf "%s: %a@." name Audit.pp_violation v)
+    (Audit.violations recorder);
+  Alcotest.(check int) (name ^ ": violations") 0 (Audit.violation_count recorder);
+  Alcotest.(check bool) (name ^ ": passes ran") true (Audit.passes recorder > 0)
+
+let test_clean_on_seed_configs () =
+  List.iter
+    (fun seed ->
+      let config = Calibration.config ~mesh_size:4 ~seed () in
+      let recorder, _ = run_audited config in
+      check_clean (Printf.sprintf "ear 4x4 seed %d" seed) recorder)
+    Calibration.default_seeds;
+  let sdr = Calibration.config ~mesh_size:4 ~seed:1 ~policy:(Calibration.sdr ()) () in
+  let recorder, _ = run_audited sdr in
+  check_clean "sdr 4x4" recorder
+
+let test_clean_under_faults () =
+  let fault =
+    Spec.make ~seed:9 ~link_wearout_rate:1e-6 ~bit_error_rate:5e-4
+      ~brownout_rate:2e-5 ~brownout_duration_cycles:1000 ~upload_loss_rate:0.1
+      ~download_loss_rate:0.1 ()
+  in
+  let config = Calibration.config ~mesh_size:5 ~seed:2 ~fault () in
+  let recorder, _ = run_audited config in
+  check_clean "ear 5x5 faulty" recorder
+
+let test_audit_does_not_perturb () =
+  let fault = Spec.make ~seed:4 ~bit_error_rate:1e-3 () in
+  let config = Calibration.config ~mesh_size:4 ~seed:3 ~fault () in
+  let unaudited = Engine.simulate config in
+  let _, audited = run_audited ~every_frames:3 config in
+  Alcotest.(check bool) "metrics bit-identical" true (audited = unaudited)
+
+let test_cadence () =
+  let config = Calibration.config ~mesh_size:4 ~seed:1 () in
+  let every, _ = run_audited ~every_frames:1 config in
+  let sparse, _ = run_audited ~every_frames:10 config in
+  Alcotest.(check bool) "sparse cadence runs fewer passes" true
+    (Audit.passes sparse < Audit.passes every);
+  Alcotest.(check bool) "sparse cadence still audits" true (Audit.passes sparse > 0)
+
+let test_corrupted_state_is_flagged () =
+  let config = Calibration.config ~mesh_size:4 ~seed:1 () in
+  let engine = Engine.create config in
+  (match Engine.run_until engine ~cycle:20_000 with
+  | Engine.Finished _ -> Alcotest.fail "died before corruption point"
+  | Engine.Paused -> ());
+  let recorder = Audit.create () in
+  Engine.audit_now engine recorder;
+  Alcotest.(check int) "clean before corruption" 0 (Audit.violation_count recorder);
+  Engine.corrupt_state_for_test engine;
+  Engine.audit_now engine recorder;
+  let violations = Audit.violations recorder in
+  Alcotest.(check bool) "violations recorded" true (violations <> []);
+  let invariants = List.map (fun (v : Audit.violation) -> v.invariant) violations in
+  let has name = List.mem name invariants in
+  Alcotest.(check bool) "occupancy census tripped" true (has "occupancy-census");
+  Alcotest.(check bool) "energy ledger tripped" true (has "energy-ledger");
+  List.iter
+    (fun (v : Audit.violation) ->
+      Alcotest.(check bool) "detail is non-empty" true (String.length v.detail > 0))
+    violations
+
+let test_recorder_cap () =
+  let recorder = Audit.create ~max_recorded:2 () in
+  for i = 1 to 5 do
+    Audit.record recorder
+      { Audit.cycle = i; node = None; invariant = "test"; detail = "overflow" }
+  done;
+  Alcotest.(check int) "count includes dropped" 5 (Audit.violation_count recorder);
+  Alcotest.(check int) "stored capped" 2 (List.length (Audit.violations recorder));
+  Alcotest.(check int) "dropped" 3 (Audit.dropped recorder);
+  Alcotest.(check (list int)) "oldest first" [ 1; 2 ]
+    (List.map (fun (v : Audit.violation) -> v.cycle) (Audit.violations recorder));
+  match Audit.create ~every_frames:0 () with
+  | _ -> Alcotest.fail "non-positive cadence accepted"
+  | exception Invalid_argument _ -> ()
+
+let suite =
+  [
+    ( "audit",
+      [
+        ("clean on seed configs", `Slow, test_clean_on_seed_configs);
+        ("clean under faults", `Slow, test_clean_under_faults);
+        ("does not perturb the run", `Quick, test_audit_does_not_perturb);
+        ("cadence", `Quick, test_cadence);
+        ("corrupted state is flagged", `Quick, test_corrupted_state_is_flagged);
+        ("recorder cap and validation", `Quick, test_recorder_cap);
+      ] );
+  ]

@@ -1,0 +1,316 @@
+(* Checkpoint/restore: binary format round-trips, CRC protection, and
+   the engine bit-identity guarantee (run-to-N + checkpoint + restore +
+   run-to-end = uninterrupted run), including under fault injection. *)
+
+module Checkpoint = Etx_etsim.Checkpoint
+module Engine = Etx_etsim.Engine
+module Metrics = Etx_etsim.Metrics
+module Config = Etx_etsim.Config
+module Spec = Etx_fault.Spec
+module Policy = Etx_routing.Policy
+module Topology = Etx_graph.Topology
+module Calibration = Etextile.Calibration
+
+(* - format primitives - *)
+
+let test_crc32_vector () =
+  (* the standard IEEE CRC-32 check value *)
+  let b = Bytes.of_string "123456789" in
+  Alcotest.(check int32) "check value" 0xCBF43926l
+    (Checkpoint.crc32 b ~pos:0 ~len:(Bytes.length b))
+
+let test_writer_reader_roundtrip () =
+  let w = Checkpoint.Writer.create () in
+  Checkpoint.Writer.byte w 200;
+  Checkpoint.Writer.bool w true;
+  Checkpoint.Writer.int w (-123456789);
+  Checkpoint.Writer.int64 w 0x0123456789ABCDEFL;
+  Checkpoint.Writer.float w 3.141592653589793;
+  Checkpoint.Writer.float w nan;
+  Checkpoint.Writer.string w "hello";
+  Checkpoint.Writer.option w (Checkpoint.Writer.int w) None;
+  Checkpoint.Writer.option w (Checkpoint.Writer.int w) (Some 7);
+  Checkpoint.Writer.list w (Checkpoint.Writer.int w) [ 1; 2; 3 ];
+  Checkpoint.Writer.int_array w [| 4; 5 |];
+  Checkpoint.Writer.float_array w [| 1.5; -2.5 |];
+  Checkpoint.Writer.bool_array w [| true; false; true |];
+  let r = Checkpoint.Reader.create (Checkpoint.Writer.contents w) in
+  Alcotest.(check int) "byte" 200 (Checkpoint.Reader.byte r);
+  Alcotest.(check bool) "bool" true (Checkpoint.Reader.bool r);
+  Alcotest.(check int) "int" (-123456789) (Checkpoint.Reader.int r);
+  Alcotest.(check int64) "int64" 0x0123456789ABCDEFL (Checkpoint.Reader.int64 r);
+  Alcotest.(check (float 0.)) "float" 3.141592653589793 (Checkpoint.Reader.float r);
+  Alcotest.(check bool) "nan round-trips" true
+    (Float.is_nan (Checkpoint.Reader.float r));
+  Alcotest.(check string) "string" "hello" (Checkpoint.Reader.string r);
+  Alcotest.(check (option int)) "none" None
+    (Checkpoint.Reader.option r (fun () -> Checkpoint.Reader.int r));
+  Alcotest.(check (option int)) "some" (Some 7)
+    (Checkpoint.Reader.option r (fun () -> Checkpoint.Reader.int r));
+  Alcotest.(check (list int)) "list" [ 1; 2; 3 ]
+    (Checkpoint.Reader.list r (fun () -> Checkpoint.Reader.int r));
+  Alcotest.(check (array int)) "int array" [| 4; 5 |] (Checkpoint.Reader.int_array r);
+  Alcotest.(check (array (float 0.))) "float array" [| 1.5; -2.5 |]
+    (Checkpoint.Reader.float_array r);
+  Alcotest.(check (array bool)) "bool array" [| true; false; true |]
+    (Checkpoint.Reader.bool_array r);
+  Alcotest.(check bool) "drained" true (Checkpoint.Reader.at_end r)
+
+let test_reader_rejects_overrun () =
+  let w = Checkpoint.Writer.create () in
+  Checkpoint.Writer.int w 3;
+  let r = Checkpoint.Reader.create (Checkpoint.Writer.contents w) in
+  ignore (Checkpoint.Reader.int r);
+  (match Checkpoint.Reader.int r with
+  | _ -> Alcotest.fail "read past end accepted"
+  | exception Checkpoint.Error (Checkpoint.Malformed _) -> ());
+  (* a length prefix larger than the payload must be rejected, not
+     allocated *)
+  let w = Checkpoint.Writer.create () in
+  Checkpoint.Writer.int w max_int;
+  let r = Checkpoint.Reader.create (Checkpoint.Writer.contents w) in
+  match Checkpoint.Reader.string r with
+  | _ -> Alcotest.fail "oversized length accepted"
+  | exception Checkpoint.Error (Checkpoint.Malformed _) -> ()
+
+let test_frame_roundtrip () =
+  let payload = Bytes.of_string "some payload bytes" in
+  let framed = Checkpoint.frame payload in
+  Alcotest.(check bytes) "unframe inverts frame" payload (Checkpoint.unframe framed)
+
+let expect_error name expected f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": accepted")
+  | exception Checkpoint.Error e ->
+    Alcotest.(check string) name
+      (Checkpoint.error_to_string expected)
+      (Checkpoint.error_to_string e)
+
+let test_frame_rejections () =
+  let payload = Bytes.of_string "some payload bytes" in
+  let framed = Checkpoint.frame payload in
+  (* corrupted payload byte -> CRC mismatch *)
+  let corrupt = Bytes.copy framed in
+  let mid = 20 + (Bytes.length payload / 2) in
+  Bytes.set corrupt mid (Char.chr (Char.code (Bytes.get corrupt mid) lxor 0x40));
+  expect_error "corrupted" Checkpoint.Crc_mismatch (fun () -> Checkpoint.unframe corrupt);
+  (* truncation *)
+  expect_error "truncated" Checkpoint.Truncated (fun () ->
+      Checkpoint.unframe (Bytes.sub framed 0 (Bytes.length framed - 3)));
+  expect_error "empty" Checkpoint.Truncated (fun () -> Checkpoint.unframe Bytes.empty);
+  (* wrong magic *)
+  let bad = Bytes.copy framed in
+  Bytes.set bad 0 'X';
+  expect_error "magic" Checkpoint.Bad_magic (fun () -> Checkpoint.unframe bad);
+  (* future version *)
+  let future = Bytes.copy framed in
+  Bytes.set_int32_le future 8 99l;
+  expect_error "version" (Checkpoint.Unsupported_version 99) (fun () ->
+      Checkpoint.unframe future)
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "etx_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let payload = Bytes.of_string "persisted" in
+      Checkpoint.write_file path payload;
+      Alcotest.(check bytes) "read back" payload (Checkpoint.read_file path);
+      (* truncated on disk -> rejected *)
+      let oc = open_out_bin path in
+      output_string oc "ETXCKPT1";
+      close_out oc;
+      expect_error "truncated file" Checkpoint.Truncated (fun () ->
+          Checkpoint.read_file path))
+
+(* - engine bit-identity - *)
+
+let faulty_spec ~seed =
+  Spec.make ~seed ~link_wearout_rate:1e-6 ~bit_error_rate:5e-4 ~brownout_rate:2e-5
+    ~brownout_duration_cycles:1000 ~upload_loss_rate:0.1 ~download_loss_rate:0.1 ()
+
+let finish engine =
+  match Engine.run_until engine ~cycle:max_int with
+  | Engine.Finished metrics -> metrics
+  | Engine.Paused -> Alcotest.fail "run_until max_int paused"
+
+(* run [config] uninterrupted, then again with a checkpoint/restore break
+   at [stop], and insist the metrics are structurally identical *)
+let check_bit_identity ?(name = "metrics") config ~stop =
+  let reference = Engine.simulate config in
+  let engine = Engine.create config in
+  (match Engine.run_until engine ~cycle:stop with
+  | Engine.Finished metrics ->
+    (* the run ended before the checkpoint cycle: still must agree *)
+    Alcotest.(check bool) (name ^ " (no pause)") true (metrics = reference)
+  | Engine.Paused ->
+    let payload = Engine.checkpoint engine in
+    let restored = Engine.restore config payload in
+    let metrics = finish restored in
+    Alcotest.(check bool) name true (metrics = reference));
+  reference
+
+let test_bit_identity_5x5_ear_with_faults () =
+  let config =
+    Calibration.config ~mesh_size:5 ~seed:2 ~fault:(faulty_spec ~seed:42) ()
+  in
+  let reference = Engine.simulate config in
+  (* checkpoint at several points across the lifetime, including frame
+     boundaries and cycle 0 *)
+  let lifetime = reference.Metrics.lifetime_cycles in
+  List.iter
+    (fun stop ->
+      ignore
+        (check_bit_identity ~name:(Printf.sprintf "stop at %d" stop) config ~stop))
+    [ 0; lifetime / 7; lifetime / 3; lifetime / 2; (lifetime * 9) / 10 ]
+
+let test_bit_identity_through_file_and_double_resume () =
+  let config =
+    Calibration.config ~mesh_size:4 ~seed:3 ~fault:(faulty_spec ~seed:7) ()
+  in
+  let reference = Engine.simulate config in
+  let lifetime = reference.Metrics.lifetime_cycles in
+  let path = Filename.temp_file "etx_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let engine = Engine.create config in
+      (match Engine.run_until engine ~cycle:(lifetime / 4) with
+      | Engine.Finished _ -> Alcotest.fail "died before first pause"
+      | Engine.Paused -> Engine.checkpoint_to_file engine path);
+      let resumed = Engine.restore_from_file config path in
+      (* pause a second time: checkpoints must compose *)
+      (match Engine.run_until resumed ~cycle:(lifetime / 2) with
+      | Engine.Finished _ -> Alcotest.fail "died before second pause"
+      | Engine.Paused -> Engine.checkpoint_to_file resumed path);
+      let resumed = Engine.restore_from_file config path in
+      Alcotest.(check bool) "metrics identical" true (finish resumed = reference))
+
+let test_bit_identity_sdr_and_controllers () =
+  (* exercise the maximin-free path, finite controllers and an ideal
+     battery bank through the same guarantee *)
+  let config =
+    Calibration.config ~mesh_size:4 ~seed:5 ~policy:(Policy.sdr ())
+      ~controllers:(Config.Battery_controllers { count = 2 })
+      ()
+  in
+  ignore (check_bit_identity ~name:"sdr/finite controllers" config ~stop:40_000)
+
+let test_checkpoint_guards () =
+  let config = Calibration.config ~mesh_size:4 ~seed:1 () in
+  let engine = Engine.create config in
+  (match Engine.checkpoint engine with
+  | _ -> Alcotest.fail "checkpoint before start accepted"
+  | exception Invalid_argument _ -> ());
+  let metrics = finish engine in
+  ignore metrics;
+  (match Engine.checkpoint engine with
+  | _ -> Alcotest.fail "checkpoint after finish accepted"
+  | exception Invalid_argument _ -> ());
+  match Engine.run_until engine ~cycle:max_int with
+  | _ -> Alcotest.fail "run_until after finish accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_fingerprint_mismatch () =
+  let config = Calibration.config ~mesh_size:4 ~seed:1 () in
+  let engine = Engine.create config in
+  (match Engine.run_until engine ~cycle:10_000 with
+  | Engine.Finished _ -> Alcotest.fail "died before pause"
+  | Engine.Paused -> ());
+  let payload = Engine.checkpoint engine in
+  let other = Calibration.config ~mesh_size:4 ~seed:2 () in
+  (match Engine.restore other payload with
+  | _ -> Alcotest.fail "restore under different config accepted"
+  | exception Checkpoint.Error (Checkpoint.Fingerprint_mismatch _) -> ());
+  (* a mangled payload is rejected as malformed, never a crash *)
+  let broken = Bytes.sub payload 0 (Bytes.length payload - 5) in
+  match Engine.restore config broken with
+  | _ -> Alcotest.fail "truncated payload accepted"
+  | exception Checkpoint.Error _ -> ()
+
+(* - QCheck: restore-then-run is bit-identical across random configs and
+   fault plans - *)
+
+type scenario = {
+  size : int;
+  seed : int;
+  fault_seed : int;
+  ber : float;
+  wearout : float;
+  brownout : float;
+  upload_loss : float;
+  download_loss : float;
+  retries : int;
+  stop_num : int; (* stop cycle = lifetime * stop_num / 16 *)
+}
+
+let scenario_gen =
+  QCheck.Gen.(
+    map
+      (fun ((size, seed, fault_seed, ber, wearout), (brownout, upload_loss, download_loss, retries, stop_num)) ->
+        { size; seed; fault_seed; ber; wearout; brownout; upload_loss;
+          download_loss; retries; stop_num })
+      (pair
+         (tup5 (int_range 3 5) (int_range 1 1000) (int_range 0 10_000)
+            (float_bound_inclusive 1e-3) (float_bound_inclusive 1e-5))
+         (tup5 (float_bound_inclusive 5e-5) (float_bound_inclusive 0.3)
+            (float_bound_inclusive 0.3) (int_range 0 3) (int_range 0 16))))
+
+let scenario_print s =
+  Printf.sprintf
+    "{size=%d seed=%d fault_seed=%d ber=%g wear=%g brown=%g up=%.2f down=%.2f \
+     retries=%d stop=%d/16}"
+    s.size s.seed s.fault_seed s.ber s.wearout s.brownout s.upload_loss
+    s.download_loss s.retries s.stop_num
+
+let scenario_arbitrary = QCheck.make ~print:scenario_print scenario_gen
+
+let scenario_config s =
+  let fault =
+    Spec.make ~seed:s.fault_seed ~link_wearout_rate:s.wearout ~bit_error_rate:s.ber
+      ~brownout_rate:s.brownout ~brownout_duration_cycles:1500
+      ~upload_loss_rate:s.upload_loss ~download_loss_rate:s.download_loss ()
+  in
+  Config.make
+    ~topology:(Topology.square_mesh ~size:s.size ())
+    ~policy:(Policy.ear ()) ~fault ~max_retransmissions:s.retries
+    ~job_source:Config.Round_robin_entry ~seed:s.seed ~max_jobs:(Some 60)
+    ~max_cycles:1_000_000 ()
+
+let invariant_restore_bit_identical =
+  QCheck.Test.make
+    ~name:"checkpoint: restore-then-run is bit-identical to uninterrupted run"
+    ~count:30 scenario_arbitrary (fun s ->
+      let config = scenario_config s in
+      let reference = Engine.simulate config in
+      let stop = reference.Metrics.lifetime_cycles * s.stop_num / 16 in
+      let engine = Engine.create config in
+      match Engine.run_until engine ~cycle:stop with
+      | Engine.Finished metrics -> metrics = reference
+      | Engine.Paused ->
+        let restored = Engine.restore config (Engine.checkpoint engine) in
+        finish restored = reference)
+
+let suite =
+  [
+    ( "checkpoint/format",
+      [
+        ("crc32 check value", `Quick, test_crc32_vector);
+        ("writer/reader round-trip", `Quick, test_writer_reader_roundtrip);
+        ("reader rejects overrun", `Quick, test_reader_rejects_overrun);
+        ("frame round-trip", `Quick, test_frame_roundtrip);
+        ("frame rejections", `Quick, test_frame_rejections);
+        ("file round-trip", `Quick, test_file_roundtrip);
+      ] );
+    ( "checkpoint/engine",
+      [
+        ("5x5 EAR with faults bit-identity", `Slow, test_bit_identity_5x5_ear_with_faults);
+        ( "file round-trip and double resume",
+          `Slow,
+          test_bit_identity_through_file_and_double_resume );
+        ("sdr + finite controllers", `Slow, test_bit_identity_sdr_and_controllers);
+        ("checkpoint guards", `Quick, test_checkpoint_guards);
+        ("fingerprint mismatch", `Quick, test_fingerprint_mismatch);
+        QCheck_alcotest.to_alcotest invariant_restore_bit_identical;
+      ] );
+  ]

@@ -1,0 +1,150 @@
+(* End-to-end tests of the etx binary: the resilience subcommand, the
+   PR 3 fault flags on simulate, checkpoint/resume/audit, and non-zero
+   exit codes on invalid values.  Driven through the shell so the whole
+   cmdliner wiring (parsing, validation, exit codes) is under test. *)
+
+let exe = "../bin/etx_main.exe"
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* run [exe args], capturing interleaved stdout+stderr and the exit code *)
+let run_command args =
+  let out = Filename.temp_file "etx_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code = Sys.command (Printf.sprintf "%s %s > %s 2>&1" exe args (Filename.quote out)) in
+      let ic = open_in_bin out in
+      let output = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (code, output))
+
+let check_ok name args =
+  let code, output = run_command args in
+  if code <> 0 then Alcotest.failf "%s: exit %d\n%s" name code output;
+  output
+
+let check_fails name args =
+  let code, output = run_command args in
+  if code = 0 then Alcotest.failf "%s: expected non-zero exit\n%s" name output;
+  output
+
+let test_simulate_baseline () =
+  let output = check_ok "simulate" "simulate --size 4 --seed 1" in
+  Alcotest.(check bool) "prints metrics" true (contains output "jobs completed:")
+
+let test_simulate_fault_flags () =
+  let args = "simulate --size 4 --seed 1 --ber 2e-4 --fault-seed 7 --retries 5" in
+  let first = check_ok "faulty simulate" args in
+  Alcotest.(check bool) "reports corruption counters" true (contains first "faults:");
+  (* the fault stream is seeded: the same flags replay the same run *)
+  let second = check_ok "faulty simulate (again)" args in
+  Alcotest.(check string) "deterministic replay" first second
+
+let test_simulate_invalid_values () =
+  List.iter
+    (fun (name, args) -> ignore (check_fails name ("simulate --size 4 " ^ args)))
+    [
+      ("negative ber", "--ber -1e-4");
+      ("negative retries", "--retries -2");
+      ("upload loss above 1", "--upload-loss 1.5");
+      ("negative brownout duration", "--brownout-rate 1e-5 --brownout-cycles -3");
+      ("unknown policy", "--policy quantum");
+      ("checkpoint-every without file", "--checkpoint-every 100");
+      ("non-positive checkpoint-every", "--checkpoint-every 0 --checkpoint-file x.bin");
+      ("resume from missing file", "--resume definitely-missing.bin");
+    ]
+
+let test_simulate_checkpoint_resume () =
+  let file = Filename.temp_file "etx_cli_ckpt" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let flags = "--size 4 --seed 2 --ber 1e-4 --fault-seed 3" in
+      let uninterrupted = check_ok "uninterrupted" ("simulate " ^ flags) in
+      let checkpointed =
+        check_ok "checkpointed"
+          (Printf.sprintf "simulate %s --checkpoint-every 15000 --checkpoint-file %s"
+             flags (Filename.quote file))
+      in
+      Alcotest.(check string) "checkpointing never changes the run" uninterrupted
+        checkpointed;
+      (* the file holds a mid-run snapshot; resuming finishes identically *)
+      let resumed =
+        check_ok "resumed"
+          (Printf.sprintf "simulate %s --resume %s" flags (Filename.quote file))
+      in
+      Alcotest.(check string) "resume is bit-identical" uninterrupted resumed;
+      (* resuming under different flags is rejected with a clean error *)
+      ignore
+        (check_fails "resume under wrong seed"
+           (Printf.sprintf "simulate --size 4 --seed 9 --resume %s" (Filename.quote file))))
+
+let test_simulate_audit_flag () =
+  let output = check_ok "audited simulate" "simulate --size 4 --seed 1 --audit" in
+  Alcotest.(check bool) "audit summary printed" true (contains output "audit:");
+  Alcotest.(check bool) "no violations" true (contains output "0 violation(s)")
+
+let test_audit_subcommand () =
+  let output = check_ok "audit" "audit --sizes 4 --seeds 1 --every 2" in
+  Alcotest.(check bool) "per-config report" true (contains output "4x4 seed 1:");
+  Alcotest.(check bool) "clean" true (contains output "0 violation(s)");
+  ignore (check_fails "audit invalid cadence" "audit --sizes 4 --seeds 1 --every 0");
+  ignore (check_fails "audit invalid size" "audit --sizes 1")
+
+let test_resilience_subcommand () =
+  let output =
+    check_ok "resilience"
+      "resilience --size 4 --ber-rates 0 --wearout-rates 1e-5 --seeds 1 --fault-seed 11"
+  in
+  Alcotest.(check bool) "bit-error axis" true (contains output "bit-error");
+  Alcotest.(check bool) "wear-out axis" true (contains output "wear-out")
+
+let test_resilience_invalid_values () =
+  List.iter
+    (fun (name, args) -> ignore (check_fails name ("resilience " ^ args)))
+    [
+      ("mesh too small", "--size 1");
+      ("negative rate", "--size 4 --ber-rates -1e-4 --seeds 1");
+      ("negative sweep retries", "--size 4 --seeds 1 --sweep-retries -1");
+    ]
+
+let test_resilience_manifest_resume () =
+  let file = Filename.temp_file "etx_cli_manifest" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      let args =
+        Printf.sprintf
+          "resilience --size 4 --ber-rates 0,1e-4 --wearout-rates 0 --seeds 1 \
+           --manifest %s"
+          (Filename.quote file)
+      in
+      let first = check_ok "supervised resilience" args in
+      Alcotest.(check bool) "manifest written" true (Sys.file_exists file);
+      (* the second invocation replays entirely from the manifest *)
+      let second = check_ok "resumed resilience" args in
+      Alcotest.(check string) "identical table from stored cells" first second)
+
+let suite =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "simulate baseline" `Quick test_simulate_baseline;
+        Alcotest.test_case "simulate fault flags" `Quick test_simulate_fault_flags;
+        Alcotest.test_case "simulate invalid values" `Quick test_simulate_invalid_values;
+        Alcotest.test_case "checkpoint + resume" `Quick test_simulate_checkpoint_resume;
+        Alcotest.test_case "simulate --audit" `Quick test_simulate_audit_flag;
+        Alcotest.test_case "audit subcommand" `Quick test_audit_subcommand;
+        Alcotest.test_case "resilience subcommand" `Slow test_resilience_subcommand;
+        Alcotest.test_case "resilience invalid values" `Quick
+          test_resilience_invalid_values;
+        Alcotest.test_case "resilience manifest resume" `Slow
+          test_resilience_manifest_resume;
+      ] );
+  ]
+
+let () = Alcotest.run "etx-cli" suite

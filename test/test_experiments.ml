@@ -162,6 +162,125 @@ let test_report_concurrency_renders () =
   in
   Alcotest.(check bool) "deadlock column" true (contains rendered "deadlocks")
 
+(* - supervised sweeps - *)
+
+let with_temp_manifest f =
+  let path = Filename.temp_file "etx_manifest" ".bin" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+(* a tiny sweep of three one-config units whose rows are the completed
+   job counts, with a simulate wrapper that counts calls and can be told
+   to crash on one mesh size *)
+let supervised_units () =
+  List.map
+    (fun mesh_size ->
+      {
+        Experiments.configs = [ Calibration.config ~mesh_size ~seed:1 () ];
+        finish =
+          (fun runs ->
+            (mesh_size, List.map (fun (m : Etx_etsim.Metrics.t) -> m.jobs_completed) runs));
+      })
+    [ 3; 4; 5 ]
+
+let counting_simulate ?(crash_on_nodes = -1) calls config =
+  incr calls;
+  if Etx_etsim.Config.node_count config = crash_on_nodes then
+    failwith "injected sweep crash";
+  Etx_etsim.Engine.simulate config
+
+let test_supervised_survives_crash () =
+  (* the 4x4 unit always raises; 3x3 and 5x5 must still complete *)
+  let calls = ref 0 in
+  let results =
+    Experiments.run_units_supervised ~retries:1
+      ~simulate:(counting_simulate ~crash_on_nodes:16 calls)
+      (supervised_units ())
+  in
+  match results with
+  | [ Ok (3, [ a ]); Error failure; Ok (5, [ b ]) ] ->
+    Alcotest.(check bool) "3x3 ran" true (a > 0);
+    Alcotest.(check bool) "5x5 ran" true (b > 0);
+    Alcotest.(check int) "failed unit index" 1 failure.Experiments.unit_index;
+    Alcotest.(check bool) "message carries the exception" true
+      (contains failure.message "injected sweep crash");
+    Alcotest.(check int) "both attempts used" 2 failure.attempts
+  | _ -> Alcotest.fail "unexpected supervised sweep shape"
+
+let test_supervised_manifest_resume () =
+  with_temp_manifest (fun manifest ->
+      let fingerprint = "test-sweep-v1" in
+      (* first pass: unit 1 crashes, units 0 and 2 land in the manifest *)
+      let calls = ref 0 in
+      let first =
+        Experiments.run_units_supervised ~manifest ~fingerprint
+          ~simulate:(counting_simulate ~crash_on_nodes:16 calls)
+          (supervised_units ())
+      in
+      Alcotest.(check int) "first pass simulated all three" 3 !calls;
+      let row = function Ok row -> Some row | Error _ -> None in
+      (* second pass: nothing crashes; only the failed cell is recomputed *)
+      let calls = ref 0 in
+      let second =
+        Experiments.run_units_supervised ~manifest ~fingerprint
+          ~simulate:(counting_simulate calls) (supervised_units ())
+      in
+      Alcotest.(check int) "resume recomputed only the failed cell" 1 !calls;
+      Alcotest.(check bool) "all three rows now present" true
+        (List.for_all (fun r -> row r <> None) second);
+      (* completed cells carry the stored metrics, not re-runs *)
+      Alcotest.(check bool) "stored rows identical" true
+        (row (List.nth first 0) = row (List.nth second 0)
+        && row (List.nth first 2) = row (List.nth second 2));
+      (* a different fingerprint ignores the file and recomputes *)
+      let calls = ref 0 in
+      ignore
+        (Experiments.run_units_supervised ~manifest ~fingerprint:"other-sweep"
+           ~simulate:(counting_simulate calls) (supervised_units ()));
+      Alcotest.(check int) "fingerprint mismatch starts fresh" 3 !calls;
+      (* a truncated manifest is treated as absent, not fatal *)
+      let oc = open_out_bin manifest in
+      output_string oc "ETXCKPT1";
+      close_out oc;
+      let calls = ref 0 in
+      ignore
+        (Experiments.run_units_supervised ~manifest ~fingerprint
+           ~simulate:(counting_simulate calls) (supervised_units ()));
+      Alcotest.(check int) "corrupt manifest starts fresh" 3 !calls)
+
+let test_supervised_matches_plain_fig7 () =
+  with_temp_manifest (fun manifest ->
+      let plain = Experiments.fig7 ~sizes:[ 4 ] ~seeds () in
+      let supervised =
+        Experiments.fig7_supervised ~sizes:[ 4 ] ~seeds ~manifest ()
+      in
+      (match supervised with
+      | [ Ok row ] ->
+        Alcotest.(check bool) "same row" true (row = List.hd plain)
+      | _ -> Alcotest.fail "expected one Ok row");
+      (* resuming from the manifest must reproduce the identical row *)
+      match Experiments.fig7_supervised ~sizes:[ 4 ] ~seeds ~manifest () with
+      | [ Ok row ] ->
+        Alcotest.(check bool) "resumed row identical" true (row = List.hd plain)
+      | _ -> Alcotest.fail "expected one Ok row on resume")
+
+let test_supervised_resilience_shape () =
+  let results =
+    Experiments.resilience_supervised ~mesh_size:4 ~bit_error_rates:[ 0.; 1e-4 ]
+      ~wearout_rates:[ 0. ] ~seeds ()
+  in
+  Alcotest.(check int) "three cells" 3 (List.length results);
+  Alcotest.(check bool) "all completed" true
+    (List.for_all (function Ok _ -> true | Error _ -> false) results)
+
+let test_metrics_serialization_roundtrip () =
+  let m = Etx_etsim.Engine.simulate (Calibration.config ~mesh_size:4 ~seed:1 ()) in
+  let w = Etx_etsim.Checkpoint.Writer.create () in
+  Etx_etsim.Metrics.write w m;
+  let r = Etx_etsim.Checkpoint.Reader.create (Etx_etsim.Checkpoint.Writer.contents w) in
+  let m' = Etx_etsim.Metrics.read r in
+  Etx_etsim.Checkpoint.Reader.expect_end r;
+  Alcotest.(check bool) "metrics round-trip bit-identical" true (m = m')
+
 let suite =
   [
     ( "etextile/calibration",
@@ -187,6 +306,18 @@ let suite =
         Alcotest.test_case "parallel sweep determinism" `Slow
           test_parallel_sweep_determinism;
         Alcotest.test_case "reproduction regression" `Slow test_reproduction_regression;
+      ] );
+    ( "etextile/supervised",
+      [
+        Alcotest.test_case "sweep survives a crashing cell" `Slow
+          test_supervised_survives_crash;
+        Alcotest.test_case "manifest resume" `Slow test_supervised_manifest_resume;
+        Alcotest.test_case "fig7 supervised = plain" `Slow
+          test_supervised_matches_plain_fig7;
+        Alcotest.test_case "resilience supervised shape" `Slow
+          test_supervised_resilience_shape;
+        Alcotest.test_case "metrics serialization round-trip" `Quick
+          test_metrics_serialization_roundtrip;
       ] );
     ( "etextile/report",
       [

@@ -4,4 +4,4 @@ let () =
    @ Test_aes.suite @ Test_routing.suite @ Test_etsim.suite @ Test_fault.suite @ Test_workload.suite
    @ Test_analysis.suite @ Test_invariants.suite @ Test_scenario.suite @ Test_coverage.suite
    @ Test_edge.suite
-   @ Test_experiments.suite)
+   @ Test_experiments.suite @ Test_checkpoint.suite @ Test_audit.suite)

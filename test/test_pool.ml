@@ -56,6 +56,93 @@ let test_exception_lowest_index () =
 let test_default_domains_positive () =
   Alcotest.(check bool) "positive" true (Pool.default_domains () >= 1)
 
+let test_cancellation_prompt () =
+  (* index 0 fails immediately; with 10k elements pending, the pool must
+     stop handing out work rather than drain the whole list *)
+  let started = Atomic.make 0 in
+  (match
+     Pool.map ~domains:2
+       (fun x ->
+         ignore (Atomic.fetch_and_add started 1);
+         if x = 0 then failwith "boom";
+         x)
+       (List.init 10_000 (fun i -> i))
+   with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Failure _ -> ());
+  Alcotest.(check bool) "remaining work cancelled" true (Atomic.get started < 10_000)
+
+let outcome_testable =
+  let pp ppf = function
+    | Pool.Completed x -> Format.fprintf ppf "Completed %d" x
+    | Pool.Crashed e -> Format.fprintf ppf "Crashed(%s)" (Printexc.to_string e.Pool.exn)
+  in
+  Alcotest.testable pp ( = )
+
+let test_map_result_all_complete () =
+  List.iter
+    (fun domains ->
+      let xs = List.init 50 (fun i -> i) in
+      Alcotest.(check (list outcome_testable))
+        (Printf.sprintf "domains=%d" domains)
+        (List.map (fun x -> Pool.Completed (x * 3)) xs)
+        (Pool.map_result ~domains (fun x -> x * 3) xs))
+    [ 1; 4 ]
+
+let test_map_result_survives_crashes () =
+  List.iter
+    (fun domains ->
+      let outcomes =
+        Pool.map_result ~domains
+          (fun x -> if x mod 3 = 0 then failwith (string_of_int x) else x * 10)
+          [ 0; 1; 2; 3; 4 ]
+      in
+      let describe = function
+        | Pool.Completed v -> Printf.sprintf "ok:%d" v
+        | Pool.Crashed { exn = Failure payload; attempts; _ } ->
+          Printf.sprintf "crash:%s/%d" payload attempts
+        | Pool.Crashed _ -> "crash:?"
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "domains=%d" domains)
+        [ "crash:0/1"; "ok:10"; "ok:20"; "crash:3/1"; "ok:40" ]
+        (List.map describe outcomes))
+    [ 1; 2; 4 ]
+
+let test_map_result_retries () =
+  (* each element succeeds only on its third attempt *)
+  let table = Array.make 5 0 in
+  let flaky x =
+    table.(x) <- table.(x) + 1;
+    if table.(x) < 3 then failwith "flaky";
+    x
+  in
+  Array.fill table 0 5 0;
+  let outcomes = Pool.map_result ~domains:1 ~retries:2 flaky [ 0; 1; 2; 3; 4 ] in
+  Alcotest.(check (list outcome_testable)) "all recovered"
+    (List.init 5 (fun i -> Pool.Completed i))
+    outcomes;
+  Alcotest.(check (array int)) "three attempts each" [| 3; 3; 3; 3; 3 |] table;
+  (* one retry is not enough: crashes carry the full attempt count *)
+  Array.fill table 0 5 0;
+  (match Pool.map_result ~domains:1 ~retries:1 flaky [ 0 ] with
+  | [ Pool.Crashed { attempts; exn = Failure payload; backtrace } ] ->
+    Alcotest.(check string) "payload" "flaky" payload;
+    Alcotest.(check int) "attempts" 2 attempts;
+    ignore (Printexc.raw_backtrace_to_string backtrace)
+  | _ -> Alcotest.fail "expected a crash with attempts=2");
+  match Pool.map_result ~retries:(-1) (fun x -> x) [ 1 ] with
+  | _ -> Alcotest.fail "negative retries accepted"
+  | exception Invalid_argument _ -> ()
+
+let prop_map_result_matches_map =
+  QCheck.Test.make ~count:100
+    ~name:"pool: map_result = Completed of List.map when nothing raises"
+    QCheck.(pair (small_list small_int) (int_range 1 6))
+    (fun (xs, domains) ->
+      let f x = (x * 13) - 5 in
+      Pool.map_result ~domains f xs = List.map (fun x -> Pool.Completed (f x)) xs)
+
 let prop_matches_list_map =
   QCheck.Test.make ~count:100 ~name:"pool: map = List.map for any domain count"
     QCheck.(pair (small_list small_int) (int_range 1 6))
@@ -73,6 +160,12 @@ let suite =
         Alcotest.test_case "sequential fallback" `Quick test_sequential_fallback;
         Alcotest.test_case "lowest-index exception" `Quick test_exception_lowest_index;
         Alcotest.test_case "default domains" `Quick test_default_domains_positive;
+        Alcotest.test_case "prompt cancellation" `Quick test_cancellation_prompt;
+        Alcotest.test_case "map_result all complete" `Quick test_map_result_all_complete;
+        Alcotest.test_case "map_result survives crashes" `Quick
+          test_map_result_survives_crashes;
+        Alcotest.test_case "map_result retries" `Quick test_map_result_retries;
         QCheck_alcotest.to_alcotest prop_matches_list_map;
+        QCheck_alcotest.to_alcotest prop_map_result_matches_map;
       ] );
   ]
