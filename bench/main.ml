@@ -107,6 +107,18 @@ let checkpoint_kernel =
       (Etx_etsim.Checkpoint.unframe
          (Etx_etsim.Checkpoint.frame (Etx_etsim.Engine.checkpoint engine)))
 
+(* server round trip on the cache-hit path: parse the request line,
+   canonicalize the scenario into its fingerprint, hit the LRU and
+   serialize the response — the per-request overhead a warm service
+   adds on top of the simulation itself *)
+let service_roundtrip_kernel =
+  let server =
+    Etx_service.Server.create { Etx_service.Server.default_config with domains = 1 }
+  in
+  let line = {|{"scenario":"simulate","params":{"mesh_size":4},"id":0}|} in
+  ignore (Etx_service.Server.handle_batch server [ line ]);
+  fun () -> ignore (Etx_service.Server.handle_batch server [ line ])
+
 let analysis_kernel =
   let problem = Etextile.Calibration.problem ~mesh_size:8 in
   let topology = Etx_graph.Topology.square_mesh ~size:8 () in
@@ -131,6 +143,8 @@ let tests =
       Test.make ~name:"kernel/lifetime-prediction-64" (Staged.stage analysis_kernel);
       Test.make ~name:"kernel/fault-frame-64" (Staged.stage fault_frame_kernel);
       Test.make ~name:"kernel/checkpoint-36" (Staged.stage checkpoint_kernel);
+      Test.make ~name:"kernel/service-roundtrip-hit"
+        (Staged.stage service_roundtrip_kernel);
     ]
 
 (* Flat { "benchmark-name": ns_per_run } object, hand-rolled so the

@@ -6,6 +6,12 @@
 
 open Cmdliner
 
+let version = "1.1.0"
+
+(* every subcommand carries the version, so `etx CMD --version` answers
+   (exit 0) anywhere in the tree, not just at the group root *)
+let cmd_info name ~doc = Cmd.info name ~version ~doc
+
 (* - shared argument definitions - *)
 
 let sizes_arg =
@@ -92,7 +98,7 @@ let fig7_cmd =
     Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg $ manifest_arg
                $ sweep_retries_arg))
   in
-  Cmd.v (Cmd.info "fig7" ~doc:"Reproduce Fig 7: completed jobs, EAR vs SDR.") term
+  Cmd.v (cmd_info "fig7" ~doc:"Reproduce Fig 7: completed jobs, EAR vs SDR.") term
 
 let table2_cmd =
   let run sizes seeds jobs =
@@ -106,7 +112,7 @@ let table2_cmd =
   in
   let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
-    (Cmd.info "table2" ~doc:"Reproduce Table 2: EAR vs the Theorem 1 upper bound.")
+    (cmd_info "table2" ~doc:"Reproduce Table 2: EAR vs the Theorem 1 upper bound.")
     term
 
 let fig8_cmd =
@@ -125,7 +131,7 @@ let fig8_cmd =
       `Ok ()
   in
   let term = Term.(ret (const run $ sizes_arg $ controllers_arg $ seeds_arg $ jobs_arg)) in
-  Cmd.v (Cmd.info "fig8" ~doc:"Reproduce Fig 8: lifetime vs number of controllers.") term
+  Cmd.v (cmd_info "fig8" ~doc:"Reproduce Fig 8: lifetime vs number of controllers.") term
 
 let thm1_cmd =
   let run sizes =
@@ -137,7 +143,7 @@ let thm1_cmd =
   in
   let term = Term.(ret (const run $ sizes_arg)) in
   Cmd.v
-    (Cmd.info "thm1" ~doc:"Evaluate Theorem 1: J* and optimal module replication.")
+    (cmd_info "thm1" ~doc:"Evaluate Theorem 1: J* and optimal module replication.")
     term
 
 let ablations_cmd =
@@ -156,7 +162,7 @@ let ablations_cmd =
          (Etextile.Experiments.ablation_battery ~mesh_size ~seeds ~domains:jobs ()))
   in
   let term = Term.(const run $ size_arg $ seeds_arg $ jobs_arg) in
-  Cmd.v (Cmd.info "ablations" ~doc:"Run the design-choice ablation sweeps.") term
+  Cmd.v (cmd_info "ablations" ~doc:"Run the design-choice ablation sweeps.") term
 
 let concurrency_cmd =
   let depths_arg =
@@ -170,7 +176,7 @@ let concurrency_cmd =
   in
   let term = Term.(const run $ size_arg $ depths_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
-    (Cmd.info "concurrency"
+    (cmd_info "concurrency"
        ~doc:"Sweep concurrent jobs and exercise deadlock recovery.")
     term
 
@@ -182,7 +188,7 @@ let workloads_cmd =
   in
   let term = Term.(const run $ size_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
-    (Cmd.info "workloads"
+    (cmd_info "workloads"
        ~doc:"Compare AES encrypt / decrypt / synthetic workloads under EAR.")
     term
 
@@ -194,7 +200,7 @@ let generality_cmd =
   in
   let term = Term.(const run $ seeds_arg $ jobs_arg) in
   Cmd.v
-    (Cmd.info "generality" ~doc:"EAR-vs-SDR gain across synthetic pipeline depths.")
+    (cmd_info "generality" ~doc:"EAR-vs-SDR gain across synthetic pipeline depths.")
     term
 
 let failures_cmd =
@@ -210,7 +216,7 @@ let failures_cmd =
   in
   let term = Term.(const run $ size_arg $ counts_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
-    (Cmd.info "failures" ~doc:"Sweep randomly breaking textile interconnects mid-life.")
+    (cmd_info "failures" ~doc:"Sweep randomly breaking textile interconnects mid-life.")
     term
 
 (* - one-off simulation - *)
@@ -481,7 +487,7 @@ let simulate_cmd =
        $ checkpoint_file_arg $ resume_arg $ audit_arg))
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Run one simulation with custom knobs and print metrics.")
+    (cmd_info "simulate" ~doc:"Run one simulation with custom knobs and print metrics.")
     term
 
 let predict_cmd =
@@ -489,26 +495,34 @@ let predict_cmd =
     match check_sizes sizes with
     | `Error _ as e -> e
     | `Ok () ->
+      (* every result is computed before the first byte is printed *)
+      let summaries =
+        List.map
+          (fun mesh_size ->
+            let problem = Etextile.Calibration.problem ~mesh_size in
+            let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
+            let mapping = Etx_routing.Mapping.checkerboard topology in
+            let prediction =
+              Etx_routing.Analysis.predict ~problem ~topology ~mapping
+                ~module_sequence:Etextile.Experiments.aes_module_sequence ()
+            in
+            (mesh_size, Etx_routing.Analysis.summary prediction))
+          sizes
+      in
+      let report =
+        Etextile.Report.predictions
+          (Etextile.Experiments.predictions ~sizes ~seeds ~domains:jobs ())
+      in
       List.iter
-        (fun mesh_size ->
-          let problem = Etextile.Calibration.problem ~mesh_size in
-          let topology = Etx_graph.Topology.square_mesh ~size:mesh_size () in
-          let mapping = Etx_routing.Mapping.checkerboard topology in
-          let prediction =
-            Etx_routing.Analysis.predict ~problem ~topology ~mapping
-              ~module_sequence:Etextile.Experiments.aes_module_sequence ()
-          in
-          Printf.printf "== %dx%d ==\n%s\n" mesh_size mesh_size
-            (Etx_routing.Analysis.summary prediction))
-        sizes;
-      Etextile.Report.print
-        (Etextile.Report.predictions
-           (Etextile.Experiments.predictions ~sizes ~seeds ~domains:jobs ()));
+        (fun (mesh_size, summary) ->
+          Printf.printf "== %dx%d ==\n%s\n" mesh_size mesh_size summary)
+        summaries;
+      Etextile.Report.print report;
       `Ok ()
   in
   let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
-    (Cmd.info "predict" ~doc:"Static lifetime prediction vs simulation.")
+    (cmd_info "predict" ~doc:"Static lifetime prediction vs simulation.")
     term
 
 let optimize_cmd =
@@ -523,11 +537,6 @@ let optimize_cmd =
       Etx_routing.Placement.optimize ~problem ~topology
         ~module_sequence:Etextile.Experiments.aes_module_sequence ~iterations ()
     in
-    Printf.printf
-      "local search: predicted %.1f -> %.1f jobs (%d accepted swaps, %d evaluations)\n\n"
-      result.Etx_routing.Placement.initial_jobs
-      result.prediction.Etx_routing.Analysis.predicted_jobs result.improved_swaps
-      result.evaluations;
     let simulate mapping =
       Etextile.Experiments.mean_jobs ~domains:jobs
         (List.map
@@ -537,12 +546,18 @@ let optimize_cmd =
     in
     let optimized = simulate result.Etx_routing.Placement.mapping in
     let checkerboard = simulate (Etx_routing.Mapping.checkerboard topology) in
+    (* every result is computed before the first byte is printed *)
+    Printf.printf
+      "local search: predicted %.1f -> %.1f jobs (%d accepted swaps, %d evaluations)\n\n"
+      result.Etx_routing.Placement.initial_jobs
+      result.prediction.Etx_routing.Analysis.predicted_jobs result.improved_swaps
+      result.evaluations;
     Printf.printf "simulated: optimized %.1f vs checkerboard %.1f jobs\n" optimized
       checkerboard
   in
   let term = Term.(const run $ size_arg $ iterations_arg $ seeds_arg $ jobs_arg) in
   Cmd.v
-    (Cmd.info "optimize" ~doc:"Optimize the module placement by local search.")
+    (cmd_info "optimize" ~doc:"Optimize the module placement by local search.")
     term
 
 let algorithms_cmd =
@@ -557,7 +572,7 @@ let algorithms_cmd =
   in
   let term = Term.(ret (const run $ sizes_arg $ seeds_arg $ jobs_arg)) in
   Cmd.v
-    (Cmd.info "algorithms" ~doc:"Three-way sweep: EAR vs max-min residual vs SDR.")
+    (cmd_info "algorithms" ~doc:"Three-way sweep: EAR vs max-min residual vs SDR.")
     term
 
 let resilience_cmd =
@@ -613,7 +628,7 @@ let resilience_cmd =
        $ seeds_arg $ jobs_arg $ manifest_arg $ sweep_retries_arg))
   in
   Cmd.v
-    (Cmd.info "resilience"
+    (cmd_info "resilience"
        ~doc:"Sweep injected faults (bit errors, link wear-out): EAR vs SDR.")
     term
 
@@ -625,7 +640,7 @@ let scenarios_cmd =
   in
   let term = Term.(const run $ seeds_arg $ jobs_arg) in
   Cmd.v
-    (Cmd.info "scenarios" ~doc:"EAR vs SDR on the garment presets (shirt, jacket, ...).")
+    (cmd_info "scenarios" ~doc:"EAR vs SDR on the garment presets (shirt, jacket, ...).")
     term
 
 let audit_cmd =
@@ -633,7 +648,7 @@ let audit_cmd =
     let doc = "Run an audit pass every N control frames." in
     Arg.(value & opt int 1 & info [ "every" ] ~docv:"N" ~doc)
   in
-  let run sizes seeds every fault retries =
+  let run sizes seeds every fault retries jobs =
     match (check_sizes sizes, fault) with
     | (`Error _ as e), _ -> e
     | _, Error e -> `Error (false, e)
@@ -641,40 +656,29 @@ let audit_cmd =
       if every <= 0 then `Error (false, "--every must be positive")
       else
         match
-          List.concat_map
-            (fun mesh_size ->
-              List.map
-                (fun seed ->
-                  let config =
-                    Etextile.Calibration.config ?fault ~max_retransmissions:retries
-                      ~mesh_size ~seed ()
-                  in
-                  let recorder = Etx_etsim.Audit.create ~every_frames:every () in
-                  let engine = Etx_etsim.Engine.create config in
-                  Etx_etsim.Engine.enable_audit engine recorder;
-                  ignore (Etx_etsim.Engine.run engine);
-                  Printf.printf "%dx%d seed %d: %d passes, %d violation(s)\n" mesh_size
-                    mesh_size seed
-                    (Etx_etsim.Audit.passes recorder)
-                    (Etx_etsim.Audit.violation_count recorder);
-                  List.iter
-                    (fun v -> Format.printf "  %a@." Etx_etsim.Audit.pp_violation v)
-                    (Etx_etsim.Audit.violations recorder);
-                  Etx_etsim.Audit.violation_count recorder)
-                seeds)
-            sizes
+          Etextile.Experiments.audit_runs ~sizes ~seeds ~every ?fault
+            ~max_retransmissions:retries ~domains:jobs ()
         with
         | exception Invalid_argument message -> `Error (false, message)
-        | counts ->
-          let total = List.fold_left ( + ) 0 counts in
+        | rows ->
+          Etextile.Report.print (Etextile.Report.audit rows);
+          let total =
+            List.fold_left
+              (fun acc (r : Etextile.Experiments.audit_row) ->
+                acc + r.audit_violations_total)
+              0 rows
+          in
           if total = 0 then `Ok ()
           else `Error (false, Printf.sprintf "%d invariant violation(s) found" total))
   in
   let term =
-    Term.(ret (const run $ sizes_arg $ seeds_arg $ every_arg $ fault_args $ retries_arg))
+    Term.(
+      ret
+        (const run $ sizes_arg $ seeds_arg $ every_arg $ fault_args $ retries_arg
+       $ jobs_arg))
   in
   Cmd.v
-    (Cmd.info "audit"
+    (cmd_info "audit"
        ~doc:
          "Run the calibrated configurations under the runtime invariant auditor; \
           exits non-zero if any conservation invariant is violated.")
@@ -694,7 +698,7 @@ let battery_curve_cmd =
       (Etx_battery.Profile.soc_at_voltage profile ~volts:3.0)
   in
   let term = Term.(const run $ const ()) in
-  Cmd.v (Cmd.info "battery-curve" ~doc:"Print the digitized Fig 2 discharge curve.") term
+  Cmd.v (cmd_info "battery-curve" ~doc:"Print the digitized Fig 2 discharge curve.") term
 
 let aes_cmd =
   let key_arg =
@@ -728,7 +732,7 @@ let aes_cmd =
     | exception Invalid_argument message -> `Error (false, message)
   in
   let term = Term.(ret (const run $ key_arg $ block_arg $ decrypt_arg)) in
-  Cmd.v (Cmd.info "aes" ~doc:"Run the platform's AES cipher on one block.") term
+  Cmd.v (cmd_info "aes" ~doc:"Run the platform's AES cipher on one block.") term
 
 let all_cmd =
   let run seeds jobs =
@@ -741,11 +745,138 @@ let all_cmd =
       (Etextile.Report.fig8 (Etextile.Experiments.fig8 ~seeds ~domains:jobs ()))
   in
   let term = Term.(const run $ seeds_arg $ jobs_arg) in
-  Cmd.v (Cmd.info "all" ~doc:"Regenerate every paper table and figure.") term
+  Cmd.v (cmd_info "all" ~doc:"Regenerate every paper table and figure.") term
+
+(* - persistent simulation service - *)
+
+let socket_arg =
+  let doc = "Unix domain socket path of the server." in
+  Arg.(
+    value
+    & opt string "/tmp/etx-service.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let stdio_arg =
+    let doc =
+      "Serve newline-delimited JSON on stdin/stdout instead of a socket (one \
+       connection, then exit; blank line flushes a batch)."
+    in
+    Arg.(value & flag & info [ "stdio" ] ~doc)
+  in
+  let queue_depth_arg =
+    let doc =
+      "Admission bound: scenario requests beyond $(docv) in one batch are \
+       rejected with a queue_full error instead of queueing unboundedly."
+    in
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+  in
+  let cache_capacity_arg =
+    let doc = "Result cache entries (LRU beyond this; 0 disables caching)." in
+    Arg.(value & opt int 128 & info [ "cache-capacity" ] ~docv:"N" ~doc)
+  in
+  let latency_window_arg =
+    let doc = "Recent samples kept per scenario for the latency percentiles." in
+    Arg.(value & opt int 512 & info [ "latency-window" ] ~docv:"N" ~doc)
+  in
+  let run stdio socket queue_depth cache_capacity jobs latency_window =
+    let cfg =
+      {
+        Etx_service.Server.queue_depth;
+        cache_capacity;
+        domains = jobs;
+        latency_window;
+      }
+    in
+    match Etx_service.Server.create cfg with
+    | exception Invalid_argument message -> `Error (false, message)
+    | server ->
+      Fun.protect
+        ~finally:(fun () -> Etx_service.Server.shutdown server)
+        (fun () ->
+          if stdio then Etx_service.Server.run_stdio server stdin stdout
+          else Etx_service.Server.run_unix server ~socket_path:socket);
+      `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ stdio_arg $ socket_arg $ queue_depth_arg $ cache_capacity_arg
+       $ jobs_arg $ latency_window_arg))
+  in
+  Cmd.v
+    (cmd_info "serve"
+       ~doc:
+         "Run the persistent simulation server: JSON requests over a Unix socket \
+          (or --stdio), with admission control and a content-addressed result \
+          cache.")
+    term
+
+let client_cmd =
+  let requests_arg =
+    let doc =
+      "JSON request lines, e.g. '{\"scenario\":\"simulate\",\"params\":{\"mesh_size\":4}}'."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
+  in
+  let run socket requests =
+    if requests = [] then
+      `Error (true, "provide at least one JSON request argument")
+    else if List.exists (fun r -> String.contains r '\n') requests then
+      `Error (false, "a request must be a single line of JSON")
+    else
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX socket);
+            let oc = Unix.out_channel_of_descr fd in
+            let ic = Unix.in_channel_of_descr fd in
+            List.iter
+              (fun request ->
+                output_string oc request;
+                output_char oc '\n')
+              requests;
+            (* blank line flushes the batch; half-close signals no more *)
+            output_char oc '\n';
+            flush oc;
+            Unix.shutdown fd Unix.SHUTDOWN_SEND;
+            let failures = ref 0 in
+            (try
+               while true do
+                 let line = input_line ic in
+                 print_endline line;
+                 match
+                   Option.bind
+                     (Result.to_option (Etx_util.Json.parse_result line))
+                     (Etx_util.Json.member "status")
+                 with
+                 | Some (Etx_util.Json.String "ok") -> ()
+                 | Some _ | None -> incr failures
+               done
+             with End_of_file -> ());
+            !failures)
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot reach server at %s: %s" socket
+              (Unix.error_message err) )
+      | 0 -> `Ok ()
+      | n -> `Error (false, Printf.sprintf "%d request(s) failed" n)
+  in
+  let term = Term.(ret (const run $ socket_arg $ requests_arg)) in
+  Cmd.v
+    (cmd_info "client"
+       ~doc:
+         "Send request lines to a running server as one batch and print the \
+          responses; exits non-zero if any response is an error.")
+    term
 
 let main =
   let doc = "energy-aware routing for e-textiles (DATE 2005) - reproduction" in
-  let info = Cmd.info "etx" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "etx" ~version ~doc in
   Cmd.group info
     [
       fig7_cmd;
@@ -766,6 +897,8 @@ let main =
       audit_cmd;
       battery_curve_cmd;
       aes_cmd;
+      serve_cmd;
+      client_cmd;
       all_cmd;
     ]
 

@@ -6,8 +6,14 @@ let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 let jobs_of (m : Etx_etsim.Metrics.t) = float_of_int m.jobs_completed
 let simulate config = Etx_etsim.Engine.simulate config
 
-let mean_jobs ?(domains = 1) configs =
-  mean (List.map jobs_of (Pool.map ~domains simulate configs))
+(* Fan a batch over either a caller-owned persistent pool (the serving
+   layer reuses one across requests) or a per-call spawn; both preserve
+   input order, so the choice never changes results. *)
+let fan ?pool ~domains f xs =
+  match pool with Some p -> Pool.run p f xs | None -> Pool.map ~domains f xs
+
+let mean_jobs ?pool ?(domains = 1) configs =
+  mean (List.map jobs_of (fan ?pool ~domains simulate configs))
 
 (* - parallel fan-out - *)
 
@@ -31,9 +37,9 @@ let rec take n xs =
       let mine, others = take (n - 1) rest in
       (x :: mine, others)
 
-let run_units ~domains units =
+let run_units ?pool ~domains units =
   let flat = List.concat_map (fun unit -> unit.configs) units in
-  let metrics = Pool.map ~domains simulate flat in
+  let metrics = fan ?pool ~domains simulate flat in
   let rec finish units metrics =
     match units with
     | [] -> []
@@ -200,8 +206,9 @@ let fig7_units ~sizes ~seeds =
   in
   List.map unit sizes
 
-let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
-  run_units ~domains (fig7_units ~sizes ~seeds)
+let fig7 ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds) ?pool
+    ?(domains = 1) () =
+  run_units ?pool ~domains (fig7_units ~sizes ~seeds)
 
 let fig7_fingerprint ~sizes ~seeds =
   Printf.sprintf "fig7;sizes=%s;seeds=%s" (fingerprint_ints sizes)
@@ -591,8 +598,8 @@ let resilience_units ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~see
 
 let resilience ?(mesh_size = 5) ?(bit_error_rates = [ 0.; 1e-4; 3e-4; 1e-3 ])
     ?(wearout_rates = [ 0.; 3e-6; 1e-5; 3e-5 ]) ?(fault_seed = 1009)
-    ?(seeds = Calibration.default_seeds) ?(domains = 1) () =
-  run_units ~domains
+    ?(seeds = Calibration.default_seeds) ?pool ?(domains = 1) () =
+  run_units ?pool ~domains
     (resilience_units ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~seeds)
 
 let resilience_fingerprint ~mesh_size ~bit_error_rates ~wearout_rates ~fault_seed ~seeds
@@ -701,3 +708,48 @@ let algorithms ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds)
     }
   in
   run_units ~domains (List.map unit sizes)
+
+(* Runtime invariant audit as a structured sweep (the CLI and the
+   serving layer render or serialize the rows; nothing prints here). *)
+
+type audit_row = {
+  audit_mesh_size : int;
+  audit_seed : int;
+  passes : int;
+  audit_violations : string list;
+  audit_violations_total : int;
+}
+
+let audit_fingerprint ~sizes ~seeds ~every =
+  Printf.sprintf "audit;sizes=%s;seeds=%s;every=%d" (fingerprint_ints sizes)
+    (fingerprint_ints seeds) every
+
+let audit_runs ?(sizes = default_sizes) ?(seeds = Calibration.default_seeds)
+    ?(every = 1) ?fault ?(max_retransmissions = 3) ?pool ?(domains = 1) () =
+  if every <= 0 then invalid_arg "audit_runs: every must be positive";
+  let cells =
+    List.concat_map
+      (fun mesh_size -> List.map (fun seed -> (mesh_size, seed)) seeds)
+      sizes
+  in
+  let run (audit_mesh_size, audit_seed) =
+    let config =
+      Calibration.config ?fault ~max_retransmissions ~mesh_size:audit_mesh_size
+        ~seed:audit_seed ()
+    in
+    let recorder = Etx_etsim.Audit.create ~every_frames:every () in
+    let engine = Etx_etsim.Engine.create config in
+    Etx_etsim.Engine.enable_audit engine recorder;
+    ignore (Etx_etsim.Engine.run engine);
+    {
+      audit_mesh_size;
+      audit_seed;
+      passes = Etx_etsim.Audit.passes recorder;
+      audit_violations =
+        List.map
+          (Format.asprintf "%a" Etx_etsim.Audit.pp_violation)
+          (Etx_etsim.Audit.violations recorder);
+      audit_violations_total = Etx_etsim.Audit.violation_count recorder;
+    }
+  in
+  fan ?pool ~domains run cells

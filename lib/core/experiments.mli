@@ -28,7 +28,10 @@ type 'row sweep_unit = {
   finish : Etx_etsim.Metrics.t list -> 'row;
 }
 
-val run_units : domains:int -> 'row sweep_unit list -> 'row list
+val run_units : ?pool:Etx_util.Pool.t -> domains:int -> 'row sweep_unit list -> 'row list
+(** [?pool] fans the batch over a caller-owned persistent pool instead
+    of spawning [domains] fresh domains — the serving layer shares one
+    pool across requests.  Results are bit-identical either way. *)
 
 type sweep_failure = {
   unit_index : int;  (** position of the failed unit in the sweep *)
@@ -65,9 +68,16 @@ type fig7_row = {
   paper_overhead : float;  (** Sec 7.1 reference percentages *)
 }
 
-val fig7 : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> fig7_row list
+val fig7 :
+  ?sizes:int list -> ?seeds:int list -> ?pool:Etx_util.Pool.t -> ?domains:int -> unit ->
+  fig7_row list
 (** EAR vs SDR on thin-film batteries, single infinite-energy
     controller. *)
+
+val fig7_fingerprint : sizes:int list -> seeds:int list -> string
+(** Canonical identity of one {!fig7} sweep shape.  Shared by the sweep
+    manifest machinery and the server's content-addressed result cache:
+    equal fingerprints guarantee bit-identical rows. *)
 
 val fig7_supervised :
   ?sizes:int list ->
@@ -194,6 +204,7 @@ val resilience :
   ?wearout_rates:float list ->
   ?fault_seed:int ->
   ?seeds:int list ->
+  ?pool:Etx_util.Pool.t ->
   ?domains:int ->
   unit ->
   resilience_row list
@@ -217,6 +228,44 @@ val resilience_supervised :
   (resilience_row, sweep_failure) result list
 (** {!resilience} through {!run_units_supervised}: each (axis, rate)
     cell survives the others' crashes and resumes from a manifest. *)
+
+val resilience_fingerprint :
+  mesh_size:int ->
+  bit_error_rates:float list ->
+  wearout_rates:float list ->
+  fault_seed:int ->
+  seeds:int list ->
+  string
+(** Canonical identity of one {!resilience} sweep shape (see
+    {!fig7_fingerprint}). *)
+
+(** {1 Runtime invariant audit as a sweep} *)
+
+type audit_row = {
+  audit_mesh_size : int;
+  audit_seed : int;
+  passes : int;  (** audit passes the recorder ran *)
+  audit_violations : string list;  (** rendered violations, oldest first *)
+  audit_violations_total : int;  (** including ones beyond the recorder cap *)
+}
+
+val audit_fingerprint : sizes:int list -> seeds:int list -> every:int -> string
+
+val audit_runs :
+  ?sizes:int list ->
+  ?seeds:int list ->
+  ?every:int ->
+  ?fault:Etx_fault.Spec.t ->
+  ?max_retransmissions:int ->
+  ?pool:Etx_util.Pool.t ->
+  ?domains:int ->
+  unit ->
+  audit_row list
+(** One audited calibrated run per (size, seed) cell, fanned over the
+    pool; pure computation, no printing (the CLI renders rows through
+    {!Report.audit}, the server serializes them).  [every] is the audit
+    cadence in control frames.
+    @raise Invalid_argument on a non-positive [every]. *)
 
 type scenario_row = {
   scenario : string;
@@ -244,6 +293,6 @@ val predictions : ?sizes:int list -> ?seeds:int list -> ?domains:int -> unit -> 
 val aes_module_sequence : int list
 (** The AES job's 30-act module order, as module indices. *)
 
-val mean_jobs : ?domains:int -> Etx_etsim.Config.t list -> float
+val mean_jobs : ?pool:Etx_util.Pool.t -> ?domains:int -> Etx_etsim.Config.t list -> float
 (** Average completed jobs over a list of prepared configurations
     (exposed for custom sweeps). *)

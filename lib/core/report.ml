@@ -267,3 +267,18 @@ let resilience rows =
 let print s =
   print_string s;
   print_newline ()
+
+(* Plain lines rather than a table: each cell is one audited run, and
+   violations (normally none) are indented under their run. *)
+let audit rows =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (r : Experiments.audit_row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%dx%d seed %d: %d passes, %d violation(s)\n" r.audit_mesh_size
+           r.audit_mesh_size r.audit_seed r.passes r.audit_violations_total);
+      List.iter
+        (fun v -> Buffer.add_string buf ("  " ^ v ^ "\n"))
+        r.audit_violations)
+    rows;
+  Buffer.contents buf

@@ -17,3 +17,7 @@ val resilience : Experiments.resilience_row list -> string
 
 val print : string -> unit
 (** Write a rendered table to stdout with a flush. *)
+
+val audit : Experiments.audit_row list -> string
+(** One line per audited run ("NxN seed S: P passes, V violation(s)"),
+    violations indented beneath. *)

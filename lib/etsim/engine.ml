@@ -1224,6 +1224,8 @@ let fingerprint (config : Config.t) =
     fault config.Config.max_retransmissions config.Config.ack_timeout_cycles
     (List.length config.Config.link_failure_schedule)
 
+let config_fingerprint = fingerprint
+
 module W = Checkpoint.Writer
 module R = Checkpoint.Reader
 

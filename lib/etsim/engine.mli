@@ -82,6 +82,14 @@ val timeline : t -> Timeline.t option
     under a different configuration.  Trace and timeline recorders are
     not checkpointed: a restored engine starts them empty. *)
 
+val config_fingerprint : Config.t -> string
+(** The canonical configuration fingerprint embedded in checkpoint
+    payloads: a short string covering everything that shapes a run
+    (topology census, policy, seed, frame period, battery model,
+    workloads, fault spec, hardening knobs).  Two configs with the same
+    fingerprint produce bit-identical simulations, which is what lets
+    the serving layer content-address its result cache with it. *)
+
 val checkpoint : t -> bytes
 (** Serialize the engine's dynamic state as a checkpoint payload (frame
     it with {!Checkpoint.write_file} or {!Checkpoint.frame}).  Only a

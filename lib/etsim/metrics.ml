@@ -252,3 +252,54 @@ let read r =
     job_latency_mean_cycles;
     job_latency_max_cycles;
   }
+
+(* JSON serialization for the serving layer: every field of [t], plus
+   the derived quantities the paper reports, in one flat object.  Field
+   order is fixed, so the rendering is deterministic and cacheable. *)
+let to_json t =
+  let module J = Etx_util.Json in
+  let i n = J.Int n in
+  let f x = J.float_lenient x in
+  J.Obj
+    [
+      ("jobs_completed", i t.jobs_completed);
+      ("jobs_verified", i t.jobs_verified);
+      ("jobs_lost", i t.jobs_lost);
+      ("jobs_launched", i t.jobs_launched);
+      ("lifetime_cycles", i t.lifetime_cycles);
+      ("death_reason", J.String (death_reason_string t.death_reason));
+      ("computation_energy_pj", f t.computation_energy_pj);
+      ("communication_energy_pj", f t.communication_energy_pj);
+      ("control_upload_energy_pj", f t.control_upload_energy_pj);
+      ("control_download_energy_pj", f t.control_download_energy_pj);
+      ("controller_compute_energy_pj", f t.controller_compute_energy_pj);
+      ("stranded_node_energy_pj", f t.stranded_node_energy_pj);
+      ("residual_node_energy_pj", f t.residual_node_energy_pj);
+      ("stranded_controller_energy_pj", f t.stranded_controller_energy_pj);
+      ("residual_controller_energy_pj", f t.residual_controller_energy_pj);
+      ("control_energy_pj", f (control_energy_pj t));
+      ("control_overhead_fraction", f (control_overhead_fraction t));
+      ("mean_hops_per_act", f (mean_hops_per_act t));
+      ("node_deaths", i t.node_deaths);
+      ("links_failed", i t.links_failed);
+      ("controller_deaths", i t.controller_deaths);
+      ("recomputations", i t.recomputations);
+      ("frames", i t.frames);
+      ("deadlocks_reported", i t.deadlocks_reported);
+      ("deadlocks_recovered", i t.deadlocks_recovered);
+      ("hops_total", i t.hops_total);
+      ("acts_total", i t.acts_total);
+      ("retransmissions", i t.retransmissions);
+      ("packets_corrupted", i t.packets_corrupted);
+      ("packets_dropped", i t.packets_dropped);
+      ("link_wearouts", i t.link_wearouts);
+      ("brownouts", i t.brownouts);
+      ("uploads_dropped", i t.uploads_dropped);
+      ("downloads_dropped", i t.downloads_dropped);
+      ("stale_reports_total", i t.stale_reports_total);
+      ("stale_reports_max", i t.stale_reports_max);
+      ( "computation_energy_by_module_pj",
+        J.List (Array.to_list (Array.map f t.computation_energy_by_module_pj)) );
+      ("job_latency_mean_cycles", f t.job_latency_mean_cycles);
+      ("job_latency_max_cycles", i t.job_latency_max_cycles);
+    ]

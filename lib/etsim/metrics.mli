@@ -99,3 +99,9 @@ val write : Checkpoint.Writer.t -> t -> unit
 val read : Checkpoint.Reader.t -> t
 (** Inverse of {!write}.
     @raise Checkpoint.Error on a malformed payload. *)
+
+val to_json : t -> Etx_util.Json.t
+(** Flat JSON object with every field of [t] plus the derived quantities
+    ({!control_energy_pj}, {!control_overhead_fraction},
+    {!mean_hops_per_act}).  Field order is fixed, so the serving layer's
+    rendering of a cached result is bit-identical to the original. *)

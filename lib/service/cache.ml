@@ -1,0 +1,72 @@
+(* Recency is a monotone clock stamped on every touch; eviction scans
+   for the minimum stamp.  The scan is O(capacity), which is fine at the
+   tens-to-hundreds of entries a result cache holds — each eviction is
+   paid once per insert, next to a simulation that took milliseconds. *)
+
+type 'a entry = { mutable value : 'a; mutable stamp : int }
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable eviction_count : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  {
+    cap = capacity;
+    table = Hashtbl.create (max 16 capacity);
+    clock = 0;
+    hit_count = 0;
+    miss_count = 0;
+    eviction_count = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some entry ->
+    entry.stamp <- tick t;
+    t.hit_count <- t.hit_count + 1;
+    Some entry.value
+  | None ->
+    t.miss_count <- t.miss_count + 1;
+    None
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, stamp) when stamp <= entry.stamp -> ()
+      | _ -> victim := Some (key, entry.stamp))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.eviction_count <- t.eviction_count + 1
+  | None -> ()
+
+let add t key value =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.table key with
+    | Some entry ->
+      entry.value <- value;
+      entry.stamp <- tick t
+    | None ->
+      Hashtbl.replace t.table key { value; stamp = tick t };
+      if Hashtbl.length t.table > t.cap then evict_lru t);
+    ()
+  end
+
+let length t = Hashtbl.length t.table
+let capacity t = t.cap
+let hits t = t.hit_count
+let misses t = t.miss_count
+let evictions t = t.eviction_count

@@ -1,0 +1,28 @@
+(** Scenario execution: from a parsed {!Request.scenario} to a canonical
+    fingerprint and a structured JSON result.
+
+    Handlers are pure request → value functions — no printing, no
+    process exit — which is what lets the server cache, deduplicate and
+    batch them.  Sweeps fan out over the server's shared persistent
+    {!Etx_util.Pool} instead of spawning domains per request. *)
+
+val policy_of_string : string -> (Etx_routing.Policy.t, string) result
+(** "ear", "sdr", "ear2", "inverse", "linear", "maximin" (the CLI's
+    vocabulary). *)
+
+val battery_of_string : string -> (Etx_battery.Battery.kind, string) result
+(** "thin-film" (also "thin_film"/"thinfilm") or "ideal". *)
+
+val fingerprint : Request.scenario -> (string, string) result
+(** Canonical content address of the scenario's {e result}.  Simulate
+    requests reuse the checkpoint layer's configuration fingerprint
+    ({!Etx_etsim.Engine.config_fingerprint}); sweeps reuse their
+    manifest fingerprints from {!Etextile.Experiments}.  Two requests
+    with equal fingerprints produce bit-identical results, so the cache
+    may replay one for the other.  [Error] when the parameters are
+    semantically invalid (the config constructor rejected them). *)
+
+val execute :
+  pool:Etx_util.Pool.t -> Request.scenario -> (Etx_util.Json.t, string) result
+(** Run the scenario and return its structured result.  [Error] carries
+    the validation message for semantically invalid parameters. *)

@@ -1,0 +1,177 @@
+module Json = Etx_util.Json
+
+type simulate_params = {
+  mesh_size : int;
+  seed : int;
+  policy : string;
+  battery : string;
+  controllers : int;
+  concurrent_jobs : int;
+  ber : float;
+  wearout : float;
+  fault_seed : int;
+  retries : int;
+}
+
+type scenario =
+  | Simulate of simulate_params
+  | Fig7 of { sizes : int list; seeds : int list }
+  | Resilience of {
+      mesh_size : int;
+      bit_error_rates : float list;
+      wearout_rates : float list;
+      fault_seed : int;
+      seeds : int list;
+    }
+  | Audit of { sizes : int list; seeds : int list; every : int }
+  | Upper_bound of { sizes : int list }
+
+type control = Stats | Ping | Shutdown
+
+type body = Scenario of scenario | Control of control
+
+type t = { id : Json.t; priority : int; body : body }
+
+let scenario_name = function
+  | Scenario (Simulate _) -> "simulate"
+  | Scenario (Fig7 _) -> "fig7"
+  | Scenario (Resilience _) -> "resilience"
+  | Scenario (Audit _) -> "audit"
+  | Scenario (Upper_bound _) -> "upper-bound"
+  | Control Stats -> "stats"
+  | Control Ping -> "ping"
+  | Control Shutdown -> "shutdown"
+
+(* typed field extraction: absent fields take the default, present
+   fields of the wrong shape are an error naming the field *)
+
+let field params key convert ~default ~what =
+  match Json.member key params with
+  | None -> Ok default
+  | Some v -> (
+    match convert v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "field %S must be %s" key what))
+
+let ( let* ) r f = Result.bind r f
+
+let int_field params key default = field params key Json.to_int ~default ~what:"an integer"
+
+let float_field params key default =
+  field params key Json.to_float ~default ~what:"a number"
+
+let string_field params key default =
+  field params key Json.to_str ~default ~what:"a string"
+
+let int_list_field params key default =
+  field params key Json.int_list ~default ~what:"a list of integers"
+
+let float_list_field params key default =
+  field params key Json.float_list ~default ~what:"a list of numbers"
+
+let default_sizes = [ 4; 5; 6; 7; 8 ]
+
+let parse_simulate params =
+  let* mesh_size = int_field params "mesh_size" 6 in
+  let* seed = int_field params "seed" 1 in
+  let* policy = string_field params "policy" "ear" in
+  let* battery = string_field params "battery" "thin-film" in
+  let* controllers = int_field params "controllers" 0 in
+  let* concurrent_jobs = int_field params "concurrent_jobs" 1 in
+  let* ber = float_field params "ber" 0. in
+  let* wearout = float_field params "wearout" 0. in
+  let* fault_seed = int_field params "fault_seed" 0 in
+  let* retries = int_field params "retries" 3 in
+  Ok
+    (Simulate
+       {
+         mesh_size;
+         seed;
+         policy;
+         battery;
+         controllers;
+         concurrent_jobs;
+         ber;
+         wearout;
+         fault_seed;
+         retries;
+       })
+
+let parse_fig7 params =
+  let* sizes = int_list_field params "sizes" default_sizes in
+  let* seeds = int_list_field params "seeds" Etextile.Calibration.default_seeds in
+  Ok (Fig7 { sizes; seeds })
+
+let parse_resilience params =
+  let* mesh_size = int_field params "mesh_size" 5 in
+  let* bit_error_rates =
+    float_list_field params "bit_error_rates" [ 0.; 1e-4; 3e-4; 1e-3 ]
+  in
+  let* wearout_rates = float_list_field params "wearout_rates" [ 0.; 3e-6; 1e-5; 3e-5 ] in
+  let* fault_seed = int_field params "fault_seed" 1009 in
+  let* seeds = int_list_field params "seeds" Etextile.Calibration.default_seeds in
+  Ok (Resilience { mesh_size; bit_error_rates; wearout_rates; fault_seed; seeds })
+
+let parse_audit params =
+  let* sizes = int_list_field params "sizes" default_sizes in
+  let* seeds = int_list_field params "seeds" Etextile.Calibration.default_seeds in
+  let* every = int_field params "every" 1 in
+  Ok (Audit { sizes; seeds; every })
+
+let parse_upper_bound params =
+  let* sizes = int_list_field params "sizes" default_sizes in
+  Ok (Upper_bound { sizes })
+
+type error = { error_id : Json.t; error_code : string; reason : string }
+
+let of_json json =
+  match json with
+  | Json.Obj _ -> (
+    let id = Option.value (Json.member "id" json) ~default:Json.Null in
+    let parsed =
+      let* priority =
+        match Json.member "priority" json with
+        | None -> Ok 0
+        | Some v -> (
+          match Json.to_int v with
+          | Some p -> Ok p
+          | None -> Error "field \"priority\" must be an integer")
+      in
+      let params = Option.value (Json.member "params" json) ~default:(Json.Obj []) in
+      match Json.member "scenario" json with
+      | None -> Error "missing \"scenario\" field"
+      | Some name -> (
+        match Json.to_str name with
+        | None -> Error "field \"scenario\" must be a string"
+        | Some name ->
+          let* body =
+            match name with
+            | "simulate" -> Result.map (fun s -> Scenario s) (parse_simulate params)
+            | "fig7" -> Result.map (fun s -> Scenario s) (parse_fig7 params)
+            | "resilience" ->
+              Result.map (fun s -> Scenario s) (parse_resilience params)
+            | "audit" -> Result.map (fun s -> Scenario s) (parse_audit params)
+            | "upper-bound" ->
+              Result.map (fun s -> Scenario s) (parse_upper_bound params)
+            | "stats" -> Ok (Control Stats)
+            | "ping" -> Ok (Control Ping)
+            | "shutdown" -> Ok (Control Shutdown)
+            | other -> Error (Printf.sprintf "unknown scenario %S" other)
+          in
+          Ok { id; priority; body })
+    in
+    match parsed with
+    | Ok t -> Ok t
+    | Error reason -> Error { error_id = id; error_code = "invalid_request"; reason })
+  | _ ->
+    Error
+      {
+        error_id = Json.Null;
+        error_code = "invalid_request";
+        reason = "request must be a JSON object";
+      }
+
+let of_line line =
+  match Json.parse_result line with
+  | Error reason -> Error { error_id = Json.Null; error_code = "parse_error"; reason }
+  | Ok json -> of_json json

@@ -1,0 +1,73 @@
+(** Wire requests of the simulation server.
+
+    One request is one line of JSON:
+
+    {v
+      {"scenario": "simulate", "params": {...}, "id": 7, "priority": 2}
+      {"scenario": "stats", "id": "s1"}
+    v}
+
+    [id] is echoed verbatim in the response (any JSON value; defaults to
+    [null]); [priority] orders execution within a batch (higher first,
+    ties by arrival; defaults to 0).  Scenario parameters mirror the
+    corresponding CLI flags and share their defaults, so a request that
+    omits [params] entirely reproduces the calibrated default run.
+
+    This module is shape parsing only — semantic validation (mesh sizes,
+    fault rates) happens when {!Handlers} builds the configuration, so
+    the error surfaces in the response of exactly the offending
+    request. *)
+
+type simulate_params = {
+  mesh_size : int;
+  seed : int;
+  policy : string;
+  battery : string;
+  controllers : int;  (** 0 = one infinite-energy controller *)
+  concurrent_jobs : int;
+  ber : float;
+  wearout : float;
+  fault_seed : int;
+  retries : int;
+}
+
+type scenario =
+  | Simulate of simulate_params
+  | Fig7 of { sizes : int list; seeds : int list }
+  | Resilience of {
+      mesh_size : int;
+      bit_error_rates : float list;
+      wearout_rates : float list;
+      fault_seed : int;
+      seeds : int list;
+    }
+  | Audit of { sizes : int list; seeds : int list; every : int }
+  | Upper_bound of { sizes : int list }
+
+type control =
+  | Stats  (** server metrics snapshot; never queued, never cached *)
+  | Ping
+  | Shutdown  (** finish the current batch, then stop accepting work *)
+
+type body = Scenario of scenario | Control of control
+
+type t = { id : Etx_util.Json.t; priority : int; body : body }
+
+val scenario_name : body -> string
+(** Stable name used in responses and per-scenario latency metrics
+    ("simulate", "fig7", "resilience", "audit", "upper-bound", "stats",
+    "ping", "shutdown"). *)
+
+type error = {
+  error_id : Etx_util.Json.t;
+      (** the request's [id] when it could be recovered, else [Null] —
+          so even a rejected request's response is correlatable *)
+  error_code : string;  (** ["parse_error"] or ["invalid_request"] *)
+  reason : string;
+}
+
+val of_line : string -> (t, error) result
+(** Parse one request line.  Malformed JSON is a [parse_error]; a
+    well-formed object with an unknown scenario name or wrongly-typed
+    field is an [invalid_request].  Unknown object keys are ignored
+    (forward compatibility). *)

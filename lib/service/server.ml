@@ -1,0 +1,316 @@
+module Json = Etx_util.Json
+module Stats = Etx_util.Stats
+module Pool = Etx_util.Pool
+
+type config = {
+  queue_depth : int;
+  cache_capacity : int;
+  domains : int;
+  latency_window : int;
+}
+
+let default_config =
+  { queue_depth = 64; cache_capacity = 128; domains = 1; latency_window = 512 }
+
+(* Per-scenario latency: an all-time Welford summary plus a bounded ring
+   of recent samples for percentiles, so a server up for weeks still
+   reports the current tail, not its whole history averaged flat. *)
+type latency = {
+  summary : Stats.t;
+  window : float array;
+  mutable filled : int;
+  mutable next : int;
+}
+
+type t = {
+  cfg : config;
+  pool : Pool.t;
+  cache : Json.t Cache.t;
+  latencies : (string, latency) Hashtbl.t;
+  now : unit -> float;
+  mutable admitted_total : int;
+  mutable rejected_total : int;
+  mutable served_total : int;
+  mutable errors_total : int;
+  mutable stopping : bool;
+}
+
+let create ?(now = Unix.gettimeofday) cfg =
+  if cfg.queue_depth < 1 then invalid_arg "Server.create: queue_depth must be >= 1";
+  if cfg.cache_capacity < 0 then
+    invalid_arg "Server.create: cache_capacity must be >= 0";
+  if cfg.domains < 1 then invalid_arg "Server.create: domains must be >= 1";
+  if cfg.latency_window < 1 then
+    invalid_arg "Server.create: latency_window must be >= 1";
+  {
+    cfg;
+    pool = Pool.create ~domains:cfg.domains ();
+    cache = Cache.create ~capacity:cfg.cache_capacity;
+    latencies = Hashtbl.create 8;
+    now;
+    admitted_total = 0;
+    rejected_total = 0;
+    served_total = 0;
+    errors_total = 0;
+    stopping = false;
+  }
+
+let stopped t = t.stopping
+let shutdown t = Pool.shutdown t.pool
+
+let record_latency t name ms =
+  let l =
+    match Hashtbl.find_opt t.latencies name with
+    | Some l -> l
+    | None ->
+      let l =
+        {
+          summary = Stats.create ();
+          window = Array.make t.cfg.latency_window 0.;
+          filled = 0;
+          next = 0;
+        }
+      in
+      Hashtbl.replace t.latencies name l;
+      l
+  in
+  Stats.add l.summary ms;
+  l.window.(l.next) <- ms;
+  l.next <- (l.next + 1) mod Array.length l.window;
+  if l.filled < Array.length l.window then l.filled <- l.filled + 1
+
+(* Percentiles sort their input, so the ring's wrap order is irrelevant;
+   only the first [filled] slots hold real samples. *)
+let window_values l = List.init l.filled (fun i -> l.window.(i))
+
+let scenario_stats t =
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) t.latencies []
+    |> List.sort compare
+  in
+  Json.Obj
+    (List.map
+       (fun name ->
+         let l = Hashtbl.find t.latencies name in
+         let samples = window_values l in
+         let pct p = Json.float_lenient (Stats.percentile samples ~p) in
+         ( name,
+           Json.Obj
+             [
+               ("count", Json.Int (Stats.count l.summary));
+               ("mean_ms", Json.float_lenient (Stats.mean l.summary));
+               ("p50_ms", pct 0.5);
+               ("p90_ms", pct 0.9);
+               ("p99_ms", pct 0.99);
+               ("max_ms", Json.float_lenient (Stats.max l.summary));
+             ] ))
+       names)
+
+let cache_stats t =
+  let hits = Cache.hits t.cache and misses = Cache.misses t.cache in
+  let lookups = hits + misses in
+  Json.Obj
+    [
+      ("capacity", Json.Int (Cache.capacity t.cache));
+      ("entries", Json.Int (Cache.length t.cache));
+      ("hits", Json.Int hits);
+      ("misses", Json.Int misses);
+      ("evictions", Json.Int (Cache.evictions t.cache));
+      ( "hit_rate",
+        Json.float_lenient
+          (if lookups = 0 then 0. else float_of_int hits /. float_of_int lookups)
+      );
+    ]
+
+let stats_json t =
+  Json.Obj
+    [
+      ("queue_depth", Json.Int t.cfg.queue_depth);
+      ("admitted_total", Json.Int t.admitted_total);
+      ("rejected_total", Json.Int t.rejected_total);
+      ("served_total", Json.Int t.served_total);
+      ("errors_total", Json.Int t.errors_total);
+      ("pool_domains", Json.Int (Pool.size t.pool));
+      ("cache", cache_stats t);
+      ("scenarios", scenario_stats t);
+    ]
+
+let ok_response ?cache ~scenario ~elapsed_ms id result =
+  Json.Obj
+    ([ ("id", id); ("status", Json.String "ok"); ("scenario", Json.String scenario) ]
+    @ (match cache with
+      | None -> []
+      | Some how -> [ ("cache", Json.String how) ])
+    @ [ ("elapsed_ms", Json.float_lenient elapsed_ms); ("result", result) ])
+
+let error_response id code message =
+  Json.Obj
+    [
+      ("id", id);
+      ("status", Json.String "error");
+      ("error", Json.String code);
+      ("message", Json.String message);
+    ]
+
+type item = Parsed of Request.t | Malformed of Request.error
+
+let handle_batch t lines =
+  let items =
+    Array.of_list
+      (List.map
+         (fun line ->
+           match Request.of_line line with
+           | Ok req -> Parsed req
+           | Error err -> Malformed err)
+         lines)
+  in
+  let responses = Array.make (Array.length items) Json.Null in
+  (* Admission: parse errors and over-depth scenario requests are
+     answered on the spot; everything else becomes runnable.  Control
+     requests never occupy queue slots, so stats stays observable on a
+     saturated server. *)
+  let admitted = ref 0 in
+  let runnable = ref [] in
+  Array.iteri
+    (fun idx item ->
+      match item with
+      | Malformed err ->
+        t.errors_total <- t.errors_total + 1;
+        responses.(idx) <- error_response err.error_id err.error_code err.reason
+      | Parsed req -> (
+        match req.body with
+        | Request.Control _ -> runnable := (idx, req) :: !runnable
+        | Request.Scenario _ ->
+          if !admitted < t.cfg.queue_depth then begin
+            incr admitted;
+            t.admitted_total <- t.admitted_total + 1;
+            runnable := (idx, req) :: !runnable
+          end
+          else begin
+            t.rejected_total <- t.rejected_total + 1;
+            t.errors_total <- t.errors_total + 1;
+            responses.(idx) <-
+              error_response req.id "queue_full"
+                (Printf.sprintf
+                   "queue depth %d exceeded for this batch; resubmit later"
+                   t.cfg.queue_depth)
+          end))
+    items;
+  (* Higher priority first; the stable sort keeps arrival order for ties. *)
+  let order =
+    List.stable_sort
+      (fun (_, (a : Request.t)) (_, (b : Request.t)) ->
+        compare b.priority a.priority)
+      (List.rev !runnable)
+  in
+  (* Results computed in this batch, keyed by fingerprint: duplicates are
+     coalesced onto one execution even when the cache is disabled. *)
+  let batch_results : (string, Json.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (idx, (req : Request.t)) ->
+      let name = Request.scenario_name req.body in
+      match req.body with
+      | Request.Control control ->
+        let t0 = t.now () in
+        let result =
+          match control with
+          | Request.Ping -> Json.String "pong"
+          | Request.Stats -> stats_json t
+          | Request.Shutdown ->
+            t.stopping <- true;
+            Json.String "stopping"
+        in
+        let elapsed_ms = (t.now () -. t0) *. 1000. in
+        responses.(idx) <- ok_response ~scenario:name ~elapsed_ms req.id result
+      | Request.Scenario scenario -> (
+        let t0 = t.now () in
+        match
+          try Handlers.fingerprint scenario
+          with exn -> Error (Printexc.to_string exn)
+        with
+        | Error message ->
+          t.errors_total <- t.errors_total + 1;
+          responses.(idx) <- error_response req.id "invalid_request" message
+        | Ok fp -> (
+          let outcome =
+            match Hashtbl.find_opt batch_results fp with
+            | Some result -> Ok ("coalesced", result)
+            | None -> (
+              match Cache.find t.cache fp with
+              | Some result ->
+                Hashtbl.replace batch_results fp result;
+                Ok ("hit", result)
+              | None -> (
+                match Handlers.execute ~pool:t.pool scenario with
+                | Ok result ->
+                  Cache.add t.cache fp result;
+                  Hashtbl.replace batch_results fp result;
+                  Ok ("miss", result)
+                | Error message -> Error message
+                | exception exn -> Error (Printexc.to_string exn)))
+          in
+          match outcome with
+          | Ok (how, result) ->
+            let elapsed_ms = (t.now () -. t0) *. 1000. in
+            record_latency t name elapsed_ms;
+            t.served_total <- t.served_total + 1;
+            responses.(idx) <-
+              ok_response ~cache:how ~scenario:name ~elapsed_ms req.id result
+          | Error message ->
+            t.errors_total <- t.errors_total + 1;
+            responses.(idx) <- error_response req.id "failed" message)))
+    order;
+  Array.to_list (Array.map Json.to_string responses)
+
+let flush_batch t batch oc =
+  match List.rev batch with
+  | [] -> ()
+  | lines ->
+    List.iter
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n')
+      (handle_batch t lines);
+    flush oc
+
+let run_stdio t ic oc =
+  let batch = ref [] in
+  let continue = ref true in
+  while !continue do
+    match input_line ic with
+    | line ->
+      if String.trim line = "" then begin
+        flush_batch t !batch oc;
+        batch := [];
+        if t.stopping then continue := false
+      end
+      else batch := line :: !batch
+    | exception End_of_file ->
+      flush_batch t !batch oc;
+      batch := [];
+      continue := false
+  done
+
+let run_unix t ~socket_path =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  (* A client that disconnects mid-response must not kill the server. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+   with Invalid_argument _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+      shutdown t)
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 16;
+      while not t.stopping do
+        let fd, _ = Unix.accept sock in
+        (* in and out channels share the fd: flush, then close it once. *)
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        (try run_stdio t ic oc with Sys_error _ | End_of_file -> ());
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      done)

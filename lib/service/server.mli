@@ -1,0 +1,69 @@
+(** The persistent simulation server.
+
+    A long-lived daemon that answers scenario requests without paying
+    process startup or recomputing identical work.  The protocol is
+    newline-delimited JSON in both directions; a {e batch} is a run of
+    request lines terminated by a blank line (or end of stream), and
+    responses come back in arrival order, one line per request.
+
+    Inside one batch the server applies, in order:
+
+    - {b admission control}: at most [queue_depth] scenario requests are
+      admitted; the rest are answered immediately with a structured
+      [queue_full] error and the server keeps serving — the queue never
+      grows without bound.  Control requests (stats/ping/shutdown) are
+      always admitted, so operators can observe a saturated server.
+    - {b priority ordering}: admitted requests execute by descending
+      [priority], ties in arrival order.
+    - {b deduplication and caching}: each scenario's canonical
+      fingerprint is looked up in the LRU result cache (a {e hit}
+      replays bit-identical bytes) and, failing that, against results
+      computed earlier in the same batch (a {e coalesced} duplicate is
+      computed once even with caching disabled).
+
+    All simulation work fans out over one shared persistent
+    {!Etx_util.Pool} owned by the server for its whole life. *)
+
+type config = {
+  queue_depth : int;  (** admission bound per batch; at least 1 *)
+  cache_capacity : int;  (** LRU entries; 0 disables caching *)
+  domains : int;  (** worker domains of the shared pool *)
+  latency_window : int;  (** recent samples kept per scenario for percentiles *)
+}
+
+val default_config : config
+(** queue depth 64, cache capacity 128, one worker domain, 512-sample
+    latency windows. *)
+
+type t
+
+val create : ?now:(unit -> float) -> config -> t
+(** Start a server: spawns the worker pool.  [now] injects the clock
+    used for latency measurement (seconds; defaults to
+    [Unix.gettimeofday]) so tests can be deterministic.
+    @raise Invalid_argument on non-positive [queue_depth],
+    [latency_window] or [domains], or negative [cache_capacity]. *)
+
+val handle_batch : t -> string list -> string list
+(** Serve one batch: request lines in, response lines out (same length,
+    arrival order).  Never raises on malformed input — bad lines get
+    error responses. *)
+
+val stopped : t -> bool
+(** A [shutdown] request has been served; transports should stop
+    reading and call {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Release the worker pool.  Idempotent. *)
+
+val run_stdio : t -> in_channel -> out_channel -> unit
+(** Serve batches from a stream until end of input or a [shutdown]
+    request.  Blank line = batch boundary.  Does not call {!shutdown}
+    (the caller owns the server). *)
+
+val run_unix : t -> socket_path:string -> unit
+(** Bind a Unix domain socket (an existing file at that path is
+    replaced), then accept connections one at a time, serving each with
+    the stream protocol until a [shutdown] request arrives.  The socket
+    file is removed and the pool released before returning.
+    @raise Unix.Unix_error if the socket cannot be bound. *)

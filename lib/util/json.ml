@@ -1,0 +1,342 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let max_depth = 256
+
+(* - parsing - *)
+
+type state = { input : string; mutable pos : int }
+
+let fail s message =
+  raise (Parse_error (Printf.sprintf "at byte %d: %s" s.pos message))
+
+let peek s = if s.pos < String.length s.input then Some s.input.[s.pos] else None
+
+let advance s = s.pos <- s.pos + 1
+
+let skip_ws s =
+  while
+    match peek s with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance s;
+      true
+    | Some _ | None -> false
+  do
+    ()
+  done
+
+let expect s c =
+  match peek s with
+  | Some d when d = c -> advance s
+  | Some d -> fail s (Printf.sprintf "expected %C, found %C" c d)
+  | None -> fail s (Printf.sprintf "expected %C, found end of input" c)
+
+let literal s word value =
+  let n = String.length word in
+  if s.pos + n <= String.length s.input && String.sub s.input s.pos n = word then begin
+    s.pos <- s.pos + n;
+    value
+  end
+  else fail s (Printf.sprintf "expected %s" word)
+
+(* encode one Unicode scalar value as UTF-8 into [buf] *)
+let add_utf8 buf code =
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 s =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail s "invalid \\u escape digit"
+  in
+  if s.pos + 4 > String.length s.input then fail s "truncated \\u escape";
+  let v =
+    (digit s.input.[s.pos] lsl 12)
+    lor (digit s.input.[s.pos + 1] lsl 8)
+    lor (digit s.input.[s.pos + 2] lsl 4)
+    lor digit s.input.[s.pos + 3]
+  in
+  s.pos <- s.pos + 4;
+  v
+
+let parse_string s =
+  expect s '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek s with
+    | None -> fail s "unterminated string"
+    | Some '"' -> advance s
+    | Some '\\' ->
+      advance s;
+      (match peek s with
+      | None -> fail s "unterminated escape"
+      | Some c ->
+        advance s;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let hi = hex4 s in
+          if hi >= 0xD800 && hi <= 0xDBFF then begin
+            (* surrogate pair: a second \uXXXX must follow *)
+            if
+              s.pos + 2 <= String.length s.input
+              && s.input.[s.pos] = '\\'
+              && s.input.[s.pos + 1] = 'u'
+            then begin
+              s.pos <- s.pos + 2;
+              let lo = hex4 s in
+              if lo < 0xDC00 || lo > 0xDFFF then fail s "invalid low surrogate";
+              add_utf8 buf (0x10000 + ((hi - 0xD800) lsl 10) + (lo - 0xDC00))
+            end
+            else fail s "lone high surrogate"
+          end
+          else if hi >= 0xDC00 && hi <= 0xDFFF then fail s "lone low surrogate"
+          else add_utf8 buf hi
+        | _ -> fail s (Printf.sprintf "invalid escape \\%C" c)));
+      go ()
+    | Some c when Char.code c < 0x20 -> fail s "unescaped control character"
+    | Some c ->
+      advance s;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number s =
+  let start = s.pos in
+  let is_float = ref false in
+  (match peek s with Some '-' -> advance s | _ -> ());
+  let digits () =
+    let seen = ref false in
+    while
+      match peek s with
+      | Some '0' .. '9' ->
+        seen := true;
+        advance s;
+        true
+      | _ -> false
+    do
+      ()
+    done;
+    if not !seen then fail s "expected digit"
+  in
+  (* RFC 8259: the integer part is "0" or starts with a nonzero digit *)
+  (match peek s with
+  | Some '0' -> (
+    advance s;
+    match peek s with
+    | Some '0' .. '9' -> fail s "leading zero"
+    | _ -> ())
+  | _ -> digits ());
+  (match peek s with
+  | Some '.' ->
+    is_float := true;
+    advance s;
+    digits ()
+  | _ -> ());
+  (match peek s with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance s;
+    (match peek s with Some ('+' | '-') -> advance s | _ -> ());
+    digits ()
+  | _ -> ());
+  let text = String.sub s.input start (s.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> Float (float_of_string text) (* out of int range *)
+
+let rec parse_value s ~depth =
+  if depth > max_depth then fail s "nesting too deep";
+  skip_ws s;
+  match peek s with
+  | None -> fail s "expected a value, found end of input"
+  | Some '"' -> String (parse_string s)
+  | Some 't' -> literal s "true" (Bool true)
+  | Some 'f' -> literal s "false" (Bool false)
+  | Some 'n' -> literal s "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number s
+  | Some '[' ->
+    advance s;
+    skip_ws s;
+    if peek s = Some ']' then begin
+      advance s;
+      List []
+    end
+    else begin
+      let items = ref [ parse_value s ~depth:(depth + 1) ] in
+      skip_ws s;
+      while peek s = Some ',' do
+        advance s;
+        items := parse_value s ~depth:(depth + 1) :: !items;
+        skip_ws s
+      done;
+      expect s ']';
+      List (List.rev !items)
+    end
+  | Some '{' ->
+    advance s;
+    skip_ws s;
+    if peek s = Some '}' then begin
+      advance s;
+      Obj []
+    end
+    else begin
+      let binding () =
+        skip_ws s;
+        let key = parse_string s in
+        skip_ws s;
+        expect s ':';
+        let value = parse_value s ~depth:(depth + 1) in
+        (key, value)
+      in
+      let items = ref [ binding () ] in
+      skip_ws s;
+      while peek s = Some ',' do
+        advance s;
+        items := binding () :: !items;
+        skip_ws s
+      done;
+      expect s '}';
+      Obj (List.rev !items)
+    end
+  | Some c -> fail s (Printf.sprintf "unexpected character %C" c)
+
+let parse input =
+  let s = { input; pos = 0 } in
+  let v = parse_value s ~depth:0 in
+  skip_ws s;
+  (match peek s with
+  | Some c -> fail s (Printf.sprintf "trailing garbage starting with %C" c)
+  | None -> ());
+  v
+
+let parse_result input =
+  match parse input with v -> Ok v | exception Parse_error m -> Error m
+
+(* - printing - *)
+
+let escape_into buf str =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    str;
+  Buffer.add_char buf '"'
+
+(* shortest decimal form that parses back to the same bits; integral
+   values keep a decimal point so a Float never reparses as an Int *)
+let float_repr f =
+  let short = Printf.sprintf "%.15g" f in
+  let repr = if float_of_string short = f then short else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') repr then repr
+  else repr ^ ".0"
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool true -> Buffer.add_string buf "true"
+    | Bool false -> Buffer.add_string buf "false"
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      if not (Float.is_finite f) then
+        invalid_arg "Json.to_string: non-finite float (use float_lenient)"
+      else Buffer.add_string buf (float_repr f)
+    | String s -> escape_into buf s
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj bindings ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_into buf key;
+          Buffer.add_char buf ':';
+          go value)
+        bindings;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+let float_lenient f =
+  if Float.is_nan f then String "nan"
+  else if f = Float.infinity then String "inf"
+  else if f = Float.neg_infinity then String "-inf"
+  else Float f
+
+(* - accessors - *)
+
+let member key = function Obj bindings -> List.assoc_opt key bindings | _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f && Float.abs f <= 2. ** 53. -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_str = function String s -> Some s | _ -> None
+let to_list = function List items -> Some items | _ -> None
+
+let all_opt f items =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | x :: rest -> ( match f x with Some y -> go (y :: acc) rest | None -> None)
+  in
+  go [] items
+
+let int_list v = Option.bind (to_list v) (all_opt to_int)
+let float_list v = Option.bind (to_list v) (all_opt to_float)

@@ -1,0 +1,58 @@
+(** Minimal JSON tree, parser and printer.
+
+    The simulation server speaks newline-delimited JSON over its socket;
+    this module is the whole of its wire syntax.  Hand-rolled on the
+    stdlib (the repo deliberately carries no JSON dependency): a strict
+    recursive-descent parser with a nesting cap and precise error
+    positions, and a deterministic compact printer — the same tree always
+    prints to the same bytes, which is what lets the result cache promise
+    bit-identical replays. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list  (** insertion-ordered; duplicate keys kept *)
+
+exception Parse_error of string
+(** Carries a byte offset and a description of what was expected. *)
+
+val parse : string -> t
+(** Parse one complete JSON value; trailing non-whitespace is an error.
+    Nesting beyond 256 levels is rejected (adversarial inputs must not
+    blow the stack).  @raise Parse_error on invalid input. *)
+
+val parse_result : string -> (t, string) result
+(** {!parse} with the error as a value. *)
+
+val to_string : t -> string
+(** Compact single-line rendering (no spaces, no newlines — safe as one
+    frame of a newline-delimited stream).  Strings are escaped per RFC
+    8259; floats print as their shortest round-tripping decimal form.
+    Non-finite floats have no JSON syntax and raise [Invalid_argument];
+    encode them through {!float_lenient}. *)
+
+val float_lenient : float -> t
+(** [Float f] for finite [f]; the strings ["nan"], ["inf"], ["-inf"]
+    otherwise (several experiment rows carry NaN for "paper value not
+    published"). *)
+
+(** {1 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]. *)
+
+val to_int : t -> int option
+(** [Int n], or a [Float] that is exactly integral. *)
+
+val to_float : t -> float option
+(** [Float] or [Int]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option
+val int_list : t -> int list option
+val float_list : t -> float list option

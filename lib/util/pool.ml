@@ -61,6 +61,123 @@ let map ?domains f xs =
     Array.to_list
       (Array.map (function Value y -> y | Empty | Raised _ -> assert false) results)
 
+(* - persistent pool - *)
+
+(* A long-lived server cannot afford (or tolerate) spawning fresh
+   domains per request: spawn latency lands on the request path and an
+   abandoned map leaks domains.  [t] owns its workers for its whole
+   lifetime; [run] feeds them index-addressed tasks through a shared
+   queue, so results keep the exact input order and the bit-identity
+   guarantees of [map]. *)
+type t = {
+  lock : Mutex.t;
+  work_ready : Condition.t;  (* a task was enqueued, or the pool is stopping *)
+  task_done : Condition.t;  (* a running [run] may have completed *)
+  pending : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable members : unit Domain.t list;
+  size : int;
+}
+
+let size t = t.size
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  let rec next () =
+    if t.stopping then None
+    else
+      match Queue.take_opt t.pending with
+      | Some task -> Some task
+      | None ->
+        Condition.wait t.work_ready t.lock;
+        next ()
+  in
+  let task = next () in
+  Mutex.unlock t.lock;
+  match task with
+  | None -> ()
+  | Some task ->
+    task ();
+    worker_loop t
+
+let create ?domains () =
+  let size = max 1 (match domains with Some d -> d | None -> default_domains ()) in
+  let t =
+    {
+      lock = Mutex.create ();
+      work_ready = Condition.create ();
+      task_done = Condition.create ();
+      pending = Queue.create ();
+      stopping = false;
+      members = [];
+      size;
+    }
+  in
+  t.members <- List.init size (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let members = t.members in
+  t.stopping <- true;
+  t.members <- [];
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.lock;
+  (* only the first call sees a non-empty member list, so a double
+     shutdown never double-joins *)
+  List.iter Domain.join members
+
+let check_open t =
+  if t.stopping then invalid_arg "Pool.run: pool has been shut down"
+
+let run t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] ->
+    check_open t;
+    [ f x ]
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let results = Array.make n Empty in
+    let remaining = ref n in
+    let task i () =
+      (match f input.(i) with
+      | y -> results.(i) <- Value y
+      | exception e -> results.(i) <- Raised (e, Printexc.get_raw_backtrace ()));
+      Mutex.lock t.lock;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.task_done;
+      Mutex.unlock t.lock
+    in
+    Mutex.lock t.lock;
+    (match check_open t with
+    | () -> ()
+    | exception e ->
+      Mutex.unlock t.lock;
+      raise e);
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.pending
+    done;
+    Condition.broadcast t.work_ready;
+    while !remaining > 0 do
+      Condition.wait t.task_done t.lock
+    done;
+    Mutex.unlock t.lock;
+    (* every task ran; surface the lowest-index exception, as a
+       sequential map would *)
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty | Value _ -> ())
+      results;
+    Array.to_list
+      (Array.map (function Value y -> y | Empty | Raised _ -> assert false) results)
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
 type error = {
   exn : exn;
   backtrace : Printexc.raw_backtrace;

@@ -29,6 +29,46 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     element below a failed one has run to completion).  [domains]
     defaults to {!default_domains}. *)
 
+(** {1 Persistent pools}
+
+    {!map} spawns (and joins) its workers per call — right for one-shot
+    sweeps, wrong for a long-lived server where spawn latency would land
+    on every request and an abandoned call would leak domains.  A {!t}
+    owns a fixed set of worker domains for its whole lifetime; {!run}
+    feeds them work through a shared queue and keeps {!map}'s ordering
+    and exception guarantees. *)
+
+type t
+(** A persistent pool of worker domains. *)
+
+val create : ?domains:int -> unit -> t
+(** Spawn a pool of [max 1 domains] workers (default
+    {!default_domains}).  Workers idle on a condition variable between
+    calls — no spinning. *)
+
+val size : t -> int
+(** Number of worker domains the pool owns. *)
+
+val run : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [run t f xs] is [List.map f xs] computed on [t]'s workers.  Output
+    order is exactly input order, so results are bit-identical to a
+    sequential run for every pool size.  Unlike {!map} there is no early
+    cancellation: every element runs, then the {e lowest}-index exception
+    (if any) is re-raised with its original backtrace.  Must not be
+    called from inside one of [t]'s own tasks (the pool would deadlock),
+    and calls must not race {!shutdown}.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val shutdown : t -> unit
+(** Stop and join every worker.  Idempotent: a second call is a no-op,
+    so cleanup paths can call it unconditionally.  Tasks still queued
+    when shutdown begins are dropped (a single-owner pool has none:
+    {!run} only returns once its tasks finished). *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and guarantees {!shutdown}
+    on every exit path, exceptional or not. *)
+
 type error = {
   exn : exn;
   backtrace : Printexc.raw_backtrace;  (** backtrace of the last attempt *)

@@ -22,6 +22,22 @@ let run_command args =
       close_in ic;
       (code, output))
 
+(* run a shell script file, capturing interleaved output and exit code *)
+let run_script script =
+  let out = Filename.temp_file "etx_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let code =
+        Sys.command
+          (Printf.sprintf "sh %s > %s 2>&1" (Filename.quote script)
+             (Filename.quote out))
+      in
+      let ic = open_in_bin out in
+      let output = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (code, output))
+
 let check_ok name args =
   let code, output = run_command args in
   if code <> 0 then Alcotest.failf "%s: exit %d\n%s" name code output;
@@ -112,6 +128,115 @@ let test_resilience_invalid_values () =
       ("negative sweep retries", "--size 4 --seeds 1 --sweep-retries -1");
     ]
 
+(* - version / help consistency - *)
+
+let test_version_everywhere () =
+  List.iter
+    (fun cmd ->
+      let output = check_ok ("--version on " ^ cmd) (cmd ^ " --version") in
+      if not (contains output "1.1.0") then
+        Alcotest.failf "%s --version: %S lacks the version" cmd output)
+    [ ""; "simulate"; "fig7"; "audit"; "resilience"; "serve"; "client"; "thm1" ]
+
+let test_help_everywhere () =
+  List.iter
+    (fun cmd -> ignore (check_ok ("--help on " ^ cmd) (cmd ^ " --help")))
+    [ ""; "simulate"; "fig7"; "audit"; "serve"; "client" ]
+
+(* - the simulation service - *)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let test_serve_stdio_miss_then_hit () =
+  let input = Filename.temp_file "etx_cli_serve" ".in" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove input with Sys_error _ -> ())
+    (fun () ->
+      write_lines input
+        [
+          {|{"scenario":"simulate","params":{"mesh_size":4},"id":1}|};
+          "";
+          {|{"scenario":"simulate","params":{"mesh_size":4},"id":2}|};
+          "";
+        ];
+      let output =
+        check_ok "serve --stdio"
+          (Printf.sprintf "serve --stdio --jobs 1 < %s" (Filename.quote input))
+      in
+      Alcotest.(check bool) "first is a miss" true (contains output "\"cache\":\"miss\"");
+      Alcotest.(check bool) "second is a hit" true (contains output "\"cache\":\"hit\""))
+
+let test_serve_stdio_queue_full () =
+  let input = Filename.temp_file "etx_cli_serve" ".in" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove input with Sys_error _ -> ())
+    (fun () ->
+      write_lines input
+        [
+          {|{"scenario":"simulate","params":{"mesh_size":4,"seed":1},"id":1}|};
+          {|{"scenario":"simulate","params":{"mesh_size":4,"seed":2},"id":2}|};
+          "";
+          {|{"scenario":"ping","id":3}|};
+          "";
+        ];
+      let output =
+        check_ok "serve --stdio --queue-depth 1"
+          (Printf.sprintf "serve --stdio --queue-depth 1 --jobs 1 < %s"
+             (Filename.quote input))
+      in
+      Alcotest.(check bool) "burst rejected structurally" true
+        (contains output "\"error\":\"queue_full\"");
+      (* the server outlived the rejection and answered the next batch *)
+      Alcotest.(check bool) "still serving" true (contains output "\"result\":\"pong\""))
+
+let test_serve_invalid_flags () =
+  ignore (check_fails "zero queue depth" "serve --stdio --queue-depth 0 < /dev/null");
+  ignore (check_fails "negative cache" "serve --stdio --cache-capacity -1 < /dev/null")
+
+let test_client_socket_round_trip () =
+  let socket = Filename.temp_file "etx_cli_service" ".sock" in
+  Sys.remove socket;
+  let script = Filename.temp_file "etx_cli_service" ".sh" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ socket; script ])
+    (fun () ->
+      (* one shell script so the server is reaped before the test ends *)
+      let oc = open_out script in
+      Printf.fprintf oc
+        {|set -e
+%s serve --socket %s --jobs 1 &
+server=$!
+for _ in $(seq 100); do [ -S %s ] && break; sleep 0.1; done
+[ -S %s ]
+%s client --socket %s '{"scenario":"simulate","params":{"mesh_size":4},"id":"first"}'
+%s client --socket %s '{"scenario":"simulate","params":{"mesh_size":4},"id":"second"}'
+if %s client --socket %s '{"scenario":"simulate","params":{"policy":"quantum"}}'; then
+  echo "BAD: error response did not fail the client"
+  exit 1
+fi
+%s client --socket %s '{"scenario":"shutdown"}'
+wait $server
+echo "server exit ok"
+|}
+        exe socket socket socket exe socket exe socket exe socket exe socket;
+      close_out oc;
+      let code, output = run_script script in
+      if code <> 0 then Alcotest.failf "service script: exit %d\n%s" code output;
+      Alcotest.(check bool) "first client misses" true
+        (contains output "\"cache\":\"miss\"");
+      Alcotest.(check bool) "second client hits the cache" true
+        (contains output "\"cache\":\"hit\"");
+      Alcotest.(check bool) "clean server exit" true (contains output "server exit ok");
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists socket))
+
 let test_resilience_manifest_resume () =
   let file = Filename.temp_file "etx_cli_manifest" ".bin" in
   Fun.protect
@@ -144,6 +269,15 @@ let suite =
           test_resilience_invalid_values;
         Alcotest.test_case "resilience manifest resume" `Slow
           test_resilience_manifest_resume;
+        Alcotest.test_case "--version everywhere" `Quick test_version_everywhere;
+        Alcotest.test_case "--help everywhere" `Quick test_help_everywhere;
+        Alcotest.test_case "serve --stdio miss then hit" `Quick
+          test_serve_stdio_miss_then_hit;
+        Alcotest.test_case "serve --stdio queue_full" `Quick
+          test_serve_stdio_queue_full;
+        Alcotest.test_case "serve invalid flags" `Quick test_serve_invalid_flags;
+        Alcotest.test_case "client socket round trip" `Slow
+          test_client_socket_round_trip;
       ] );
   ]
 

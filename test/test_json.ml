@@ -1,0 +1,181 @@
+(* Tests for Etx_util.Json, the service's hand-rolled wire syntax.  The
+   load-bearing properties: parsing is strict (adversarial input raises
+   Parse_error, never anything else), printing is deterministic and
+   compact, and print-then-parse is the identity. *)
+
+module Json = Etx_util.Json
+
+let json_testable =
+  Alcotest.testable (fun ppf j -> Format.pp_print_string ppf (Json.to_string j)) ( = )
+
+let parses name input expected =
+  Alcotest.(check json_testable) name expected (Json.parse input)
+
+let rejects name input =
+  match Json.parse input with
+  | json -> Alcotest.failf "%s: accepted as %s" name (Json.to_string json)
+  | exception Json.Parse_error _ -> ()
+
+let test_scalars () =
+  parses "null" "null" Json.Null;
+  parses "true" "true" (Json.Bool true);
+  parses "false" "false" (Json.Bool false);
+  parses "int" "42" (Json.Int 42);
+  parses "negative int" "-7" (Json.Int (-7));
+  parses "float" "1.5" (Json.Float 1.5);
+  parses "exponent" "2e3" (Json.Float 2000.);
+  parses "negative exponent" "-1.25e-2" (Json.Float (-0.0125));
+  parses "string" {|"hi"|} (Json.String "hi");
+  parses "leading whitespace" "  \t\n 3" (Json.Int 3)
+
+let test_containers () =
+  parses "empty list" "[]" (Json.List []);
+  parses "empty obj" "{}" (Json.Obj []);
+  parses "mixed list" {|[1,"a",null,[true]]|}
+    (Json.List
+       [ Json.Int 1; Json.String "a"; Json.Null; Json.List [ Json.Bool true ] ]);
+  parses "nested obj" {|{"a":{"b":[1,2]},"c":0}|}
+    (Json.Obj
+       [
+         ("a", Json.Obj [ ("b", Json.List [ Json.Int 1; Json.Int 2 ]) ]);
+         ("c", Json.Int 0);
+       ])
+
+let test_escapes () =
+  parses "escapes" {|"a\"b\\c\/d\n\t\r\b\f"|} (Json.String "a\"b\\c/d\n\t\r\b\012");
+  parses "unicode bmp" {|"Aé"|} (Json.String "A\xc3\xa9");
+  parses "surrogate pair" {|"😀"|} (Json.String "\xf0\x9f\x98\x80");
+  rejects "lone high surrogate" {|"\ud83d"|};
+  rejects "bad escape" {|"\q"|};
+  rejects "bare control char" "\"a\x01b\"";
+  rejects "unterminated string" {|"abc|}
+
+let test_adversarial () =
+  rejects "empty input" "";
+  rejects "trailing garbage" "1 2";
+  rejects "trailing comma in list" "[1,]";
+  rejects "trailing comma in obj" {|{"a":1,}|};
+  rejects "missing colon" {|{"a" 1}|};
+  rejects "unquoted key" "{a:1}";
+  rejects "single quotes" "{'a':1}";
+  rejects "bare word" "nulll";
+  rejects "leading zero" "01";
+  rejects "lone minus" "-";
+  rejects "incomplete exponent" "1e";
+  rejects "unclosed list" "[1,2";
+  rejects "unclosed obj" {|{"a":1|};
+  (* nesting cap: 300 levels must not blow the stack *)
+  let deep = String.concat "" (List.init 300 (fun _ -> "[")) in
+  rejects "nesting bomb" deep;
+  (* 100 levels are fine *)
+  let ok = String.concat "" (List.init 100 (fun _ -> "[")) ^ "1"
+           ^ String.concat "" (List.init 100 (fun _ -> "]")) in
+  ignore (Json.parse ok)
+
+let test_print_compact_deterministic () =
+  let j =
+    Json.Obj
+      [
+        ("s", Json.String "a\"\\\n");
+        ("n", Json.Int (-3));
+        ("f", Json.Float 0.1);
+        ("l", Json.List [ Json.Null; Json.Bool false ]);
+      ]
+  in
+  let printed = Json.to_string j in
+  Alcotest.(check string) "stable bytes" printed (Json.to_string j);
+  Alcotest.(check bool) "no spaces" false (String.contains printed ' ');
+  Alcotest.(check json_testable) "round trip" j (Json.parse printed)
+
+let test_float_repr () =
+  List.iter
+    (fun f ->
+      let printed = Json.to_string (Json.Float f) in
+      match Json.parse printed with
+      | Json.Float g ->
+        Alcotest.(check (float 0.)) (Printf.sprintf "round trip %s" printed) f g
+      | Json.Int g ->
+        Alcotest.(check (float 0.)) (Printf.sprintf "as int %s" printed) f (float_of_int g)
+      | _ -> Alcotest.fail "not a number")
+    [ 0.; 1.; -1.5; 0.1; 1e-300; 1.7976931348623157e308; 3.141592653589793 ];
+  (match Json.to_string (Json.Float Float.nan) with
+  | _ -> Alcotest.fail "nan accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check json_testable) "lenient nan" (Json.String "nan")
+    (Json.float_lenient Float.nan);
+  Alcotest.(check json_testable) "lenient inf" (Json.String "inf")
+    (Json.float_lenient Float.infinity);
+  Alcotest.(check json_testable) "lenient -inf" (Json.String "-inf")
+    (Json.float_lenient Float.neg_infinity);
+  Alcotest.(check json_testable) "lenient finite" (Json.Float 2.5)
+    (Json.float_lenient 2.5)
+
+let test_accessors () =
+  let obj = Json.parse {|{"a":1,"b":2.5,"c":"x","d":[1,2],"e":true,"f":3.0}|} in
+  Alcotest.(check (option int)) "member int" (Some 1)
+    (Option.bind (Json.member "a" obj) Json.to_int);
+  Alcotest.(check (option int)) "integral float as int" (Some 3)
+    (Option.bind (Json.member "f" obj) Json.to_int);
+  Alcotest.(check (option int)) "non-integral float not int" None
+    (Option.bind (Json.member "b" obj) Json.to_int);
+  Alcotest.(check (option (float 0.))) "int as float" (Some 1.)
+    (Option.bind (Json.member "a" obj) Json.to_float);
+  Alcotest.(check (option string)) "string" (Some "x")
+    (Option.bind (Json.member "c" obj) Json.to_str);
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Option.bind (Json.member "e" obj) Json.to_bool);
+  Alcotest.(check (option (list int))) "int list" (Some [ 1; 2 ])
+    (Option.bind (Json.member "d" obj) Json.int_list);
+  Alcotest.(check (option (list int))) "missing member" None
+    (Option.bind (Json.member "zz" obj) Json.int_list);
+  Alcotest.(check (option (list (float 0.)))) "float list of ints" (Some [ 1.; 2. ])
+    (Option.bind (Json.member "d" obj) Json.float_list)
+
+(* print-then-parse is the identity on generated trees *)
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) small_signed_int;
+              map (fun f -> Json.Float f) (float_bound_inclusive 1000.);
+              map (fun s -> Json.String s) (string_size ~gen:printable (int_bound 8));
+            ]
+        in
+        if n <= 0 then scalar
+        else
+          frequency
+            [
+              (2, scalar);
+              (1, map (fun l -> Json.List l) (list_size (int_bound 4) (self (n / 2))));
+              ( 1,
+                map
+                  (fun ps -> Json.Obj ps)
+                  (list_size (int_bound 4)
+                     (pair (string_size ~gen:printable (int_bound 6)) (self (n / 2))))
+              );
+            ]))
+
+let prop_print_parse_identity =
+  QCheck.Test.make ~count:200 ~name:"json: parse (to_string j) = j"
+    (QCheck.make gen_json ~print:(fun j -> Json.to_string j))
+    (fun j -> Json.parse (Json.to_string j) = j)
+
+let suite =
+  [
+    ( "util/json",
+      [
+        Alcotest.test_case "scalars" `Quick test_scalars;
+        Alcotest.test_case "containers" `Quick test_containers;
+        Alcotest.test_case "escapes" `Quick test_escapes;
+        Alcotest.test_case "adversarial inputs" `Quick test_adversarial;
+        Alcotest.test_case "deterministic compact print" `Quick
+          test_print_compact_deterministic;
+        Alcotest.test_case "float representation" `Quick test_float_repr;
+        Alcotest.test_case "accessors" `Quick test_accessors;
+        QCheck_alcotest.to_alcotest prop_print_parse_identity;
+      ] );
+  ]

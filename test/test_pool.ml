@@ -135,6 +135,99 @@ let test_map_result_retries () =
   | _ -> Alcotest.fail "negative retries accepted"
   | exception Invalid_argument _ -> ()
 
+(* - persistent pool (create / run / shutdown) - *)
+
+let test_run_matches_map () =
+  List.iter
+    (fun domains ->
+      let pool = Pool.create ~domains () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let xs = List.init 40 (fun i -> i) in
+          let f x = (x * 17) + 3 in
+          Alcotest.(check (list int))
+            (Printf.sprintf "domains=%d" domains)
+            (List.map f xs) (Pool.run pool f xs);
+          Alcotest.(check (list int)) "empty" [] (Pool.run pool f []);
+          Alcotest.(check (list int)) "singleton" [ f 5 ] (Pool.run pool f [ 5 ])))
+    [ 1; 2; 4 ]
+
+let test_run_reusable () =
+  (* one pool, many runs: the whole point of the persistent variant *)
+  let pool = Pool.create ~domains:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for round = 1 to 5 do
+        let xs = List.init 20 (fun i -> i * round) in
+        Alcotest.(check (list int))
+          (Printf.sprintf "round %d" round)
+          (List.map succ xs) (Pool.run pool succ xs)
+      done)
+
+let test_run_exception_lowest_index () =
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      match
+        Pool.run pool
+          (fun x -> if x >= 20 then failwith (string_of_int x) else x)
+          [ 0; 1; 25; 3; 42; 5 ]
+      with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Failure payload -> Alcotest.(check string) "lowest index" "25" payload)
+
+let test_shutdown_idempotent () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Pool.shutdown pool
+
+let test_run_after_shutdown () =
+  let pool = Pool.create ~domains:2 () in
+  Pool.shutdown pool;
+  match Pool.run pool succ [ 1; 2 ] with
+  | _ -> Alcotest.fail "run accepted after shutdown"
+  | exception Invalid_argument _ -> ()
+
+let test_with_pool () =
+  let escaped = ref None in
+  let result =
+    Pool.with_pool ~domains:2 (fun pool ->
+        escaped := Some pool;
+        Pool.run pool (fun x -> x * x) [ 1; 2; 3 ])
+  in
+  Alcotest.(check (list int)) "result" [ 1; 4; 9 ] result;
+  (* the pool is shut down on the way out, even though it escaped *)
+  (match !escaped with
+  | None -> Alcotest.fail "callback not called"
+  | Some pool -> (
+    match Pool.run pool succ [ 1 ] with
+    | _ -> Alcotest.fail "pool still open after with_pool"
+    | exception Invalid_argument _ -> ()));
+  (* shutdown also happens when the callback raises *)
+  (match
+     Pool.with_pool ~domains:2 (fun pool ->
+         escaped := Some pool;
+         failwith "boom")
+   with
+  | () -> Alcotest.fail "expected an exception"
+  | exception Failure _ -> ());
+  match !escaped with
+  | Some pool -> (
+    match Pool.run pool succ [ 1 ] with
+    | _ -> Alcotest.fail "pool leaked after raising callback"
+    | exception Invalid_argument _ -> ())
+  | None -> Alcotest.fail "callback not called"
+
+let test_size () =
+  let pool = Pool.create ~domains:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () -> Alcotest.(check int) "size" 3 (Pool.size pool))
+
 let prop_map_result_matches_map =
   QCheck.Test.make ~count:100
     ~name:"pool: map_result = Completed of List.map when nothing raises"
@@ -165,6 +258,14 @@ let suite =
         Alcotest.test_case "map_result survives crashes" `Quick
           test_map_result_survives_crashes;
         Alcotest.test_case "map_result retries" `Quick test_map_result_retries;
+        Alcotest.test_case "persistent run = map" `Quick test_run_matches_map;
+        Alcotest.test_case "persistent run reusable" `Quick test_run_reusable;
+        Alcotest.test_case "persistent run exceptions" `Quick
+          test_run_exception_lowest_index;
+        Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent;
+        Alcotest.test_case "run after shutdown" `Quick test_run_after_shutdown;
+        Alcotest.test_case "with_pool lifecycle" `Quick test_with_pool;
+        Alcotest.test_case "size" `Quick test_size;
         QCheck_alcotest.to_alcotest prop_matches_list_map;
         QCheck_alcotest.to_alcotest prop_map_result_matches_map;
       ] );
