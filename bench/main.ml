@@ -82,6 +82,84 @@ let maximin_kernel =
       (Etx_routing.Maximin.compute ~workspace ~graph:topology.Etx_graph.Topology.graph
          ~mapping ~module_count:3 snapshot)
 
+(* the delta fast path: the workspace is primed with one full compute,
+   then every run toggles a single locked port and repairs through the
+   lock-only class (shortest-path matrices reused, only phase three
+   reruns) - exactly the single-edge change-set the controller feeds
+   [compute_incremental] in steady state *)
+let ear_incremental_kernel =
+  let topology = Etx_graph.Topology.square_mesh ~size:8 () in
+  let graph = topology.Etx_graph.Topology.graph in
+  let mapping = Etx_routing.Mapping.checkerboard topology in
+  let snapshot = Etx_routing.Router.full_snapshot ~node_count:64 ~levels:8 in
+  let weight = Etx_routing.Weight.Exponential { q = 2. } in
+  let workspace = Etx_routing.Router.create_workspace () in
+  ignore
+    (Etx_routing.Router.compute ~workspace ~graph ~mapping ~module_count:3 ~weight
+       snapshot);
+  let delta = Etx_routing.Router.Delta.make ~locks_changed:true () in
+  fun () ->
+    snapshot.Etx_routing.Router.locked_ports <-
+      (match snapshot.Etx_routing.Router.locked_ports with [] -> [ (0, 1) ] | _ -> []);
+    ignore
+      (Etx_routing.Router.compute_incremental ~workspace ~graph ~mapping ~module_count:3
+         ~weight ~delta snapshot)
+
+let maximin_incremental_kernel =
+  let topology = Etx_graph.Topology.square_mesh ~size:8 () in
+  let graph = topology.Etx_graph.Topology.graph in
+  let mapping = Etx_routing.Mapping.checkerboard topology in
+  let snapshot = Etx_routing.Router.full_snapshot ~node_count:64 ~levels:8 in
+  let workspace = Etx_routing.Maximin.create_workspace () in
+  ignore (Etx_routing.Maximin.compute ~workspace ~graph ~mapping ~module_count:3 snapshot);
+  let delta = Etx_routing.Router.Delta.make ~locks_changed:true () in
+  fun () ->
+    snapshot.Etx_routing.Router.locked_ports <-
+      (match snapshot.Etx_routing.Router.locked_ports with [] -> [ (0, 1) ] | _ -> []);
+    ignore
+      (Etx_routing.Maximin.compute_incremental ~workspace ~graph ~mapping ~module_count:3
+         ~delta snapshot)
+
+(* the event-driven frame engine on an idle platform: an 8x8 Ideal-cell
+   mesh with near-infinite batteries where the single in-flight job
+   computes a billion-cycle act, so every control frame for the whole
+   benchmark is quiet.  One long-lived engine advances a ~1007-frame
+   window per run (windows keep moving forward, so every run does real
+   frame work); it is primed past frame 0 at setup so the shared full
+   recompute and the job injection stay out of the measurement, and
+   rebuilt in the unlikely event the platform dies.  The [-stepped]
+   twin traverses the exact same (bit-identical) windows with the fast
+   path off; the pair's ratio is the advertised speedup. *)
+let idle_mesh_config ~event_driven =
+  let config =
+    Etextile.Calibration.config ~battery_kind:Etx_battery.Battery.Ideal ~event_driven
+      ~mesh_size:8 ~seed:1 ()
+  in
+  {
+    config with
+    Etx_etsim.Config.battery_capacity_pj = 1e9;
+    computation_cycles = [| 1_000_000_000; 1_000_000_000; 1_000_000_000 |];
+    max_cycles = 1_000_000_000_000;
+  }
+
+let idle_mesh_kernel ~event_driven =
+  let window = 805_600 (* 1007 frame periods *) in
+  let prime () =
+    let engine = Etx_etsim.Engine.create (idle_mesh_config ~event_driven) in
+    (match Etx_etsim.Engine.run_until engine ~cycle:2_400 with
+    | Etx_etsim.Engine.Paused -> ()
+    | Etx_etsim.Engine.Finished _ -> failwith "idle-mesh bench died while priming");
+    engine
+  in
+  let engine = ref (prime ()) in
+  let stop = ref (2_400 + window) in
+  fun () ->
+    match Etx_etsim.Engine.run_until !engine ~cycle:!stop with
+    | Etx_etsim.Engine.Paused -> stop := !stop + window
+    | Etx_etsim.Engine.Finished _ ->
+      engine := prime ();
+      stop := 2_400 + window
+
 (* the hardened frame loop under a lossy fault environment: per-packet
    CRC draws, retransmissions, and upload loss on an 8x8 fabric *)
 let fault_frame_kernel =
@@ -128,28 +206,37 @@ let analysis_kernel =
       (Etx_routing.Analysis.predict ~problem ~topology ~mapping
          ~module_sequence:Etextile.Experiments.aes_module_sequence ())
 
+(* The kernel roster as a named (name, fn) list: [Test.make] wraps each
+   closure for Bechamel, and the same closure is what [--warmup]
+   executes directly before measurement. *)
+let entries =
+  [
+    ("fig7/ear-4x4-run", fig7_kernel);
+    ("table2/ideal-4x4-run", table2_kernel);
+    ("fig8/2-controllers-4x4-run", fig8_kernel);
+    ("thm1/upper-bounds", thm1_kernel);
+    ("kernel/floyd-warshall-64", floyd_warshall_kernel);
+    ("kernel/ear-recompute-64", ear_recompute_kernel);
+    ("kernel/ear-incremental-64", ear_incremental_kernel);
+    ("kernel/aes-block", aes_kernel);
+    ("kernel/battery-100-steps", battery_kernel);
+    ("kernel/maximin-recompute-64", maximin_kernel);
+    ("kernel/maximin-incremental-64", maximin_incremental_kernel);
+    ("kernel/lifetime-prediction-64", analysis_kernel);
+    ("kernel/fault-frame-64", fault_frame_kernel);
+    ("kernel/checkpoint-36", checkpoint_kernel);
+    ("kernel/service-roundtrip-hit", service_roundtrip_kernel);
+    ("kernel/idle-mesh-1k-frames-stepped", idle_mesh_kernel ~event_driven:false);
+    ("kernel/idle-mesh-1k-frames", idle_mesh_kernel ~event_driven:true);
+  ]
+
 let tests =
   Test.make_grouped ~name:"etextile"
-    [
-      Test.make ~name:"fig7/ear-4x4-run" (Staged.stage fig7_kernel);
-      Test.make ~name:"table2/ideal-4x4-run" (Staged.stage table2_kernel);
-      Test.make ~name:"fig8/2-controllers-4x4-run" (Staged.stage fig8_kernel);
-      Test.make ~name:"thm1/upper-bounds" (Staged.stage thm1_kernel);
-      Test.make ~name:"kernel/floyd-warshall-64" (Staged.stage floyd_warshall_kernel);
-      Test.make ~name:"kernel/ear-recompute-64" (Staged.stage ear_recompute_kernel);
-      Test.make ~name:"kernel/aes-block" (Staged.stage aes_kernel);
-      Test.make ~name:"kernel/battery-100-steps" (Staged.stage battery_kernel);
-      Test.make ~name:"kernel/maximin-recompute-64" (Staged.stage maximin_kernel);
-      Test.make ~name:"kernel/lifetime-prediction-64" (Staged.stage analysis_kernel);
-      Test.make ~name:"kernel/fault-frame-64" (Staged.stage fault_frame_kernel);
-      Test.make ~name:"kernel/checkpoint-36" (Staged.stage checkpoint_kernel);
-      Test.make ~name:"kernel/service-roundtrip-hit"
-        (Staged.stage service_roundtrip_kernel);
-    ]
+    (List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) entries)
 
-(* Flat { "benchmark-name": ns_per_run } object, hand-rolled so the
-   harness stays dependency-free.  Names are ASCII test labels; escape
-   the JSON specials anyway. *)
+(* { "benchmark-name": { "ns": ns_per_run, "runs": samples } } object,
+   hand-rolled so the harness stays dependency-free.  Names are ASCII
+   test labels; escape the JSON specials anyway. *)
 let write_json path rows =
   let escape name =
     let buffer = Buffer.create (String.length name) in
@@ -167,16 +254,20 @@ let write_json path rows =
   let out = open_out path in
   output_string out "{\n";
   List.iteri
-    (fun i (name, nanoseconds) ->
-      Printf.fprintf out "  \"%s\": %.1f%s\n" (escape name) nanoseconds
+    (fun i (name, nanoseconds, runs) ->
+      Printf.fprintf out "  \"%s\": { \"ns\": %.1f, \"runs\": %d }%s\n" (escape name)
+        nanoseconds runs
         (if i = List.length rows - 1 then "" else ","))
     rows;
   output_string out "}\n";
   close_out out
 
-(* Read back the flat { "name": ns } object written by [write_json].
-   Hand-rolled like the writer: names are benchmark labels (no escapes
-   in practice), values are plain decimal numbers. *)
+(* Read back a recorded baseline, accepting both schemata: the current
+   { "name": { "ns": x, "runs": n } } object written by [write_json] and
+   the legacy flat { "name": ns } form of the older checked-in baselines
+   (BENCH_pr2.json).  Hand-rolled like the writer: names are benchmark
+   labels (no escapes in practice), values are plain decimal numbers.
+   Returns (name, ns) pairs; run counts are informational only. *)
 let read_json path =
   let contents =
     let ic = open_in_bin path in
@@ -185,35 +276,81 @@ let read_json path =
     close_in ic;
     s
   in
-  let rows = ref [] in
   let len = String.length contents in
   let pos = ref 0 in
-  let fail reason = failwith (Printf.sprintf "%s: %s" path reason) in
-  while !pos < len do
-    match String.index_from_opt contents !pos '"' with
-    | None -> pos := len
-    | Some name_start -> (
-      match String.index_from_opt contents (name_start + 1) '"' with
-      | None -> fail "unterminated name"
-      | Some name_end -> (
-        let name = String.sub contents (name_start + 1) (name_end - name_start - 1) in
-        match String.index_from_opt contents name_end ':' with
-        | None -> fail "missing value"
-        | Some colon ->
-          let value_end = ref (colon + 1) in
-          while
-            !value_end < len
-            && (match contents.[!value_end] with
-               | ',' | '}' -> false
-               | _ -> true)
-          do
-            incr value_end
-          done;
-          let raw = String.trim (String.sub contents (colon + 1) (!value_end - colon - 1)) in
-          (match float_of_string_opt raw with
-          | Some v -> rows := (name, v) :: !rows
-          | None -> fail (Printf.sprintf "bad number %S for %s" raw name));
-          pos := !value_end + 1))
+  let fail : 'a. string -> 'a =
+   fun reason -> failwith (Printf.sprintf "%s: %s" path reason)
+  in
+  (* everything between tokens (whitespace, ':', ',') is filler *)
+  let skip_filler () =
+    while
+      !pos < len
+      && (match contents.[!pos] with
+         | '"' | '{' | '}' -> false
+         | '0' .. '9' | '-' -> false
+         | _ -> true)
+    do
+      incr pos
+    done
+  in
+  let parse_name () =
+    match String.index_from_opt contents (!pos + 1) '"' with
+    | None -> fail "unterminated name"
+    | Some name_end ->
+      let name = String.sub contents (!pos + 1) (name_end - !pos - 1) in
+      pos := name_end + 1;
+      name
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < len
+      && (match contents.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    match float_of_string_opt (String.sub contents start (!pos - start)) with
+    | Some v -> v
+    | None -> fail (Printf.sprintf "bad number at offset %d" start)
+  in
+  let rows = ref [] in
+  skip_filler ();
+  if !pos < len && contents.[!pos] = '{' then incr pos;
+  let parsing = ref true in
+  while !parsing do
+    skip_filler ();
+    if !pos >= len || contents.[!pos] = '}' then parsing := false
+    else begin
+      let name = parse_name () in
+      skip_filler ();
+      if !pos >= len then fail (Printf.sprintf "missing value for %s" name);
+      if contents.[!pos] = '{' then begin
+        (* object form: pick the "ns" field, ignore the rest *)
+        incr pos;
+        let ns = ref None in
+        let inner = ref true in
+        while !inner do
+          skip_filler ();
+          if !pos >= len then fail (Printf.sprintf "unterminated object for %s" name)
+          else if contents.[!pos] = '}' then begin
+            incr pos;
+            inner := false
+          end
+          else begin
+            let key = parse_name () in
+            skip_filler ();
+            let v = parse_number () in
+            if key = "ns" then ns := Some v
+          end
+        done;
+        match !ns with
+        | Some v -> rows := (name, v) :: !rows
+        | None -> fail (Printf.sprintf "no \"ns\" field for %s" name)
+      end
+      else rows := (name, parse_number ()) :: !rows
+    end
   done;
   List.rev !rows
 
@@ -248,14 +385,31 @@ let compare_against ~baseline_path ~threshold rows =
   print_newline ();
   !regressed
 
-let run_benchmarks ~smoke ~json ~compare_with ~threshold () =
+let run_benchmarks ~smoke ~json ~compare_with ~threshold ~min_runs ~warmup () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    if smoke then Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false ()
-    else Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+    if smoke then
+      Benchmark.cfg ~limit:25 ~quota:(Time.second 0.05) ~stabilize:false ~start:min_runs
+        ()
+    else
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ~start:min_runs
+        ()
   in
+  if warmup > 0 then begin
+    Printf.printf "warming up: %d pass%s over %d kernels\n%!" warmup
+      (if warmup = 1 then "" else "es")
+      (List.length entries);
+    for _ = 1 to warmup do
+      List.iter (fun (_, fn) -> fn ()) entries
+    done
+  end;
   let raw = Benchmark.all cfg instances tests in
+  let runs_of name =
+    match Hashtbl.find_opt raw name with
+    | Some b -> b.Benchmark.stats.Benchmark.samples
+    | None -> 0
+  in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
@@ -263,7 +417,7 @@ let run_benchmarks ~smoke ~json ~compare_with ~threshold () =
     List.filter_map
       (fun (name, result) ->
         match Analyze.OLS.estimates result with
-        | Some [ nanoseconds ] -> Some (name, nanoseconds)
+        | Some [ nanoseconds ] -> Some (name, nanoseconds, runs_of name)
         | Some _ | None -> None)
       rows
   in
@@ -271,7 +425,8 @@ let run_benchmarks ~smoke ~json ~compare_with ~threshold () =
   List.iter
     (fun (name, result) ->
       match Analyze.OLS.estimates result with
-      | Some [ nanoseconds ] -> Printf.printf "  %-44s %14.1f ns/run\n" name nanoseconds
+      | Some [ nanoseconds ] ->
+        Printf.printf "  %-44s %14.1f ns/run %6d runs\n" name nanoseconds (runs_of name)
       | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
     rows;
   print_newline ();
@@ -283,7 +438,8 @@ let run_benchmarks ~smoke ~json ~compare_with ~threshold () =
   match compare_with with
   | None -> ()
   | Some baseline_path ->
-    if compare_against ~baseline_path ~threshold estimated then begin
+    let pairs = List.map (fun (name, nanoseconds, _) -> (name, nanoseconds)) estimated in
+    if compare_against ~baseline_path ~threshold pairs then begin
       Printf.printf "FAIL: kernels regressed beyond %.0f%% of %s\n%!" (threshold *. 100.)
         baseline_path;
       exit 1
@@ -328,7 +484,8 @@ let run_reproduction ~domains () =
 let usage () =
   prerr_endline
     "usage: main.exe [--bench-only | --repro-only] [--smoke] [--json FILE]\n\
-    \                [--compare BASELINE.json] [--threshold FRACTION] [--jobs N]";
+    \                [--compare BASELINE.json] [--threshold FRACTION]\n\
+    \                [--min-runs N] [--warmup N] [--jobs N]";
   exit 2
 
 let () =
@@ -338,6 +495,8 @@ let () =
   let json = ref None in
   let compare = ref None in
   let threshold = ref 0.10 in
+  let min_runs = ref 1 in
+  let warmup = ref 0 in
   let jobs = ref (Domain.recommended_domain_count ()) in
   let rec parse = function
     | [] -> ()
@@ -362,6 +521,18 @@ let () =
         threshold := x;
         parse rest
       | Some _ | None -> usage ())
+    | "--min-runs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 ->
+        min_runs := n;
+        parse rest
+      | Some _ | None -> usage ())
+    | "--warmup" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 ->
+        warmup := n;
+        parse rest
+      | Some _ | None -> usage ())
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
       | Some n when n >= 1 ->
@@ -372,5 +543,6 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if not !repro_only then
-    run_benchmarks ~smoke:!smoke ~json:!json ~compare_with:!compare ~threshold:!threshold ();
+    run_benchmarks ~smoke:!smoke ~json:!json ~compare_with:!compare ~threshold:!threshold
+      ~min_runs:!min_runs ~warmup:!warmup ();
   if not !bench_only then run_reproduction ~domains:!jobs ()

@@ -78,12 +78,14 @@ let rec bank_draw t ~energy =
     end
 
 (* Engine.build_snapshot delivers locked_ports and failed_links sorted,
-   so structural equality suffices - no per-frame re-sort. *)
-let snapshot_equal (a : Router.snapshot) (b : Router.snapshot) =
-  a.alive = b.alive && a.battery_level = b.battery_level
-  && a.levels = b.levels
-  && a.locked_ports = b.locked_ports
-  && a.failed_links = b.failed_links
+   so [Router.Delta.diff]'s structural comparisons suffice - no
+   per-frame re-sort.  The same single pass that detects "unchanged"
+   also yields the change-set the incremental kernels repair from,
+   replacing the previous equality walk + would-be second diff pass. *)
+let snapshot_delta t (snapshot : Router.snapshot) =
+  match t.previous_snapshot with
+  | Some previous -> Router.Delta.diff ~previous snapshot
+  | None -> Router.Delta.full
 
 (* Remember the snapshot just recomputed for.  The arrays are blitted
    into a controller-owned buffer (the caller's buffer is refilled next
@@ -118,26 +120,33 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
   t.compute_energy <- t.compute_energy +. leakage;
   if not (bank_draw t ~energy:leakage) then Exhausted
   else begin
-    let unchanged =
-      match t.previous_snapshot with
-      | Some prev -> snapshot_equal prev snapshot
-      | None -> false
-    in
-    if unchanged then No_change
+    let delta = snapshot_delta t snapshot in
+    if Router.Delta.is_empty delta then No_change
     else begin
       let dynamic = t.dynamic_per_recompute in
       t.compute_energy <- t.compute_energy +. dynamic;
       if not (bank_draw t ~energy:dynamic) then Exhausted
       else begin
         let graph = t.config.topology.Etx_graph.Topology.graph in
+        let incremental = t.config.Config.incremental_routing in
         let table =
           match t.config.policy.Etx_routing.Policy.algorithm with
           | Etx_routing.Policy.Weighted weight ->
-            Router.compute ~workspace:t.workspace ~graph ~mapping:t.config.mapping
-              ~module_count:t.config.module_count ~weight snapshot
+            if incremental then
+              Router.compute_incremental ~workspace:t.workspace ~graph
+                ~mapping:t.config.mapping ~module_count:t.config.module_count ~weight
+                ~delta snapshot
+            else
+              Router.compute ~workspace:t.workspace ~graph ~mapping:t.config.mapping
+                ~module_count:t.config.module_count ~weight snapshot
           | Etx_routing.Policy.Maximin_residual ->
-            Etx_routing.Maximin.compute ~workspace:t.maximin_workspace ~graph
-              ~mapping:t.config.mapping ~module_count:t.config.module_count snapshot
+            if incremental then
+              Etx_routing.Maximin.compute_incremental ~workspace:t.maximin_workspace
+                ~graph ~mapping:t.config.mapping ~module_count:t.config.module_count
+                ~delta snapshot
+            else
+              Etx_routing.Maximin.compute ~workspace:t.maximin_workspace ~graph
+                ~mapping:t.config.mapping ~module_count:t.config.module_count snapshot
         in
         t.recomputations <- t.recomputations + 1;
         let changed =
@@ -162,6 +171,30 @@ let recomputations t = t.recomputations
 let download_energy_pj t = t.download_energy
 let compute_energy_pj t = t.compute_energy
 let deaths t = t.deaths
+let last_snapshot t = t.previous_snapshot
+
+let bank_infinite t = match t.bank with Infinite -> true | Finite _ -> false
+
+(* The event-driven engine's ledger for a stretch of frames it proved
+   quiet (snapshot unchanged, so [on_frame] would have returned
+   [No_change] on each): the per-frame leakage accrual, replayed with
+   the same one-add-per-frame float arithmetic.  Only the infinite bank
+   qualifies - a finite bank ticks and draws real batteries per frame,
+   which the fast-forward must not skip. *)
+let absorb_quiet_frames t ~elapsed_cycles ~count =
+  (match t.bank with
+  | Infinite -> ()
+  | Finite _ -> invalid_arg "Controller.absorb_quiet_frames: finite controller bank");
+  let leakage = t.leakage_per_cycle *. float_of_int elapsed_cycles in
+  (* accumulate in an unboxed float array cell: storing into the mutable
+     record field each iteration would box a fresh float per frame.  The
+     addition sequence is unchanged, so the result stays bit-identical
+     with the stepped path. *)
+  let acc = [| t.compute_energy |] in
+  for _ = 1 to count do
+    acc.(0) <- acc.(0) +. leakage
+  done;
+  t.compute_energy <- acc.(0)
 
 let survivors t =
   match t.bank with
@@ -241,6 +274,10 @@ let restore t (s : state) =
     f.active <- s.bank_active);
   t.previous_snapshot <- Option.map copy_snapshot s.previous_snapshot;
   t.table <- Option.map Routing_table.copy s.table;
+  (* the workspaces may hold matrices for a state unrelated to the one
+     being restored: force the next incremental compute to start over *)
+  Router.invalidate_workspace t.workspace;
+  Etx_routing.Maximin.invalidate_workspace t.maximin_workspace;
   t.recomputations <- s.recomputations;
   t.download_energy <- s.download_energy;
   t.compute_energy <- s.compute_energy;

@@ -42,6 +42,25 @@ val residual_energy_pj : t -> float
 
 val current_table : t -> Etx_routing.Routing_table.t option
 
+val last_snapshot : t -> Etx_routing.Router.snapshot option
+(** The controller-owned copy of the snapshot last recomputed for (the
+    baseline {!on_frame} diffs against).  The event-driven engine reads
+    it to prove a frame would be quiet before skipping it. *)
+
+val bank_infinite : t -> bool
+(** True for {!Config.Infinite_controller} banks.  Quiet-frame
+    fast-forwarding only applies then: a finite bank ticks and draws a
+    real battery every frame. *)
+
+val absorb_quiet_frames : t -> elapsed_cycles:int -> count:int -> unit
+(** Account for [count] consecutive control frames, each [elapsed_cycles]
+    apart, that the caller has proven quiet: the snapshot is unchanged,
+    so {!on_frame} would have paid only leakage and returned [No_change]
+    each time.  Replays the same one-addition-per-frame float arithmetic
+    as [count] individual frames, so the energy ledger stays
+    bit-identical.  Trusted contract - the caller is responsible for the
+    quietness proof.  @raise Invalid_argument on a finite bank. *)
+
 type state = {
   bank_active : int;  (** index of the active controller (0 for infinite) *)
   bank_charges : Etx_battery.Battery.charge array;  (** empty for infinite *)

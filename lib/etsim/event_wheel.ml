@@ -1,0 +1,96 @@
+(* A tiny binary min-heap of (cycle, seq, tag) entries.  The engine's
+   event-driven fast path asks one question - "what is the next cycle at
+   which something other than a routine control frame happens?" - and
+   this answers it in O(1) with O(log n) maintenance.
+
+   Ordering is lexicographic on (cycle, seq): [seq] is a monotonically
+   increasing insertion stamp, so entries scheduled for the same cycle
+   pop in FIFO order.  That makes [pop] deterministic regardless of heap
+   internals, which the checkpoint/restore bit-identity tests rely on. *)
+
+type entry = { cycle : int; seq : int; tag : int }
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy = { cycle = 0; seq = 0; tag = 0 }
+
+let create () = { heap = Array.make 16 dummy; size = 0; next_seq = 0 }
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0
+
+let length t = t.size
+
+let precedes a b = a.cycle < b.cycle || (a.cycle = b.cycle && a.seq < b.seq)
+
+let sift_up t i =
+  let e = t.heap.(i) in
+  let i = ref i in
+  while
+    !i > 0
+    &&
+    let parent = (!i - 1) / 2 in
+    precedes e t.heap.(parent)
+  do
+    let parent = (!i - 1) / 2 in
+    t.heap.(!i) <- t.heap.(parent);
+    i := parent
+  done;
+  t.heap.(!i) <- e
+
+let sift_down t i =
+  let e = t.heap.(i) in
+  let i = ref i in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 in
+    if l >= t.size then continue := false
+    else begin
+      let r = l + 1 in
+      let smallest = if r < t.size && precedes t.heap.(r) t.heap.(l) then r else l in
+      if precedes t.heap.(smallest) e then begin
+        t.heap.(!i) <- t.heap.(smallest);
+        i := smallest
+      end
+      else continue := false
+    end
+  done;
+  t.heap.(!i) <- e
+
+let schedule t ~cycle ~tag =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { cycle; seq = t.next_seq; tag };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let next_due t = if t.size = 0 then None else Some t.heap.(0).cycle
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    t.heap.(t.size) <- dummy;
+    Some (top.cycle, top.tag)
+  end
+
+let rec drop_until t ~cycle =
+  match next_due t with
+  | Some c when c <= cycle ->
+    ignore (pop t);
+    drop_until t ~cycle
+  | Some _ | None -> ()

@@ -1,0 +1,38 @@
+(** Pending-event schedule for the event-driven frame engine.
+
+    A binary min-heap keyed lexicographically on (cycle, insertion
+    order), so {!next_due} answers "when does the next non-routine event
+    fire?" in O(1) and same-cycle events {!pop} in FIFO order.  The
+    engine schedules each configured link failure into the wheel at
+    creation; the quiet-frame fast-forward clamps its horizon to
+    {!next_due} so it can never skip over a cycle at which the world
+    changes.
+
+    The wheel is {e derived} state: every entry is reconstructible from
+    the engine's pending-failure list, so checkpoints do not serialize
+    it - restore clears and reschedules instead (see
+    [Engine.restore]). *)
+
+type t
+
+val create : unit -> t
+
+val clear : t -> unit
+(** Drop every entry and reset the insertion stamp. *)
+
+val length : t -> int
+
+val schedule : t -> cycle:int -> tag:int -> unit
+(** Enqueue an event.  [tag] is an opaque small integer naming the event
+    class to the consumer (the engine uses 0 for link failures). *)
+
+val next_due : t -> int option
+(** Cycle of the earliest pending event, if any. *)
+
+val pop : t -> (int * int) option
+(** Remove and return the earliest [(cycle, tag)]; ties pop in the order
+    they were scheduled. *)
+
+val drop_until : t -> cycle:int -> unit
+(** Discard every entry due at or before [cycle] (the engine already
+    processed those events through its regular path). *)
