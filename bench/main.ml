@@ -197,6 +197,49 @@ let service_roundtrip_kernel =
   ignore (Etx_service.Server.handle_batch server [ line ]);
   fun () -> ignore (Etx_service.Server.handle_batch server [ line ])
 
+(* durable-store read path: open, length-check and CRC-verify one entry
+   file — the per-request cost of a cold-restarted backend serving from
+   disk instead of recomputing *)
+let store_read_kernel =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "etx-bench-store-%d" (Unix.getpid ()))
+  in
+  let store = Etx_service.Store.open_dir dir in
+  let key = "simulate;bench-fingerprint" in
+  let value = String.make 2048 'r' in
+  Etx_service.Store.add store key value;
+  fun () ->
+    match Etx_service.Store.find store key with
+    | Some _ -> ()
+    | None -> failwith "store-read bench lost its entry"
+
+(* router overhead on the hit path: request parse, fingerprint, ring
+   lookup, health/breaker bookkeeping and dispatch to an in-process
+   backend answering from its LRU — what the cluster front-end adds per
+   request on top of a single server's round trip *)
+let cluster_roundtrip_kernel =
+  let backend =
+    Etx_service.Server.create { Etx_service.Server.default_config with domains = 1 }
+  in
+  let rpc ~path:_ ~timeout_s:_ line =
+    match Etx_service.Server.handle_batch backend [ line ] with
+    | [ response ] -> Ok response
+    | _ -> Error "backend answered with the wrong shape"
+  in
+  let cluster =
+    Etx_service.Cluster.create ~rpc
+      {
+        (Etx_service.Cluster.default_config ~backends:[ "inproc.sock" ]) with
+        (* startup probes once, then stays quiet for the whole run *)
+        Etx_service.Cluster.health_period_s = 1e9;
+      }
+  in
+  let line = {|{"scenario":"simulate","params":{"mesh_size":4},"id":0}|} in
+  ignore (Etx_service.Cluster.handle_batch cluster [ line ]);
+  fun () -> ignore (Etx_service.Cluster.handle_batch cluster [ line ])
+
 let analysis_kernel =
   let problem = Etextile.Calibration.problem ~mesh_size:8 in
   let topology = Etx_graph.Topology.square_mesh ~size:8 () in
@@ -226,6 +269,8 @@ let entries =
     ("kernel/fault-frame-64", fault_frame_kernel);
     ("kernel/checkpoint-36", checkpoint_kernel);
     ("kernel/service-roundtrip-hit", service_roundtrip_kernel);
+    ("kernel/cluster-roundtrip-hit", cluster_roundtrip_kernel);
+    ("kernel/store-read", store_read_kernel);
     ("kernel/idle-mesh-1k-frames-stepped", idle_mesh_kernel ~event_driven:false);
     ("kernel/idle-mesh-1k-frames", idle_mesh_kernel ~event_driven:true);
   ]

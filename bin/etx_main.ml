@@ -797,17 +797,28 @@ let serve_cmd =
     let doc = "Recent samples kept per scenario for the latency percentiles." in
     Arg.(value & opt int 512 & info [ "latency-window" ] ~docv:"N" ~doc)
   in
-  let run stdio socket queue_depth cache_capacity jobs latency_window =
+  let store_arg =
+    let doc =
+      "Durable result store directory beneath the in-memory LRU: computed \
+       results are persisted there (content-addressed, CRC-guarded) and \
+       consulted on cache misses, so restarts — and other daemons sharing \
+       $(docv) — keep the cache."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let run stdio socket queue_depth cache_capacity jobs latency_window store_dir =
     let cfg =
       {
         Etx_service.Server.queue_depth;
         cache_capacity;
         domains = jobs;
         latency_window;
+        store_dir;
       }
     in
     match Etx_service.Server.create cfg with
     | exception Invalid_argument message -> `Error (false, message)
+    | exception Sys_error message -> `Error (false, message)
     | server ->
       Fun.protect
         ~finally:(fun () -> Etx_service.Server.shutdown server)
@@ -820,7 +831,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ stdio_arg $ socket_arg $ queue_depth_arg $ cache_capacity_arg
-       $ jobs_arg $ latency_window_arg))
+       $ jobs_arg $ latency_window_arg $ store_arg))
   in
   Cmd.v
     (cmd_info "serve"
@@ -837,59 +848,366 @@ let client_cmd =
     in
     Arg.(value & pos_all string [] & info [] ~docv:"REQUEST" ~doc)
   in
-  let run socket requests =
+  let timeout_arg =
+    let doc =
+      "Deadline in seconds for connecting and for each response read.  A \
+       stalled server makes the client print a clear error and exit non-zero \
+       instead of hanging forever.  0 disables the deadline."
+    in
+    Arg.(value & opt float 0. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket timeout requests =
     if requests = [] then
       `Error (true, "provide at least one JSON request argument")
     else if List.exists (fun r -> String.contains r '\n') requests then
       `Error (false, "a request must be a single line of JSON")
+    else if timeout < 0. then
+      `Error (false, "--timeout must be non-negative")
     else
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      match
-        Fun.protect
-          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-          (fun () ->
-            Unix.connect fd (Unix.ADDR_UNIX socket);
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match
+            if timeout > 0. then begin
+              (* bounded connect: non-blocking + select, then arm kernel
+                 deadlines so no later read or write can hang *)
+              Unix.set_nonblock fd;
+              (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+              | () -> ()
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
+                -> (
+                match Unix.select [] [ fd ] [] timeout with
+                | _, [ _ ], _ -> (
+                  match Unix.getsockopt_error fd with
+                  | None -> ()
+                  | Some err -> raise (Unix.Unix_error (err, "connect", socket)))
+                | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", socket))));
+              Unix.clear_nonblock fd;
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+              Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+            end
+            else Unix.connect fd (Unix.ADDR_UNIX socket)
+          with
+          | exception Unix.Unix_error (err, _, _) ->
+            `Error
+              ( false,
+                Printf.sprintf "cannot reach server at %s: %s" socket
+                  (Unix.error_message err) )
+          | () -> (
             let oc = Unix.out_channel_of_descr fd in
             let ic = Unix.in_channel_of_descr fd in
-            List.iter
-              (fun request ->
-                output_string oc request;
-                output_char oc '\n')
-              requests;
-            (* blank line flushes the batch; half-close signals no more *)
-            output_char oc '\n';
-            flush oc;
-            Unix.shutdown fd Unix.SHUTDOWN_SEND;
             let failures = ref 0 in
-            (try
-               while true do
-                 let line = input_line ic in
-                 print_endline line;
-                 match
-                   Option.bind
-                     (Result.to_option (Etx_util.Json.parse_result line))
-                     (Etx_util.Json.member "status")
-                 with
-                 | Some (Etx_util.Json.String "ok") -> ()
-                 | Some _ | None -> incr failures
-               done
-             with End_of_file -> ());
-            !failures)
-      with
-      | exception Unix.Unix_error (err, _, _) ->
-        `Error
-          ( false,
-            Printf.sprintf "cannot reach server at %s: %s" socket
-              (Unix.error_message err) )
-      | 0 -> `Ok ()
-      | n -> `Error (false, Printf.sprintf "%d request(s) failed" n)
+            match
+              List.iter
+                (fun request ->
+                  output_string oc request;
+                  output_char oc '\n')
+                requests;
+              (* blank line flushes the batch; half-close signals no more *)
+              output_char oc '\n';
+              flush oc;
+              Unix.shutdown fd Unix.SHUTDOWN_SEND;
+              while true do
+                let line = input_line ic in
+                print_endline line;
+                match
+                  Option.bind
+                    (Result.to_option (Etx_util.Json.parse_result line))
+                    (Etx_util.Json.member "status")
+                with
+                | Some (Etx_util.Json.String "ok") -> ()
+                | Some _ | None -> incr failures
+              done
+            with
+            | () | exception End_of_file ->
+              if !failures = 0 then `Ok ()
+              else `Error (false, Printf.sprintf "%d request(s) failed" !failures)
+            | exception
+                ( Sys_blocked_io
+                | Unix.Unix_error
+                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) )
+              when timeout > 0. ->
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "timed out: no response from %s within %gs (server hung or \
+                     overloaded)"
+                    socket timeout )
+            | exception Sys_error message ->
+              `Error
+                ( false,
+                  if timeout > 0. then
+                    Printf.sprintf
+                      "timed out: no response from %s within %gs (server hung \
+                       or overloaded)"
+                      socket timeout
+                  else Printf.sprintf "i/o error talking to %s: %s" socket message
+                )
+            | exception Unix.Unix_error (err, _, _) ->
+              `Error
+                ( false,
+                  Printf.sprintf "i/o error talking to %s: %s" socket
+                    (Unix.error_message err) )))
   in
-  let term = Term.(ret (const run $ socket_arg $ requests_arg)) in
+  let term = Term.(ret (const run $ socket_arg $ timeout_arg $ requests_arg)) in
   Cmd.v
     (cmd_info "client"
        ~doc:
          "Send request lines to a running server as one batch and print the \
-          responses; exits non-zero if any response is an error.")
+          responses; exits non-zero if any response is an error, and --timeout \
+          bounds how long a stalled server can hold the client.")
+    term
+
+(* - sharded cluster - *)
+
+let stdio_flag =
+  let doc =
+    "Serve newline-delimited JSON on stdin/stdout instead of a socket (one \
+     connection, then exit; blank line flushes a batch)."
+  in
+  Arg.(value & flag & info [ "stdio" ] ~doc)
+
+let cluster_queue_depth_arg =
+  let doc =
+    "Admission bound: scenario requests beyond $(docv) in one batch are shed \
+     with a degraded/retry_after response, shared fairly across clients."
+  in
+  Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+
+let attempts_arg =
+  let doc =
+    "Total dispatch attempts per request before it is answered degraded \
+     (failovers walk the consistent-hash ring with jittered backoff)."
+  in
+  Arg.(value & opt int 4 & info [ "attempts" ] ~docv:"N" ~doc)
+
+let request_timeout_arg =
+  let doc = "Per-response read deadline against a backend, in seconds." in
+  Arg.(value & opt float 30. & info [ "request-timeout" ] ~docv:"SECONDS" ~doc)
+
+let health_period_arg =
+  let doc =
+    "Quiet time in seconds before a backend is health-checked with a ping."
+  in
+  Arg.(value & opt float 2. & info [ "health-period" ] ~docv:"SECONDS" ~doc)
+
+let run_router cfg stdio socket =
+  match Etx_service.Cluster.create cfg with
+  | exception Invalid_argument message -> `Error (false, message)
+  | cluster ->
+    if stdio then Etx_service.Cluster.run_stdio cluster stdin stdout
+    else Etx_service.Cluster.run_unix cluster ~socket_path:socket;
+    `Ok ()
+
+let route_cmd =
+  let backends_arg =
+    let doc =
+      "Comma-separated Unix-socket paths of running backend daemons to shard \
+       across (required)."
+    in
+    Arg.(value & opt (list string) [] & info [ "backends" ] ~docv:"SOCKETS" ~doc)
+  in
+  let run stdio socket backends attempts request_timeout health_period queue_depth =
+    if backends = [] then
+      `Error (true, "provide --backends with at least one backend socket path")
+    else
+      let cfg =
+        {
+          (Etx_service.Cluster.default_config ~backends) with
+          attempts;
+          request_timeout_s = request_timeout;
+          health_period_s = health_period;
+          queue_depth;
+        }
+      in
+      run_router cfg stdio socket
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ stdio_flag $ socket_arg $ backends_arg $ attempts_arg
+       $ request_timeout_arg $ health_period_arg $ cluster_queue_depth_arg))
+  in
+  Cmd.v
+    (cmd_info "route"
+       ~doc:
+         "Run the cluster front-end over already-running backend daemons: \
+          shard scenario requests by fingerprint on a consistent-hash ring, \
+          with health checks, retries with backoff, circuit breakers and fair \
+          load shedding.  Speaks the same protocol as serve.")
+    term
+
+let cluster_cmd =
+  let backends_arg =
+    let doc = "Number of backend daemons to spawn." in
+    Arg.(value & opt int 3 & info [ "backends" ] ~docv:"N" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Working directory holding backend sockets, backend logs and the shared \
+       durable result store (created if missing)."
+    in
+    Arg.(value & opt string "/tmp/etx-cluster" & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let run stdio socket backends dir jobs attempts request_timeout health_period
+      queue_depth =
+    if backends < 1 then `Error (true, "--backends must be at least 1")
+    else begin
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let exe = Sys.executable_name in
+      let store = Filename.concat dir "store" in
+      let children =
+        Array.init backends (fun i ->
+            let sock = Filename.concat dir (Printf.sprintf "backend%d.sock" i) in
+            let logfile = Filename.concat dir (Printf.sprintf "backend%d.log" i) in
+            let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+            let logfd =
+              Unix.openfile logfile
+                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+                0o644
+            in
+            let pid =
+              Unix.create_process exe
+                [|
+                  exe; "serve"; "--socket"; sock; "--jobs"; string_of_int jobs;
+                  "--store"; store;
+                |]
+                devnull logfd logfd
+            in
+            Unix.close devnull;
+            Unix.close logfd;
+            (pid, sock))
+      in
+      let reap_children () =
+        Array.iter
+          (fun (pid, _) ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+          children
+      in
+      Fun.protect ~finally:reap_children (fun () ->
+          let stragglers =
+            Array.to_list children
+            |> List.filter (fun (_, sock) ->
+                   not (Etx_service.Chaos.ping_until_ready ~socket:sock ~timeout_s:15.))
+          in
+          if stragglers <> [] then
+            `Error
+              ( false,
+                Printf.sprintf "%d backend(s) never became ready (see logs in %s)"
+                  (List.length stragglers) dir )
+          else
+            let cfg =
+              {
+                (Etx_service.Cluster.default_config
+                   ~backends:(Array.to_list (Array.map snd children)))
+                with
+                attempts;
+                request_timeout_s = request_timeout;
+                health_period_s = health_period;
+                queue_depth;
+                forward_shutdown = true;
+              }
+            in
+            run_router cfg stdio socket)
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ stdio_flag $ socket_arg $ backends_arg $ dir_arg $ jobs_arg
+       $ attempts_arg $ request_timeout_arg $ health_period_arg
+       $ cluster_queue_depth_arg))
+  in
+  Cmd.v
+    (cmd_info "cluster"
+       ~doc:
+         "Spawn N backend daemons sharing one durable result store and run the \
+          sharding front-end over them; a shutdown request is forwarded to the \
+          backends, and they are reaped on exit.")
+    term
+
+let chaos_cmd =
+  let backends_arg =
+    let doc = "Backend daemons in the cluster under test." in
+    Arg.(value & opt int 3 & info [ "backends" ] ~docv:"N" ~doc)
+  in
+  let requests_arg =
+    let doc = "Distinct scenario requests to route during the chaos run." in
+    Arg.(value & opt int 12 & info [ "requests" ] ~docv:"N" ~doc)
+  in
+  let events_arg =
+    let doc = "Chaos events (kill / hang / restart) injected mid-stream." in
+    Arg.(value & opt int 6 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Schedule seed; a failing run prints it so the exact event sequence can \
+       be replayed."
+    in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Scratch directory for sockets, logs and the durable store (default: a \
+       fresh directory under the system temp dir)."
+    in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the progress log on stderr." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run backends requests events seed dir quiet =
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "etx-chaos-%d" (Unix.getpid ()))
+    in
+    match
+      Etx_service.Chaos.config ~backends ~requests ~events ~seed
+        ~log:(if quiet then ignore else prerr_endline)
+        ~exe:Sys.executable_name ~dir ()
+    with
+    | exception Invalid_argument message -> `Error (false, message)
+    | cfg ->
+      let o = Etx_service.Chaos.run cfg in
+      Printf.printf
+        "chaos seed %d: %d/%d completed bit-identically, %d client retries, %d \
+         kills, %d hangs, %d restarts, %d/%d served from the durable store \
+         after full cold restart\n"
+        o.seed o.completed requests o.client_retries o.kills o.hangs o.restarts
+        o.store_served_after_restart requests;
+      if o.violations = [] then `Ok ()
+      else begin
+        List.iter (fun v -> Printf.eprintf "violation: %s\n" v) o.violations;
+        `Error
+          ( false,
+            Printf.sprintf "%d violation(s); replay with --seed %d"
+              (List.length o.violations) o.seed )
+      end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ backends_arg $ requests_arg $ events_arg $ seed_arg $ dir_arg
+       $ quiet_arg))
+  in
+  Cmd.v
+    (cmd_info "chaos"
+       ~doc:
+         "Run the deterministic chaos harness: spawn a cluster, kill/hang/\
+          restart backends on a seeded schedule while routing requests, and \
+          verify no accepted request is lost, every result is bit-identical to \
+          a single-daemon run, and a fully cold-restarted cluster serves \
+          everything from the durable store without recomputation.  Exits \
+          non-zero on any violation.")
     term
 
 let main =
@@ -917,6 +1235,9 @@ let main =
       aes_cmd;
       serve_cmd;
       client_cmd;
+      route_cmd;
+      cluster_cmd;
+      chaos_cmd;
       all_cmd;
     ]
 

@@ -1,0 +1,73 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  failure_threshold : int;
+  cooldown_s : float;
+  now : unit -> float;
+  mutable current : state;
+  mutable failures : int;  (* consecutive *)
+  mutable opened_at : float;
+  mutable probe_inflight : bool;
+  mutable opened_total : int;
+}
+
+let create ?(failure_threshold = 3) ?(cooldown_s = 5.) ~now () =
+  if failure_threshold < 1 then
+    invalid_arg "Breaker.create: failure_threshold must be >= 1";
+  if cooldown_s <= 0. then invalid_arg "Breaker.create: cooldown_s must be > 0";
+  {
+    failure_threshold;
+    cooldown_s;
+    now;
+    current = Closed;
+    failures = 0;
+    opened_at = 0.;
+    probe_inflight = false;
+    opened_total = 0;
+  }
+
+(* lazily move Open -> Half_open once the cooldown has elapsed; state is
+   only ever advanced through this, so observers agree with [allow] *)
+let refresh t =
+  if t.current = Open && t.now () -. t.opened_at >= t.cooldown_s then begin
+    t.current <- Half_open;
+    t.probe_inflight <- false
+  end
+
+let state t =
+  refresh t;
+  t.current
+
+let allow t =
+  refresh t;
+  match t.current with
+  | Closed -> true
+  | Open -> false
+  | Half_open ->
+    if t.probe_inflight then false
+    else begin
+      t.probe_inflight <- true;
+      true
+    end
+
+let record_success t =
+  t.failures <- 0;
+  t.probe_inflight <- false;
+  t.current <- Closed
+
+let trip t =
+  t.current <- Open;
+  t.opened_at <- t.now ();
+  t.probe_inflight <- false;
+  t.opened_total <- t.opened_total + 1
+
+let record_failure t =
+  refresh t;
+  t.failures <- t.failures + 1;
+  match t.current with
+  | Half_open -> trip t
+  | Closed -> if t.failures >= t.failure_threshold then trip t
+  | Open -> ()
+
+let opened_total t = t.opened_total
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half_open"

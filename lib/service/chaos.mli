@@ -1,0 +1,74 @@
+(** Deterministic chaos harness for the sharded cluster.
+
+    Proves the cluster's failure handling end to end with real backend
+    processes: a supervisor spawns N [serve] daemons sharing one durable
+    {!Store} directory, routes a stream of scenario requests through a
+    {!Cluster} router, and — concurrently, on a schedule derived from a
+    seed — kills backends (SIGKILL), hangs them (SIGSTOP, later
+    SIGCONT) and restarts dead ones mid-batch.
+
+    Properties checked, recorded as human-readable violations:
+
+    - {b no accepted request is lost}: every request ends in an [ok]
+      response; [degraded]/[retry_after] responses are retried by the
+      harness (that is their contract) within a bounded budget.
+    - {b bit-identical results}: every [ok] response's [result] bytes
+      equal the same request's result from a single in-process daemon
+      computed before any chaos.
+    - {b durability}: after the run, {e every} backend is killed and
+      restarted cold, and each previously computed fingerprint must be
+      served with [cache:"store"] — from the shared durable store,
+      bit-identically, without recomputation.
+
+    The kill/hang/restart schedule is replayable from [seed] (event
+    timing interleaves with OS scheduling, but the event sequence and
+    every request's expected result are exact).  On violation the
+    outcome carries the seed so the run can be replayed. *)
+
+type config = {
+  exe : string;  (** path to the etx binary (spawns [exe serve ...]) *)
+  backends : int;  (** cluster size; >= 1 *)
+  requests : int;  (** distinct scenario requests routed; >= 1 *)
+  events : int;  (** chaos events injected while the stream runs *)
+  seed : int;  (** drives the event schedule and backoff jitter *)
+  dir : string;  (** scratch directory: sockets, logs, the shared store *)
+  mesh_size : int;  (** scenario size (4 keeps each compute cheap) *)
+  log : string -> unit;  (** progress lines (use [ignore] to silence) *)
+}
+
+val config :
+  ?backends:int ->
+  ?requests:int ->
+  ?events:int ->
+  ?seed:int ->
+  ?mesh_size:int ->
+  ?log:(string -> unit) ->
+  exe:string ->
+  dir:string ->
+  unit ->
+  config
+(** Defaults: 3 backends, 12 requests, 6 events, seed 1, mesh 4,
+    silent. *)
+
+type outcome = {
+  seed : int;  (** echo of the schedule seed, for replay *)
+  completed : int;  (** requests that ended [ok] with matching bytes *)
+  client_retries : int;  (** [degraded] responses retried by the harness *)
+  kills : int;
+  hangs : int;
+  restarts : int;
+  store_served_after_restart : int;
+      (** phase-2 responses with [cache:"store"] *)
+  violations : string list;  (** empty iff every property held *)
+}
+
+val run : config -> outcome
+(** Runs both phases and always reaps every spawned process, even on
+    exception.  Never raises on a property violation — those are
+    reported in [violations]. *)
+
+val ping_until_ready : socket:string -> timeout_s:float -> bool
+(** Ping a single daemon at [socket] repeatedly until it answers or
+    [timeout_s] elapses.  Shared with the all-in-one [cluster]
+    subcommand, which must not route requests to backends that are
+    still binding their sockets. *)

@@ -1,0 +1,44 @@
+type state = Up | Down
+
+type t = {
+  failure_threshold : int;
+  success_threshold : int;
+  mutable current : state;
+  mutable failures : int;  (* consecutive *)
+  mutable successes : int;  (* consecutive *)
+  mutable transitions : int;
+}
+
+let create ?(failure_threshold = 3) ?(success_threshold = 1) () =
+  if failure_threshold < 1 || success_threshold < 1 then
+    invalid_arg "Health.create: thresholds must be >= 1";
+  {
+    failure_threshold;
+    success_threshold;
+    current = Up;
+    failures = 0;
+    successes = 0;
+    transitions = 0;
+  }
+
+let state t = t.current
+
+let flip t next =
+  if t.current <> next then begin
+    t.current <- next;
+    t.transitions <- t.transitions + 1
+  end
+
+let record_success t =
+  t.failures <- 0;
+  t.successes <- t.successes + 1;
+  if t.successes >= t.success_threshold then flip t Up
+
+let record_failure t =
+  t.successes <- 0;
+  t.failures <- t.failures + 1;
+  if t.failures >= t.failure_threshold then flip t Down
+
+let consecutive_failures t = t.failures
+let transitions t = t.transitions
+let state_name = function Up -> "up" | Down -> "down"

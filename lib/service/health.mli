@@ -1,0 +1,30 @@
+(** Per-backend liveness tracking by consecutive outcomes.
+
+    A backend starts [Up] (optimistic, so a fresh cluster dispatches
+    immediately).  [failure_threshold] consecutive failures mark it
+    [Down]; [success_threshold] consecutive successes mark it [Up]
+    again.  Both probe (ping) and real-request outcomes feed the same
+    counters.  Pure bookkeeping — no clock, no side effects — so the
+    state machine is trivially unit-testable. *)
+
+type state = Up | Down
+
+type t
+
+val create : ?failure_threshold:int -> ?success_threshold:int -> unit -> t
+(** Defaults: 3 consecutive failures to go [Down], 1 success to come
+    back [Up].
+    @raise Invalid_argument if either threshold is < 1. *)
+
+val state : t -> state
+val record_success : t -> unit
+val record_failure : t -> unit
+
+val consecutive_failures : t -> int
+(** Current failure streak (0 after any success). *)
+
+val transitions : t -> int
+(** Up/Down flips so far — churn visible in stats. *)
+
+val state_name : state -> string
+(** ["up"] or ["down"]. *)

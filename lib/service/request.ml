@@ -30,7 +30,13 @@ type control = Stats | Ping | Shutdown
 
 type body = Scenario of scenario | Control of control
 
-type t = { id : Json.t; priority : int; body : body }
+type t = {
+  id : Json.t;
+  priority : int;
+  deadline_ms : int option;
+  client : string;
+  body : body;
+}
 
 let scenario_name = function
   | Scenario (Simulate _) -> "simulate"
@@ -137,6 +143,24 @@ let of_json json =
           | Some p -> Ok p
           | None -> Error "field \"priority\" must be an integer")
       in
+      let* deadline_ms =
+        match Json.member "deadline_ms" json with
+        | None -> Ok None
+        | Some v -> (
+          (* strict: 2.5 or "100" must not silently become a deadline *)
+          match Json.to_int v with
+          | None -> Error "field \"deadline_ms\" must be an integer"
+          | Some d when d < 0 -> Error "field \"deadline_ms\" must be non-negative"
+          | Some d -> Ok (Some d))
+      in
+      let* client =
+        match Json.member "client" json with
+        | None -> Ok ""
+        | Some v -> (
+          match Json.to_str v with
+          | Some s -> Ok s
+          | None -> Error "field \"client\" must be a string")
+      in
       let params = Option.value (Json.member "params" json) ~default:(Json.Obj []) in
       match Json.member "scenario" json with
       | None -> Error "missing \"scenario\" field"
@@ -158,7 +182,7 @@ let of_json json =
             | "shutdown" -> Ok (Control Shutdown)
             | other -> Error (Printf.sprintf "unknown scenario %S" other)
           in
-          Ok { id; priority; body })
+          Ok { id; priority; deadline_ms; client; body })
     in
     match parsed with
     | Ok t -> Ok t

@@ -51,7 +51,19 @@ type control =
 
 type body = Scenario of scenario | Control of control
 
-type t = { id : Etx_util.Json.t; priority : int; body : body }
+type t = {
+  id : Etx_util.Json.t;
+  priority : int;
+  deadline_ms : int option;
+      (** wall-clock budget from batch receipt; a request still waiting
+          when it expires is shed with a [deadline_exceeded] error
+          before any compute.  Parsing rejects negative or non-integer
+          values.  [None] = no deadline. *)
+  client : string;
+      (** fairness key for cluster load-shedding; defaults to [""]
+          (all anonymous requests share one fairness bucket) *)
+  body : body;
+}
 
 val scenario_name : body -> string
 (** Stable name used in responses and per-scenario latency metrics

@@ -1,0 +1,102 @@
+module StringSet = Set.Make (String)
+
+type t = {
+  replicas : int;
+  mutable member_set : StringSet.t;
+  (* ring points sorted by unsigned hash; rebuilt on membership change *)
+  mutable points : (int64 * string) array;
+}
+
+(* FNV-1a over the bytes, then the splitmix64 finalizer to spread the
+   avalanche — FNV alone clusters badly on short common-prefix strings
+   like "/tmp/etx-backend-1.sock" vs "-2.sock". *)
+let hash_string s =
+  let fnv_prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  let z = !h in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let rebuild t =
+  let points =
+    StringSet.fold
+      (fun member acc ->
+        let rec go i acc =
+          if i = t.replicas then acc
+          else
+            go (i + 1)
+              ((hash_string (Printf.sprintf "%s#%d" member i), member) :: acc)
+        in
+        go 0 acc)
+      t.member_set []
+  in
+  let arr = Array.of_list points in
+  (* member name breaks hash ties so the order is total and stable *)
+  Array.sort
+    (fun (ha, ma) (hb, mb) ->
+      match Int64.unsigned_compare ha hb with 0 -> compare ma mb | c -> c)
+    arr;
+  t.points <- arr
+
+let create ?(replicas = 64) members =
+  if replicas < 1 then invalid_arg "Ring.create: replicas must be >= 1";
+  let t = { replicas; member_set = StringSet.of_list members; points = [||] } in
+  rebuild t;
+  t
+
+let members t = StringSet.elements t.member_set
+
+let add t member =
+  if not (StringSet.mem member t.member_set) then begin
+    t.member_set <- StringSet.add member t.member_set;
+    rebuild t
+  end
+
+let remove t member =
+  if StringSet.mem member t.member_set then begin
+    t.member_set <- StringSet.remove member t.member_set;
+    rebuild t
+  end
+
+(* index of the first point with hash >= h, wrapping to 0 *)
+let successor t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let ph, _ = t.points.(mid) in
+    if Int64.unsigned_compare ph h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key =
+  if Array.length t.points = 0 then None
+  else
+    let _, member = t.points.(successor t (hash_string key)) in
+    Some member
+
+let ordered t key =
+  let n = Array.length t.points in
+  if n = 0 then []
+  else begin
+    let start = successor t (hash_string key) in
+    let seen = Hashtbl.create 8 in
+    let out = ref [] in
+    let want = StringSet.cardinal t.member_set in
+    let i = ref 0 in
+    while Hashtbl.length seen < want && !i < n do
+      let _, member = t.points.((start + !i) mod n) in
+      if not (Hashtbl.mem seen member) then begin
+        Hashtbl.replace seen member ();
+        out := member :: !out
+      end;
+      incr i
+    done;
+    List.rev !out
+  end

@@ -1,0 +1,43 @@
+(** Consistent hashing for request-to-backend affinity.
+
+    Each member is hashed onto the ring at [replicas] virtual points; a
+    key is served by the first member point at or after the key's hash.
+    Adding or removing one member remaps only the keys that hashed into
+    its arcs — every other key keeps its backend, which is what keeps
+    per-backend result caches warm across membership changes.
+
+    Hashing is the repo's own 64-bit mix (splitmix finalizer over
+    FNV-1a), so placement is deterministic across processes and runs —
+    a router restart routes every fingerprint to the same backend.
+
+    Members are plain strings (socket paths in the cluster).  The
+    structure is tiny (a sorted point array, rebuilt on membership
+    change); lookups are a binary search. *)
+
+type t
+
+val hash_string : string -> int64
+(** The ring's deterministic 64-bit string hash — also used by
+    {!Store} to name entry files. *)
+
+val create : ?replicas:int -> string list -> t
+(** [replicas] virtual points per member (default 64).  Duplicate
+    member names collapse to one.
+    @raise Invalid_argument if [replicas < 1]. *)
+
+val members : t -> string list
+(** Current members, sorted. *)
+
+val add : t -> string -> unit
+(** Idempotent. *)
+
+val remove : t -> string -> unit
+(** Idempotent; removing an absent member is a no-op. *)
+
+val lookup : t -> string -> string option
+(** Owner of a key, or [None] on an empty ring. *)
+
+val ordered : t -> string -> string list
+(** All members in failover-preference order for a key: the owner first,
+    then each distinct member encountered walking the ring clockwise.
+    Deterministic; length = number of members. *)

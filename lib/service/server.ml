@@ -7,10 +7,17 @@ type config = {
   cache_capacity : int;
   domains : int;
   latency_window : int;
+  store_dir : string option;
 }
 
 let default_config =
-  { queue_depth = 64; cache_capacity = 128; domains = 1; latency_window = 512 }
+  {
+    queue_depth = 64;
+    cache_capacity = 128;
+    domains = 1;
+    latency_window = 512;
+    store_dir = None;
+  }
 
 (* Per-scenario latency: an all-time Welford summary plus a bounded ring
    of recent samples for percentiles, so a server up for weeks still
@@ -26,12 +33,14 @@ type t = {
   cfg : config;
   pool : Pool.t;
   cache : Json.t Cache.t;
+  store : Store.t option;
   latencies : (string, latency) Hashtbl.t;
   now : unit -> float;
   mutable admitted_total : int;
   mutable rejected_total : int;
   mutable served_total : int;
   mutable errors_total : int;
+  mutable deadline_exceeded_total : int;
   mutable stopping : bool;
 }
 
@@ -42,16 +51,21 @@ let create ?(now = Unix.gettimeofday) cfg =
   if cfg.domains < 1 then invalid_arg "Server.create: domains must be >= 1";
   if cfg.latency_window < 1 then
     invalid_arg "Server.create: latency_window must be >= 1";
+  (* open the durable store before the pool so a bad --store path fails
+     fast without leaking worker domains *)
+  let store = Option.map Store.open_dir cfg.store_dir in
   {
     cfg;
     pool = Pool.create ~domains:cfg.domains ();
     cache = Cache.create ~capacity:cfg.cache_capacity;
+    store;
     latencies = Hashtbl.create 8;
     now;
     admitted_total = 0;
     rejected_total = 0;
     served_total = 0;
     errors_total = 0;
+    deadline_exceeded_total = 0;
     stopping = false;
   }
 
@@ -122,18 +136,33 @@ let cache_stats t =
       );
     ]
 
-let stats_json t =
+let store_stats store =
   Json.Obj
     [
-      ("queue_depth", Json.Int t.cfg.queue_depth);
-      ("admitted_total", Json.Int t.admitted_total);
-      ("rejected_total", Json.Int t.rejected_total);
-      ("served_total", Json.Int t.served_total);
-      ("errors_total", Json.Int t.errors_total);
-      ("pool_domains", Json.Int (Pool.size t.pool));
-      ("cache", cache_stats t);
-      ("scenarios", scenario_stats t);
+      ("dir", Json.String (Store.dir store));
+      ("entries", Json.Int (Store.length store));
+      ("hits", Json.Int (Store.hits store));
+      ("misses", Json.Int (Store.misses store));
+      ("corrupt_dropped", Json.Int (Store.corrupt_dropped store));
+      ("write_errors", Json.Int (Store.write_errors store));
     ]
+
+let stats_json t =
+  Json.Obj
+    ([
+       ("queue_depth", Json.Int t.cfg.queue_depth);
+       ("admitted_total", Json.Int t.admitted_total);
+       ("rejected_total", Json.Int t.rejected_total);
+       ("served_total", Json.Int t.served_total);
+       ("errors_total", Json.Int t.errors_total);
+       ("deadline_exceeded_total", Json.Int t.deadline_exceeded_total);
+       ("pool_domains", Json.Int (Pool.size t.pool));
+       ("cache", cache_stats t);
+     ]
+    @ (match t.store with
+      | None -> []
+      | Some store -> [ ("store", store_stats store) ])
+    @ [ ("scenarios", scenario_stats t) ])
 
 let ok_response ?cache ~scenario ~elapsed_ms id result =
   Json.Obj
@@ -155,6 +184,9 @@ let error_response id code message =
 type item = Parsed of Request.t | Malformed of Request.error
 
 let handle_batch t lines =
+  (* deadlines are measured from batch receipt: a low-priority request
+     stuck behind expensive work can expire while it waits *)
+  let batch_start = t.now () in
   let items =
     Array.of_list
       (List.map
@@ -224,6 +256,20 @@ let handle_batch t lines =
         responses.(idx) <- ok_response ~scenario:name ~elapsed_ms req.id result
       | Request.Scenario scenario -> (
         let t0 = t.now () in
+        let expired =
+          match req.deadline_ms with
+          | None -> false
+          | Some d -> (t0 -. batch_start) *. 1000. >= float_of_int d
+        in
+        if expired then begin
+          t.deadline_exceeded_total <- t.deadline_exceeded_total + 1;
+          t.errors_total <- t.errors_total + 1;
+          responses.(idx) <-
+            error_response req.id "deadline_exceeded"
+              (Printf.sprintf "deadline of %d ms expired before compute"
+                 (Option.value req.deadline_ms ~default:0))
+        end
+        else
         match
           try Handlers.fingerprint scenario
           with exn -> Error (Printexc.to_string exn)
@@ -232,6 +278,22 @@ let handle_batch t lines =
           t.errors_total <- t.errors_total + 1;
           responses.(idx) <- error_response req.id "invalid_request" message
         | Ok fp -> (
+          (* result tiers: this batch, the in-memory LRU, the durable
+             store, then compute (which backfills both caches) *)
+          let from_store () =
+            match t.store with
+            | None -> None
+            | Some store -> (
+              match Store.find store fp with
+              | None -> None
+              | Some bytes -> (
+                (* a store entry is our own serialized result; if it
+                   does not parse, treat it like any other corruption:
+                   a miss, recompute *)
+                match Json.parse_result bytes with
+                | Ok result -> Some result
+                | Error _ -> None))
+          in
           let outcome =
             match Hashtbl.find_opt batch_results fp with
             | Some result -> Ok ("coalesced", result)
@@ -241,13 +303,22 @@ let handle_batch t lines =
                 Hashtbl.replace batch_results fp result;
                 Ok ("hit", result)
               | None -> (
-                match Handlers.execute ~pool:t.pool scenario with
-                | Ok result ->
+                match from_store () with
+                | Some result ->
                   Cache.add t.cache fp result;
                   Hashtbl.replace batch_results fp result;
-                  Ok ("miss", result)
-                | Error message -> Error message
-                | exception exn -> Error (Printexc.to_string exn)))
+                  Ok ("store", result)
+                | None -> (
+                  match Handlers.execute ~pool:t.pool scenario with
+                  | Ok result ->
+                    Cache.add t.cache fp result;
+                    Option.iter
+                      (fun store -> Store.add store fp (Json.to_string result))
+                      t.store;
+                    Hashtbl.replace batch_results fp result;
+                    Ok ("miss", result)
+                  | Error message -> Error message
+                  | exception exn -> Error (Printexc.to_string exn))))
           in
           match outcome with
           | Ok (how, result) ->

@@ -29,25 +29,36 @@ type config = {
   cache_capacity : int;  (** LRU entries; 0 disables caching *)
   domains : int;  (** worker domains of the shared pool *)
   latency_window : int;  (** recent samples kept per scenario for percentiles *)
+  store_dir : string option;
+      (** durable {!Store} directory beneath the LRU: misses consult it
+          before computing ([cache:"store"] in the response) and
+          computed results are persisted to it, so restarts — and every
+          other backend sharing the directory — keep the cache.  [None]
+          disables durability. *)
 }
 
 val default_config : config
 (** queue depth 64, cache capacity 128, one worker domain, 512-sample
-    latency windows. *)
+    latency windows, no durable store. *)
 
 type t
 
 val create : ?now:(unit -> float) -> config -> t
-(** Start a server: spawns the worker pool.  [now] injects the clock
-    used for latency measurement (seconds; defaults to
+(** Start a server: opens the durable store (if configured) and spawns
+    the worker pool.  [now] injects the clock used for latency
+    measurement and deadline accounting (seconds; defaults to
     [Unix.gettimeofday]) so tests can be deterministic.
     @raise Invalid_argument on non-positive [queue_depth],
-    [latency_window] or [domains], or negative [cache_capacity]. *)
+    [latency_window] or [domains], or negative [cache_capacity].
+    @raise Sys_error if [store_dir] cannot be created. *)
 
 val handle_batch : t -> string list -> string list
 (** Serve one batch: request lines in, response lines out (same length,
     arrival order).  Never raises on malformed input — bad lines get
-    error responses. *)
+    error responses.  A scenario request whose [deadline_ms] has already
+    elapsed (measured from batch receipt) when its execution slot comes
+    up is shed with a [deadline_exceeded] error before any cache lookup
+    or compute. *)
 
 val stopped : t -> bool
 (** A [shutdown] request has been served; transports should stop

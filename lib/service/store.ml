@@ -1,0 +1,139 @@
+module Checkpoint = Etx_etsim.Checkpoint
+
+let magic = "ETXSTOR1"
+let version = 1
+let suffix = ".etxr"
+
+type t = {
+  dir : string;
+  mutable hit_count : int;
+  mutable miss_count : int;
+  mutable corrupt_count : int;
+  mutable write_error_count : int;
+}
+
+(* entry file name: hex of the ring's 64-bit string mix plus the key
+   length, to push accidental collisions even further out; the key
+   stored inside the file is what actually guards correctness *)
+let basename_of_key key =
+  Printf.sprintf "%016Lx-%06x%s" (Ring.hash_string key)
+    (String.length key land 0xFFFFFF)
+    suffix
+
+let filename t key = Filename.concat t.dir (basename_of_key key)
+
+let is_entry name = Filename.check_suffix name suffix
+
+let open_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  (* a crash between temp-file creation and rename leaves *.tmp around;
+     they were never visible as entries, so deleting them is the
+     committed state *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  { dir; hit_count = 0; miss_count = 0; corrupt_count = 0; write_error_count = 0 }
+
+let dir t = t.dir
+
+let frame key value =
+  let w = Checkpoint.Writer.create () in
+  Checkpoint.Writer.string w key;
+  Checkpoint.Writer.string w value;
+  let payload = Checkpoint.Writer.contents w in
+  let len = Bytes.length payload in
+  let out = Bytes.create (8 + 4 + len + 4) in
+  Bytes.blit_string magic 0 out 0 8;
+  Bytes.set_int32_le out 8 (Int32.of_int version);
+  Bytes.blit payload 0 out 12 len;
+  Bytes.set_int32_le out (12 + len) (Checkpoint.crc32 payload ~pos:0 ~len);
+  out
+
+exception Unreadable
+
+let unframe buf ~key =
+  if Bytes.length buf < 8 + 4 + 4 then raise Unreadable;
+  if Bytes.sub_string buf 0 8 <> magic then raise Unreadable;
+  if Int32.to_int (Bytes.get_int32_le buf 8) <> version then raise Unreadable;
+  let len = Bytes.length buf - 12 - 4 in
+  let stored_crc = Bytes.get_int32_le buf (12 + len) in
+  if Checkpoint.crc32 buf ~pos:12 ~len <> stored_crc then raise Unreadable;
+  let payload = Bytes.sub buf 12 len in
+  match
+    let r = Checkpoint.Reader.create payload in
+    let stored_key = Checkpoint.Reader.string r in
+    let value = Checkpoint.Reader.string r in
+    Checkpoint.Reader.expect_end r;
+    (stored_key, value)
+  with
+  | stored_key, value ->
+    (* file-name hash collision: another key lives in this slot — for
+       the requested key that is simply a miss *)
+    if stored_key = key then Some value else None
+  | exception Checkpoint.Error _ -> raise Unreadable
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      buf)
+
+let find t key =
+  let path = filename t key in
+  let outcome =
+    match read_file path with
+    | exception Sys_error _ -> `Miss
+    | buf -> (
+      match unframe buf ~key with
+      | Some value -> `Hit value
+      | None -> `Miss
+      | exception Unreadable -> `Corrupt)
+  in
+  match outcome with
+  | `Hit value ->
+    t.hit_count <- t.hit_count + 1;
+    Some value
+  | `Miss ->
+    t.miss_count <- t.miss_count + 1;
+    None
+  | `Corrupt ->
+    t.corrupt_count <- t.corrupt_count + 1;
+    t.miss_count <- t.miss_count + 1;
+    (try Sys.remove path with Sys_error _ -> ());
+    None
+
+let add t key value =
+  match
+    let framed = frame key value in
+    let tmp =
+      Filename.temp_file ~temp_dir:t.dir (basename_of_key key) ".tmp"
+    in
+    let ok = ref false in
+    Fun.protect
+      ~finally:(fun () -> if not !ok then try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let oc = open_out_bin tmp in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc framed);
+        Sys.rename tmp (filename t key);
+        ok := true)
+  with
+  | () -> ()
+  | exception Sys_error _ -> t.write_error_count <- t.write_error_count + 1
+
+let length t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 0
+  | names -> Array.fold_left (fun n name -> if is_entry name then n + 1 else n) 0 names
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let corrupt_dropped t = t.corrupt_count
+let write_errors t = t.write_error_count

@@ -1,0 +1,52 @@
+(** Durable on-disk content-addressed result store.
+
+    One entry per scenario fingerprint, one file per entry, shared by
+    every backend of a cluster beneath their in-memory LRUs — so cold
+    starts, crashes and restarts keep the cache.  Results are JSON
+    response bytes; since fingerprints are content addresses, concurrent
+    writers of the same key race to write identical bytes and the atomic
+    temp+rename (exactly the {!Etx_etsim.Checkpoint} discipline) makes
+    either outcome correct.
+
+    File layout: [magic "ETXSTOR1" | version u32 | payload | crc u32],
+    payload = length-prefixed key then value.  The file name is a hash
+    of the key, so the stored key is verified on read — a hash collision
+    degrades to a miss, never a wrong result.
+
+    {b Corruption is a miss, never an error:} truncated files, a wrong
+    magic, CRC mismatches and malformed payloads all return [None] (the
+    offending file is deleted and counted in {!corrupt_dropped});
+    leftover [*.tmp] files from a mid-write crash are swept on open.
+    A store must never be able to wedge the service that trusts it. *)
+
+type t
+
+val open_dir : string -> t
+(** Create the directory if needed (one level, like [mkdir]) and sweep
+    leftover temp files.
+    @raise Sys_error if the directory cannot be created or listed. *)
+
+val dir : t -> string
+
+val find : t -> string -> string option
+(** Look up a fingerprint; counts a hit or a miss.  Every failure mode
+    (absent, truncated, corrupt, wrong key) is a miss. *)
+
+val add : t -> string -> string -> unit
+(** Persist atomically (temp file + rename).  Best-effort: an I/O error
+    (disk full, permissions) is swallowed and counted in
+    {!write_errors} — durability is an optimization, never a crash. *)
+
+val filename : t -> string -> string
+(** Absolute path an entry for this key lives at (for tests and ops). *)
+
+val length : t -> int
+(** Entries currently on disk (directory scan). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val corrupt_dropped : t -> int
+(** Unreadable entry files deleted and served as misses. *)
+
+val write_errors : t -> int

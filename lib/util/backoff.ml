@@ -1,0 +1,31 @@
+type t = {
+  base_ms : float;
+  cap_ms : float;
+  prng : Prng.t;
+  mutable previous : float;
+  mutable attempts : int;
+}
+
+let create ?(base_ms = 25.) ?(cap_ms = 2000.) ~seed () =
+  if not (base_ms > 0. && base_ms <= cap_ms) then
+    invalid_arg "Backoff.create: need 0 < base_ms <= cap_ms";
+  { base_ms; cap_ms; prng = Prng.create ~seed; previous = base_ms; attempts = 0 }
+
+(* decorrelated jitter: uniform in [base, 3 * previous], clamped.  The
+   upper bound grows with what was actually slept, not with the attempt
+   count, so one lucky short draw also de-escalates the next one. *)
+let next t =
+  let upper = Float.min t.cap_ms (3. *. t.previous) in
+  let span = upper -. t.base_ms in
+  let delay =
+    if span <= 0. then t.base_ms else t.base_ms +. Prng.float t.prng ~bound:span
+  in
+  t.previous <- delay;
+  t.attempts <- t.attempts + 1;
+  delay
+
+let reset t =
+  t.previous <- t.base_ms;
+  t.attempts <- 0
+
+let attempts t = t.attempts

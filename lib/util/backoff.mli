@@ -1,0 +1,30 @@
+(** Retry pacing: exponential backoff with decorrelated jitter.
+
+    Each call to {!next} returns how long to wait before the next retry,
+    in milliseconds.  The sequence follows the "decorrelated jitter"
+    rule: the n-th delay is drawn uniformly from [[base, 3 * previous]]
+    and clamped to [cap], so delays grow roughly exponentially but two
+    clients that fail at the same instant do not retry in lockstep — the
+    thundering-herd failure mode of plain doubling.
+
+    Deterministic: the draw comes from the repo's own {!Prng} stream, so
+    a seed replays the exact delay sequence (the cluster router logs its
+    seed for this reason). *)
+
+type t
+
+val create : ?base_ms:float -> ?cap_ms:float -> seed:int -> unit -> t
+(** [base_ms] is the first/minimum delay (default 25 ms), [cap_ms] the
+    clamp (default 2000 ms).
+    @raise Invalid_argument unless [0 < base_ms <= cap_ms]. *)
+
+val next : t -> float
+(** The next delay in milliseconds: uniform in [[base, 3 * previous]],
+    clamped to [cap]. *)
+
+val reset : t -> unit
+(** Forget the escalation; the following {!next} draws from the initial
+    range again.  Call after a success so the next failure starts cheap. *)
+
+val attempts : t -> int
+(** Draws since creation or the last {!reset}. *)

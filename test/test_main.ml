@@ -6,4 +6,5 @@ let () =
    @ Test_analysis.suite @ Test_invariants.suite @ Test_scenario.suite @ Test_coverage.suite
    @ Test_edge.suite
    @ Test_experiments.suite @ Test_checkpoint.suite @ Test_audit.suite
-   @ Test_metrics_wire.suite @ Test_service.suite @ Test_incremental.suite)
+   @ Test_metrics_wire.suite @ Test_service.suite @ Test_cluster.suite
+   @ Test_incremental.suite)

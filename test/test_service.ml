@@ -47,8 +47,14 @@ let test_cache_disabled_and_invalid () =
 
 let test_request_parsing () =
   (match Request.of_line {|{"scenario":"simulate","id":7,"priority":2}|} with
-  | Ok { id = Json.Int 7; priority = 2; body = Request.Scenario (Request.Simulate p) }
-    ->
+  | Ok
+      {
+        id = Json.Int 7;
+        priority = 2;
+        deadline_ms = None;
+        client = "";
+        body = Request.Scenario (Request.Simulate p);
+      } ->
     Alcotest.(check int) "default mesh" 6 p.Request.mesh_size;
     Alcotest.(check string) "default policy" "ear" p.Request.policy
   | _ -> Alcotest.fail "simulate defaults");
@@ -57,7 +63,8 @@ let test_request_parsing () =
     Alcotest.(check (list int)) "sizes" [ 4; 5 ] sizes
   | _ -> Alcotest.fail "fig7 params");
   (match Request.of_line {|{"scenario":"shutdown"}|} with
-  | Ok { body = Request.Control Request.Shutdown; id = Json.Null; priority = 0 } -> ()
+  | Ok { body = Request.Control Request.Shutdown; id = Json.Null; priority = 0; _ } ->
+    ()
   | _ -> Alcotest.fail "shutdown control")
 
 let test_request_errors () =
@@ -98,11 +105,11 @@ let test_fingerprint_canonicalization () =
 
 (* - server batches - *)
 
-let config ?(queue_depth = 8) ?(cache_capacity = 16) () =
-  { Server.queue_depth; cache_capacity; domains = 1; latency_window = 32 }
+let config ?(queue_depth = 8) ?(cache_capacity = 16) ?store_dir () =
+  { Server.queue_depth; cache_capacity; domains = 1; latency_window = 32; store_dir }
 
-let with_server ?queue_depth ?cache_capacity f =
-  let server = Server.create (config ?queue_depth ?cache_capacity ()) in
+let with_server ?queue_depth ?cache_capacity ?store_dir ?now f =
+  let server = Server.create ?now (config ?queue_depth ?cache_capacity ?store_dir ()) in
   Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
 
 let parse_response line =
