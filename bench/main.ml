@@ -275,7 +275,7 @@ let entries =
     ("kernel/idle-mesh-1k-frames", idle_mesh_kernel ~event_driven:true);
   ]
 
-let tests =
+let tests_of entries =
   Test.make_grouped ~name:"etextile"
     (List.map (fun (name, fn) -> Test.make ~name (Staged.stage fn)) entries)
 
@@ -430,7 +430,21 @@ let compare_against ~baseline_path ~threshold rows =
   print_newline ();
   !regressed
 
-let run_benchmarks ~smoke ~json ~compare_with ~threshold ~min_runs ~warmup () =
+let run_benchmarks ~smoke ~json ~compare_with ~threshold ~min_runs ~warmup ~only () =
+  let entries =
+    match only with
+    | [] -> entries
+    | names ->
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name entries) then begin
+            Printf.eprintf "unknown benchmark %S; known kernels:\n" name;
+            List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) entries;
+            exit 2
+          end)
+        names;
+      List.filter (fun (name, _) -> List.mem name names) entries
+  in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -449,7 +463,7 @@ let run_benchmarks ~smoke ~json ~compare_with ~threshold ~min_runs ~warmup () =
       List.iter (fun (_, fn) -> fn ()) entries
     done
   end;
-  let raw = Benchmark.all cfg instances tests in
+  let raw = Benchmark.all cfg instances (tests_of entries) in
   let runs_of name =
     match Hashtbl.find_opt raw name with
     | Some b -> b.Benchmark.stats.Benchmark.samples
@@ -530,7 +544,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [--bench-only | --repro-only] [--smoke] [--json FILE]\n\
     \                [--compare BASELINE.json] [--threshold FRACTION]\n\
-    \                [--min-runs N] [--warmup N] [--jobs N]";
+    \                [--only NAME[,NAME...]] [--min-runs N] [--warmup N]\n\
+    \                [--jobs N]";
   exit 2
 
 let () =
@@ -540,6 +555,7 @@ let () =
   let json = ref None in
   let compare = ref None in
   let threshold = ref 0.10 in
+  let only = ref [] in
   let min_runs = ref 1 in
   let warmup = ref 0 in
   let jobs = ref (Domain.recommended_domain_count ()) in
@@ -560,6 +576,14 @@ let () =
     | "--compare" :: path :: rest ->
       compare := Some path;
       parse rest
+    | "--only" :: names :: rest -> (
+      match
+        String.split_on_char ',' names |> List.filter (fun s -> s <> "")
+      with
+      | [] -> usage ()
+      | names ->
+        only := !only @ names;
+        parse rest)
     | "--threshold" :: x :: rest -> (
       match float_of_string_opt x with
       | Some x when x >= 0. ->
@@ -589,5 +613,5 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if not !repro_only then
     run_benchmarks ~smoke:!smoke ~json:!json ~compare_with:!compare ~threshold:!threshold
-      ~min_runs:!min_runs ~warmup:!warmup ();
+      ~min_runs:!min_runs ~warmup:!warmup ~only:!only ();
   if not !bench_only then run_reproduction ~domains:!jobs ()

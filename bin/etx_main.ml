@@ -5,6 +5,7 @@
    with custom knobs, and expose the analytic results. *)
 
 open Cmdliner
+module Netio = Etx_service.Netio
 
 let version = "1.1.0"
 
@@ -806,7 +807,18 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
-  let run stdio socket queue_depth cache_capacity jobs latency_window store_dir =
+  let failpoints_arg =
+    let doc =
+      "Arm deterministic failure-injection sites before serving: \
+       comma-separated SITE=KIND[@OCCURRENCE][!] terms, e.g. \
+       'store.fsync=eio,net.read=eintr!'.  KIND is enospc, eio, eintr, \
+       epipe, sys:MSG, short:N, torn:N or crash.  For fault testing only; \
+       without this flag the sites cost a single atomic load."
+    in
+    Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
+  in
+  let run stdio socket queue_depth cache_capacity jobs latency_window store_dir
+      failpoints =
     let cfg =
       {
         Etx_service.Server.queue_depth;
@@ -816,22 +828,41 @@ let serve_cmd =
         store_dir;
       }
     in
-    match Etx_service.Server.create cfg with
-    | exception Invalid_argument message -> `Error (false, message)
-    | exception Sys_error message -> `Error (false, message)
-    | server ->
-      Fun.protect
-        ~finally:(fun () -> Etx_service.Server.shutdown server)
-        (fun () ->
-          if stdio then Etx_service.Server.run_stdio server stdin stdout
-          else Etx_service.Server.run_unix server ~socket_path:socket);
-      `Ok ()
+    match
+      match failpoints with
+      | None -> Ok ()
+      | Some spec -> Etx_util.Failpoint.arm_spec spec
+    with
+    | Error reason ->
+      `Error (false, Printf.sprintf "--failpoints: %s" reason)
+    | Ok () -> (
+      match Etx_service.Server.create cfg with
+      | exception Invalid_argument message -> `Error (false, message)
+      | exception Sys_error message -> `Error (false, message)
+      | server ->
+        (* a client vanishing mid-response must tear down that one
+           connection (EPIPE), not the daemon *)
+        (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+         with Invalid_argument _ -> ());
+        (* SIGTERM = graceful drain: stop accepting, finish in-flight
+           batches, then exit 0 (the supervisor's drain contract) *)
+        (try
+           Sys.set_signal Sys.sigterm
+             (Sys.Signal_handle
+                (fun _ -> Etx_service.Server.request_stop server))
+         with Invalid_argument _ -> ());
+        Fun.protect
+          ~finally:(fun () -> Etx_service.Server.shutdown server)
+          (fun () ->
+            if stdio then Etx_service.Server.run_stdio server stdin stdout
+            else Etx_service.Server.run_unix server ~socket_path:socket);
+        `Ok ())
   in
   let term =
     Term.(
       ret
         (const run $ stdio_arg $ socket_arg $ queue_depth_arg $ cache_capacity_arg
-       $ jobs_arg $ latency_window_arg $ store_arg))
+       $ jobs_arg $ latency_window_arg $ store_arg $ failpoints_arg))
   in
   Cmd.v
     (cmd_info "serve"
@@ -863,94 +894,76 @@ let client_cmd =
       `Error (false, "a request must be a single line of JSON")
     else if timeout < 0. then
       `Error (false, "--timeout must be non-negative")
-    else
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      Fun.protect
-        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () ->
-          match
-            if timeout > 0. then begin
-              (* bounded connect: non-blocking + select, then arm kernel
-                 deadlines so no later read or write can hang *)
-              Unix.set_nonblock fd;
-              (match Unix.connect fd (Unix.ADDR_UNIX socket) with
-              | () -> ()
-              | exception
-                  Unix.Unix_error
-                    ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _)
-                -> (
-                match Unix.select [] [ fd ] [] timeout with
-                | _, [ _ ], _ -> (
-                  match Unix.getsockopt_error fd with
-                  | None -> ()
-                  | Some err -> raise (Unix.Unix_error (err, "connect", socket)))
-                | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", socket))));
-              Unix.clear_nonblock fd;
-              Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-              Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
-            end
-            else Unix.connect fd (Unix.ADDR_UNIX socket)
-          with
-          | exception Unix.Unix_error (err, _, _) ->
-            `Error
-              ( false,
-                Printf.sprintf "cannot reach server at %s: %s" socket
-                  (Unix.error_message err) )
-          | () -> (
-            let oc = Unix.out_channel_of_descr fd in
-            let ic = Unix.in_channel_of_descr fd in
+    else begin
+      (* a server tearing down mid-batch must surface as an i/o error,
+         not kill the client with an unhandled SIGPIPE *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      let now = Unix.gettimeofday in
+      let per_op_deadline () =
+        if timeout > 0. then Some (now () +. timeout) else None
+      in
+      let timed_out () =
+        `Error
+          ( false,
+            Printf.sprintf
+              "timed out: no response from %s within %gs (server hung or \
+               overloaded)"
+              socket timeout )
+      in
+      (* Netio retries EINTR'd connects/reads with the remaining
+         deadline, so a signal mid-wait neither kills the batch nor
+         extends the timeout *)
+      match Netio.connect ?deadline:(per_op_deadline ()) ~now socket with
+      | Error "connect timed out" -> timed_out ()
+      | Error reason ->
+        `Error
+          (false, Printf.sprintf "cannot reach server at %s: %s" socket reason)
+      | Ok fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
             let failures = ref 0 in
             match
-              List.iter
-                (fun request ->
-                  output_string oc request;
-                  output_char oc '\n')
-                requests;
               (* blank line flushes the batch; half-close signals no more *)
-              output_char oc '\n';
-              flush oc;
+              let payload = String.concat "\n" requests ^ "\n\n" in
+              Netio.write_all ?deadline:(per_op_deadline ()) ~now fd
+                (Bytes.of_string payload);
               Unix.shutdown fd Unix.SHUTDOWN_SEND;
-              while true do
-                let line = input_line ic in
-                print_endline line;
+              let r = Netio.reader fd in
+              let rec drain () =
                 match
-                  Option.bind
-                    (Result.to_option (Etx_util.Json.parse_result line))
-                    (Etx_util.Json.member "status")
+                  Netio.read_line ?deadline:(per_op_deadline ()) ~now r
                 with
-                | Some (Etx_util.Json.String "ok") -> ()
-                | Some _ | None -> incr failures
-              done
+                | None -> ()
+                | Some line ->
+                  print_endline line;
+                  (match
+                     Option.bind
+                       (Result.to_option (Etx_util.Json.parse_result line))
+                       (Etx_util.Json.member "status")
+                   with
+                  | Some (Etx_util.Json.String "ok") -> ()
+                  | Some _ | None -> incr failures);
+                  drain ()
+              in
+              drain ()
             with
-            | () | exception End_of_file ->
+            | () ->
               if !failures = 0 then `Ok ()
-              else `Error (false, Printf.sprintf "%d request(s) failed" !failures)
-            | exception
-                ( Sys_blocked_io
-                | Unix.Unix_error
-                    ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _) )
-              when timeout > 0. ->
-              `Error
-                ( false,
-                  Printf.sprintf
-                    "timed out: no response from %s within %gs (server hung or \
-                     overloaded)"
-                    socket timeout )
+              else
+                `Error (false, Printf.sprintf "%d request(s) failed" !failures)
+            | exception Failure _ when timeout > 0. -> timed_out ()
             | exception Sys_error message ->
               `Error
                 ( false,
-                  if timeout > 0. then
-                    Printf.sprintf
-                      "timed out: no response from %s within %gs (server hung \
-                       or overloaded)"
-                      socket timeout
-                  else Printf.sprintf "i/o error talking to %s: %s" socket message
-                )
+                  Printf.sprintf "i/o error talking to %s: %s" socket message )
             | exception Unix.Unix_error (err, _, _) ->
               `Error
                 ( false,
                   Printf.sprintf "i/o error talking to %s: %s" socket
-                    (Unix.error_message err) )))
+                    (Unix.error_message err) ))
+    end
   in
   let term = Term.(ret (const run $ socket_arg $ timeout_arg $ requests_arg)) in
   Cmd.v
@@ -998,6 +1011,14 @@ let run_router cfg stdio socket =
   match Etx_service.Cluster.create cfg with
   | exception Invalid_argument message -> `Error (false, message)
   | cluster ->
+    (* backend or client sockets closing mid-write must stay a
+       per-connection error, never a daemon-killing SIGPIPE *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    (try
+       Sys.set_signal Sys.sigterm
+         (Sys.Signal_handle (fun _ -> Etx_service.Cluster.request_stop cluster))
+     with Invalid_argument _ -> ());
     if stdio then Etx_service.Cluster.run_stdio cluster stdin stdout
     else Etx_service.Cluster.run_unix cluster ~socket_path:socket;
     `Ok ()
@@ -1052,67 +1073,112 @@ let cluster_cmd =
     in
     Arg.(value & opt string "/tmp/etx-cluster" & info [ "dir" ] ~docv:"DIR" ~doc)
   in
+  let supervise_arg =
+    let doc =
+      "Self-heal the backend fleet: a supervisor reaps dead backends and \
+       restarts them with jittered backoff while the front-end keeps routing; \
+       on shutdown every backend is drained gracefully (SIGTERM, in-flight \
+       batches finish) instead of being SIGKILLed."
+    in
+    Arg.(value & flag & info [ "supervise" ] ~doc)
+  in
   let run stdio socket backends dir jobs attempts request_timeout health_period
-      queue_depth =
+      queue_depth supervise =
     if backends < 1 then `Error (true, "--backends must be at least 1")
     else begin
       (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
       let exe = Sys.executable_name in
       let store = Filename.concat dir "store" in
-      let children =
-        Array.init backends (fun i ->
-            let sock = Filename.concat dir (Printf.sprintf "backend%d.sock" i) in
-            let logfile = Filename.concat dir (Printf.sprintf "backend%d.log" i) in
-            let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
-            let logfd =
-              Unix.openfile logfile
-                [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
-                0o644
-            in
-            let pid =
-              Unix.create_process exe
-                [|
-                  exe; "serve"; "--socket"; sock; "--jobs"; string_of_int jobs;
-                  "--store"; store;
-                |]
-                devnull logfd logfd
-            in
-            Unix.close devnull;
-            Unix.close logfd;
-            (pid, sock))
+      let sock i = Filename.concat dir (Printf.sprintf "backend%d.sock" i) in
+      let spawn_backend i =
+        let logfile = Filename.concat dir (Printf.sprintf "backend%d.log" i) in
+        (* a dead backend's stale socket would make the fresh one fail
+           to bind *)
+        (try Sys.remove (sock i) with Sys_error _ -> ());
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+        let logfd =
+          Unix.openfile logfile [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+        in
+        let pid =
+          Unix.create_process exe
+            [|
+              exe; "serve"; "--socket"; sock i; "--jobs"; string_of_int jobs;
+              "--store"; store;
+            |]
+            devnull logfd logfd
+        in
+        Unix.close devnull;
+        Unix.close logfd;
+        pid
       in
-      let reap_children () =
-        Array.iter
-          (fun (pid, _) ->
-            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-            try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-          children
+      let all_ready () =
+        let stragglers =
+          List.init backends sock
+          |> List.filter (fun s ->
+                 not (Etx_service.Chaos.ping_until_ready ~socket:s ~timeout_s:15.))
+        in
+        if stragglers = [] then Ok ()
+        else
+          Error
+            (Printf.sprintf "%d backend(s) never became ready (see logs in %s)"
+               (List.length stragglers) dir)
       in
-      Fun.protect ~finally:reap_children (fun () ->
-          let stragglers =
-            Array.to_list children
-            |> List.filter (fun (_, sock) ->
-                   not (Etx_service.Chaos.ping_until_ready ~socket:sock ~timeout_s:15.))
-          in
-          if stragglers <> [] then
-            `Error
-              ( false,
-                Printf.sprintf "%d backend(s) never became ready (see logs in %s)"
-                  (List.length stragglers) dir )
-          else
-            let cfg =
-              {
-                (Etx_service.Cluster.default_config
-                   ~backends:(Array.to_list (Array.map snd children)))
-                with
-                attempts;
-                request_timeout_s = request_timeout;
-                health_period_s = health_period;
-                queue_depth;
-                forward_shutdown = true;
-              }
-            in
-            run_router cfg stdio socket)
+      let router () =
+        let cfg =
+          {
+            (Etx_service.Cluster.default_config ~backends:(List.init backends sock))
+            with
+            attempts;
+            request_timeout_s = request_timeout;
+            health_period_s = health_period;
+            queue_depth;
+            (* supervised: shutdown drains via the supervisor instead of
+               forwarding a kill the supervisor would just undo *)
+            forward_shutdown = not supervise;
+          }
+        in
+        run_router cfg stdio socket
+      in
+      if supervise then begin
+        let sup =
+          Etx_service.Supervisor.create
+            (Etx_service.Supervisor.unix_ops ~spawn:spawn_backend
+               ~ready:(fun i ->
+                 Etx_service.Chaos.ping_until_ready ~socket:(sock i) ~timeout_s:0.2)
+               ~log:prerr_endline ())
+            (Etx_service.Supervisor.default_config ~children:backends)
+        in
+        Etx_service.Supervisor.start sup;
+        let stop = Atomic.make false in
+        let healer =
+          Domain.spawn (fun () ->
+              Etx_service.Supervisor.run sup ~period_s:0.25 ~stop:(fun () ->
+                  Atomic.get stop))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set stop true;
+            Domain.join healer;
+            Etx_service.Supervisor.stop_all sup)
+          (fun () ->
+            match all_ready () with
+            | Error message -> `Error (false, message)
+            | Ok () -> router ())
+      end
+      else begin
+        let pids = Array.init backends spawn_backend in
+        let reap_children () =
+          Array.iter
+            (fun pid ->
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            pids
+        in
+        Fun.protect ~finally:reap_children (fun () ->
+            match all_ready () with
+            | Error message -> `Error (false, message)
+            | Ok () -> router ())
+      end
     end
   in
   let term =
@@ -1120,14 +1186,16 @@ let cluster_cmd =
       ret
         (const run $ stdio_flag $ socket_arg $ backends_arg $ dir_arg $ jobs_arg
        $ attempts_arg $ request_timeout_arg $ health_period_arg
-       $ cluster_queue_depth_arg))
+       $ cluster_queue_depth_arg $ supervise_arg))
   in
   Cmd.v
     (cmd_info "cluster"
        ~doc:
          "Spawn N backend daemons sharing one durable result store and run the \
           sharding front-end over them; a shutdown request is forwarded to the \
-          backends, and they are reaped on exit.")
+          backends, and they are reaped on exit.  With --supervise, dead \
+          backends are restarted with jittered backoff and shutdown drains \
+          them gracefully.")
     term
 
 let chaos_cmd =
@@ -1161,7 +1229,16 @@ let chaos_cmd =
     let doc = "Suppress the progress log on stderr." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
-  let run backends requests events seed dir quiet =
+  let supervise_arg =
+    let doc =
+      "Supervised mode: chaos only kills and hangs, a supervisor heals the \
+       fleet with jittered backoff, and a graceful rolling restart runs under \
+       a second request stream — asserting self-healing, drains without \
+       SIGKILL escalation, and zero lost requests."
+    in
+    Arg.(value & flag & info [ "supervise" ] ~doc)
+  in
+  let run backends requests events seed dir quiet supervise =
     let dir =
       match dir with
       | Some d -> d
@@ -1171,19 +1248,30 @@ let chaos_cmd =
           (Printf.sprintf "etx-chaos-%d" (Unix.getpid ()))
     in
     match
-      Etx_service.Chaos.config ~backends ~requests ~events ~seed
+      Etx_service.Chaos.config ~backends ~requests ~events ~seed ~supervise
         ~log:(if quiet then ignore else prerr_endline)
         ~exe:Sys.executable_name ~dir ()
     with
     | exception Invalid_argument message -> `Error (false, message)
     | cfg ->
       let o = Etx_service.Chaos.run cfg in
-      Printf.printf
-        "chaos seed %d: %d/%d completed bit-identically, %d client retries, %d \
-         kills, %d hangs, %d restarts, %d/%d served from the durable store \
-         after full cold restart\n"
-        o.seed o.completed requests o.client_retries o.kills o.hangs o.restarts
-        o.store_served_after_restart requests;
+      let total = if supervise then 2 * requests else requests in
+      if supervise then
+        Printf.printf
+          "chaos seed %d (supervised): %d/%d completed bit-identically, %d/%d \
+           during the rolling restart, %d client retries, %d kills, %d hangs, \
+           %d supervised restarts, %d/%d served from the durable store after \
+           full cold restart\n"
+          o.seed o.completed requests o.rolling_completed requests
+          o.client_retries o.kills o.hangs o.supervised_restarts
+          o.store_served_after_restart total
+      else
+        Printf.printf
+          "chaos seed %d: %d/%d completed bit-identically, %d client retries, \
+           %d kills, %d hangs, %d restarts, %d/%d served from the durable \
+           store after full cold restart\n"
+          o.seed o.completed requests o.client_retries o.kills o.hangs
+          o.restarts o.store_served_after_restart total;
       if o.violations = [] then `Ok ()
       else begin
         List.iter (fun v -> Printf.eprintf "violation: %s\n" v) o.violations;
@@ -1197,7 +1285,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ backends_arg $ requests_arg $ events_arg $ seed_arg $ dir_arg
-       $ quiet_arg))
+       $ quiet_arg $ supervise_arg))
   in
   Cmd.v
     (cmd_info "chaos"
@@ -1206,8 +1294,102 @@ let chaos_cmd =
           restart backends on a seeded schedule while routing requests, and \
           verify no accepted request is lost, every result is bit-identical to \
           a single-daemon run, and a fully cold-restarted cluster serves \
-          everything from the durable store without recomputation.  Exits \
-          non-zero on any violation.")
+          everything from the durable store without recomputation.  With \
+          --supervise, additionally verify the fleet heals itself and survives \
+          a graceful rolling restart under load.  Exits non-zero on any \
+          violation.")
+    term
+
+let crashtest_cmd =
+  let seed_arg =
+    let doc = "Seed for torn-write offsets and injection choices." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let dir_arg =
+    let doc =
+      "Scratch directory for the artifacts under test (default: a fresh \
+       directory under the system temp dir; left behind for inspection)."
+    in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let parts_arg =
+    let doc =
+      "Artifacts to enumerate kill points over: any of store, checkpoint, \
+       manifest (default: all three)."
+    in
+    Arg.(
+      value
+      & opt (list string) [ "store"; "checkpoint"; "manifest" ]
+      & info [ "parts" ] ~docv:"PARTS" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Print only the per-part summary lines." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run seed dir parts quiet =
+    let dir =
+      match dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "etx-crashtest-%d" (Unix.getpid ()))
+    in
+    let part_of_string = function
+      | "store" -> Ok `Store
+      | "checkpoint" -> Ok `Checkpoint
+      | "manifest" -> Ok `Manifest
+      | other ->
+        Error
+          (Printf.sprintf
+             "unknown part %S (expected store, checkpoint or manifest)" other)
+    in
+    match
+      List.fold_left
+        (fun acc p ->
+          Result.bind acc (fun ps -> Result.map (fun p -> p :: ps) (part_of_string p)))
+        (Ok []) parts
+    with
+    | Error message -> `Error (true, message)
+    | Ok [] -> `Error (true, "provide at least one part")
+    | Ok rev_parts ->
+      let reports =
+        Etx_service.Crashtest.run ~seed ~parts:(List.rev rev_parts) ~dir ()
+      in
+      let total_violations =
+        List.fold_left
+          (fun n (r : Etx_service.Crashtest.report) ->
+            Printf.printf
+              "crashtest %-10s seed %d: %d kill points, %d injections, %d \
+               violation(s)\n"
+              r.part r.seed r.kill_points r.injections (List.length r.violations);
+            if not quiet then
+              List.iter
+                (fun v -> Printf.eprintf "violation[%s]: %s\n" r.part v)
+                r.violations;
+            n + List.length r.violations)
+          0 reports
+      in
+      if total_violations = 0 then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d violation(s); replay with --seed %d"
+              total_violations seed )
+  in
+  let term =
+    Term.(ret (const run $ seed_arg $ dir_arg $ parts_arg $ quiet_arg))
+  in
+  Cmd.v
+    (cmd_info "crashtest"
+       ~doc:
+         "Run the ALICE-style crash-consistency harness: enumerate every kill \
+          point inside the store, checkpoint and sweep-manifest write \
+          sequences, simulate a crash at each (fork + _exit, torn writes \
+          included), and assert recovery loses no committed entry, serves \
+          nothing partial, sweeps temp files and stays bit-identical.  Also \
+          injects ENOSPC/EIO/EINTR/short/rename failures at every site.  \
+          Exits non-zero on any violation.")
     term
 
 let main =
@@ -1238,6 +1420,7 @@ let main =
       route_cmd;
       cluster_cmd;
       chaos_cmd;
+      crashtest_cmd;
       all_cmd;
     ]
 

@@ -68,7 +68,9 @@ let load_manifest ~fingerprint path =
   let completed = Hashtbl.create 16 in
   (if Sys.file_exists path then
      try
-       let r = Checkpoint.Reader.create (Checkpoint.read_file path) in
+       let r =
+         Checkpoint.Reader.create (Checkpoint.read_file ~fp_prefix:"manifest" path)
+       in
        if Checkpoint.Reader.string r = fingerprint then begin
          let entries =
            Checkpoint.Reader.list r (fun () ->
@@ -94,7 +96,7 @@ let save_manifest ~fingerprint path completed =
       Checkpoint.Writer.int w i;
       Checkpoint.Writer.list w (Etx_etsim.Metrics.write w) ms)
     entries;
-  Checkpoint.write_file path (Checkpoint.Writer.contents w)
+  Checkpoint.write_file ~fp_prefix:"manifest" path (Checkpoint.Writer.contents w)
 
 let run_units_supervised ?(domains = 1) ?(retries = 0) ?manifest ?(fingerprint = "")
     ?(simulate = simulate) units =
@@ -105,7 +107,11 @@ let run_units_supervised ?(domains = 1) ?(retries = 0) ?manifest ?(fingerprint =
   in
   let save () =
     match manifest with
-    | Some path -> save_manifest ~fingerprint path completed
+    | Some path -> (
+      (* the manifest is resume optimization, not the result: a full
+         disk or failed fsync must not kill a sweep that is computing
+         fine — the next save (or run) retries *)
+      try save_manifest ~fingerprint path completed with Sys_error _ -> ())
     | None -> ()
   in
   List.mapi

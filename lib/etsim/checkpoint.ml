@@ -197,30 +197,17 @@ let unframe buf =
   if crc32 buf ~pos:header_len ~len <> stored then raise (Error Crc_mismatch);
   Bytes.sub buf header_len len
 
-let write_file path payload =
-  let framed = frame payload in
-  let dir = Filename.dirname path in
-  let tmp = Filename.temp_file ~temp_dir:dir (Filename.basename path) ".tmp" in
-  let ok = ref false in
-  Fun.protect
-    ~finally:(fun () -> if not !ok then try Sys.remove tmp with Sys_error _ -> ())
-    (fun () ->
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () -> output_bytes oc framed);
-      Sys.rename tmp path;
-      ok := true)
+(* A crash between temp-file creation and rename strands a *.tmp next to
+   the target; it was never visible as committed state, so removing it
+   is the recovery.  The sweep skips temps whose writer is still alive
+   (another process mid-write next to the same target). *)
+let sweep_tmp path =
+  Etx_util.Fdio.sweep_tmps ~prefix:(Filename.basename path)
+    (Filename.dirname path)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let buf =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let len = in_channel_length ic in
-        let buf = Bytes.create len in
-        really_input ic buf 0 len;
-        buf)
-  in
-  unframe buf
+let write_file ?(fp_prefix = "checkpoint") path payload =
+  sweep_tmp path;
+  Etx_util.Fdio.write_file_atomic ~fp_prefix ~path (frame payload)
+
+let read_file ?(fp_prefix = "checkpoint") path =
+  unframe (Etx_util.Fdio.read_file ~site:(fp_prefix ^ ".read") path)

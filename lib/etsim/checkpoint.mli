@@ -113,11 +113,20 @@ val unframe : bytes -> bytes
 (** Validate a frame and return the payload.
     @raise Error on any integrity failure. *)
 
-val write_file : string -> bytes -> unit
-(** [write_file path payload] frames [payload] and writes it atomically
-    (temp file + rename in [path]'s directory).
+val sweep_tmp : string -> unit
+(** Remove stale [*.tmp] siblings left next to [path] by a crash between
+    temp-file creation and rename.  {!write_file} calls this first; it
+    is exposed so recovery code can sweep without writing. *)
+
+val write_file : ?fp_prefix:string -> string -> bytes -> unit
+(** [write_file path payload] frames [payload] and writes it atomically:
+    temp file in [path]'s directory, fsync, rename (stale tmps swept
+    first).  A failed fsync is a failed write — the previous committed
+    bytes stay untouched.  [fp_prefix] names the
+    {!Etx_util.Failpoint} sites of the sequence (default
+    ["checkpoint"]; sweep manifests use ["manifest"]).
     @raise Sys_error on I/O failure. *)
 
-val read_file : string -> bytes
+val read_file : ?fp_prefix:string -> string -> bytes
 (** Read and validate a framed file, returning the payload.
     @raise Error on integrity failure, [Sys_error] on I/O failure. *)

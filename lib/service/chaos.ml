@@ -9,15 +9,16 @@ type config = {
   seed : int;
   dir : string;
   mesh_size : int;
+  supervise : bool;
   log : string -> unit;
 }
 
 let config ?(backends = 3) ?(requests = 12) ?(events = 6) ?(seed = 1) ?(mesh_size = 4)
-    ?(log = ignore) ~exe ~dir () =
+    ?(supervise = false) ?(log = ignore) ~exe ~dir () =
   if backends < 1 then invalid_arg "Chaos.config: backends must be at least 1";
   if requests < 1 then invalid_arg "Chaos.config: requests must be at least 1";
   if events < 0 then invalid_arg "Chaos.config: events must be non-negative";
-  { exe; backends; requests; events; seed; dir; mesh_size; log }
+  { exe; backends; requests; events; seed; dir; mesh_size; supervise; log }
 
 type outcome = {
   seed : int;
@@ -26,6 +27,8 @@ type outcome = {
   kills : int;
   hangs : int;
   restarts : int;
+  supervised_restarts : int;
+  rolling_completed : int;
   store_served_after_restart : int;
   violations : string list;
 }
@@ -115,7 +118,7 @@ let ping_until_ready ~socket ~timeout_s =
   let ping_line = {|{"id":"ready","scenario":"ping"}|} in
   let rec attempt () =
     let ok =
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () ->
@@ -152,7 +155,7 @@ let wait_ready proc = ping_until_ready ~socket:proc.socket ~timeout_s:15.
 
 type chaos_counts = { mutable kills : int; mutable hangs : int; mutable restarts : int }
 
-let run_chaos (cfg : config) procs counts =
+let run_chaos ?(supervised = false) (cfg : config) procs counts =
   let rng = Prng.create ~seed:(cfg.seed * 2 + 1) in
   let pick pred =
     let candidates = Array.of_list (List.filter pred (Array.to_list procs)) in
@@ -167,7 +170,13 @@ let run_chaos (cfg : config) procs counts =
       | None -> ()
       | Some p ->
         cfg.log (Printf.sprintf "chaos: kill backend %d (pid %d)" p.index p.pid);
-        kill_proc p;
+        (if supervised then begin
+           (* SIGKILL without reaping: observing the exit, reaping and
+              respawning is the supervisor's job *)
+           (try Unix.kill p.pid Sys.sigkill with Unix.Unix_error _ -> ());
+           p.sigstopped <- false
+         end
+         else kill_proc p);
         counts.kills <- counts.kills + 1)
     else if roll < 0.72 then (
       match pick (fun p -> p.pid > 0 && not p.sigstopped) with
@@ -182,23 +191,26 @@ let run_chaos (cfg : config) procs counts =
            p.sigstopped <- false
          with Unix.Unix_error _ -> ());
         counts.hangs <- counts.hangs + 1)
-    else
+    else if not supervised then (
+      (* in supervised mode healing is the supervisor's job; the
+         schedule burns the slot so kill/hang sequencing stays seeded *)
       match pick (fun p -> p.pid <= 0) with
       | None -> ()
       | Some p ->
         cfg.log (Printf.sprintf "chaos: restart backend %d" p.index);
         spawn cfg p;
-        counts.restarts <- counts.restarts + 1
+        counts.restarts <- counts.restarts + 1)
   done;
   (* leave the cluster whole: resume every hung backend, restart every
-     dead one, and wait until each answers a ping again *)
+     dead one (supervised: just wait for the supervisor to do it), and
+     wait until each answers a ping again *)
   Array.iter
     (fun p ->
       if p.pid > 0 && p.sigstopped then begin
         (try Unix.kill p.pid Sys.sigcont with Unix.Unix_error _ -> ());
         p.sigstopped <- false
       end;
-      if p.pid <= 0 then begin
+      if (not supervised) && p.pid <= 0 then begin
         cfg.log (Printf.sprintf "chaos: final restart of backend %d" p.index);
         spawn cfg p;
         counts.restarts <- counts.restarts + 1
@@ -215,12 +227,10 @@ let run_chaos (cfg : config) procs counts =
 
 let retry_budget = 100
 
-let drive_stream (cfg : config) cluster reference violations =
+let drive_stream (cfg : config) cluster ~indices reference violations =
   let completed = ref 0 and client_retries = ref 0 in
   let pending = Queue.create () in
-  for i = 0 to cfg.requests - 1 do
-    Queue.add (i, retry_budget) pending
-  done;
+  List.iter (fun i -> Queue.add (i, retry_budget) pending) indices;
   while not (Queue.is_empty pending) do
     (* small batches so chaos events interleave with many dispatches *)
     let batch = ref [] in
@@ -263,15 +273,15 @@ let drive_stream (cfg : config) cluster reference violations =
 
 (* - reference run: one in-process daemon, no store, no chaos - *)
 
-let reference_results (cfg : config) =
+let reference_results (cfg : config) ~count =
   let server =
     Server.create
-      { Server.default_config with queue_depth = max 64 cfg.requests; domains = 1 }
+      { Server.default_config with queue_depth = max 64 count; domains = 1 }
   in
   Fun.protect
     ~finally:(fun () -> Server.shutdown server)
     (fun () ->
-      let lines = List.init cfg.requests (request_line cfg) in
+      let lines = List.init count (request_line cfg) in
       let replies = Server.handle_batch server lines in
       Array.of_list
         (List.map
@@ -301,26 +311,61 @@ let cluster_config (cfg : config) procs =
     retry_after_ms = 40;
   }
 
-let run (cfg : config) =
+let make_procs (cfg : config) =
+  (try Unix.mkdir cfg.dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.init cfg.backends (fun index ->
+      {
+        index;
+        socket = Filename.concat cfg.dir (Printf.sprintf "b%d.sock" index);
+        logfile = Filename.concat cfg.dir (Printf.sprintf "b%d.log" index);
+        pid = -1;
+        sigstopped = false;
+      })
+
+(* durability phase: cold-restart the whole cluster, then demand every
+   result back from the shared store without recompute *)
+let cold_restart_durability (cfg : config) procs ~count reference violations =
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  cfg.log "chaos: killing and cold-restarting every backend";
+  Array.iter kill_proc procs;
+  Array.iter (fun p -> spawn cfg p) procs;
+  Array.iter
+    (fun p ->
+      if not (wait_ready p) then
+        violation "backend %d never became ready after cold restart" p.index)
+    procs;
+  let store_served = ref 0 in
+  if !violations = [] then begin
+    let cluster = Cluster.create (cluster_config cfg procs) in
+    let lines = List.init count (request_line cfg) in
+    let replies = Cluster.handle_batch cluster lines in
+    List.iteri
+      (fun i reply ->
+        match parse_response reply with
+        | Error what -> violations := what :: !violations
+        | Ok { status = "ok"; cache = "store"; result; _ } ->
+          if String.equal result reference.(i) then incr store_served
+          else violation "request %d: store bytes diverged after cold restart" i
+        | Ok { status = "ok"; cache; _ } ->
+          violation
+            "request %d: recomputed after cold restart (cache %S, wanted \
+             \"store\")"
+            i cache
+        | Ok { code; _ } ->
+          violation "request %d: error %S after cold restart" i code)
+      replies
+  end;
+  !store_served
+
+let run_manual (cfg : config) =
   let violations = ref [] in
   let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
-  (try Unix.mkdir cfg.dir 0o755
-   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let procs =
-    Array.init cfg.backends (fun index ->
-        {
-          index;
-          socket = Filename.concat cfg.dir (Printf.sprintf "b%d.sock" index);
-          logfile = Filename.concat cfg.dir (Printf.sprintf "b%d.log" index);
-          pid = -1;
-          sigstopped = false;
-        })
-  in
+  let procs = make_procs cfg in
   Fun.protect
     ~finally:(fun () -> Array.iter kill_proc procs)
     (fun () ->
       cfg.log "chaos: computing reference results (single daemon, no chaos)";
-      let reference = reference_results cfg in
+      let reference = reference_results cfg ~count:cfg.requests in
       cfg.log (Printf.sprintf "chaos: starting %d backends" cfg.backends);
       Array.iter (fun p -> spawn cfg p) procs;
       Array.iter
@@ -335,44 +380,21 @@ let run (cfg : config) =
           let cluster = Cluster.create (cluster_config cfg procs) in
           let chaos = Domain.spawn (fun () -> run_chaos cfg procs counts) in
           let stream =
-            try Ok (drive_stream cfg cluster reference violations)
+            try
+              Ok
+                (drive_stream cfg cluster
+                   ~indices:(List.init cfg.requests Fun.id)
+                   reference violations)
             with e -> Error e
           in
           Domain.join chaos;
           match stream with Ok r -> r | Error e -> raise e
         end
       in
-      (* durability phase: cold-restart the whole cluster, then demand
-         every result back from the shared store without recompute *)
-      cfg.log "chaos: killing and cold-restarting every backend";
-      Array.iter kill_proc procs;
-      Array.iter (fun p -> spawn cfg p) procs;
-      Array.iter
-        (fun p ->
-          if not (wait_ready p) then
-            violation "backend %d never became ready after cold restart" p.index)
-        procs;
-      let store_served = ref 0 in
-      if !violations = [] then begin
-        let cluster = Cluster.create (cluster_config cfg procs) in
-        let lines = List.init cfg.requests (request_line cfg) in
-        let replies = Cluster.handle_batch cluster lines in
-        List.iteri
-          (fun i reply ->
-            match parse_response reply with
-            | Error what -> violations := what :: !violations
-            | Ok { status = "ok"; cache = "store"; result; _ } ->
-              if String.equal result reference.(i) then incr store_served
-              else violation "request %d: store bytes diverged after cold restart" i
-            | Ok { status = "ok"; cache; _ } ->
-              violation
-                "request %d: recomputed after cold restart (cache %S, wanted \
-                 \"store\")"
-                i cache
-            | Ok { code; _ } ->
-              violation "request %d: error %S after cold restart" i code)
-          replies
-      end;
+      let store_served =
+        cold_restart_durability cfg procs ~count:cfg.requests reference
+          violations
+      in
       {
         seed = cfg.seed;
         completed;
@@ -380,6 +402,146 @@ let run (cfg : config) =
         kills = counts.kills;
         hangs = counts.hangs;
         restarts = counts.restarts;
-        store_served_after_restart = !store_served;
+        supervised_restarts = 0;
+        rolling_completed = 0;
+        store_served_after_restart = store_served;
         violations = List.rev !violations;
       })
+
+(* - supervised mode -
+
+   The chaos schedule only wounds (SIGKILL without reap, SIGSTOP); a
+   Supervisor domain heals: it reaps exits and respawns with per-child
+   decorrelated-jitter backoff while the stream keeps routing.  Then a
+   rolling restart — graceful drain and resume of each backend in turn
+   — runs concurrently with a second request stream over fresh
+   fingerprints, and must lose nothing and never escalate to SIGKILL. *)
+
+let run_supervised (cfg : config) =
+  let violations = ref [] in
+  let violation fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let procs = make_procs cfg in
+  let sup_cfg =
+    {
+      (Supervisor.default_config ~children:cfg.backends) with
+      backoff_base_ms = 20.;
+      backoff_cap_ms = 250.;
+      seed = cfg.seed;
+      (* chaos kills land seconds apart at most: treat any uptime as
+         stable so the seeded schedule cannot escalate delays unboundedly *)
+      stable_after_s = 0.5;
+      drain_grace_s = 10.;
+      ready_timeout_s = 15.;
+    }
+  in
+  let sup =
+    Supervisor.create
+      (Supervisor.unix_ops
+         ~spawn:(fun i ->
+           spawn cfg procs.(i);
+           procs.(i).pid)
+         ~ready:(fun i -> ping_until_ready ~socket:procs.(i).socket ~timeout_s:0.2)
+         ~log:cfg.log ())
+      sup_cfg
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Supervisor.stop_all sup;
+      Array.iter kill_proc procs)
+    (fun () ->
+      let total = 2 * cfg.requests in
+      cfg.log "chaos: computing reference results (single daemon, no chaos)";
+      let reference = reference_results cfg ~count:total in
+      cfg.log
+        (Printf.sprintf "chaos: starting %d supervised backends" cfg.backends);
+      Supervisor.start sup;
+      Array.iter
+        (fun p ->
+          if not (wait_ready p) then
+            violation "backend %d never became ready" p.index)
+        procs;
+      let counts = { kills = 0; hangs = 0; restarts = 0 } in
+      let completed = ref 0
+      and client_retries = ref 0
+      and rolling_completed = ref 0
+      and rolling_ok = ref true in
+      if !violations = [] then begin
+        let cluster = Cluster.create (cluster_config cfg procs) in
+        let stop_sup = Atomic.make false in
+        let sup_dom =
+          Domain.spawn (fun () ->
+              Supervisor.run sup ~period_s:0.03 ~stop:(fun () ->
+                  Atomic.get stop_sup))
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set stop_sup true;
+            Domain.join sup_dom)
+          (fun () ->
+            (* phase 1: kills and hangs under supervision *)
+            let chaos =
+              Domain.spawn (fun () ->
+                  run_chaos ~supervised:true cfg procs counts)
+            in
+            let stream =
+              try
+                Ok
+                  (drive_stream cfg cluster
+                     ~indices:(List.init cfg.requests Fun.id)
+                     reference violations)
+              with e -> Error e
+            in
+            Domain.join chaos;
+            (match stream with
+            | Ok (c, r) ->
+              completed := c;
+              client_retries := r
+            | Error e -> raise e);
+            (* phase 2: rolling restart under a fresh request stream *)
+            cfg.log "chaos: rolling restart under load";
+            let roller = Domain.spawn (fun () -> Supervisor.rolling_restart sup) in
+            let stream2 =
+              try
+                Ok
+                  (drive_stream cfg cluster
+                     ~indices:
+                       (List.init cfg.requests (fun i -> cfg.requests + i))
+                     reference violations)
+              with e -> Error e
+            in
+            rolling_ok := Domain.join roller;
+            match stream2 with
+            | Ok (c, r) ->
+              rolling_completed := c;
+              client_retries := !client_retries + r
+            | Error e -> raise e)
+      end;
+      if not !rolling_ok then
+        violation
+          "rolling restart was not graceful (a drain escalated or a backend \
+           failed to come back ready)";
+      if Supervisor.forced_kills_total sup > 0 then
+        violation "drain escalated to SIGKILL %d time(s)"
+          (Supervisor.forced_kills_total sup);
+      let supervised_restarts = Supervisor.restarts_total sup in
+      (* stop supervision before the cold restart so it cannot heal the
+         deliberate kill *)
+      Supervisor.stop_all sup;
+      Array.iter (fun p -> p.sigstopped <- false) procs;
+      let store_served =
+        cold_restart_durability cfg procs ~count:total reference violations
+      in
+      {
+        seed = cfg.seed;
+        completed = !completed;
+        client_retries = !client_retries;
+        kills = counts.kills;
+        hangs = counts.hangs;
+        restarts = counts.restarts;
+        supervised_restarts;
+        rolling_completed = !rolling_completed;
+        store_served_after_restart = store_served;
+        violations = List.rev !violations;
+      })
+
+let run (cfg : config) = if cfg.supervise then run_supervised cfg else run_manual cfg

@@ -33,6 +33,9 @@ type config = {
   seed : int;  (** drives the event schedule and backoff jitter *)
   dir : string;  (** scratch directory: sockets, logs, the shared store *)
   mesh_size : int;  (** scenario size (4 keeps each compute cheap) *)
+  supervise : bool;
+      (** run under {!Supervisor}: chaos only kills and hangs, the
+          supervisor heals, and a rolling restart runs under load *)
   log : string -> unit;  (** progress lines (use [ignore] to silence) *)
 }
 
@@ -42,13 +45,14 @@ val config :
   ?events:int ->
   ?seed:int ->
   ?mesh_size:int ->
+  ?supervise:bool ->
   ?log:(string -> unit) ->
   exe:string ->
   dir:string ->
   unit ->
   config
 (** Defaults: 3 backends, 12 requests, 6 events, seed 1, mesh 4,
-    silent. *)
+    unsupervised, silent. *)
 
 type outcome = {
   seed : int;  (** echo of the schedule seed, for replay *)
@@ -57,15 +61,28 @@ type outcome = {
   kills : int;
   hangs : int;
   restarts : int;
+      (** chaos-schedule restarts (unsupervised mode only) *)
+  supervised_restarts : int;
+      (** restarts the supervisor performed to heal kills *)
+  rolling_completed : int;
+      (** requests completed during the rolling restart (supervised) *)
   store_served_after_restart : int;
-      (** phase-2 responses with [cache:"store"] *)
+      (** final-phase responses with [cache:"store"] *)
   violations : string list;  (** empty iff every property held *)
 }
 
 val run : config -> outcome
-(** Runs both phases and always reaps every spawned process, even on
+(** Runs every phase and always reaps every spawned process, even on
     exception.  Never raises on a property violation — those are
-    reported in [violations]. *)
+    reported in [violations].
+
+    With [supervise] set, the run adds two properties on top of the
+    unsupervised three: the cluster {e heals itself} (dead backends are
+    restarted by the supervisor with jittered backoff while the stream
+    keeps completing), and a {e graceful rolling restart} under load —
+    every backend drained (SIGTERM, in-flight batch finishes, no
+    SIGKILL escalation) and resumed one at a time — completes a second
+    request stream bit-identically, losing nothing. *)
 
 val ping_until_ready : socket:string -> timeout_s:float -> bool
 (** Ping a single daemon at [socket] repeatedly until it answers or

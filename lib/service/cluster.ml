@@ -69,84 +69,25 @@ type t = {
   mutable stopping : bool;
 }
 
-(* - the real transport: dial, one line out, one line back, bounded - *)
+(* - the real transport: dial, one line out, one line back, bounded -
 
-let monotonic_deadline now timeout_s = now () +. timeout_s
-
-(* connect with its own timeout (non-blocking + select) *)
-let dial ~connect_timeout_s path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match
-    Unix.set_nonblock fd;
-    (try Unix.connect fd (Unix.ADDR_UNIX path) with
-    | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
-      match Unix.select [] [ fd ] [] connect_timeout_s with
-      | _, [], _ -> failwith "connect timed out"
-      | _ -> (
-        match Unix.getsockopt_error fd with
-        | None -> ()
-        | Some err -> failwith (Unix.error_message err))));
-    fd
-  with
-  | fd -> Ok fd
-  | exception Unix.Unix_error (err, _, _) ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error (Unix.error_message err)
-  | exception Failure msg ->
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    Error msg
-
-let write_all fd ~deadline ~now bytes =
-  let len = Bytes.length bytes in
-  let pos = ref 0 in
-  while !pos < len do
-    let remaining = deadline -. now () in
-    if remaining <= 0. then failwith "write timed out";
-    match Unix.select [] [ fd ] [] remaining with
-    | _, [], _ -> failwith "write timed out"
-    | _ -> (
-      match Unix.write fd bytes !pos (len - !pos) with
-      | n -> pos := !pos + n
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
-  done
-
-let read_line_by fd ~deadline ~now =
-  let acc = Buffer.create 256 in
-  let chunk = Bytes.create 4096 in
-  let result = ref None in
-  while !result = None do
-    (match Buffer.length acc with
-    | 0 -> ()
-    | _ -> (
-      match String.index_opt (Buffer.contents acc) '\n' with
-      | Some i -> result := Some (String.sub (Buffer.contents acc) 0 i)
-      | None -> ()));
-    if !result = None then begin
-      let remaining = deadline -. now () in
-      if remaining <= 0. then failwith "response timed out";
-      match Unix.select [ fd ] [] [] remaining with
-      | [], _, _ -> failwith "response timed out"
-      | _ -> (
-        match Unix.read fd chunk 0 (Bytes.length chunk) with
-        | 0 ->
-          if Buffer.length acc = 0 then failwith "connection closed"
-          else result := Some (Buffer.contents acc)
-        | n -> Buffer.add_subbytes acc chunk 0 n
-        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
-    end
-  done;
-  Option.get !result
+   All blocking steps go through Netio, so EINTR (signals from
+   supervised children) retries with the remaining deadline instead of
+   failing the dispatch. *)
 
 let socket_rpc ~connect_timeout_s ~now : rpc =
  fun ~path ~timeout_s line ->
-  match dial ~connect_timeout_s path with
+  let connect_deadline = now () +. connect_timeout_s in
+  match Netio.connect ~deadline:connect_deadline ~now path with
   | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
   | Ok fd ->
     let finish () = try Unix.close fd with Unix.Unix_error _ -> () in
     (match
-       let deadline = monotonic_deadline now timeout_s in
-       write_all fd ~deadline ~now (Bytes.of_string (line ^ "\n\n"));
-       read_line_by fd ~deadline ~now
+       let deadline = now () +. timeout_s in
+       Netio.write_all fd ~deadline ~now (Bytes.of_string (line ^ "\n\n"));
+       match Netio.read_line ~deadline ~now (Netio.reader fd) with
+       | Some response -> response
+       | None -> failwith "connection closed"
      with
     | response ->
       finish ();
@@ -513,6 +454,7 @@ let handle_batch t lines =
     (Array.map (function Raw line -> line | Tree j -> Json.to_string j) responses)
 
 let stopped t = t.stopping
+let request_stop t = t.stopping <- true
 
 let flush_batch t batch oc =
   match List.rev batch with
@@ -547,7 +489,7 @@ let run_unix t ~socket_path =
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -556,14 +498,18 @@ let run_unix t ~socket_path =
       Unix.bind sock (Unix.ADDR_UNIX socket_path);
       Unix.listen sock 16;
       while not t.stopping do
-        (* wake at least once per health period so probes run while idle *)
-        match Unix.select [ sock ] [] [] t.cfg.health_period_s with
-        | [], _, _ -> probe t
-        | _ ->
-          let fd, _ = Unix.accept sock in
+        (* wake at least once per health period so probes run while
+           idle; an EINTR'd wait re-checks the stop flag (SIGTERM) *)
+        match Netio.accept ~timeout_s:t.cfg.health_period_s sock with
+        | `Timeout -> probe t
+        | `Interrupted -> ()
+        | `Conn fd ->
           let ic = Unix.in_channel_of_descr fd in
           let oc = Unix.out_channel_of_descr fd in
-          (try run_stdio t ic oc with Sys_error _ | End_of_file -> ());
+          (* a client that vanished mid-batch (EPIPE/ECONNRESET with
+             SIGPIPE ignored) tears down this connection, nothing else *)
+          (try run_stdio t ic oc
+           with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
           (try flush oc with Sys_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ())
       done)

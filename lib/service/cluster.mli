@@ -92,6 +92,12 @@ val stats_json : t -> Etx_util.Json.t
     (routed, failovers, shed, degraded, deadline-exceeded, probes). *)
 
 val stopped : t -> bool
+
+val request_stop : t -> unit
+(** Ask the serving loops to exit after the batch in flight: the
+    graceful-drain hook for a SIGTERM handler.  Safe from a signal
+    handler or another domain. *)
+
 val run_stdio : t -> in_channel -> out_channel -> unit
 val run_unix : t -> socket_path:string -> unit
 (** Same transports as {!Server}; {!run_unix} interleaves health probes

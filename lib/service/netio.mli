@@ -1,0 +1,40 @@
+(** Deadline-aware Unix-socket primitives, safe against [EINTR].
+
+    The cluster transport, the [client] CLI and the daemon accept loops
+    all block in [select]/[connect]/[read]/[write]; a signal landing
+    mid-wait (SIGCHLD from a supervised backend, SIGTERM starting a
+    drain) interrupts the syscall with [EINTR].  These wrappers retry
+    with the {e remaining} absolute deadline instead of surfacing
+    [Unix_error] or extending the wait.
+
+    Timeouts raise [Failure "connect timed out" / "write timed out" /
+    "response timed out"]; [deadline = None] waits forever.  Failpoint
+    sites: [net.connect], [net.write], [net.read], [net.accept]. *)
+
+val connect :
+  ?deadline:float -> now:(unit -> float) -> string -> (Unix.file_descr, string) result
+(** Non-blocking connect to a Unix socket path; the returned descriptor
+    is in non-blocking mode.  [Error] carries a short reason. *)
+
+val write_all : ?deadline:float -> now:(unit -> float) -> Unix.file_descr -> bytes -> unit
+(** Write every byte, absorbing short writes, [EAGAIN] and [EINTR].
+    @raise Failure on deadline, [Unix.Unix_error] on hard failure. *)
+
+type reader
+(** Buffered line reader over a descriptor (bytes read past a newline
+    are kept for the next call). *)
+
+val reader : Unix.file_descr -> reader
+
+val read_line : ?deadline:float -> now:(unit -> float) -> reader -> string option
+(** Next newline-terminated line without the terminator; an unterminated
+    trailing line is returned once; [None] at end of stream.
+    @raise Failure on deadline, [Unix.Unix_error] on hard failure. *)
+
+val accept :
+  ?timeout_s:float ->
+  Unix.file_descr ->
+  [ `Conn of Unix.file_descr | `Timeout | `Interrupted ]
+(** Accept with a bounded wait.  [`Interrupted] reports an [EINTR]'d
+    select so the caller's loop can re-check its stop flag — the hook
+    that makes SIGTERM drain responsive. *)

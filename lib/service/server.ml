@@ -70,6 +70,7 @@ let create ?(now = Unix.gettimeofday) cfg =
   }
 
 let stopped t = t.stopping
+let request_stop t = t.stopping <- true
 let shutdown t = Pool.shutdown t.pool
 
 let record_latency t name ms =
@@ -367,7 +368,7 @@ let run_unix t ~socket_path =
   (* A client that disconnects mid-response must not kill the server. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
    with Invalid_argument _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let sock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
     ~finally:(fun () ->
       (try Unix.close sock with Unix.Unix_error _ -> ());
@@ -377,11 +378,19 @@ let run_unix t ~socket_path =
       Unix.bind sock (Unix.ADDR_UNIX socket_path);
       Unix.listen sock 16;
       while not t.stopping do
-        let fd, _ = Unix.accept sock in
-        (* in and out channels share the fd: flush, then close it once. *)
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        (try run_stdio t ic oc with Sys_error _ | End_of_file -> ());
-        (try flush oc with Sys_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ())
+        (* bounded accept waits so a SIGTERM drain (request_stop from
+           the handler) is observed within a beat, not at the next
+           connection; EINTR re-checks the flag immediately *)
+        match Netio.accept ~timeout_s:0.25 sock with
+        | `Timeout | `Interrupted -> ()
+        | `Conn fd ->
+          (* in and out channels share the fd: flush, then close once.
+             A peer that vanished mid-response (EPIPE/ECONNRESET with
+             SIGPIPE ignored) costs this connection, not the process. *)
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          (try run_stdio t ic oc
+           with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ())
       done)

@@ -64,6 +64,12 @@ val stopped : t -> bool
 (** A [shutdown] request has been served; transports should stop
     reading and call {!shutdown}. *)
 
+val request_stop : t -> unit
+(** Ask the serving loops to exit after the batch in flight completes —
+    the graceful-drain hook for a SIGTERM handler: accepted work is
+    finished and answered, nothing new is read.  Safe from a signal
+    handler or another domain. *)
+
 val shutdown : t -> unit
 (** Release the worker pool.  Idempotent. *)
 

@@ -25,17 +25,19 @@ let filename t key = Filename.concat t.dir (basename_of_key key)
 let is_entry name = Filename.check_suffix name suffix
 
 let open_dir dir =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  (* several backends sharing one store race to create it: EEXIST means
+     a sibling won, which is exactly as good as winning *)
+  (if not (Sys.file_exists dir) then
+     try Unix.mkdir dir 0o755
+     with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   if not (Sys.is_directory dir) then
     raise (Sys_error (dir ^ ": not a directory"));
   (* a crash between temp-file creation and rename leaves *.tmp around;
      they were never visible as entries, so deleting them is the
-     committed state *)
-  Array.iter
-    (fun name ->
-      if Filename.check_suffix name ".tmp" then
-        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
-    (Sys.readdir dir);
+     committed state.  The sweep is pid-aware: several live backends
+     share one store directory, and a sibling's in-flight temp must
+     survive our startup. *)
+  Etx_util.Fdio.sweep_tmps dir;
   { dir; hit_count = 0; miss_count = 0; corrupt_count = 0; write_error_count = 0 }
 
 let dir t = t.dir
@@ -76,20 +78,10 @@ let unframe buf ~key =
     if stored_key = key then Some value else None
   | exception Checkpoint.Error _ -> raise Unreadable
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let len = in_channel_length ic in
-      let buf = Bytes.create len in
-      really_input ic buf 0 len;
-      buf)
-
 let find t key =
   let path = filename t key in
   let outcome =
-    match read_file path with
+    match Etx_util.Fdio.read_file ~site:"store.read" path with
     | exception Sys_error _ -> `Miss
     | buf -> (
       match unframe buf ~key with
@@ -110,20 +102,13 @@ let find t key =
     (try Sys.remove path with Sys_error _ -> ());
     None
 
+(* temp + write + fsync + rename; any failure (fsync included — the
+   kernel may have dropped the dirty pages) is counted and swallowed:
+   the store is a cache, and the committed state is untouched *)
 let add t key value =
   match
-    let framed = frame key value in
-    let tmp =
-      Filename.temp_file ~temp_dir:t.dir (basename_of_key key) ".tmp"
-    in
-    let ok = ref false in
-    Fun.protect
-      ~finally:(fun () -> if not !ok then try Sys.remove tmp with Sys_error _ -> ())
-      (fun () ->
-        let oc = open_out_bin tmp in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_bytes oc framed);
-        Sys.rename tmp (filename t key);
-        ok := true)
+    Etx_util.Fdio.write_file_atomic ~fp_prefix:"store" ~path:(filename t key)
+      (frame key value)
   with
   | () -> ()
   | exception Sys_error _ -> t.write_error_count <- t.write_error_count + 1

@@ -1,0 +1,217 @@
+module Backoff = Etx_util.Backoff
+
+type ops = {
+  spawn : int -> int;
+  term : int -> unit;
+  kill : int -> unit;
+  reap : int -> bool;
+  ready : int -> bool;
+  now : unit -> float;
+  sleep : float -> unit;
+  log : string -> unit;
+}
+
+let unix_ops ~spawn ~ready ?(log = ignore) () =
+  let signal s pid = try Unix.kill pid s with Unix.Unix_error _ -> () in
+  {
+    spawn;
+    term = signal Sys.sigterm;
+    kill = signal Sys.sigkill;
+    reap =
+      (fun pid ->
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> false
+        | _ -> true
+        | exception Unix.Unix_error _ -> true);
+    ready;
+    now = Unix.gettimeofday;
+    sleep = Unix.sleepf;
+    log;
+  }
+
+type config = {
+  children : int;
+  backoff_base_ms : float;
+  backoff_cap_ms : float;
+  seed : int;
+  stable_after_s : float;
+  drain_grace_s : float;
+  ready_timeout_s : float;
+}
+
+let default_config ~children =
+  if children < 1 then invalid_arg "Supervisor: children must be >= 1";
+  {
+    children;
+    backoff_base_ms = 25.;
+    backoff_cap_ms = 1000.;
+    seed = 0;
+    stable_after_s = 5.;
+    drain_grace_s = 10.;
+    ready_timeout_s = 15.;
+  }
+
+type phase =
+  | Running
+  | Backing_off of float  (* restart due at this absolute time *)
+  | Stopped
+
+type child = {
+  index : int;
+  mutable pid : int;
+  mutable phase : phase;
+  mutable started_at : float;
+  backoff : Backoff.t;
+}
+
+type t = {
+  ops : ops;
+  cfg : config;
+  children : child array;
+  lock : Mutex.t;
+  mutable restarts : int;
+  mutable forced_kills : int;
+}
+
+let create ops (cfg : config) =
+  if cfg.children < 1 then invalid_arg "Supervisor.create: children must be >= 1";
+  {
+    ops;
+    cfg;
+    children =
+      Array.init cfg.children (fun index ->
+          {
+            index;
+            pid = -1;
+            phase = Stopped;
+            started_at = neg_infinity;
+            backoff =
+              Backoff.create ~base_ms:cfg.backoff_base_ms ~cap_ms:cfg.backoff_cap_ms
+                ~seed:(cfg.seed * 8191 + index) ();
+          });
+    lock = Mutex.create ();
+    restarts = 0;
+    forced_kills = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let spawn_child t c =
+  c.pid <- t.ops.spawn c.index;
+  c.started_at <- t.ops.now ();
+  c.phase <- Running
+
+(* bounded readiness wait; ops.ready is one short probe, we loop it *)
+let wait_ready t c =
+  let deadline = t.ops.now () +. t.cfg.ready_timeout_s in
+  let rec go () =
+    if t.ops.ready c.index then true
+    else if t.ops.now () >= deadline then false
+    else begin
+      t.ops.sleep 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let start t =
+  locked t (fun () -> Array.iter (fun c -> spawn_child t c) t.children);
+  Array.iter (fun c -> ignore (wait_ready t c)) t.children
+
+let pid t index = locked t (fun () -> t.children.(index).pid)
+let restarts_total t = locked t (fun () -> t.restarts)
+let forced_kills_total t = locked t (fun () -> t.forced_kills)
+
+let tick t =
+  locked t (fun () ->
+      Array.iter
+        (fun c ->
+          match c.phase with
+          | Stopped -> ()
+          | Running ->
+            if c.pid > 0 && t.ops.reap c.pid then begin
+              (* a long stable run earns a fresh (cheap) backoff; a
+                 crash loop keeps escalating *)
+              if t.ops.now () -. c.started_at >= t.cfg.stable_after_s then
+                Backoff.reset c.backoff;
+              let delay_s = Backoff.next c.backoff /. 1000. in
+              c.pid <- -1;
+              c.phase <- Backing_off (t.ops.now () +. delay_s);
+              t.ops.log
+                (Printf.sprintf "supervisor: backend %d died; restart in %.0f ms"
+                   c.index (delay_s *. 1000.))
+            end
+          | Backing_off due ->
+            if t.ops.now () >= due then begin
+              t.ops.log (Printf.sprintf "supervisor: restarting backend %d" c.index);
+              spawn_child t c;
+              t.restarts <- t.restarts + 1
+            end)
+        t.children)
+
+let run t ~period_s ~stop =
+  while not (stop ()) do
+    tick t;
+    t.ops.sleep period_s
+  done
+
+let drain t index =
+  let c = t.children.(index) in
+  let pid, was_running =
+    locked t (fun () ->
+        let p = c.pid in
+        let running = c.phase <> Stopped && p > 0 in
+        c.phase <- Stopped;
+        (p, running))
+  in
+  if not was_running then true
+  else begin
+    t.ops.log (Printf.sprintf "supervisor: draining backend %d (pid %d)" index pid);
+    t.ops.term pid;
+    let deadline = t.ops.now () +. t.cfg.drain_grace_s in
+    let rec wait () =
+      if t.ops.reap pid then true
+      else if t.ops.now () >= deadline then begin
+        t.ops.log
+          (Printf.sprintf "supervisor: backend %d out-stayed the drain grace; SIGKILL"
+             index);
+        t.ops.kill pid;
+        let rec reap_hard () = if t.ops.reap pid then () else (t.ops.sleep 0.02; reap_hard ()) in
+        reap_hard ();
+        locked t (fun () -> t.forced_kills <- t.forced_kills + 1);
+        false
+      end
+      else begin
+        t.ops.sleep 0.02;
+        wait ()
+      end
+    in
+    let graceful = wait () in
+    locked t (fun () -> c.pid <- -1);
+    graceful
+  end
+
+let resume t index =
+  let c = t.children.(index) in
+  locked t (fun () ->
+      if c.phase <> Stopped then invalid_arg "Supervisor.resume: child not stopped";
+      spawn_child t c);
+  wait_ready t c
+
+let rolling_restart t =
+  (* no short-circuit: every child must be rolled even after a failure,
+     or the tail of the fleet would be left on the old generation *)
+  Array.fold_left
+    (fun all_ok c ->
+      let graceful = drain t c.index in
+      let ready = resume t c.index in
+      if not ready then
+        t.ops.log
+          (Printf.sprintf "supervisor: backend %d not ready after rolling restart"
+             c.index);
+      all_ok && graceful && ready)
+    true t.children
+
+let stop_all t = Array.iter (fun c -> ignore (drain t c.index)) t.children

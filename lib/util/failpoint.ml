@@ -1,0 +1,191 @@
+type failure =
+  | Errno of Unix.error
+  | Sys_err of string
+  | Short of int
+  | Torn of int
+  | Crash
+
+exception Crash_point of string
+
+type armed = {
+  failure : failure;
+  mutable remaining : int;  (* hits to skip before firing *)
+  repeat : bool;
+}
+
+(* [live] is the only state the disabled fast path reads: it counts
+   armed sites plus one for recording mode, so a single atomic load
+   answers "is anything to do here?". *)
+let live = Atomic.make 0
+let lock = Mutex.create ()
+let table : (string, armed) Hashtbl.t = Hashtbl.create 8
+let hits : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let recording = ref false
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let refresh_live () =
+  Atomic.set live (Hashtbl.length table + if !recording then 1 else 0)
+
+let arm ?(after = 0) ?(repeat = false) site failure =
+  if after < 0 then invalid_arg "Failpoint.arm: after must be non-negative";
+  locked (fun () ->
+      Hashtbl.replace table site { failure; remaining = after; repeat };
+      refresh_live ())
+
+let disarm site =
+  locked (fun () ->
+      Hashtbl.remove table site;
+      refresh_live ())
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      Hashtbl.reset hits;
+      recording := false;
+      refresh_live ())
+
+let enabled () = Atomic.get live > 0
+
+let record_sites on =
+  locked (fun () ->
+      recording := on;
+      if on then Hashtbl.reset hits;
+      refresh_live ())
+
+let sites_hit () =
+  locked (fun () ->
+      Hashtbl.fold (fun site n acc -> (site, !n) :: acc) hits []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let check site =
+  if Atomic.get live = 0 then None
+  else
+    locked (fun () ->
+        if !recording then begin
+          match Hashtbl.find_opt hits site with
+          | Some n -> incr n
+          | None -> Hashtbl.replace hits site (ref 1)
+        end;
+        match Hashtbl.find_opt table site with
+        | None -> None
+        | Some armed ->
+          if armed.remaining > 0 then begin
+            armed.remaining <- armed.remaining - 1;
+            None
+          end
+          else begin
+            if not armed.repeat then begin
+              Hashtbl.remove table site;
+              refresh_live ()
+            end;
+            Some armed.failure
+          end)
+
+let on_crash = ref (fun site -> raise (Crash_point site))
+
+let crash site =
+  !on_crash site;
+  raise (Crash_point site)
+
+let hit site =
+  match check site with
+  | None -> ()
+  | Some (Errno e) -> raise (Unix.Unix_error (e, "failpoint", site))
+  | Some (Sys_err m) -> raise (Sys_error m)
+  | Some (Short _) -> raise (Unix.Unix_error (Unix.EIO, "failpoint", site))
+  | Some (Torn _) | Some Crash -> crash site
+
+(* - spec parsing - *)
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some n when n >= 0 -> Ok n
+  | _ -> Error (Printf.sprintf "%s: expected a non-negative integer, got %S" what s)
+
+let parse_term term =
+  let repeat = String.length term > 0 && term.[String.length term - 1] = '!' in
+  let term = if repeat then String.sub term 0 (String.length term - 1) else term in
+  match String.index_opt term '=' with
+  | None -> Error (Printf.sprintf "%S: expected SITE=KIND" term)
+  | Some eq ->
+    let site = String.sub term 0 eq in
+    let rhs = String.sub term (eq + 1) (String.length term - eq - 1) in
+    if site = "" then Error (Printf.sprintf "%S: empty site name" term)
+    else
+      let kind, occurrence =
+        match String.index_opt rhs '@' with
+        | None -> (rhs, Ok 1)
+        | Some at ->
+          ( String.sub rhs 0 at,
+            parse_int "occurrence"
+              (String.sub rhs (at + 1) (String.length rhs - at - 1)) )
+      in
+      let failure =
+        match String.index_opt kind ':' with
+        | None -> (
+          match kind with
+          | "enospc" -> Ok (Errno Unix.ENOSPC)
+          | "eio" -> Ok (Errno Unix.EIO)
+          | "eintr" -> Ok (Errno Unix.EINTR)
+          | "epipe" -> Ok (Errno Unix.EPIPE)
+          | "crash" -> Ok Crash
+          | other -> Error (Printf.sprintf "unknown failure kind %S" other))
+        | Some colon -> (
+          let k = String.sub kind 0 colon in
+          let arg = String.sub kind (colon + 1) (String.length kind - colon - 1) in
+          match k with
+          | "sys" -> Ok (Sys_err arg)
+          | "short" -> Result.map (fun n -> Short n) (parse_int "short" arg)
+          | "torn" -> Result.map (fun n -> Torn n) (parse_int "torn" arg)
+          | other -> Error (Printf.sprintf "unknown failure kind %S" other))
+      in
+      match (failure, occurrence) with
+      | Error e, _ | _, Error e -> Error (Printf.sprintf "%s (in %S)" e term)
+      | Ok _, Ok 0 -> Error (Printf.sprintf "occurrence must be >= 1 (in %S)" term)
+      | Ok failure, Ok occurrence -> Ok (site, failure, occurrence - 1, repeat)
+
+let arm_spec spec =
+  let terms =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun t -> t <> "")
+  in
+  if terms = [] then Error "empty failpoint spec"
+  else
+    List.fold_left
+      (fun acc term ->
+        match acc with
+        | Error _ as e -> e
+        | Ok () -> (
+          match parse_term term with
+          | Error e -> Error e
+          | Ok (site, failure, after, repeat) ->
+            arm ~after ~repeat site failure;
+            Ok ()))
+      (Ok ()) terms
+
+let random_spec ~seed ~sites =
+  if sites = [] then invalid_arg "Failpoint.random_spec: no sites";
+  let rng = Prng.create ~seed in
+  let sites = Array.of_list sites in
+  let kinds =
+    [|
+      (fun _ -> "enospc");
+      (fun _ -> "eio");
+      (fun _ -> "eintr");
+      (fun rng -> Printf.sprintf "short:%d" (1 + Prng.int rng ~bound:64));
+      (fun rng -> Printf.sprintf "torn:%d" (Prng.int rng ~bound:256));
+      (fun _ -> "crash");
+    |]
+  in
+  let terms = 1 + Prng.int rng ~bound:3 in
+  List.init terms (fun _ ->
+      let site = sites.(Prng.int rng ~bound:(Array.length sites)) in
+      let kind = kinds.(Prng.int rng ~bound:(Array.length kinds)) rng in
+      let occurrence = 1 + Prng.int rng ~bound:3 in
+      if occurrence = 1 then Printf.sprintf "%s=%s" site kind
+      else Printf.sprintf "%s=%s@%d" site kind occurrence)
+  |> String.concat ","

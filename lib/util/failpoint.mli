@@ -1,0 +1,90 @@
+(** Deterministic failure injection at named sites.
+
+    Production I/O paths declare {e sites} — stable string names such as
+    ["store.write"] or ["net.read"] — by calling {!check} or {!hit} at the
+    point where the operating system could fail them for real.  A test (or
+    the [--failpoints] CLI flag) {e arms} a site with a failure; the next
+    time execution reaches it, the failure fires: an [errno], a torn
+    write, a short read, or a simulated crash.
+
+    The registry is global and mutex-guarded so sites can be hit from any
+    domain, but {b zero-cost when disabled}: when nothing is armed and
+    hit recording is off, {!check} is a single atomic load and an
+    immediate return — cheap enough to leave compiled into every hot
+    path (the bench guard in CI holds it to within noise of the
+    pre-failpoint kernels).
+
+    Crash semantics: a [Crash] (or [Torn]) failure calls {!on_crash},
+    which by default raises {!Crash_point}.  The crash-consistency
+    harness forks a child, replaces the hook with [Unix._exit], and arms
+    the kill point there — so no buffer flushing, [at_exit] handler or
+    [Fun.protect] finalizer runs, exactly as in a real crash. *)
+
+type failure =
+  | Errno of Unix.error
+      (** Raise [Unix_error] (e.g. [ENOSPC], [EIO], [EINTR]) at the site. *)
+  | Sys_err of string  (** Raise [Sys_error] with this message. *)
+  | Short of int
+      (** Transfer at most this many bytes in one syscall — a short
+          read/write the caller's loop must absorb, not an error. *)
+  | Torn of int
+      (** Write exactly this many of the remaining bytes, then crash:
+          the torn-write kill point. *)
+  | Crash  (** Invoke {!on_crash} (default: raise {!Crash_point}). *)
+
+exception Crash_point of string
+(** Raised (by default) when a [Crash] or [Torn] failure fires; the
+    payload is the site name. *)
+
+val arm : ?after:int -> ?repeat:bool -> string -> failure -> unit
+(** [arm site failure] makes the next hit of [site] fire [failure].
+    [after] (default 0) skips that many hits first — arming occurrence
+    [n] of a site is [~after:(n - 1)].  With [repeat] (default false)
+    the site keeps firing on every subsequent hit instead of disarming
+    after the first shot. *)
+
+val disarm : string -> unit
+val reset : unit -> unit
+(** Disarm every site, clear hit counters and recording. *)
+
+val enabled : unit -> bool
+(** True when at least one site is armed or recording is on. *)
+
+val check : string -> failure option
+(** Declare a site.  Returns the armed failure when this hit should
+    fire, [None] otherwise.  Never raises — the caller interprets the
+    failure in terms of its own syscall. *)
+
+val hit : string -> unit
+(** Declare a site whose only failure modes are exceptions: fires
+    [Errno e] as [Unix.Unix_error (e, "failpoint", site)], [Sys_err m]
+    as [Sys_error m], [Crash]/[Torn _] via {!crash}, and maps [Short _]
+    to [EIO] (a short transfer makes no sense for a non-transfer site). *)
+
+val crash : string -> 'a
+(** Invoke {!on_crash} for [site], then raise {!Crash_point} if the hook
+    returned. *)
+
+val on_crash : (string -> unit) ref
+(** Crash hook; forked harness children set this to [Unix._exit]. *)
+
+val record_sites : bool -> unit
+(** Toggle hit recording.  While on, every {!check}/{!hit} increments a
+    per-site counter — the kill-point enumeration pass of the
+    crash-consistency harness. *)
+
+val sites_hit : unit -> (string * int) list
+(** Recorded (site, hits) pairs, sorted by site name. *)
+
+val arm_spec : string -> (unit, string) result
+(** Arm sites from a compact spec: comma-separated
+    [SITE=KIND[@OCCURRENCE][!]] terms, where KIND is one of [enospc],
+    [eio], [eintr], [epipe], [sys:MSG], [short:N], [torn:N], [crash];
+    [@N] fires on the N-th hit (1-based, default 1) and a trailing [!]
+    repeats.  Example: ["store.write=torn:7@2,net.read=eintr!"].
+    Returns [Error reason] (arming nothing further) on a malformed term. *)
+
+val random_spec : seed:int -> sites:string list -> string
+(** A deterministic seeded spec over [sites] — one to three terms with
+    kinds, occurrences and arguments drawn from {!Prng}.  Equal seeds
+    yield equal specs; feed the result to {!arm_spec}. *)

@@ -1,0 +1,137 @@
+let write_all ?(site = "fdio.write") fd data =
+  let len = Bytes.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    match
+      match Failpoint.check site with
+      | None -> Unix.write fd data !pos (len - !pos)
+      | Some (Failpoint.Errno e) -> raise (Unix.Unix_error (e, "write", site))
+      | Some (Failpoint.Sys_err m) -> raise (Sys_error m)
+      | Some (Failpoint.Short n) ->
+        (* a short transfer, not an error: the loop must absorb it *)
+        Unix.write fd data !pos (max 1 (min n (len - !pos)))
+      | Some (Failpoint.Torn n) ->
+        let n = min n (len - !pos) in
+        if n > 0 then ignore (Unix.write fd data !pos n);
+        Failpoint.crash site
+      | Some Failpoint.Crash -> Failpoint.crash site
+    with
+    | n -> pos := !pos + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let rec fsync ?(site = "fdio.fsync") fd =
+  match
+    Failpoint.hit site;
+    Unix.fsync fd
+  with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> fsync ~site fd
+
+let sys_error e ctx path =
+  Sys_error (Printf.sprintf "%s: %s (%s)" path (Unix.error_message e) ctx)
+
+let read_file ?(site = "fdio.read") path =
+  match
+    let fd = Unix.openfile path [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let len = (Unix.fstat fd).Unix.st_size in
+        let buf = Bytes.create len in
+        let truncate_at = ref len in
+        let pos = ref 0 in
+        (try
+           while !pos < len && !pos < !truncate_at do
+             match
+               match Failpoint.check site with
+               | None -> Unix.read fd buf !pos (len - !pos)
+               | Some (Failpoint.Errno e) -> raise (Unix.Unix_error (e, "read", site))
+               | Some (Failpoint.Sys_err m) -> raise (Sys_error m)
+               | Some (Failpoint.Short n) ->
+                 (* simulate a file truncated at [n] total bytes *)
+                 truncate_at := min !truncate_at (max 0 n);
+                 Unix.read fd buf !pos (len - !pos)
+               | Some (Failpoint.Torn _) | Some Failpoint.Crash ->
+                 Failpoint.crash site
+             with
+             | 0 -> truncate_at := !pos
+             | n -> pos := !pos + n
+             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+           done
+         with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        let keep = min !pos !truncate_at in
+        if keep = len then buf else Bytes.sub buf 0 keep)
+  with
+  | buf -> buf
+  | exception Unix.Unix_error (e, ctx, _) -> raise (sys_error e ctx path)
+
+(* Temp names embed the writer's pid (<base><rand>.<pid>.tmp) so a
+   recovery sweep in a directory shared with live writers can tell a
+   crash leftover (dead pid: remove) from a sibling's in-flight write
+   (live pid: its rename is about to happen — removing the temp would
+   silently lose that write). *)
+let tmp_writer_alive name =
+  match Filename.chop_suffix_opt ~suffix:".tmp" name with
+  | None -> false
+  | Some stem -> (
+    match String.rindex_opt stem '.' with
+    | None -> false
+    | Some i -> (
+      match
+        int_of_string_opt (String.sub stem (i + 1) (String.length stem - i - 1))
+      with
+      | None -> false
+      | Some pid when pid <= 0 -> false
+      | Some pid -> (
+        match Unix.kill pid 0 with
+        | () -> true
+        | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+        (* EPERM still proves the pid is live; anything else: assume
+           live, a skipped sweep is the safe direction *)
+        | exception Unix.Unix_error (_, _, _) -> true)))
+
+let sweep_tmps ?(prefix = "") dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        if
+          Filename.check_suffix name ".tmp"
+          && String.starts_with ~prefix name
+          && not (tmp_writer_alive name)
+        then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      names
+
+let write_file_atomic ?(fp_prefix = "file") ~path data =
+  let site s = fp_prefix ^ "." ^ s in
+  match
+    Failpoint.hit (site "tmp");
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname path)
+        (Filename.basename path)
+        (Printf.sprintf ".%d.tmp" (Unix.getpid ()))
+    in
+    let committed = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        if not !committed then try Sys.remove tmp with Sys_error _ -> ())
+      (fun () ->
+        let fd =
+          Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            write_all ~site:(site "write") fd data;
+            (* data must be durable before the rename makes it visible *)
+            fsync ~site:(site "fsync") fd);
+        Failpoint.hit (site "rename");
+        Sys.rename tmp path;
+        committed := true;
+        (* kill point between the rename and the caller observing it *)
+        Failpoint.hit (site "commit"))
+  with
+  | () -> ()
+  | exception Unix.Unix_error (e, ctx, _) -> raise (sys_error e ctx path)

@@ -59,11 +59,45 @@ let chaos_survives_seeded_faults =
     QCheck.(int_range 1 1000)
     chaos_property
 
+(* supervised mode: chaos only wounds (SIGKILL without reap, SIGSTOP),
+   the supervisor heals with jittered backoff, and a graceful rolling
+   restart runs under a second request stream.  Extra properties: no
+   drain ever escalates to SIGKILL, and both streams complete. *)
+let supervised_property seed =
+  let dir = scratch (1_000_000 + seed) in
+  remove_tree dir;
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let outcome =
+        Chaos.run
+          (Chaos.config ~backends:3 ~requests:5 ~events:3 ~seed ~supervise:true
+             ~exe ~dir ())
+      in
+      match outcome.Chaos.violations with
+      | [] ->
+        outcome.Chaos.completed = 5
+        && outcome.Chaos.rolling_completed = 5
+        && outcome.Chaos.store_served_after_restart = 10
+      | violations ->
+        QCheck.Test.fail_reportf
+          "supervised chaos violations for seed %d (replay: etx chaos \
+           --supervise --seed %d):\n%s"
+          seed seed
+          (String.concat "\n" violations))
+
+let supervised_cluster_heals_and_rolls =
+  QCheck.Test.make ~count:2
+    ~name:"supervised cluster self-heals and survives a rolling restart"
+    QCheck.(int_range 1 1000)
+    supervised_property
+
 let suite =
   [
     ( "chaos",
       [
         QCheck_alcotest.to_alcotest chaos_survives_seeded_faults;
+        QCheck_alcotest.to_alcotest supervised_cluster_heals_and_rolls;
       ] );
   ]
 

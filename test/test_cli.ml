@@ -200,6 +200,68 @@ let test_serve_invalid_flags () =
   ignore (check_fails "zero queue depth" "serve --stdio --queue-depth 0 < /dev/null");
   ignore (check_fails "negative cache" "serve --stdio --cache-capacity -1 < /dev/null")
 
+let test_serve_bad_failpoints () =
+  let output =
+    check_fails "malformed failpoint spec"
+      "serve --stdio --failpoints 'store.fsync=bogus' < /dev/null"
+  in
+  Alcotest.(check bool) "names the bad spec" true (contains output "bogus")
+
+let test_crashtest_smoke () =
+  let script = Filename.temp_file "etx_cli_crash" ".sh" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove script with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out script in
+      Printf.fprintf oc
+        {|set -e
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+%s crashtest --seed 3 --dir "$dir"
+|}
+        exe;
+      close_out oc;
+      let code, output = run_script script in
+      if code <> 0 then Alcotest.failf "crashtest: exit %d\n%s" code output;
+      List.iter
+        (fun part ->
+          Alcotest.(check bool)
+            (part ^ " part ran clean") true
+            (contains output (Printf.sprintf "crashtest %-10s seed 3" part)))
+        [ "store"; "checkpoint"; "manifest" ];
+      Alcotest.(check int) "every part reports zero violations" 3
+        (List.length
+           (String.split_on_char '\n' output
+           |> List.filter (fun l -> contains l "0 violation(s)"))))
+
+let test_serve_sigterm_drain () =
+  let socket = Filename.temp_file "etx_cli_drain" ".sock" in
+  Sys.remove socket;
+  let script = Filename.temp_file "etx_cli_drain" ".sh" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ socket; script ])
+    (fun () ->
+      let oc = open_out script in
+      Printf.fprintf oc
+        {|set -e
+%s serve --socket %s --jobs 1 &
+server=$!
+for _ in $(seq 100); do [ -S %s ] && break; sleep 0.1; done
+[ -S %s ]
+%s client --socket %s '{"scenario":"simulate","params":{"mesh_size":4},"id":1}'
+kill -TERM $server
+wait $server
+echo "drained exit ok"
+|}
+        exe socket socket socket exe socket;
+      close_out oc;
+      let code, output = run_script script in
+      if code <> 0 then Alcotest.failf "sigterm drain script: exit %d\n%s" code output;
+      Alcotest.(check bool) "clean exit after SIGTERM" true
+        (contains output "drained exit ok");
+      Alcotest.(check bool) "socket removed on drain" false (Sys.file_exists socket))
+
 let test_client_socket_round_trip () =
   let socket = Filename.temp_file "etx_cli_service" ".sock" in
   Sys.remove socket;
@@ -276,6 +338,10 @@ let suite =
         Alcotest.test_case "serve --stdio queue_full" `Quick
           test_serve_stdio_queue_full;
         Alcotest.test_case "serve invalid flags" `Quick test_serve_invalid_flags;
+        Alcotest.test_case "serve rejects bad --failpoints" `Quick
+          test_serve_bad_failpoints;
+        Alcotest.test_case "crashtest smoke" `Slow test_crashtest_smoke;
+        Alcotest.test_case "serve drains on SIGTERM" `Slow test_serve_sigterm_drain;
         Alcotest.test_case "client socket round trip" `Slow
           test_client_socket_round_trip;
       ] );

@@ -564,6 +564,87 @@ let test_cluster_rejects_bad_config () =
       Cluster.request_timeout_s = 0.;
     }
 
+(* - edges: empty ring, single-backend failover, breaker relapse - *)
+
+let test_ring_empty () =
+  let ring = Ring.create [] in
+  Alcotest.(check (list string)) "no members" [] (Ring.members ring);
+  Alcotest.(check (option string)) "lookup on empty ring" None
+    (Ring.lookup ring "fingerprint-1");
+  Alcotest.(check (list string)) "ordered on empty ring" []
+    (Ring.ordered ring "fingerprint-1");
+  Ring.add ring "a.sock";
+  Alcotest.(check (option string)) "lookup after add" (Some "a.sock")
+    (Ring.lookup ring "fingerprint-1");
+  Ring.remove ring "a.sock";
+  Alcotest.(check (option string)) "empty again after remove" None
+    (Ring.lookup ring "fingerprint-1")
+
+let test_cluster_single_backend_failover () =
+  (* with one backend there is nowhere to fail over: every attempt must
+     land on that backend, paced by backoff, and the first success wins *)
+  let calls = ref [] in
+  let failures_left = ref 2 in
+  (* only scenario dispatches fail: the startup health probe (a fresh
+     backend is pinged immediately) must not consume the budget *)
+  let reply ~path ~line =
+    if line = scenario_line 1 && !failures_left > 0 then begin
+      decr failures_left;
+      Error "connection refused"
+    end
+    else Ok ("from-" ^ path)
+  in
+  let time = ref 0. in
+  let slept = ref [] in
+  let cluster =
+    Cluster.create
+      ~now:(fun () -> !time)
+      ~sleep:(fun s -> slept := s :: !slept)
+      ~rpc:(fake_rpc calls reply)
+      (cluster_cfg [ "only.sock" ])
+  in
+  (match Cluster.handle_batch cluster [ scenario_line 1 ] with
+  | [ r ] ->
+    Alcotest.(check string) "third attempt answered" "from-only.sock" r
+  | _ -> Alcotest.fail "one response expected");
+  let paths =
+    List.rev_map fst (List.filter (fun (_, l) -> l = scenario_line 1) !calls)
+  in
+  Alcotest.(check (list string))
+    "every attempt targeted the only backend, in order"
+    [ "only.sock"; "only.sock"; "only.sock" ]
+    paths;
+  Alcotest.(check int) "each retry paced by one backoff sleep" 2
+    (List.length !slept)
+
+let test_breaker_relapse_restarts_cooldown () =
+  let time = ref 0. in
+  let b =
+    Breaker.create ~failure_threshold:1 ~cooldown_s:5. ~now:(fun () -> !time) ()
+  in
+  Breaker.record_failure b;
+  Alcotest.(check string) "tripped open" "open"
+    (Breaker.state_name (Breaker.state b));
+  time := 5.;
+  Alcotest.(check bool) "probe granted after cooldown" true (Breaker.allow b);
+  (* relapse at t=5: the cooldown must restart from the relapse, not
+     keep amortizing the original trip time *)
+  Breaker.record_failure b;
+  Alcotest.(check string) "half-open failure re-opens" "open"
+    (Breaker.state_name (Breaker.state b));
+  time := 9.9;
+  Alcotest.(check bool) "old cooldown origin would have allowed this" false
+    (Breaker.allow b);
+  time := 10.;
+  Alcotest.(check string) "half-open once the relapse cooldown elapses"
+    "half_open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "new probe at relapse + cooldown" true (Breaker.allow b);
+  Breaker.record_success b;
+  Alcotest.(check string) "probe success closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check int) "both openings counted" 2 (Breaker.opened_total b)
+
 let suite =
   [
     ( "cluster",
@@ -595,5 +676,10 @@ let suite =
         Alcotest.test_case "deadlines and controls" `Quick
           test_cluster_deadline_and_controls;
         Alcotest.test_case "config validation" `Quick test_cluster_rejects_bad_config;
+        Alcotest.test_case "empty ring" `Quick test_ring_empty;
+        Alcotest.test_case "single-backend failover order" `Quick
+          test_cluster_single_backend_failover;
+        Alcotest.test_case "breaker relapse restarts cooldown" `Quick
+          test_breaker_relapse_restarts_cooldown;
       ] );
   ]
