@@ -171,6 +171,24 @@ let fault_frame_kernel =
     let engine = Etx_etsim.Engine.create config in
     Etx_etsim.Engine.run_frames engine ~count:64
 
+(* baseline frame loop on a clean 8x8 fabric with observability
+   disarmed: the denominator for kernel/obs-overhead *)
+let frame_loop_kernel =
+  let config = Etextile.Calibration.config ~mesh_size:8 ~seed:1 () in
+  fun () ->
+    let engine = Etx_etsim.Engine.create config in
+    Etx_etsim.Engine.run_frames engine ~count:64
+
+(* the identical loop with the metrics registry armed: the gap over
+   kernel/frame-loop-64 is what live counters cost the hot path *)
+let obs_overhead_kernel =
+  let config = Etextile.Calibration.config ~mesh_size:8 ~seed:1 () in
+  fun () ->
+    Etx_obs.Obs.arm ();
+    Fun.protect ~finally:Etx_obs.Obs.disarm (fun () ->
+        let engine = Etx_etsim.Engine.create config in
+        Etx_etsim.Engine.run_frames engine ~count:64)
+
 (* checkpoint serialization cost: snapshot a mid-life 6x6 engine and
    validate the frame round-trip (what --checkpoint-every pays per tick,
    minus the file system) *)
@@ -267,6 +285,8 @@ let entries =
     ("kernel/maximin-incremental-64", maximin_incremental_kernel);
     ("kernel/lifetime-prediction-64", analysis_kernel);
     ("kernel/fault-frame-64", fault_frame_kernel);
+    ("kernel/frame-loop-64", frame_loop_kernel);
+    ("kernel/obs-overhead", obs_overhead_kernel);
     ("kernel/checkpoint-36", checkpoint_kernel);
     ("kernel/service-roundtrip-hit", service_roundtrip_kernel);
     ("kernel/cluster-roundtrip-hit", cluster_roundtrip_kernel);
@@ -544,8 +564,8 @@ let usage () =
   prerr_endline
     "usage: main.exe [--bench-only | --repro-only] [--smoke] [--json FILE]\n\
     \                [--compare BASELINE.json] [--threshold FRACTION]\n\
-    \                [--only NAME[,NAME...]] [--min-runs N] [--warmup N]\n\
-    \                [--jobs N]";
+    \                [--only NAME[,NAME...]] [--list] [--min-runs N]\n\
+    \                [--warmup N] [--jobs N]";
   exit 2
 
 let () =
@@ -570,6 +590,9 @@ let () =
     | "--smoke" :: rest ->
       smoke := true;
       parse rest
+    | "--list" :: _ ->
+      List.iter (fun (name, _) -> print_endline name) entries;
+      exit 0
     | "--json" :: path :: rest ->
       json := Some path;
       parse rest

@@ -775,6 +775,20 @@ let socket_arg =
     & opt string "/tmp/etx-service.sock"
     & info [ "socket" ] ~docv:"PATH" ~doc)
 
+(* daemons arm the metrics registry at startup; one-shot CLI runs
+   (simulate, fig7, ...) never do, keeping paper-scenario output
+   bit-identical and the instrumentation at its disarmed fast path *)
+let metrics_file_arg =
+  let doc =
+    "Periodically write an atomic JSON metrics/trace snapshot to $(docv) \
+     (and a final one on exit) for post-mortem analysis of chaos runs."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"PATH" ~doc)
+
+let metrics_every_arg =
+  let doc = "Seconds between metrics snapshots (with --metrics-file)." in
+  Arg.(value & opt float 5. & info [ "metrics-every" ] ~docv:"SECONDS" ~doc)
+
 let serve_cmd =
   let stdio_arg =
     let doc =
@@ -818,7 +832,7 @@ let serve_cmd =
     Arg.(value & opt (some string) None & info [ "failpoints" ] ~docv:"SPEC" ~doc)
   in
   let run stdio socket queue_depth cache_capacity jobs latency_window store_dir
-      failpoints =
+      failpoints metrics_file metrics_every =
     let cfg =
       {
         Etx_service.Server.queue_depth;
@@ -826,8 +840,11 @@ let serve_cmd =
         domains = jobs;
         latency_window;
         store_dir;
+        metrics_file;
+        metrics_every_s = metrics_every;
       }
     in
+    Etx_obs.Obs.arm ();
     match
       match failpoints with
       | None -> Ok ()
@@ -862,7 +879,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ stdio_arg $ socket_arg $ queue_depth_arg $ cache_capacity_arg
-       $ jobs_arg $ latency_window_arg $ store_arg $ failpoints_arg))
+       $ jobs_arg $ latency_window_arg $ store_arg $ failpoints_arg
+       $ metrics_file_arg $ metrics_every_arg))
   in
   Cmd.v
     (cmd_info "serve"
@@ -974,6 +992,93 @@ let client_cmd =
           bounds how long a stalled server can hold the client.")
     term
 
+let metrics_cmd =
+  let format_arg =
+    let doc =
+      "Exposition format: $(b,json) (structured snapshot with spans) or \
+       $(b,prometheus) (text exposition, one series per line)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("json", `Json); ("prometheus", `Prometheus) ]) `Prometheus
+      & info [ "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Deadline in seconds for the scrape; 0 disables it." in
+    Arg.(value & opt float 5. & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket format timeout =
+    if timeout < 0. then `Error (false, "--timeout must be non-negative")
+    else begin
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      let now = Unix.gettimeofday in
+      let deadline () = if timeout > 0. then Some (now () +. timeout) else None in
+      let fmt = match format with `Json -> "json" | `Prometheus -> "prometheus" in
+      let request =
+        Printf.sprintf "{\"scenario\":\"metrics\",\"params\":{\"format\":%S}}\n\n"
+          fmt
+      in
+      match Netio.connect ?deadline:(deadline ()) ~now socket with
+      | Error reason ->
+        `Error
+          (false, Printf.sprintf "cannot reach server at %s: %s" socket reason)
+      | Ok fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match
+              Netio.write_all ?deadline:(deadline ()) ~now fd
+                (Bytes.of_string request);
+              Unix.shutdown fd Unix.SHUTDOWN_SEND;
+              Netio.read_line ?deadline:(deadline ()) ~now (Netio.reader fd)
+            with
+            | None -> `Error (false, "server closed without a metrics response")
+            | Some line -> begin
+              let open Etx_util.Json in
+              match parse_result line with
+              | Error message ->
+                `Error (false, "unparseable metrics response: " ^ message)
+              | Ok json -> (
+                match (member "status" json, member "result" json) with
+                | Some (String "ok"), Some (String text) ->
+                  (* prometheus exposition travels as one JSON string *)
+                  print_string text;
+                  if text = "" || text.[String.length text - 1] <> '\n' then
+                    print_newline ();
+                  `Ok ()
+                | Some (String "ok"), Some result ->
+                  print_endline (to_string result);
+                  `Ok ()
+                | _ ->
+                  `Error
+                    (false, Printf.sprintf "metrics request failed: %s" line))
+            end
+            | exception Failure _ when timeout > 0. ->
+              `Error
+                ( false,
+                  Printf.sprintf "timed out: no metrics from %s within %gs"
+                    socket timeout )
+            | exception Sys_error message ->
+              `Error
+                ( false,
+                  Printf.sprintf "i/o error talking to %s: %s" socket message )
+            | exception Unix.Unix_error (err, _, _) ->
+              `Error
+                ( false,
+                  Printf.sprintf "i/o error talking to %s: %s" socket
+                    (Unix.error_message err) ))
+    end
+  in
+  let term = Term.(ret (const run $ socket_arg $ format_arg $ timeout_arg)) in
+  Cmd.v
+    (cmd_info "metrics"
+       ~doc:
+         "Scrape a running serve/route/cluster daemon's observability \
+          snapshot: Prometheus text exposition or a JSON document with \
+          metrics and recent trace spans.")
+    term
+
 (* - sharded cluster - *)
 
 let stdio_flag =
@@ -1031,10 +1136,12 @@ let route_cmd =
     in
     Arg.(value & opt (list string) [] & info [ "backends" ] ~docv:"SOCKETS" ~doc)
   in
-  let run stdio socket backends attempts request_timeout health_period queue_depth =
+  let run stdio socket backends attempts request_timeout health_period queue_depth
+      metrics_file metrics_every =
     if backends = [] then
       `Error (true, "provide --backends with at least one backend socket path")
-    else
+    else begin
+      Etx_obs.Obs.arm ();
       let cfg =
         {
           (Etx_service.Cluster.default_config ~backends) with
@@ -1042,15 +1149,19 @@ let route_cmd =
           request_timeout_s = request_timeout;
           health_period_s = health_period;
           queue_depth;
+          metrics_file;
+          metrics_every_s = metrics_every;
         }
       in
       run_router cfg stdio socket
+    end
   in
   let term =
     Term.(
       ret
         (const run $ stdio_flag $ socket_arg $ backends_arg $ attempts_arg
-       $ request_timeout_arg $ health_period_arg $ cluster_queue_depth_arg))
+       $ request_timeout_arg $ health_period_arg $ cluster_queue_depth_arg
+       $ metrics_file_arg $ metrics_every_arg))
   in
   Cmd.v
     (cmd_info "route"
@@ -1083,9 +1194,10 @@ let cluster_cmd =
     Arg.(value & flag & info [ "supervise" ] ~doc)
   in
   let run stdio socket backends dir jobs attempts request_timeout health_period
-      queue_depth supervise =
+      queue_depth supervise metrics_file metrics_every =
     if backends < 1 then `Error (true, "--backends must be at least 1")
     else begin
+      Etx_obs.Obs.arm ();
       (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
       let exe = Sys.executable_name in
       let store = Filename.concat dir "store" in
@@ -1099,13 +1211,22 @@ let cluster_cmd =
         let logfd =
           Unix.openfile logfile [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
         in
+        let argv =
+          [
+            exe; "serve"; "--socket"; sock i; "--jobs"; string_of_int jobs;
+            "--store"; store;
+          ]
+          @ (if metrics_file = None then []
+             else
+               [
+                 "--metrics-file";
+                 Filename.concat dir (Printf.sprintf "backend%d.metrics.json" i);
+                 "--metrics-every";
+                 string_of_float metrics_every;
+               ])
+        in
         let pid =
-          Unix.create_process exe
-            [|
-              exe; "serve"; "--socket"; sock i; "--jobs"; string_of_int jobs;
-              "--store"; store;
-            |]
-            devnull logfd logfd
+          Unix.create_process exe (Array.of_list argv) devnull logfd logfd
         in
         Unix.close devnull;
         Unix.close logfd;
@@ -1135,6 +1256,8 @@ let cluster_cmd =
             (* supervised: shutdown drains via the supervisor instead of
                forwarding a kill the supervisor would just undo *)
             forward_shutdown = not supervise;
+            metrics_file;
+            metrics_every_s = metrics_every;
           }
         in
         run_router cfg stdio socket
@@ -1186,7 +1309,8 @@ let cluster_cmd =
       ret
         (const run $ stdio_flag $ socket_arg $ backends_arg $ dir_arg $ jobs_arg
        $ attempts_arg $ request_timeout_arg $ health_period_arg
-       $ cluster_queue_depth_arg $ supervise_arg))
+       $ cluster_queue_depth_arg $ supervise_arg $ metrics_file_arg
+       $ metrics_every_arg))
   in
   Cmd.v
     (cmd_info "cluster"
@@ -1417,6 +1541,7 @@ let main =
       aes_cmd;
       serve_cmd;
       client_cmd;
+      metrics_cmd;
       route_cmd;
       cluster_cmd;
       chaos_cmd;

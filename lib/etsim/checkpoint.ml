@@ -202,8 +202,9 @@ let unframe buf =
    is the recovery.  The sweep skips temps whose writer is still alive
    (another process mid-write next to the same target). *)
 let sweep_tmp path =
-  Etx_util.Fdio.sweep_tmps ~prefix:(Filename.basename path)
-    (Filename.dirname path)
+  ignore
+    (Etx_util.Fdio.sweep_tmps ~prefix:(Filename.basename path)
+       (Filename.dirname path))
 
 let write_file ?(fp_prefix = "checkpoint") path payload =
   sweep_tmp path;

@@ -1,6 +1,17 @@
 module Battery = Etx_battery.Battery
 module Router = Etx_routing.Router
 module Routing_table = Etx_routing.Routing_table
+module Obs = Etx_obs.Obs
+
+(* which recompute path actually ran: the incremental kernels fall back
+   to a full pass when the delta says nothing can be reused *)
+let obs_recompute_incremental =
+  Obs.counter ~help:"Routing recomputations served by the incremental kernels"
+    ~labels:[ ("mode", "incremental") ] "etx_engine_recompute_total"
+
+let obs_recompute_full =
+  Obs.counter ~help:"Routing recomputations that ran the full kernels"
+    ~labels:[ ("mode", "full") ] "etx_engine_recompute_total"
 
 type outcome =
   | Table_updated of Routing_table.t
@@ -149,6 +160,10 @@ let on_frame t ~cycle ~elapsed_cycles ~snapshot =
                 ~mapping:t.config.mapping ~module_count:t.config.module_count snapshot
         in
         t.recomputations <- t.recomputations + 1;
+        Obs.inc
+          (if incremental && not delta.Router.Delta.full then
+             obs_recompute_incremental
+           else obs_recompute_full);
         let changed =
           match t.table with
           | Some old -> Routing_table.diff_count old table

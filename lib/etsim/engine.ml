@@ -9,6 +9,20 @@ module Packet = Etx_energy.Packet
 module Prng = Etx_util.Prng
 module Fault_spec = Etx_fault.Spec
 module Fault_plan = Etx_fault.Plan
+module Obs = Etx_obs.Obs
+
+(* hot-path hooks: one atomic load each while the registry is disarmed *)
+let obs_frames =
+  Obs.counter ~help:"Engine frames executed, fast-forwarded ones included"
+    "etx_engine_frames_total"
+
+let obs_fast_forwarded =
+  Obs.counter ~help:"Quiet frames committed via the fast-forward path"
+    "etx_engine_frames_fast_forwarded_total"
+
+let obs_audit_violations =
+  Obs.counter ~help:"Invariant violations recorded by the frame auditor"
+    "etx_engine_audit_violations_total"
 
 type status = Running | Dead of Metrics.death_reason
 
@@ -852,6 +866,7 @@ let preserve_stale_table t =
 let audit_pass t recorder =
   let cycle = t.cycle in
   let add ?node invariant detail =
+    Obs.inc obs_audit_violations;
     Audit.record recorder { Audit.cycle; node; invariant; detail }
   in
   let n = Array.length t.nodes in
@@ -1006,6 +1021,7 @@ let maybe_audit t =
 
 let run_frame t =
   t.frames <- t.frames + 1;
+  Obs.inc obs_frames;
   apply_link_failures t;
   apply_fault_events t;
   record_timeline_sample t;
@@ -1427,6 +1443,8 @@ let commit_fast t ~c1 ~p ~k =
   end;
   Controller.absorb_quiet_frames t.controller ~elapsed_cycles:p ~count:k;
   t.frames <- t.frames + k;
+  Obs.add obs_frames k;
+  Obs.add obs_fast_forwarded k;
   t.cycle <- c_k;
   t.last_frame <- c_k;
   t.next_frame <- c_k + p

@@ -1,0 +1,145 @@
+(* Exposition: Prometheus text format, the repo's strict JSON, and an
+   atomic on-disk snapshot for post-mortem reads after chaos runs. *)
+
+module Json = Etx_util.Json
+
+(* Prometheus label values escape backslash, double-quote and newline *)
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    let parts =
+      List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels
+    in
+    "{" ^ String.concat "," parts ^ "}"
+
+(* labels plus a trailing le="..." for histogram bucket lines *)
+let bucket_labels labels le =
+  let parts =
+    List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels
+    @ [ Printf.sprintf "le=\"%s\"" le ]
+  in
+  "{" ^ String.concat "," parts ^ "}"
+
+let prometheus () =
+  let samples = Obs.snapshot () in
+  let buf = Buffer.create 4096 in
+  let last_name = ref "" in
+  List.iter
+    (fun (s : Obs.sample) ->
+      (* samples are sorted by name: emit HELP/TYPE once per family *)
+      if s.name <> !last_name then begin
+        last_name := s.name;
+        if s.help <> "" then
+          Buffer.add_string buf
+            (Printf.sprintf "# HELP %s %s\n" s.name s.help);
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" s.name (Obs.kind_name s.kind))
+      end;
+      match s.value with
+      | Obs.Counter_v n ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %d\n" s.name (label_block s.labels) n)
+      | Obs.Gauge_v v ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s%s %s\n" s.name (label_block s.labels) (fmt_float v))
+      | Obs.Hist_v h ->
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + h.counts.(i);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" s.name
+                 (bucket_labels s.labels (fmt_float bound))
+                 !cum))
+          h.bounds;
+        Buffer.add_string buf
+          (Printf.sprintf "%s_bucket%s %d\n" s.name
+             (bucket_labels s.labels "+Inf")
+             h.count);
+        Buffer.add_string buf
+          (Printf.sprintf "%s_sum%s %s\n" s.name (label_block s.labels)
+             (fmt_float h.sum));
+        Buffer.add_string buf
+          (Printf.sprintf "%s_count%s %d\n" s.name (label_block s.labels) h.count))
+    samples;
+  Buffer.contents buf
+
+let sample_json (s : Obs.sample) =
+  let labels = Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.labels) in
+  let base =
+    [
+      ("name", Json.String s.name);
+      ("type", Json.String (Obs.kind_name s.kind));
+      ("labels", labels);
+    ]
+  in
+  let value =
+    match s.value with
+    | Obs.Counter_v n -> [ ("value", Json.Int n) ]
+    | Obs.Gauge_v v -> [ ("value", Json.Float v) ]
+    | Obs.Hist_v h ->
+      let cum = ref 0 in
+      let buckets =
+        List.concat
+          [
+            Array.to_list
+              (Array.mapi
+                 (fun i bound ->
+                   cum := !cum + h.counts.(i);
+                   Json.Obj
+                     [ ("le", Json.Float bound); ("count", Json.Int !cum) ])
+                 h.bounds);
+            [
+              Json.Obj
+                [ ("le", Json.String "+Inf"); ("count", Json.Int h.count) ];
+            ];
+          ]
+      in
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ("buckets", Json.List buckets);
+      ]
+  in
+  Json.Obj (base @ value)
+
+let span_json (s : Span.span) =
+  Json.Obj
+    [
+      ("trace_id", Json.String s.trace_id);
+      ("span_id", Json.Int s.span_id);
+      ("parent_id", Json.Int s.parent_id);
+      ("name", Json.String s.name);
+      ("start_s", Json.Float s.start_s);
+      ("end_s", Json.Float s.end_s);
+    ]
+
+let json () =
+  Json.Obj
+    [
+      ("armed", Json.Bool (Obs.enabled ()));
+      ("metrics", Json.List (List.map sample_json (Obs.snapshot ())));
+      ("spans", Json.List (List.map span_json (Span.recent ())));
+    ]
+
+let write_snapshot ~path () =
+  Etx_util.Fdio.write_file_atomic ~fp_prefix:"obs" ~path
+    (Bytes.of_string (Json.to_string (json ()) ^ "\n"))

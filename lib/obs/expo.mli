@@ -1,0 +1,24 @@
+(** Exposition of the registry and span ring.
+
+    Two formats: Prometheus text (the lingua franca of scrapers) and
+    the repo's strict JSON (machine-readable, includes the span ring),
+    plus an atomic snapshot writer for post-mortem reads after chaos
+    runs. *)
+
+val prometheus : unit -> string
+(** Prometheus text format: [# HELP] / [# TYPE] once per family, then
+    one line per series; histograms as cumulative [_bucket{le=...}]
+    lines plus [_sum] and [_count].  Deterministic order (sorted by
+    name then labels). *)
+
+val json : unit -> Etx_util.Json.t
+(** [{"armed": ..., "metrics": [...], "spans": [...]}].  Histogram
+    buckets carry cumulative counts, mirroring the Prometheus output;
+    spans are oldest-first with [trace_id]/[span_id]/[parent_id]. *)
+
+val write_snapshot : path:string -> unit -> unit
+(** Serialize {!json} and commit it with
+    [Etx_util.Fdio.write_file_atomic] (temp + fsync + rename, failpoint
+    sites under ["obs.*"]): a crash mid-write never leaves a torn
+    snapshot.
+    @raise Sys_error when the write fails. *)

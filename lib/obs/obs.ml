@@ -1,0 +1,232 @@
+(* Global metrics registry.
+
+   The same disarmed-atomic discipline as [Etx_util.Failpoint]: a single
+   [Atomic.get] on [armed] answers "is anyone collecting?", and every
+   mutator returns immediately when it says no.  Instrumented modules
+   register their series once at module-init time (cheap, mutex-guarded)
+   and keep the handles forever; the hot-path operations on those
+   handles — [inc], [add], [set], [observe] — are a fetch-and-add on an
+   unboxed [int Atomic.t] and never allocate.  Floats (gauge values,
+   histogram sums) are stored as fixed-point millionths in an int so the
+   armed path stays allocation-free too. *)
+
+let armed = Atomic.make false
+let enabled () = Atomic.get armed
+let arm () = Atomic.set armed true
+let disarm () = Atomic.set armed false
+
+(* fixed-point millionths: covers +/- 4.6e12 with 1e-6 resolution,
+   ample for counts, depths, durations and epoch-second gauges *)
+let fp_scale = 1_000_000.
+let to_fp v = int_of_float (Float.round (v *. fp_scale))
+let of_fp n = float_of_int n /. fp_scale
+
+type kind = Counter | Gauge | Histogram
+
+type hist_state = {
+  bounds : float array; (* strictly increasing upper bounds *)
+  bucket_counts : int Atomic.t array; (* length bounds + 1; last is +Inf *)
+  sum_fp : int Atomic.t;
+}
+
+type counter = int Atomic.t
+type gauge = int Atomic.t
+type histogram = hist_state
+
+type cell =
+  | Counter_cell of counter
+  | Gauge_cell of gauge
+  | Hist_cell of histogram
+
+type series = { s_name : string; s_labels : (string * string) list; s_cell : cell }
+type family = { f_kind : kind; f_help : string }
+
+let lock = Mutex.create ()
+let families : (string, family) Hashtbl.t = Hashtbl.create 64
+
+let cells : (string * (string * string) list, series) Hashtbl.t =
+  Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Prometheus-compatible identifiers; label values are free-form *)
+let ident_ok name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+let normalize_labels labels =
+  List.iter
+    (fun (k, _) ->
+      if not (ident_ok k) then invalid_arg ("Obs: bad label name " ^ k))
+    labels;
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  let rec dup = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if a = b then invalid_arg ("Obs: duplicate label " ^ a) else dup rest
+    | _ -> ()
+  in
+  dup sorted;
+  sorted
+
+let register ~kind ~help ~labels name make_cell =
+  if not (ident_ok name) then invalid_arg ("Obs: bad metric name " ^ name);
+  let labels = normalize_labels labels in
+  with_lock (fun () ->
+    (match Hashtbl.find_opt families name with
+    | None -> Hashtbl.replace families name { f_kind = kind; f_help = help }
+    | Some f ->
+      if f.f_kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Obs: %s already registered as %s" name
+             (kind_name f.f_kind)));
+    match Hashtbl.find_opt cells (name, labels) with
+    | Some s -> s.s_cell
+    | None ->
+      let cell = make_cell () in
+      Hashtbl.replace cells (name, labels)
+        { s_name = name; s_labels = labels; s_cell = cell };
+      cell)
+
+let counter ?(help = "") ?(labels = []) name =
+  match
+    register ~kind:Counter ~help ~labels name (fun () ->
+      Counter_cell (Atomic.make 0))
+  with
+  | Counter_cell c -> c
+  | _ -> assert false
+
+let gauge ?(help = "") ?(labels = []) name =
+  match
+    register ~kind:Gauge ~help ~labels name (fun () -> Gauge_cell (Atomic.make 0))
+  with
+  | Gauge_cell g -> g
+  | _ -> assert false
+
+(* log-linear buckets: [per_octave] evenly spaced bounds inside every
+   power-of-two octave from [lo] up, closed with [hi] itself.  Constant
+   relative resolution across the range with a handful of buckets. *)
+let log_linear ~lo ~hi ~per_octave =
+  if not (lo > 0. && hi > lo && per_octave >= 1) then
+    invalid_arg "Obs.log_linear";
+  let acc = ref [] in
+  let base = ref lo in
+  while !base < hi do
+    for i = 0 to per_octave - 1 do
+      let b = !base *. (1. +. (float_of_int i /. float_of_int per_octave)) in
+      if b < hi then acc := b :: !acc
+    done;
+    base := !base *. 2.
+  done;
+  Array.of_list (List.rev (hi :: !acc))
+
+let default_bounds = log_linear ~lo:0.01 ~hi:10_000. ~per_octave:2
+
+let histogram ?(help = "") ?(labels = []) ?(bounds = default_bounds) name =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Obs.histogram: empty bounds";
+  for i = 1 to n - 1 do
+    if not (bounds.(i) > bounds.(i - 1)) then
+      invalid_arg "Obs.histogram: bounds not strictly increasing"
+  done;
+  match
+    register ~kind:Histogram ~help ~labels name (fun () ->
+      Hist_cell
+        {
+          bounds = Array.copy bounds;
+          bucket_counts = Array.init (n + 1) (fun _ -> Atomic.make 0);
+          sum_fp = Atomic.make 0;
+        })
+  with
+  | Hist_cell h -> h
+  | _ -> assert false
+
+let inc c = if Atomic.get armed then ignore (Atomic.fetch_and_add c 1)
+let add c n = if Atomic.get armed then ignore (Atomic.fetch_and_add c n)
+let set g v = if Atomic.get armed then Atomic.set g (to_fp v)
+
+let observe h v =
+  if Atomic.get armed then begin
+    (* first bucket whose upper bound admits [v]; falls through to +Inf *)
+    let lo = ref 0 and hi = ref (Array.length h.bounds) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    ignore (Atomic.fetch_and_add h.bucket_counts.(!lo) 1);
+    ignore (Atomic.fetch_and_add h.sum_fp (to_fp v))
+  end
+
+(* readers ignore the armed flag: tests and exposition want the truth *)
+let counter_value c = Atomic.get c
+let gauge_value g = of_fp (Atomic.get g)
+
+let hist_count h =
+  Array.fold_left (fun n c -> n + Atomic.get c) 0 h.bucket_counts
+
+let hist_sum h = of_fp (Atomic.get h.sum_fp)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of { bounds : float array; counts : int array; sum : float; count : int }
+
+type sample = {
+  name : string;
+  help : string;
+  kind : kind;
+  labels : (string * string) list;
+  value : value;
+}
+
+let snapshot () =
+  let rows =
+    with_lock (fun () ->
+      Hashtbl.fold
+        (fun _ s acc ->
+          let help =
+            match Hashtbl.find_opt families s.s_name with
+            | Some f -> f.f_help
+            | None -> ""
+          in
+          let kind, value =
+            match s.s_cell with
+            | Counter_cell c -> (Counter, Counter_v (Atomic.get c))
+            | Gauge_cell g -> (Gauge, Gauge_v (gauge_value g))
+            | Hist_cell h ->
+              ( Histogram,
+                Hist_v
+                  {
+                    bounds = Array.copy h.bounds;
+                    counts = Array.map Atomic.get h.bucket_counts;
+                    sum = hist_sum h;
+                    count = hist_count h;
+                  } )
+          in
+          { name = s.s_name; help; kind; labels = s.s_labels; value } :: acc)
+        cells [])
+  in
+  List.sort (fun a b -> compare (a.name, a.labels) (b.name, b.labels)) rows
+
+(* zero every cell but keep registrations: module-level handles held by
+   instrumented code stay valid across test runs *)
+let reset () =
+  with_lock (fun () ->
+    Hashtbl.iter
+      (fun _ s ->
+        match s.s_cell with
+        | Counter_cell c -> Atomic.set c 0
+        | Gauge_cell g -> Atomic.set g 0
+        | Hist_cell h ->
+          Array.iter (fun c -> Atomic.set c 0) h.bucket_counts;
+          Atomic.set h.sum_fp 0)
+      cells)

@@ -1,0 +1,94 @@
+(** Domain-safe metrics registry: counters, gauges, log-linear-bucket
+    histograms, all with optional labels.
+
+    The registry follows the [Etx_util.Failpoint] discipline: a single
+    relaxed [Atomic.get] answers "is anyone collecting?".  When nothing
+    has called {!arm} every mutator is one atomic load and a branch —
+    no allocation, no lock, no writes — so instrumentation can live on
+    the engine's frame loop without a measurable cost.  When armed, the
+    mutators are single [fetch_and_add]s on unboxed [int Atomic.t]
+    cells (floats are held as fixed-point millionths), still
+    allocation-free.
+
+    Registration ({!counter} / {!gauge} / {!histogram}) is idempotent:
+    asking for an existing (name, labels) pair returns the same cell,
+    so modules may register at init time and dynamic callers (per
+    backend, per breaker) may register on demand.  Registering a name
+    under two different kinds raises [Invalid_argument]. *)
+
+val arm : unit -> unit
+(** Install the registry: mutators start recording. *)
+
+val disarm : unit -> unit
+(** Stop recording.  Cells keep their values; reads still work. *)
+
+val enabled : unit -> bool
+(** One atomic load; [true] between {!arm} and {!disarm}. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Monotone counter.  [name] and label names must match
+    [[a-zA-Z_:][a-zA-Z0-9_:]*].
+    @raise Invalid_argument on a bad name or kind conflict. *)
+
+val gauge : ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?bounds:float array ->
+  string ->
+  histogram
+(** [bounds] are strictly increasing upper bucket bounds; a [+Inf]
+    bucket is always appended.  Default: {!log_linear}
+    [~lo:0.01 ~hi:10_000. ~per_octave:2] (suited to millisecond
+    durations). *)
+
+val log_linear : lo:float -> hi:float -> per_octave:int -> float array
+(** [per_octave] evenly spaced bounds inside each power-of-two octave
+    from [lo], closed with [hi] itself: constant relative resolution
+    over the whole range. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Binary search over the precomputed bounds; allocation-free. *)
+
+(** {2 Reading} — reads ignore the armed flag. *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> float
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+type kind = Counter | Gauge | Histogram
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Hist_v of { bounds : float array; counts : int array; sum : float; count : int }
+      (** [counts] are per-bucket (not cumulative); length is
+          [Array.length bounds + 1] with the overflow bucket last. *)
+
+type sample = {
+  name : string;
+  help : string;
+  kind : kind;
+  labels : (string * string) list;  (** sorted by label name *)
+  value : value;
+}
+
+val snapshot : unit -> sample list
+(** Consistent-enough point-in-time read of every registered series,
+    sorted by (name, labels) for deterministic exposition. *)
+
+val kind_name : kind -> string
+
+val reset : unit -> unit
+(** Zero every cell.  Registrations — and every handle already held by
+    instrumented modules — stay valid. *)

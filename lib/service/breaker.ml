@@ -1,9 +1,12 @@
 type state = Closed | Open | Half_open
 
+let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half_open"
+
 type t = {
   failure_threshold : int;
   cooldown_s : float;
   now : unit -> float;
+  transition : state -> unit;  (* observability hook; no-op by default *)
   mutable current : state;
   mutable failures : int;  (* consecutive *)
   mutable opened_at : float;
@@ -11,14 +14,34 @@ type t = {
   mutable opened_total : int;
 }
 
-let create ?(failure_threshold = 3) ?(cooldown_s = 5.) ~now () =
+let create ?(failure_threshold = 3) ?(cooldown_s = 5.) ?obs_label ~now () =
   if failure_threshold < 1 then
     invalid_arg "Breaker.create: failure_threshold must be >= 1";
   if cooldown_s <= 0. then invalid_arg "Breaker.create: cooldown_s must be > 0";
+  let transition =
+    match obs_label with
+    | None -> fun _ -> ()
+    | Some backend ->
+      let cell st =
+        Etx_obs.Obs.counter ~help:"Breaker state transitions"
+          ~labels:[ ("backend", backend); ("to", state_name st) ]
+          "etx_breaker_transitions_total"
+      in
+      let to_closed = cell Closed
+      and to_open = cell Open
+      and to_half_open = cell Half_open in
+      fun st ->
+        Etx_obs.Obs.inc
+          (match st with
+          | Closed -> to_closed
+          | Open -> to_open
+          | Half_open -> to_half_open)
+  in
   {
     failure_threshold;
     cooldown_s;
     now;
+    transition;
     current = Closed;
     failures = 0;
     opened_at = 0.;
@@ -31,7 +54,8 @@ let create ?(failure_threshold = 3) ?(cooldown_s = 5.) ~now () =
 let refresh t =
   if t.current = Open && t.now () -. t.opened_at >= t.cooldown_s then begin
     t.current <- Half_open;
-    t.probe_inflight <- false
+    t.probe_inflight <- false;
+    t.transition Half_open
   end
 
 let state t =
@@ -53,13 +77,15 @@ let allow t =
 let record_success t =
   t.failures <- 0;
   t.probe_inflight <- false;
+  if t.current <> Closed then t.transition Closed;
   t.current <- Closed
 
 let trip t =
   t.current <- Open;
   t.opened_at <- t.now ();
   t.probe_inflight <- false;
-  t.opened_total <- t.opened_total + 1
+  t.opened_total <- t.opened_total + 1;
+  t.transition Open
 
 let record_failure t =
   refresh t;
@@ -70,4 +96,3 @@ let record_failure t =
   | Open -> ()
 
 let opened_total t = t.opened_total
-let state_name = function Closed -> "closed" | Open -> "open" | Half_open -> "half_open"

@@ -15,8 +15,15 @@ type state = Closed | Open | Half_open
 type t
 
 val create :
-  ?failure_threshold:int -> ?cooldown_s:float -> now:(unit -> float) -> unit -> t
-(** Defaults: 3 consecutive failures, 5 s cooldown.
+  ?failure_threshold:int ->
+  ?cooldown_s:float ->
+  ?obs_label:string ->
+  now:(unit -> float) ->
+  unit ->
+  t
+(** Defaults: 3 consecutive failures, 5 s cooldown.  [obs_label] names
+    this breaker's backend in the [etx_breaker_transitions_total]
+    metric family; without it no metrics are recorded.
     @raise Invalid_argument if [failure_threshold < 1] or
     [cooldown_s <= 0]. *)
 

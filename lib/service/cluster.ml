@@ -1,5 +1,8 @@
 module Json = Etx_util.Json
 module Backoff = Etx_util.Backoff
+module Obs = Etx_obs.Obs
+module Span = Etx_obs.Span
+module Expo = Etx_obs.Expo
 
 type config = {
   backends : string list;
@@ -17,6 +20,8 @@ type config = {
   queue_depth : int;
   retry_after_ms : int;
   forward_shutdown : bool;
+  metrics_file : string option;
+  metrics_every_s : float;
 }
 
 let default_config ~backends =
@@ -36,7 +41,51 @@ let default_config ~backends =
     queue_depth = 64;
     retry_after_ms = 250;
     forward_shutdown = false;
+    metrics_file = None;
+    metrics_every_s = 5.;
   }
+
+let obs_requests =
+  Obs.counter ~help:"Request lines received by the router (malformed included)"
+    "etx_cluster_requests_total"
+
+let obs_responses =
+  Obs.counter ~help:"Response lines the router wrote back"
+    "etx_cluster_responses_total"
+
+let obs_routed =
+  Obs.counter ~help:"Scenario requests dispatched toward a backend"
+    "etx_cluster_routed_total"
+
+let obs_failover =
+  Obs.counter ~help:"Retries against a different candidate after a failure"
+    "etx_cluster_failover_total"
+
+let obs_shed =
+  Obs.counter ~help:"Scenario requests shed by fair admission"
+    "etx_cluster_shed_total"
+
+let obs_degraded =
+  Obs.counter ~help:"Degraded (retryable) error responses"
+    "etx_cluster_degraded_total"
+
+let obs_deadline =
+  Obs.counter ~help:"Requests whose deadline expired while routing"
+    "etx_cluster_deadline_exceeded_total"
+
+let obs_errors =
+  Obs.counter ~help:"Error responses of any kind" "etx_cluster_errors_total"
+
+let obs_probe result =
+  Obs.counter ~help:"Health probes by outcome" ~labels:[ ("result", result) ]
+    "etx_cluster_probes_total"
+
+let obs_probe_ok = obs_probe "ok"
+let obs_probe_fail = obs_probe "fail"
+
+let obs_snapshots =
+  Obs.counter ~help:"Metrics snapshot files committed"
+    "etx_obs_snapshots_written_total"
 
 type rpc = path:string -> timeout_s:float -> string -> (string, string) result
 
@@ -44,6 +93,8 @@ type backend = {
   name : string;
   health : Health.t;
   breaker : Breaker.t;
+  obs_dispatched : Obs.counter;
+  obs_failures : Obs.counter;
   mutable last_heard : float;  (* last success or probe attempt *)
   mutable dispatched : int;
   mutable transport_failures : int;
@@ -66,6 +117,7 @@ type t = {
   mutable errors_total : int;
   mutable probe_total : int;
   mutable probe_failures : int;
+  mutable last_metrics_write : float;
   mutable stopping : bool;
 }
 
@@ -122,10 +174,20 @@ let create ?(now = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?rpc cfg =
       Hashtbl.replace table name
         {
           name;
-          health = Health.create ~failure_threshold:cfg.failure_threshold ();
+          health =
+            Health.create ~failure_threshold:cfg.failure_threshold
+              ~obs_label:name ();
           breaker =
             Breaker.create ~failure_threshold:cfg.failure_threshold
-              ~cooldown_s:cfg.breaker_cooldown_s ~now ();
+              ~cooldown_s:cfg.breaker_cooldown_s ~obs_label:name ~now ();
+          obs_dispatched =
+            Obs.counter ~help:"Requests dispatched per backend"
+              ~labels:[ ("backend", name) ]
+              "etx_cluster_backend_dispatched_total";
+          obs_failures =
+            Obs.counter ~help:"Transport failures per backend"
+              ~labels:[ ("backend", name) ]
+              "etx_cluster_backend_failures_total";
           (* never heard from: due for a probe immediately *)
           last_heard = neg_infinity;
           dispatched = 0;
@@ -151,6 +213,7 @@ let create ?(now = Unix.gettimeofday) ?(sleep = Unix.sleepf) ?rpc cfg =
     errors_total = 0;
     probe_total = 0;
     probe_failures = 0;
+    last_metrics_write = 0.;
     stopping = false;
   }
 
@@ -165,6 +228,7 @@ let record_failure t b =
   Health.record_failure b.health;
   Breaker.record_failure b.breaker;
   b.transport_failures <- b.transport_failures + 1;
+  Obs.inc b.obs_failures;
   b.last_heard <- t.now ()
 
 let ping_line = {|{"scenario":"ping"}|}
@@ -172,9 +236,12 @@ let ping_line = {|{"scenario":"ping"}|}
 let probe_backend t b =
   t.probe_total <- t.probe_total + 1;
   match t.rpc ~path:b.name ~timeout_s:t.cfg.probe_timeout_s ping_line with
-  | Ok _ -> record_success t b
+  | Ok _ ->
+    Obs.inc obs_probe_ok;
+    record_success t b
   | Error _ ->
     t.probe_failures <- t.probe_failures + 1;
+    Obs.inc obs_probe_fail;
     record_failure t b
 
 let probe t =
@@ -199,6 +266,8 @@ let error_response ?(extra = []) id code message =
 let degraded_response t id message =
   t.degraded_total <- t.degraded_total + 1;
   t.errors_total <- t.errors_total + 1;
+  Obs.inc obs_degraded;
+  Obs.inc obs_errors;
   error_response
     ~extra:[ ("retry_after_ms", Json.Int t.cfg.retry_after_ms) ]
     id "degraded" message
@@ -293,10 +362,17 @@ let dispatch t ~fp ~deadline_abs line =
             (Printf.sprintf "all %d backend breaker(s) open"
                (Array.length candidates))
         | Some b -> (
-          if i > 0 then t.failover_total <- t.failover_total + 1;
+          if i > 0 then begin
+            t.failover_total <- t.failover_total + 1;
+            Obs.inc obs_failover
+          end;
           b.dispatched <- b.dispatched + 1;
+          Obs.inc b.obs_dispatched;
           let timeout_s = Float.min t.cfg.request_timeout_s remaining in
-          match t.rpc ~path:b.name ~timeout_s line with
+          match
+            Span.span "cluster.dispatch" (fun () ->
+              t.rpc ~path:b.name ~timeout_s line)
+          with
           | Ok response ->
             record_success t b;
             Response response
@@ -316,6 +392,23 @@ let dispatch t ~fp ~deadline_abs line =
 (* - batches - *)
 
 type item = Parsed of Request.t | Malformed of Request.error
+
+(* Splice a freshly minted trace id into a raw request line, right after
+   the opening brace, so the backend sees it without the router
+   re-serializing the request (key order, duplicate keys and number
+   spellings all survive untouched).  Only called on lines that already
+   parsed as objects; runs only while the registry is armed, so the
+   disarmed router forwards request bytes verbatim. *)
+let inject_trace_id line trace_id =
+  match String.index_opt line '{' with
+  | None -> line
+  | Some i ->
+    let rest = String.sub line (i + 1) (String.length line - i - 1) in
+    let sep = if String.trim rest = "}" then "" else "," in
+    Printf.sprintf "%s\"trace_id\":%s%s%s"
+      (String.sub line 0 (i + 1))
+      (Json.to_string (Json.String trace_id))
+      sep rest
 
 (* a response is either JSON we built locally or a backend's line
    forwarded byte-for-byte (never re-parsed, never re-printed) *)
@@ -360,6 +453,7 @@ let handle_batch t lines =
       raw_lines
   in
   let responses = Array.make (Array.length items) (Tree Json.Null) in
+  Obs.add obs_requests (Array.length items);
   let runnable = ref [] in
   let scenarios = ref [] in
   Array.iteri
@@ -367,6 +461,7 @@ let handle_batch t lines =
       match item with
       | Malformed err ->
         t.errors_total <- t.errors_total + 1;
+        Obs.inc obs_errors;
         responses.(idx) <- Tree (error_response err.error_id err.error_code err.reason)
       | Parsed (req : Request.t) -> (
         runnable := (idx, req) :: !runnable;
@@ -380,6 +475,7 @@ let handle_batch t lines =
     (fun (idx, (req : Request.t)) ->
       if not (Hashtbl.mem admitted idx) then begin
         t.shed_total <- t.shed_total + 1;
+        Obs.inc obs_shed;
         responses.(idx) <-
           Tree
             (degraded_response t req.id
@@ -404,6 +500,9 @@ let handle_batch t lines =
           match control with
           | Request.Ping -> Json.String "pong"
           | Request.Stats -> stats_json t
+          | Request.Metrics Request.Metrics_json -> Expo.json ()
+          | Request.Metrics Request.Metrics_prometheus ->
+            Json.String (Expo.prometheus ())
           | Request.Shutdown ->
             t.stopping <- true;
             if t.cfg.forward_shutdown then
@@ -433,7 +532,25 @@ let handle_batch t lines =
             responses.(idx) <- Tree (error_response req.id "invalid_request" message)
           | Ok fp -> (
             t.routed_total <- t.routed_total + 1;
-            match dispatch t ~fp ~deadline_abs raw_lines.(idx) with
+            Obs.inc obs_routed;
+            (* the front door mints the trace id: a request arriving
+               without one gets one spliced into the forwarded bytes.
+               Disarmed, the line is forwarded verbatim — the chaos
+               harness's byte-identity contract is untouched. *)
+            let line, trace =
+              if Obs.enabled () then
+                match req.trace_id with
+                | Some tid -> (raw_lines.(idx), Some tid)
+                | None ->
+                  let tid = Span.new_trace_id () in
+                  (inject_trace_id raw_lines.(idx) tid, Some tid)
+              else (raw_lines.(idx), None)
+            in
+            match
+              Span.with_trace trace (fun () ->
+                Span.span "cluster.route" (fun () ->
+                  dispatch t ~fp ~deadline_abs line))
+            with
             | Response response_line ->
               (* forwarded verbatim: the cluster adds no bytes, so a
                  response is bit-identical to the backend's own *)
@@ -443,6 +560,8 @@ let handle_batch t lines =
             | Expired ->
               t.deadline_exceeded_total <- t.deadline_exceeded_total + 1;
               t.errors_total <- t.errors_total + 1;
+              Obs.inc obs_deadline;
+              Obs.inc obs_errors;
               responses.(idx) <-
                 Tree
                   (error_response req.id "deadline_exceeded"
@@ -450,11 +569,29 @@ let handle_batch t lines =
                         (Option.value req.deadline_ms ~default:0))))
         end)
     order;
+  Obs.add obs_responses (Array.length responses);
   Array.to_list
     (Array.map (function Raw line -> line | Tree j -> Json.to_string j) responses)
 
 let stopped t = t.stopping
 let request_stop t = t.stopping <- true
+
+(* periodic observability snapshot, same contract as [Server]'s *)
+let write_metrics_snapshot t =
+  match t.cfg.metrics_file with
+  | None -> ()
+  | Some path -> (
+    t.last_metrics_write <- t.now ();
+    match Expo.write_snapshot ~path () with
+    | () -> Obs.inc obs_snapshots
+    | exception Sys_error _ -> ())
+
+let maybe_write_metrics t =
+  match t.cfg.metrics_file with
+  | None -> ()
+  | Some _ ->
+    if t.now () -. t.last_metrics_write >= t.cfg.metrics_every_s then
+      write_metrics_snapshot t
 
 let flush_batch t batch oc =
   match List.rev batch with
@@ -476,12 +613,14 @@ let run_stdio t ic oc =
       if String.trim line = "" then begin
         flush_batch t !batch oc;
         batch := [];
+        maybe_write_metrics t;
         if t.stopping then continue := false
       end
       else batch := line :: !batch
     | exception End_of_file ->
       flush_batch t !batch oc;
       batch := [];
+      maybe_write_metrics t;
       continue := false
   done
 
@@ -501,7 +640,9 @@ let run_unix t ~socket_path =
         (* wake at least once per health period so probes run while
            idle; an EINTR'd wait re-checks the stop flag (SIGTERM) *)
         match Netio.accept ~timeout_s:t.cfg.health_period_s sock with
-        | `Timeout -> probe t
+        | `Timeout ->
+          probe t;
+          maybe_write_metrics t
         | `Interrupted -> ()
         | `Conn fd ->
           let ic = Unix.in_channel_of_descr fd in
@@ -512,4 +653,6 @@ let run_unix t ~socket_path =
            with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
           (try flush oc with Sys_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ())
-      done)
+      done;
+      (* final snapshot: capture the run's last state for post-mortems *)
+      write_metrics_snapshot t)

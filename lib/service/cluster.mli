@@ -54,13 +54,20 @@ type config = {
       (** broadcast a [shutdown] control to every backend too (the
           all-in-one [cluster] subcommand owns its backends; a [route]
           front-end over foreign daemons does not) *)
+  metrics_file : string option;
+      (** when set, the serving loops periodically commit an
+          [Etx_obs.Expo] JSON snapshot to this path (atomic), plus a
+          final one as [run_unix] exits. *)
+  metrics_every_s : float;  (** snapshot pacing; only read when
+          [metrics_file] is set *)
 }
 
 val default_config : backends:string list -> config
 (** 64 ring replicas, 4 attempts, 1 s connect / 30 s request / 1 s
     probe timeouts, 2 s health period, threshold 3, 5 s cooldown,
     25–1000 ms backoff, queue depth 64, retry-after 250 ms, no
-    shutdown forwarding. *)
+    shutdown forwarding, no metrics file (5 s pacing when one is
+    configured). *)
 
 type rpc = path:string -> timeout_s:float -> string -> (string, string) result
 (** One request line in, one response line out, within [timeout_s]

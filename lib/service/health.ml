@@ -1,20 +1,36 @@
 type state = Up | Down
 
+let state_name = function Up -> "up" | Down -> "down"
+
 type t = {
   failure_threshold : int;
   success_threshold : int;
+  transition : state -> unit;  (* observability hook; no-op by default *)
   mutable current : state;
   mutable failures : int;  (* consecutive *)
   mutable successes : int;  (* consecutive *)
   mutable transitions : int;
 }
 
-let create ?(failure_threshold = 3) ?(success_threshold = 1) () =
+let create ?(failure_threshold = 3) ?(success_threshold = 1) ?obs_label () =
   if failure_threshold < 1 || success_threshold < 1 then
     invalid_arg "Health.create: thresholds must be >= 1";
+  let transition =
+    match obs_label with
+    | None -> fun _ -> ()
+    | Some backend ->
+      let cell st =
+        Etx_obs.Obs.counter ~help:"Health state transitions"
+          ~labels:[ ("backend", backend); ("to", state_name st) ]
+          "etx_health_transitions_total"
+      in
+      let to_up = cell Up and to_down = cell Down in
+      fun st -> Etx_obs.Obs.inc (match st with Up -> to_up | Down -> to_down)
+  in
   {
     failure_threshold;
     success_threshold;
+    transition;
     current = Up;
     failures = 0;
     successes = 0;
@@ -26,7 +42,8 @@ let state t = t.current
 let flip t next =
   if t.current <> next then begin
     t.current <- next;
-    t.transitions <- t.transitions + 1
+    t.transitions <- t.transitions + 1;
+    t.transition next
   end
 
 let record_success t =
@@ -41,4 +58,3 @@ let record_failure t =
 
 let consecutive_failures t = t.failures
 let transitions t = t.transitions
-let state_name = function Up -> "up" | Down -> "down"

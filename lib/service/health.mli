@@ -11,9 +11,12 @@ type state = Up | Down
 
 type t
 
-val create : ?failure_threshold:int -> ?success_threshold:int -> unit -> t
+val create :
+  ?failure_threshold:int -> ?success_threshold:int -> ?obs_label:string -> unit -> t
 (** Defaults: 3 consecutive failures to go [Down], 1 success to come
-    back [Up].
+    back [Up].  [obs_label] names this tracker's backend in the
+    [etx_health_transitions_total] metric family; without it no metrics
+    are recorded.
     @raise Invalid_argument if either threshold is < 1. *)
 
 val state : t -> state

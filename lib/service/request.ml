@@ -26,7 +26,9 @@ type scenario =
   | Audit of { sizes : int list; seeds : int list; every : int }
   | Upper_bound of { sizes : int list }
 
-type control = Stats | Ping | Shutdown
+type metrics_format = Metrics_json | Metrics_prometheus
+
+type control = Stats | Ping | Shutdown | Metrics of metrics_format
 
 type body = Scenario of scenario | Control of control
 
@@ -35,6 +37,7 @@ type t = {
   priority : int;
   deadline_ms : int option;
   client : string;
+  trace_id : string option;
   body : body;
 }
 
@@ -47,6 +50,7 @@ let scenario_name = function
   | Control Stats -> "stats"
   | Control Ping -> "ping"
   | Control Shutdown -> "shutdown"
+  | Control (Metrics _) -> "metrics"
 
 (* typed field extraction: absent fields take the default, present
    fields of the wrong shape are an error naming the field *)
@@ -128,6 +132,14 @@ let parse_upper_bound params =
   let* sizes = int_list_field params "sizes" default_sizes in
   Ok (Upper_bound { sizes })
 
+let parse_metrics params =
+  let* format = string_field params "format" "json" in
+  match format with
+  | "json" -> Ok (Metrics Metrics_json)
+  | "prometheus" -> Ok (Metrics Metrics_prometheus)
+  | other ->
+    Error (Printf.sprintf "field \"format\" must be \"json\" or \"prometheus\", got %S" other)
+
 type error = { error_id : Json.t; error_code : string; reason : string }
 
 let of_json json =
@@ -161,6 +173,16 @@ let of_json json =
           | Some s -> Ok s
           | None -> Error "field \"client\" must be a string")
       in
+      let* trace_id =
+        match Json.member "trace_id" json with
+        | None -> Ok None
+        | Some v -> (
+          (* strict like every other field: a non-string trace id is a
+             shape error, not something to silently coerce *)
+          match Json.to_str v with
+          | Some s -> Ok (Some s)
+          | None -> Error "field \"trace_id\" must be a string")
+      in
       let params = Option.value (Json.member "params" json) ~default:(Json.Obj []) in
       match Json.member "scenario" json with
       | None -> Error "missing \"scenario\" field"
@@ -180,9 +202,10 @@ let of_json json =
             | "stats" -> Ok (Control Stats)
             | "ping" -> Ok (Control Ping)
             | "shutdown" -> Ok (Control Shutdown)
+            | "metrics" -> Result.map (fun c -> Control c) (parse_metrics params)
             | other -> Error (Printf.sprintf "unknown scenario %S" other)
           in
-          Ok { id; priority; deadline_ms; client; body })
+          Ok { id; priority; deadline_ms; client; trace_id; body })
     in
     match parsed with
     | Ok t -> Ok t

@@ -44,10 +44,16 @@ type scenario =
   | Audit of { sizes : int list; seeds : int list; every : int }
   | Upper_bound of { sizes : int list }
 
+type metrics_format = Metrics_json | Metrics_prometheus
+
 type control =
   | Stats  (** server metrics snapshot; never queued, never cached *)
   | Ping
   | Shutdown  (** finish the current batch, then stop accepting work *)
+  | Metrics of metrics_format
+      (** observability exposition ([{"scenario":"metrics","params":
+          {"format":"json"|"prometheus"}}], default json); answered
+          locally like [Stats], never queued, never cached *)
 
 type body = Scenario of scenario | Control of control
 
@@ -62,6 +68,11 @@ type t = {
   client : string;
       (** fairness key for cluster load-shedding; defaults to [""]
           (all anonymous requests share one fairness bucket) *)
+  trace_id : string option;
+      (** distributed-trace correlation id, minted at the cluster
+          front-end and propagated unchanged; peers that predate it
+          ignore the field (it is never echoed in responses).  Must be
+          a string when present. *)
   body : body;
 }
 

@@ -1,5 +1,9 @@
 module StringSet = Set.Make (String)
 
+let obs_lookups =
+  Etx_obs.Obs.counter ~help:"Consistent-hash ring placements computed"
+    "etx_ring_lookups_total"
+
 type t = {
   replicas : int;
   mutable member_set : StringSet.t;
@@ -76,12 +80,14 @@ let successor t h =
   if !lo = n then 0 else !lo
 
 let lookup t key =
+  Etx_obs.Obs.inc obs_lookups;
   if Array.length t.points = 0 then None
   else
     let _, member = t.points.(successor t (hash_string key)) in
     Some member
 
 let ordered t key =
+  Etx_obs.Obs.inc obs_lookups;
   let n = Array.length t.points in
   if n = 0 then []
   else begin

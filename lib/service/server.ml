@@ -1,6 +1,9 @@
 module Json = Etx_util.Json
 module Stats = Etx_util.Stats
 module Pool = Etx_util.Pool
+module Obs = Etx_obs.Obs
+module Span = Etx_obs.Span
+module Expo = Etx_obs.Expo
 
 type config = {
   queue_depth : int;
@@ -8,6 +11,8 @@ type config = {
   domains : int;
   latency_window : int;
   store_dir : string option;
+  metrics_file : string option;
+  metrics_every_s : float;
 }
 
 let default_config =
@@ -17,7 +22,53 @@ let default_config =
     domains = 1;
     latency_window = 512;
     store_dir = None;
+    metrics_file = None;
+    metrics_every_s = 5.;
   }
+
+let obs_requests =
+  Obs.counter ~help:"Request lines received (malformed ones included)"
+    "etx_server_requests_total"
+
+let obs_responses =
+  Obs.counter ~help:"Responses written back" "etx_server_responses_total"
+
+let obs_errors =
+  Obs.counter ~help:"Error responses of any kind" "etx_server_errors_total"
+
+let obs_shed =
+  Obs.counter ~help:"Scenario requests shed by queue-depth admission"
+    "etx_server_shed_total"
+
+let obs_deadline =
+  Obs.counter ~help:"Requests expired before compute"
+    "etx_server_deadline_exceeded_total"
+
+let obs_result source =
+  Obs.counter ~help:"Scenario results by serving tier"
+    ~labels:[ ("source", source) ] "etx_server_results_total"
+
+let obs_result_coalesced = obs_result "coalesced"
+let obs_result_cache = obs_result "cache"
+let obs_result_store = obs_result "store"
+let obs_result_compute = obs_result "compute"
+
+let obs_batch_size =
+  Obs.histogram ~help:"Request lines per batch"
+    ~bounds:(Obs.log_linear ~lo:1. ~hi:1024. ~per_octave:1)
+    "etx_server_batch_size"
+
+let obs_request_ms =
+  Obs.histogram ~help:"Per-request wall time, milliseconds"
+    "etx_server_request_duration_ms"
+
+let obs_queue_depth =
+  Obs.gauge ~help:"Scenario requests admitted in the latest batch"
+    "etx_server_queue_depth"
+
+let obs_snapshots =
+  Obs.counter ~help:"Metrics snapshot files committed"
+    "etx_obs_snapshots_written_total"
 
 (* Per-scenario latency: an all-time Welford summary plus a bounded ring
    of recent samples for percentiles, so a server up for weeks still
@@ -41,6 +92,7 @@ type t = {
   mutable served_total : int;
   mutable errors_total : int;
   mutable deadline_exceeded_total : int;
+  mutable last_metrics_write : float;
   mutable stopping : bool;
 }
 
@@ -66,8 +118,28 @@ let create ?(now = Unix.gettimeofday) cfg =
     served_total = 0;
     errors_total = 0;
     deadline_exceeded_total = 0;
+    last_metrics_write = 0.;
     stopping = false;
   }
+
+(* periodic observability snapshot: best-effort (the registry is live in
+   memory; the file is for post-mortems), paced by [metrics_every_s],
+   atomic so a crash mid-write never leaves a torn file *)
+let write_metrics_snapshot t =
+  match t.cfg.metrics_file with
+  | None -> ()
+  | Some path -> (
+    t.last_metrics_write <- t.now ();
+    match Expo.write_snapshot ~path () with
+    | () -> Obs.inc obs_snapshots
+    | exception Sys_error _ -> ())
+
+let maybe_write_metrics t =
+  match t.cfg.metrics_file with
+  | None -> ()
+  | Some _ ->
+    if t.now () -. t.last_metrics_write >= t.cfg.metrics_every_s then
+      write_metrics_snapshot t
 
 let stopped t = t.stopping
 let request_stop t = t.stopping <- true
@@ -198,6 +270,8 @@ let handle_batch t lines =
          lines)
   in
   let responses = Array.make (Array.length items) Json.Null in
+  Obs.add obs_requests (Array.length items);
+  Obs.observe obs_batch_size (float_of_int (Array.length items));
   (* Admission: parse errors and over-depth scenario requests are
      answered on the spot; everything else becomes runnable.  Control
      requests never occupy queue slots, so stats stays observable on a
@@ -209,6 +283,7 @@ let handle_batch t lines =
       match item with
       | Malformed err ->
         t.errors_total <- t.errors_total + 1;
+        Obs.inc obs_errors;
         responses.(idx) <- error_response err.error_id err.error_code err.reason
       | Parsed req -> (
         match req.body with
@@ -222,6 +297,8 @@ let handle_batch t lines =
           else begin
             t.rejected_total <- t.rejected_total + 1;
             t.errors_total <- t.errors_total + 1;
+            Obs.inc obs_shed;
+            Obs.inc obs_errors;
             responses.(idx) <-
               error_response req.id "queue_full"
                 (Printf.sprintf
@@ -249,13 +326,18 @@ let handle_batch t lines =
           match control with
           | Request.Ping -> Json.String "pong"
           | Request.Stats -> stats_json t
+          | Request.Metrics Request.Metrics_json -> Expo.json ()
+          | Request.Metrics Request.Metrics_prometheus ->
+            Json.String (Expo.prometheus ())
           | Request.Shutdown ->
             t.stopping <- true;
             Json.String "stopping"
         in
         let elapsed_ms = (t.now () -. t0) *. 1000. in
         responses.(idx) <- ok_response ~scenario:name ~elapsed_ms req.id result
-      | Request.Scenario scenario -> (
+      | Request.Scenario scenario ->
+        Span.with_trace req.trace_id (fun () ->
+        Span.span "server.handle" (fun () ->
         let t0 = t.now () in
         let expired =
           match req.deadline_ms with
@@ -265,6 +347,8 @@ let handle_batch t lines =
         if expired then begin
           t.deadline_exceeded_total <- t.deadline_exceeded_total + 1;
           t.errors_total <- t.errors_total + 1;
+          Obs.inc obs_deadline;
+          Obs.inc obs_errors;
           responses.(idx) <-
             error_response req.id "deadline_exceeded"
               (Printf.sprintf "deadline of %d ms expired before compute"
@@ -277,6 +361,7 @@ let handle_batch t lines =
         with
         | Error message ->
           t.errors_total <- t.errors_total + 1;
+          Obs.inc obs_errors;
           responses.(idx) <- error_response req.id "invalid_request" message
         | Ok fp -> (
           (* result tiers: this batch, the in-memory LRU, the durable
@@ -285,7 +370,7 @@ let handle_batch t lines =
             match t.store with
             | None -> None
             | Some store -> (
-              match Store.find store fp with
+              match Span.span "server.store" (fun () -> Store.find store fp) with
               | None -> None
               | Some bytes -> (
                 (* a store entry is our own serialized result; if it
@@ -297,21 +382,29 @@ let handle_batch t lines =
           in
           let outcome =
             match Hashtbl.find_opt batch_results fp with
-            | Some result -> Ok ("coalesced", result)
+            | Some result ->
+              Obs.inc obs_result_coalesced;
+              Ok ("coalesced", result)
             | None -> (
-              match Cache.find t.cache fp with
+              match Span.span "server.cache" (fun () -> Cache.find t.cache fp) with
               | Some result ->
+                Obs.inc obs_result_cache;
                 Hashtbl.replace batch_results fp result;
                 Ok ("hit", result)
               | None -> (
                 match from_store () with
                 | Some result ->
+                  Obs.inc obs_result_store;
                   Cache.add t.cache fp result;
                   Hashtbl.replace batch_results fp result;
                   Ok ("store", result)
                 | None -> (
-                  match Handlers.execute ~pool:t.pool scenario with
+                  match
+                    Span.span "server.compute" (fun () ->
+                      Handlers.execute ~pool:t.pool scenario)
+                  with
                   | Ok result ->
+                    Obs.inc obs_result_compute;
                     Cache.add t.cache fp result;
                     Option.iter
                       (fun store -> Store.add store fp (Json.to_string result))
@@ -325,13 +418,17 @@ let handle_batch t lines =
           | Ok (how, result) ->
             let elapsed_ms = (t.now () -. t0) *. 1000. in
             record_latency t name elapsed_ms;
+            Obs.observe obs_request_ms elapsed_ms;
             t.served_total <- t.served_total + 1;
             responses.(idx) <-
               ok_response ~cache:how ~scenario:name ~elapsed_ms req.id result
           | Error message ->
             t.errors_total <- t.errors_total + 1;
-            responses.(idx) <- error_response req.id "failed" message)))
+            Obs.inc obs_errors;
+            responses.(idx) <- error_response req.id "failed" message))))
     order;
+  Obs.set obs_queue_depth (float_of_int !admitted);
+  Obs.add obs_responses (Array.length responses);
   Array.to_list (Array.map Json.to_string responses)
 
 let flush_batch t batch oc =
@@ -354,12 +451,14 @@ let run_stdio t ic oc =
       if String.trim line = "" then begin
         flush_batch t !batch oc;
         batch := [];
+        maybe_write_metrics t;
         if t.stopping then continue := false
       end
       else batch := line :: !batch
     | exception End_of_file ->
       flush_batch t !batch oc;
       batch := [];
+      maybe_write_metrics t;
       continue := false
   done
 
@@ -382,7 +481,7 @@ let run_unix t ~socket_path =
            the handler) is observed within a beat, not at the next
            connection; EINTR re-checks the flag immediately *)
         match Netio.accept ~timeout_s:0.25 sock with
-        | `Timeout | `Interrupted -> ()
+        | `Timeout | `Interrupted -> maybe_write_metrics t
         | `Conn fd ->
           (* in and out channels share the fd: flush, then close once.
              A peer that vanished mid-response (EPIPE/ECONNRESET with
@@ -393,4 +492,6 @@ let run_unix t ~socket_path =
            with Sys_error _ | End_of_file | Unix.Unix_error _ -> ());
           (try flush oc with Sys_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ())
-      done)
+      done;
+      (* final snapshot: capture the run's last state for post-mortems *)
+      write_metrics_snapshot t)

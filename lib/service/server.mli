@@ -11,8 +11,9 @@
     - {b admission control}: at most [queue_depth] scenario requests are
       admitted; the rest are answered immediately with a structured
       [queue_full] error and the server keeps serving — the queue never
-      grows without bound.  Control requests (stats/ping/shutdown) are
-      always admitted, so operators can observe a saturated server.
+      grows without bound.  Control requests (stats/ping/metrics/
+      shutdown) are always admitted, so operators can observe a
+      saturated server.
     - {b priority ordering}: admitted requests execute by descending
       [priority], ties in arrival order.
     - {b deduplication and caching}: each scenario's canonical
@@ -35,11 +36,19 @@ type config = {
           computed results are persisted to it, so restarts — and every
           other backend sharing the directory — keep the cache.  [None]
           disables durability. *)
+  metrics_file : string option;
+      (** when set, the serving loops periodically commit an
+          [Etx_obs.Expo] JSON snapshot to this path (atomic temp +
+          fsync + rename), plus a final one as [run_unix] exits — the
+          post-mortem record for chaos runs.  [None] disables it. *)
+  metrics_every_s : float;  (** snapshot pacing; only read when
+          [metrics_file] is set *)
 }
 
 val default_config : config
 (** queue depth 64, cache capacity 128, one worker domain, 512-sample
-    latency windows, no durable store. *)
+    latency windows, no durable store, no metrics file (5 s pacing when
+    one is configured). *)
 
 type t
 

@@ -1,4 +1,24 @@
 module Checkpoint = Etx_etsim.Checkpoint
+module Obs = Etx_obs.Obs
+
+let obs_read result =
+  Obs.counter ~help:"Durable store lookups by outcome"
+    ~labels:[ ("result", result) ] "etx_store_reads_total"
+
+let obs_read_hit = obs_read "hit"
+let obs_read_miss = obs_read "miss"
+let obs_read_corrupt = obs_read "corrupt"
+
+let obs_writes =
+  Obs.counter ~help:"Durable store entries committed" "etx_store_writes_total"
+
+let obs_write_errors =
+  Obs.counter ~help:"Durable store writes that failed (state unchanged)"
+    "etx_store_write_errors_total"
+
+let obs_tmp_swept =
+  Obs.counter ~help:"Crash-leftover temp files removed at store open"
+    "etx_store_tmp_swept_total"
 
 let magic = "ETXSTOR1"
 let version = 1
@@ -37,7 +57,7 @@ let open_dir dir =
      committed state.  The sweep is pid-aware: several live backends
      share one store directory, and a sibling's in-flight temp must
      survive our startup. *)
-  Etx_util.Fdio.sweep_tmps dir;
+  Obs.add obs_tmp_swept (Etx_util.Fdio.sweep_tmps dir);
   { dir; hit_count = 0; miss_count = 0; corrupt_count = 0; write_error_count = 0 }
 
 let dir t = t.dir
@@ -92,13 +112,16 @@ let find t key =
   match outcome with
   | `Hit value ->
     t.hit_count <- t.hit_count + 1;
+    Obs.inc obs_read_hit;
     Some value
   | `Miss ->
     t.miss_count <- t.miss_count + 1;
+    Obs.inc obs_read_miss;
     None
   | `Corrupt ->
     t.corrupt_count <- t.corrupt_count + 1;
     t.miss_count <- t.miss_count + 1;
+    Obs.inc obs_read_corrupt;
     (try Sys.remove path with Sys_error _ -> ());
     None
 
@@ -110,8 +133,10 @@ let add t key value =
     Etx_util.Fdio.write_file_atomic ~fp_prefix:"store" ~path:(filename t key)
       (frame key value)
   with
-  | () -> ()
-  | exception Sys_error _ -> t.write_error_count <- t.write_error_count + 1
+  | () -> Obs.inc obs_writes
+  | exception Sys_error _ ->
+    t.write_error_count <- t.write_error_count + 1;
+    Obs.inc obs_write_errors
 
 let length t =
   match Sys.readdir t.dir with

@@ -1,4 +1,20 @@
 module Backoff = Etx_util.Backoff
+module Obs = Etx_obs.Obs
+
+let obs_respawns =
+  Obs.counter ~help:"Dead children respawned after backoff"
+    "etx_supervisor_respawns_total"
+
+let obs_forced_kills =
+  Obs.counter ~help:"Children SIGKILLed after out-staying the drain grace"
+    "etx_supervisor_forced_kills_total"
+
+let obs_drains =
+  Obs.counter ~help:"Graceful drains initiated" "etx_supervisor_drains_total"
+
+let obs_backing_off =
+  Obs.gauge ~help:"Children currently waiting out a restart backoff"
+    "etx_supervisor_backing_off"
 
 type ops = {
   spawn : int -> int;
@@ -147,9 +163,18 @@ let tick t =
             if t.ops.now () >= due then begin
               t.ops.log (Printf.sprintf "supervisor: restarting backend %d" c.index);
               spawn_child t c;
-              t.restarts <- t.restarts + 1
+              t.restarts <- t.restarts + 1;
+              Obs.inc obs_respawns
             end)
-        t.children)
+        t.children;
+      if Obs.enabled () then begin
+        let backing_off = ref 0 in
+        Array.iter
+          (fun c ->
+            match c.phase with Backing_off _ -> incr backing_off | _ -> ())
+          t.children;
+        Obs.set obs_backing_off (float_of_int !backing_off)
+      end)
 
 let run t ~period_s ~stop =
   while not (stop ()) do
@@ -169,6 +194,7 @@ let drain t index =
   if not was_running then true
   else begin
     t.ops.log (Printf.sprintf "supervisor: draining backend %d (pid %d)" index pid);
+    Obs.inc obs_drains;
     t.ops.term pid;
     let deadline = t.ops.now () +. t.cfg.drain_grace_s in
     let rec wait () =
@@ -181,6 +207,7 @@ let drain t index =
         let rec reap_hard () = if t.ops.reap pid then () else (t.ops.sleep 0.02; reap_hard ()) in
         reap_hard ();
         locked t (fun () -> t.forced_kills <- t.forced_kills + 1);
+        Obs.inc obs_forced_kills;
         false
       end
       else begin

@@ -93,16 +93,20 @@ let tmp_writer_alive name =
 
 let sweep_tmps ?(prefix = "") dir =
   match Sys.readdir dir with
-  | exception Sys_error _ -> ()
+  | exception Sys_error _ -> 0
   | names ->
-    Array.iter
-      (fun name ->
+    Array.fold_left
+      (fun swept name ->
         if
           Filename.check_suffix name ".tmp"
           && String.starts_with ~prefix name
           && not (tmp_writer_alive name)
-        then try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
-      names
+        then
+          match Sys.remove (Filename.concat dir name) with
+          | () -> swept + 1
+          | exception Sys_error _ -> swept
+        else swept)
+      0 names
 
 let write_file_atomic ?(fp_prefix = "file") ~path data =
   let site s = fp_prefix ^ "." ^ s in

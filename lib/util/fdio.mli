@@ -29,13 +29,13 @@ val read_file : ?site:string -> string -> bytes
     the stdlib contract for missing files.
     @raise Sys_error when the file cannot be opened or read. *)
 
-val sweep_tmps : ?prefix:string -> string -> unit
+val sweep_tmps : ?prefix:string -> string -> int
 (** Remove crash-leftover temp files ([*.tmp], optionally restricted to
-    names starting with [prefix]) from [dir].  Temp names written by
-    {!write_file_atomic} embed the writer's pid; a temp whose writer is
-    still alive is an in-flight write by a sibling process sharing the
-    directory and is left alone.  Errors are swallowed — sweeping is
-    best-effort recovery. *)
+    names starting with [prefix]) from [dir]; returns how many were
+    removed.  Temp names written by {!write_file_atomic} embed the
+    writer's pid; a temp whose writer is still alive is an in-flight
+    write by a sibling process sharing the directory and is left alone.
+    Errors are swallowed — sweeping is best-effort recovery. *)
 
 val write_file_atomic : ?fp_prefix:string -> path:string -> bytes -> unit
 (** The full temp + write + fsync + rename sequence.  On any failure the

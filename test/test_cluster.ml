@@ -288,11 +288,10 @@ let test_server_sheds_expired_deadlines () =
   let server =
     Server.create ~now
       {
+        Server.default_config with
         Server.queue_depth = 8;
         cache_capacity = 16;
-        domains = 1;
         latency_window = 32;
-        store_dir = None;
       }
   in
   Fun.protect
@@ -320,9 +319,9 @@ let test_server_store_tier () =
   let line = {|{"id":1,"scenario":"simulate","params":{"mesh_size":4,"seed":3}}|} in
   let cfg store_dir =
     {
+      Server.default_config with
       Server.queue_depth = 8;
       cache_capacity = 16;
-      domains = 1;
       latency_window = 32;
       store_dir;
     }

@@ -7,4 +7,5 @@ let () =
    @ Test_edge.suite
    @ Test_experiments.suite @ Test_checkpoint.suite @ Test_audit.suite
    @ Test_metrics_wire.suite @ Test_service.suite @ Test_cluster.suite
-   @ Test_incremental.suite @ Test_failpoint.suite @ Test_supervisor.suite)
+   @ Test_incremental.suite @ Test_failpoint.suite @ Test_supervisor.suite
+   @ Test_obs.suite)

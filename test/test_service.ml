@@ -53,6 +53,7 @@ let test_request_parsing () =
         priority = 2;
         deadline_ms = None;
         client = "";
+        trace_id = None;
         body = Request.Scenario (Request.Simulate p);
       } ->
     Alcotest.(check int) "default mesh" 6 p.Request.mesh_size;
@@ -106,7 +107,13 @@ let test_fingerprint_canonicalization () =
 (* - server batches - *)
 
 let config ?(queue_depth = 8) ?(cache_capacity = 16) ?store_dir () =
-  { Server.queue_depth; cache_capacity; domains = 1; latency_window = 32; store_dir }
+  {
+    Server.default_config with
+    Server.queue_depth;
+    cache_capacity;
+    latency_window = 32;
+    store_dir;
+  }
 
 let with_server ?queue_depth ?cache_capacity ?store_dir ?now f =
   let server = Server.create ?now (config ?queue_depth ?cache_capacity ?store_dir ()) in
